@@ -1,0 +1,12 @@
+package repro_test
+
+import (
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// newBenchCache builds the paper's case-study cache with an LRU engine for
+// the micro-benchmarks.
+func newBenchCache() (*cache.Cache, error) {
+	return cache.New(cache.DefaultConfig(), policy.NewLRU())
+}

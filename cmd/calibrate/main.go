@@ -1,0 +1,67 @@
+// Command calibrate is a maintainer tool: it sweeps workload-generator
+// parameters and reports LRU vs GMM miss rates so the benchmark mixes can
+// be tuned to land near the paper's Fig. 6 bars. It is not part of the
+// reproduction pipeline itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gmm"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 300_000, "requests")
+		seed = flag.Int64("seed", 1, "seed")
+		k    = flag.Int("k", 128, "GMM components")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Train = gmm.TrainConfig{K: *k, MaxIters: 40, Seed: 1, MaxSamples: 20000}
+
+	for _, name := range flag.Args() {
+		g, err := workload.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr := g.Generate(*n, *seed)
+		tg, err := core.Train(tr, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lru, err := core.Run(tr, policy.NewLRU(), 0, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ev, err := core.Run(tr, tg.Policy(policy.GMMEvictionOnly), cfg.GMMInference, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cb, err := core.Run(tr, tg.Policy(policy.GMMCachingEviction), cfg.GMMInference, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		bel, err := core.Run(tr, policy.NewBelady(tr, false), 0, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-9s LRU %6.2f  evict %6.2f (%+.2f)  comb %6.2f (%+.2f)  belady %6.2f  th=%.3g\n",
+			name, lru.MissRatePct(),
+			ev.MissRatePct(), ev.MissRatePct()-lru.MissRatePct(),
+			cb.MissRatePct(), cb.MissRatePct()-lru.MissRatePct(),
+			bel.MissRatePct(), tg.Threshold)
+	}
+}

@@ -1,0 +1,173 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp fig6            # miss-rate comparison (Fig. 6)
+//	experiments -exp table1          # average SSD access time (Table 1)
+//	experiments -exp table2          # policy engine hardware cost (Table 2)
+//	experiments -exp fig2            # access-distribution CSVs (Fig. 2)
+//	experiments -exp ablation-k      # sweep of GMM component count
+//	experiments -exp ablation-1d     # 2-D vs spatial-only GMM
+//	experiments -exp ablation-threshold
+//	experiments -exp ablation-window
+//	experiments -exp overlap         # dataflow overlap ablation
+//	experiments -exp all             # everything above
+//
+// Flags -n, -seed, -bench restrict the trace length, generator seed and
+// benchmark set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// nSeeds carries the -seeds flag to the repeat experiment.
+var nSeeds int
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig2|fig6|table1|table2|eval|repeat|ablation-k|ablation-1d|ablation-threshold|ablation-window|ablation-precision|overlap|all")
+		n     = flag.Int("n", 600_000, "requests per benchmark trace")
+		seed  = flag.Int64("seed", 1, "workload generator seed")
+		seeds = flag.Int("seeds", 3, "seed count for -exp repeat")
+		bench = flag.String("bench", "", "comma-separated benchmark subset (default all)")
+		outd  = flag.String("out", "", "directory for CSV output (fig2); stdout tables otherwise")
+	)
+	flag.Parse()
+	nSeeds = *seeds
+
+	o := experiments.DefaultOptions()
+	o.Requests = *n
+	o.Seed = *seed
+	if *bench != "" {
+		o.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	if err := run(*exp, o, *outd); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, o experiments.Options, outDir string) error {
+	switch exp {
+	case "fig2":
+		return runFig2(o, outDir)
+	case "fig6", "table1", "eval":
+		cmps, err := experiments.RunAll(o, os.Stderr)
+		if err != nil {
+			return err
+		}
+		if exp == "fig6" || exp == "eval" {
+			fmt.Println(experiments.Fig6Table(cmps))
+		}
+		if exp == "table1" || exp == "eval" {
+			fmt.Println(experiments.Table1(cmps))
+		}
+		return nil
+	case "table2":
+		fmt.Println(experiments.Table2())
+		return nil
+	case "repeat":
+		list := make([]int64, nSeeds)
+		for i := range list {
+			list[i] = int64(i + 1)
+		}
+		rs, err := experiments.RunRepeated(o, list, os.Stderr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RepeatedTable(rs))
+		return nil
+	case "ablation-k":
+		t, err := experiments.AblationK(o, []int{8, 16, 32, 64, 128, 256})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	case "ablation-1d":
+		t, err := experiments.Ablation1D(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	case "ablation-threshold":
+		t, err := experiments.AblationThreshold(o, []float64{0, 0.05, 0.1, 0.2, 0.4})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	case "ablation-window":
+		t, err := experiments.AblationWindow(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	case "ablation-precision":
+		t, err := experiments.AblationPrecision(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	case "overlap":
+		t, err := experiments.OverlapAblation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	case "all":
+		for _, e := range []string{"fig2", "fig6", "table1", "table2", "ablation-k", "ablation-1d", "ablation-threshold", "ablation-window", "ablation-precision", "overlap"} {
+			fmt.Printf("### %s\n\n", e)
+			if err := run(e, o, outDir); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func runFig2(o experiments.Options, outDir string) error {
+	names := o.Benchmarks
+	if len(names) == 0 {
+		// The paper's Fig. 2 shows dlrm, parsec and sysbench.
+		names = []string{"dlrm", "parsec", "sysbench"}
+	}
+	for _, name := range names {
+		spatial, temporal, err := experiments.Fig2Series(name, o.Requests, o.Seed, 64, 2000)
+		if err != nil {
+			return err
+		}
+		if outDir == "" {
+			fmt.Printf("--- %s spatial (first 10 bins) ---\n", name)
+			for i := 0; i < 10 && i < spatial.Len(); i++ {
+				fmt.Printf("%12.0f %8.0f\n", spatial.X[i], spatial.Y[i])
+			}
+			continue
+		}
+		if err := os.WriteFile(
+			fmt.Sprintf("%s/fig2-%s-spatial.csv", outDir, name),
+			[]byte(spatial.CSV()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(
+			fmt.Sprintf("%s/fig2-%s-temporal.csv", outDir, name),
+			[]byte(temporal.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command tracegen generates synthetic benchmark traces in the binary or
+// CSV container understood by the rest of the toolchain.
+//
+// Usage:
+//
+//	tracegen -bench dlrm -n 1000000 -seed 1 -o dlrm.trace
+//	tracegen -bench parsec -n 500000 -format csv -o parsec.csv
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "benchmark name (see -list)")
+		n      = flag.Int("n", 1_000_000, "number of requests")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+		format = flag.String("format", "binary", "output format: binary|csv")
+		list   = flag.Bool("list", false, "list available benchmarks")
+		stat   = flag.Bool("stats", false, "print trace statistics to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range workload.Registry() {
+			fmt.Println(g.Name())
+		}
+		return
+	}
+	if err := run(*bench, *n, *seed, *out, *format, *stat); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, n int, seed int64, out, format string, stat bool) error {
+	g, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	tr := g.Generate(n, seed)
+
+	if stat {
+		s := trace.Summarize(tr)
+		fmt.Fprintf(os.Stderr,
+			"%s: %d records, %.1f%% reads, %d unique pages (%.1f MiB footprint)\n",
+			bench, s.Records, 100*s.ReadFraction(), s.UniquePages,
+			float64(s.FootprintBytes)/(1<<20))
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "binary":
+		return trace.WriteBinary(w, tr)
+	case "csv":
+		return trace.WriteCSV(w, tr)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

@@ -1,0 +1,103 @@
+// Hardware simulation: the FPGA dataflow architecture of Fig. 5.
+//
+// This example runs the cycle-level model of the ICGMM prototype: the
+// functional cache simulation decides hit/miss/write-back per request, and
+// the dataflow timing model replays those events through the
+// FIFO-connected kernels (cache control engine, GMM policy engine, SSD
+// latency emulator) at the prototype's 233 MHz clock. It demonstrates the
+// three hardware claims of Sec. 4/5.3:
+//
+//  1. GMM inference (3 us) hides completely behind SSD access (75 us) —
+//     the dataflow overlap;
+//  2. the GMM PE is a deep II=1 pipeline: K + depth cycles per inference;
+//  3. the GMM engine is ~15,000x faster and far smaller than the LSTM
+//     engine (Table 2).
+//
+// Run with: go run ./examples/hwsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/gmm"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Functional pass: run the heap workload through the cache to get the
+	// per-request outcomes the timing model needs.
+	tr := workload.NewHeap().Generate(50_000, 3)
+	cfg := core.DefaultConfig()
+	cfg.Train = gmm.TrainConfig{K: 64, MaxIters: 20, Seed: 1, MaxSamples: 10000}
+	tg, err := core.Train(tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := cache.New(cfg.Cache, tg.Policy(policy.GMMCachingEviction))
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := make([]fpga.AccessEvent, len(tr))
+	for i, rec := range tr {
+		res := c.Access(rec.Page(), rec.Op.String() == "W")
+		events[i] = fpga.AccessEvent{
+			Page:      rec.Page(),
+			Write:     rec.Op.String() == "W",
+			Hit:       res.Hit,
+			WriteBack: res.WriteBack,
+			Bypassed:  !res.Hit && !res.Admitted,
+		}
+	}
+	fmt.Printf("functional pass: %d requests, miss rate %.2f%%\n\n",
+		len(tr), 100*c.Stats().MissRate())
+
+	// Timing pass 1: dataflow overlap on vs off.
+	on, err := fpga.SimulateDataflow(events, fpga.DefaultDataflowConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfgOff := fpga.DefaultDataflowConfig()
+	cfgOff.Overlap = false
+	off, err := fpga.SimulateDataflow(events, cfgOff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataflow timing at 233 MHz:")
+	fmt.Printf("  overlapped:  total %v, mean latency %v/request, GMM cycles hidden: %d\n",
+		fpga.CyclesToDuration(on.TotalCycles),
+		fpga.CyclesToDuration(int64(on.MeanLatencyCycles())),
+		on.HiddenGMMCycles)
+	fmt.Printf("  serialized:  total %v, mean latency %v/request\n",
+		fpga.CyclesToDuration(off.TotalCycles),
+		fpga.CyclesToDuration(int64(off.MeanLatencyCycles())))
+	fmt.Printf("  overlap saves %.2f%% of total execution time\n\n",
+		100*float64(off.TotalCycles-on.TotalCycles)/float64(off.TotalCycles))
+
+	// Timing pass 2: the GMM PE pipeline, cycle by cycle.
+	pe := fpga.PaperGMMEngine()
+	sim, err := fpga.NewPipelineSim(pe.K, pe.PipelineDepth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycles := sim.Run()
+	fmt.Printf("GMM PE pipeline: K=%d Gaussians, depth %d, II=1 -> %d cycles = %v\n\n",
+		pe.K, pe.PipelineDepth, cycles, fpga.CyclesToDuration(cycles))
+
+	// Table 2: resource and latency comparison.
+	cmp := fpga.CompareEngines()
+	fmt.Println("policy engine comparison (Table 2):")
+	fmt.Printf("  LSTM: %v\n", cmp.LSTM)
+	fmt.Printf("  GMM:  %v\n", cmp.GMM)
+	fmt.Printf("  GMM gain: %.0fx less BRAM, %.0fx faster\n", cmp.BRAMRatio, cmp.Speedup)
+	u50 := fpga.U50
+	fmt.Printf("  GMM on Alveo U50: %.1f%% BRAM, %.1f%% DSP, %.1f%% LUT, %.1f%% FF\n",
+		100*float64(cmp.GMM.BRAM)/float64(u50.BRAM),
+		100*float64(cmp.GMM.DSP)/float64(u50.DSP),
+		100*float64(cmp.GMM.LUT)/float64(u50.LUT),
+		100*float64(cmp.GMM.FF)/float64(u50.FF))
+}

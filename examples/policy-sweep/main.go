@@ -1,0 +1,71 @@
+// Policy sweep: how do cache geometry and policy choice interact?
+//
+// This example sweeps the DRAM cache size across a range around the paper's
+// 64 MiB case study and compares five policies — LRU, FIFO, the Belady
+// oracle (offline upper bound), and the GMM engine in eviction-only and
+// combined modes — on the sysbench OLTP workload. It prints the crossover
+// table a capacity-planning engineer would want: at which cache sizes does
+// intelligent caching buy the most, and how close does the GMM get to the
+// clairvoyant optimum.
+//
+// Run with: go run ./examples/policy-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/gmm"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	tr := workload.NewSysbench().Generate(300_000, 11)
+
+	table := stats.NewTable(
+		"sysbench miss rate (%) by cache size and policy",
+		"Cache", "LRU", "FIFO", "GMM evict", "GMM combined", "Belady (OPT)")
+
+	for _, mb := range []uint64{16, 32, 64, 128, 256} {
+		cfg := core.DefaultConfig()
+		cfg.Cache = cache.Config{SizeBytes: mb << 20, BlockBytes: trace.PageSize, Ways: 8}
+		cfg.Train = gmm.TrainConfig{K: 128, MaxIters: 30, Seed: 1, MaxSamples: 15000}
+
+		tg, err := core.Train(tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := []string{fmt.Sprintf("%d MiB", mb)}
+		runs := []struct {
+			p        cache.Policy
+			overhead bool
+		}{
+			{policy.NewLRU(), false},
+			{policy.NewFIFO(), false},
+			{tg.Policy(policy.GMMEvictionOnly), true},
+			{tg.Policy(policy.GMMCachingEviction), true},
+			{policy.NewBelady(tr, false), false},
+		}
+		for _, r := range runs {
+			overhead := cfg.GMMInference
+			if !r.overhead {
+				overhead = 0
+			}
+			res, err := core.Run(tr, r.p, overhead, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", res.MissRatePct()))
+		}
+		table.AddRowStrings(row...)
+	}
+	fmt.Println(table)
+	fmt.Println("Reading the table: the GMM's advantage over LRU peaks when the hot set")
+	fmt.Println("overflows the cache (small sizes) and vanishes once everything fits;")
+	fmt.Println("Belady bounds what any replacement policy could achieve.")
+}

@@ -1,0 +1,326 @@
+// Package cache implements the device-side DRAM page cache that ICGMM
+// manages: a set-associative cache of 4 KiB blocks in front of the SSD, with
+// pluggable admission and eviction policies (the "cache policy engine" of
+// the paper). The cache tracks tags, dirty bits and statistics; policies
+// supply the intelligence.
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Config sizes the cache. The paper's case study uses 64 MiB capacity,
+// 4 KiB blocks and 8-way associativity.
+type Config struct {
+	// SizeBytes is the total data capacity.
+	SizeBytes uint64
+	// BlockBytes is the cache block (page) size; must match the SSD access
+	// granularity for the paper's setting.
+	BlockBytes uint64
+	// Ways is the set associativity.
+	Ways int
+}
+
+// DefaultConfig returns the paper's case-study configuration.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:  64 << 20,
+		BlockBytes: trace.PageSize,
+		Ways:       8,
+	}
+}
+
+// Validate checks that the geometry is self-consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes == 0 || c.BlockBytes == 0 || c.Ways <= 0 {
+		return errors.New("cache: zero-valued geometry")
+	}
+	blocks := c.SizeBytes / c.BlockBytes
+	if blocks == 0 {
+		return errors.New("cache: capacity smaller than one block")
+	}
+	if blocks%uint64(c.Ways) != 0 {
+		return fmt.Errorf("cache: %d blocks not divisible by %d ways", blocks, c.Ways)
+	}
+	return nil
+}
+
+// NumBlocks returns the total block count.
+func (c Config) NumBlocks() uint64 { return c.SizeBytes / c.BlockBytes }
+
+// NumSets returns the number of sets.
+func (c Config) NumSets() uint64 { return c.NumBlocks() / uint64(c.Ways) }
+
+// Request is one page-granular access presented to the cache.
+type Request struct {
+	// Page is the 4 KiB page index (trace.Record.Page()).
+	Page uint64
+	// Write marks store requests; they dirty the block on hit or insert.
+	Write bool
+	// Seq is the arrival index of the request, the clock policies use.
+	Seq uint64
+}
+
+// BlockView is the read-only view of one way a policy sees when choosing a
+// victim.
+type BlockView struct {
+	Page  uint64
+	Valid bool
+	Dirty bool
+}
+
+// Policy is the cache policy engine interface. The cache calls OnAccess for
+// every request, then either OnHit, or (on a miss) Admit followed — when the
+// page is admitted — by Victim/OnEvict/OnInsert as needed.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Attach tells the policy the cache geometry before any traffic.
+	Attach(numSets, ways int)
+	// OnAccess observes every request in arrival order, before lookup.
+	OnAccess(req Request)
+	// OnHit reports a hit on the given set/way.
+	OnHit(setIdx, way int, req Request)
+	// Admit decides whether a missed page is worth caching. Traditional
+	// policies return true unconditionally; ICGMM's smart caching declines
+	// pages whose GMM score falls below the threshold.
+	Admit(req Request) bool
+	// Victim picks the way to evict from a full set.
+	Victim(setIdx int, blocks []BlockView) int
+	// OnEvict reports that the page at set/way is being evicted.
+	OnEvict(setIdx, way int, page uint64)
+	// OnInsert reports that req.Page now occupies set/way.
+	OnInsert(setIdx, way int, req Request)
+}
+
+// Stats aggregates cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Bypasses   uint64 // misses where the policy declined admission
+	Evictions  uint64
+	WriteBacks uint64 // evictions of dirty blocks
+	Inserts    uint64
+}
+
+// Accesses returns the total request count.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses/accesses in [0, 1].
+func (s Stats) MissRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses())
+}
+
+// HitRate returns hits/accesses in [0, 1].
+func (s Stats) HitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses())
+}
+
+type block struct {
+	page  uint64
+	valid bool
+	dirty bool
+}
+
+// AccessResult describes what one access did, driving the latency model.
+type AccessResult struct {
+	Hit bool
+	// Admitted is set when a missed page was inserted into the cache.
+	Admitted bool
+	// Evicted is set when an insert displaced a valid block.
+	Evicted bool
+	// VictimPage is the displaced page (valid only when Evicted).
+	VictimPage uint64
+	// WriteBack is set when the displaced block was dirty and must be
+	// written to the SSD.
+	WriteBack bool
+}
+
+// Cache is a set-associative page cache with an attached policy engine.
+type Cache struct {
+	cfg    Config
+	sets   [][]block
+	policy Policy
+	seq    uint64
+	stats  Stats
+	views  []BlockView // scratch buffer for Victim calls
+}
+
+// New builds a cache with the given geometry and policy engine.
+func New(cfg Config, policy Policy) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, errors.New("cache: nil policy")
+	}
+	numSets := cfg.NumSets()
+	sets := make([][]block, numSets)
+	for i := range sets {
+		sets[i] = make([]block, cfg.Ways)
+	}
+	policy.Attach(int(numSets), cfg.Ways)
+	return &Cache{
+		cfg:    cfg,
+		sets:   sets,
+		policy: policy,
+		views:  make([]BlockView, cfg.Ways),
+	}, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the attached policy engine.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// setIndex maps a page to its set.
+func (c *Cache) setIndex(page uint64) int {
+	return int(page % c.cfg.NumSets())
+}
+
+// Access presents one page request to the cache and returns what happened.
+func (c *Cache) Access(page uint64, write bool) AccessResult {
+	req := Request{Page: page, Write: write, Seq: c.seq}
+	c.seq++
+	c.policy.OnAccess(req)
+
+	si := c.setIndex(page)
+	set := c.sets[si]
+
+	// Hit path: all tags in the set are compared (in hardware this is the
+	// parallel comparison of Sec. 4.2; here a linear scan over <=8 ways).
+	for w := range set {
+		if set[w].valid && set[w].page == page {
+			if write {
+				set[w].dirty = true
+			}
+			c.stats.Hits++
+			c.policy.OnHit(si, w, req)
+			return AccessResult{Hit: true}
+		}
+	}
+
+	// Miss path.
+	c.stats.Misses++
+	if !c.policy.Admit(req) {
+		c.stats.Bypasses++
+		return AccessResult{}
+	}
+
+	// Prefer an invalid way.
+	way := -1
+	for w := range set {
+		if !set[w].valid {
+			way = w
+			break
+		}
+	}
+	res := AccessResult{Admitted: true}
+	if way == -1 {
+		for w := range set {
+			c.views[w] = BlockView{Page: set[w].page, Valid: set[w].valid, Dirty: set[w].dirty}
+		}
+		way = c.policy.Victim(si, c.views)
+		if way < 0 || way >= c.cfg.Ways {
+			// A broken policy must not corrupt the cache; fall back to way 0.
+			way = 0
+		}
+		res.Evicted = true
+		res.VictimPage = set[way].page
+		res.WriteBack = set[way].dirty
+		c.stats.Evictions++
+		if set[way].dirty {
+			c.stats.WriteBacks++
+		}
+		c.policy.OnEvict(si, way, set[way].page)
+	}
+
+	set[way] = block{page: page, valid: true, dirty: write}
+	c.stats.Inserts++
+	c.policy.OnInsert(si, way, req)
+	return res
+}
+
+// Contains reports whether the page is currently cached (no side effects).
+func (c *Cache) Contains(page uint64) bool {
+	set := c.sets[c.setIndex(page)]
+	for _, b := range set {
+		if b.valid && b.page == page {
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid blocks.
+func (c *Cache) Occupancy() uint64 {
+	var n uint64
+	for _, set := range c.sets {
+		for _, b := range set {
+			if b.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyBlocks returns the number of valid dirty blocks.
+func (c *Cache) DirtyBlocks() uint64 {
+	var n uint64
+	for _, set := range c.sets {
+		for _, b := range set {
+			if b.valid && b.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush invalidates every block, returning how many dirty blocks a real
+// system would have written back.
+func (c *Cache) Flush() uint64 {
+	dirty := c.DirtyBlocks()
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			c.sets[si][w] = block{}
+		}
+	}
+	return dirty
+}
+
+// CheckInvariants verifies structural invariants: no duplicate valid pages
+// within a set and every valid page mapping to its own set. Tests call it
+// after traffic; it is not on the hot path.
+func (c *Cache) CheckInvariants() error {
+	for si, set := range c.sets {
+		seen := make(map[uint64]bool, len(set))
+		for _, b := range set {
+			if !b.valid {
+				continue
+			}
+			if seen[b.page] {
+				return fmt.Errorf("cache: page %d duplicated in set %d", b.page, si)
+			}
+			seen[b.page] = true
+			if c.setIndex(b.page) != si {
+				return fmt.Errorf("cache: page %d stored in wrong set %d", b.page, si)
+			}
+		}
+	}
+	return nil
+}

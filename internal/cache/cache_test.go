@@ -1,0 +1,275 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lruStub is a minimal LRU policy local to the package tests, avoiding an
+// import cycle with internal/policy.
+type lruStub struct {
+	lastUse [][]uint64
+	admit   bool
+}
+
+func newLRUStub() *lruStub { return &lruStub{admit: true} }
+
+func (p *lruStub) Name() string { return "lru-stub" }
+func (p *lruStub) Attach(numSets, ways int) {
+	p.lastUse = make([][]uint64, numSets)
+	for i := range p.lastUse {
+		p.lastUse[i] = make([]uint64, ways)
+	}
+}
+func (p *lruStub) OnAccess(Request) {}
+func (p *lruStub) OnHit(s, w int, r Request) {
+	p.lastUse[s][w] = r.Seq
+}
+func (p *lruStub) Admit(Request) bool { return p.admit }
+func (p *lruStub) Victim(s int, blocks []BlockView) int {
+	best, bestUse := 0, p.lastUse[s][0]
+	for w := 1; w < len(blocks); w++ {
+		if p.lastUse[s][w] < bestUse {
+			best, bestUse = w, p.lastUse[s][w]
+		}
+	}
+	return best
+}
+func (p *lruStub) OnEvict(int, int, uint64) {}
+func (p *lruStub) OnInsert(s, w int, r Request) {
+	p.lastUse[s][w] = r.Seq
+}
+
+func smallCache(t *testing.T) *Cache {
+	t.Helper()
+	// 4 sets x 2 ways x 4 KiB blocks.
+	c, err := New(Config{SizeBytes: 8 * 4096, BlockBytes: 4096, Ways: 2}, newLRUStub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		{SizeBytes: 4096, BlockBytes: 4096, Ways: 0},
+		{SizeBytes: 4096, BlockBytes: 8192, Ways: 1},
+		{SizeBytes: 3 * 4096, BlockBytes: 4096, Ways: 2}, // not divisible
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NumBlocks() != 16384 {
+		t.Errorf("NumBlocks = %d, want 16384", cfg.NumBlocks())
+	}
+	if cfg.NumSets() != 2048 {
+		t.Errorf("NumSets = %d, want 2048", cfg.NumSets())
+	}
+}
+
+func TestNewRejectsNilPolicy(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := smallCache(t)
+	res := c.Access(100, false)
+	if res.Hit {
+		t.Error("cold access reported hit")
+	}
+	if !res.Admitted {
+		t.Error("cold miss not admitted")
+	}
+	res = c.Access(100, false)
+	if !res.Hit {
+		t.Error("second access missed")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDirtyWriteBack(t *testing.T) {
+	c := smallCache(t)
+	// Set 0 holds pages 0, 4, 8, ... (page % 4). Fill set 0's two ways.
+	c.Access(0, true) // dirty
+	c.Access(4, false)
+	// Third distinct page in set 0 forces eviction of page 0 (LRU), dirty.
+	res := c.Access(8, false)
+	if !res.Evicted || res.VictimPage != 0 {
+		t.Fatalf("eviction result = %+v", res)
+	}
+	if !res.WriteBack {
+		t.Error("dirty victim did not write back")
+	}
+	st := c.Stats()
+	if st.WriteBacks != 1 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWriteHitDirtiesBlock(t *testing.T) {
+	c := smallCache(t)
+	c.Access(0, false)
+	if c.DirtyBlocks() != 0 {
+		t.Fatal("clean insert marked dirty")
+	}
+	c.Access(0, true)
+	if c.DirtyBlocks() != 1 {
+		t.Error("write hit did not dirty the block")
+	}
+}
+
+func TestBypassOnAdmitFalse(t *testing.T) {
+	p := newLRUStub()
+	p.admit = false
+	c, err := New(Config{SizeBytes: 8 * 4096, BlockBytes: 4096, Ways: 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Access(1, false)
+	if res.Admitted || res.Hit {
+		t.Errorf("bypassed access = %+v", res)
+	}
+	if c.Occupancy() != 0 {
+		t.Error("bypassed page was inserted")
+	}
+	st := c.Stats()
+	if st.Bypasses != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUOrderWithinSet(t *testing.T) {
+	c := smallCache(t)
+	c.Access(0, false) // set 0
+	c.Access(4, false) // set 0
+	c.Access(0, false) // refresh page 0
+	res := c.Access(8, false)
+	if res.VictimPage != 4 {
+		t.Errorf("victim = %d, want 4 (LRU)", res.VictimPage)
+	}
+	if !c.Contains(0) || !c.Contains(8) || c.Contains(4) {
+		t.Error("cache contents wrong after eviction")
+	}
+}
+
+func TestOccupancyAndFlush(t *testing.T) {
+	c := smallCache(t)
+	for p := uint64(0); p < 8; p++ {
+		c.Access(p, p%2 == 0)
+	}
+	if c.Occupancy() != 8 {
+		t.Errorf("Occupancy = %d, want 8", c.Occupancy())
+	}
+	if c.DirtyBlocks() != 4 {
+		t.Errorf("DirtyBlocks = %d, want 4", c.DirtyBlocks())
+	}
+	if flushed := c.Flush(); flushed != 4 {
+		t.Errorf("Flush = %d, want 4", flushed)
+	}
+	if c.Occupancy() != 0 {
+		t.Error("cache not empty after flush")
+	}
+}
+
+func TestStatsRates(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 || s.HitRate() != 0 {
+		t.Error("empty stats should report 0 rates")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.MissRate() != 0.25 || s.HitRate() != 0.75 {
+		t.Errorf("rates = %v/%v", s.MissRate(), s.HitRate())
+	}
+	if s.Accesses() != 4 {
+		t.Errorf("Accesses = %d", s.Accesses())
+	}
+}
+
+func TestBrokenPolicyVictimClamped(t *testing.T) {
+	p := &badVictimPolicy{}
+	c, err := New(Config{SizeBytes: 2 * 4096, BlockBytes: 4096, Ways: 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, false)
+	c.Access(1, false)
+	// Both ways of the single set are full; victim returns 99 → clamped.
+	c.Access(2, false)
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+type badVictimPolicy struct{ lruStub }
+
+func (p *badVictimPolicy) Victim(int, []BlockView) int { return 99 }
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	c := smallCache(t)
+	c.Access(0, false)
+	// Corrupt: duplicate the page into the other way of its set.
+	c.sets[0][1] = block{page: 0, valid: true}
+	if err := c.CheckInvariants(); err == nil {
+		t.Error("duplicate page not detected")
+	}
+	c2 := smallCache(t)
+	c2.sets[1][0] = block{page: 0, valid: true} // page 0 belongs to set 0
+	if err := c2.CheckInvariants(); err == nil {
+		t.Error("wrong-set page not detected")
+	}
+}
+
+// Property: occupancy never exceeds capacity, invariants always hold, and
+// hits+misses equals accesses under random traffic.
+func TestCacheInvariantsUnderRandomTraffic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(Config{SizeBytes: 32 * 4096, BlockBytes: 4096, Ways: 4}, newLRUStub())
+		if err != nil {
+			return false
+		}
+		n := uint64(0)
+		for i := 0; i < 3000; i++ {
+			c.Access(uint64(rng.Intn(200)), rng.Intn(3) == 0)
+			n++
+		}
+		st := c.Stats()
+		if st.Accesses() != n {
+			return false
+		}
+		if c.Occupancy() > c.Config().NumBlocks() {
+			return false
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeatedAccessSamePageNoEviction(t *testing.T) {
+	c := smallCache(t)
+	for i := 0; i < 100; i++ {
+		c.Access(7, i%2 == 0)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 99 || st.Evictions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

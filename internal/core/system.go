@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cxl"
+	"repro/internal/hbm"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// System models the complete Fig. 1 picture, one level above Run: a host
+// with native DRAM, a CXL.mem link, and the ICGMM device (DRAM cache +
+// policy engine + SSD) behind it. Requests carry full unified-space
+// physical addresses; the address map routes them either to host memory
+// (served locally) or across the link into the device.
+//
+// Run() remains the Table 1 workhorse — it operates directly in device page
+// space with the paper's measured end-to-end constants. System exists for
+// whole-machine studies: how much host traffic the expansion absorbs, what
+// the link adds, and what the blended average access time looks like.
+type System struct {
+	cfg      SystemConfig
+	addrMap  cxl.AddressMap
+	link     *cxl.Link
+	devCache *cache.Cache
+	devMem   *hbm.Memory
+	devSSD   *ssd.Device
+	overhead int64 // policy engine inference ns per miss
+
+	now        int64
+	hostHits   stats.Counter
+	expanded   stats.Counter
+	invalid    stats.Counter
+	latency    *stats.Histogram
+	hostLat    *stats.Histogram
+	devLat     *stats.Histogram
+	hostDRAMNs int64
+}
+
+// SystemConfig assembles a System.
+type SystemConfig struct {
+	// Core is the device-side configuration (cache, SSD, latencies).
+	Core Config
+	// AddressMap lays out host DRAM and the expanded region.
+	AddressMap cxl.AddressMap
+	// Link characterizes the CXL port.
+	Link cxl.LinkConfig
+	// HBM models the device DRAM banks.
+	HBM hbm.Config
+	// HostDRAMLatency is the host's native memory access time.
+	HostDRAMLatency time.Duration
+	// Policy is the device cache policy engine.
+	Policy cache.Policy
+	// PolicyOverhead is the engine's per-miss inference latency.
+	PolicyOverhead time.Duration
+}
+
+// DefaultSystemConfig mirrors the paper's setup on a 16 GiB host expanding
+// into a 1 TiB SSD.
+func DefaultSystemConfig(pol cache.Policy) SystemConfig {
+	return SystemConfig{
+		Core:            DefaultConfig(),
+		AddressMap:      cxl.DefaultAddressMap(),
+		Link:            cxl.DefaultLinkConfig(),
+		HBM:             hbm.DefaultConfig(),
+		HostDRAMLatency: 100 * time.Nanosecond,
+		Policy:          pol,
+	}
+}
+
+// NewSystem wires the components together.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("core: system needs a policy engine")
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.AddressMap.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HostDRAMLatency <= 0 {
+		return nil, errors.New("core: non-positive host DRAM latency")
+	}
+	c, err := cache.New(cfg.Core.Cache, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	link, err := cxl.NewLink(cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := hbm.New(cfg.HBM)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := ssd.New(cfg.Core.SSD, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:        cfg,
+		addrMap:    cfg.AddressMap,
+		link:       link,
+		devCache:   c,
+		devMem:     mem,
+		devSSD:     dev,
+		overhead:   cfg.PolicyOverhead.Nanoseconds(),
+		latency:    stats.DefaultLatencyHistogram(),
+		hostLat:    stats.DefaultLatencyHistogram(),
+		devLat:     stats.DefaultLatencyHistogram(),
+		hostDRAMNs: cfg.HostDRAMLatency.Nanoseconds(),
+	}, nil
+}
+
+// Access issues one unified-space request and returns its latency. Invalid
+// addresses return an error without advancing time.
+func (s *System) Access(addr uint64, write bool) (time.Duration, error) {
+	switch s.addrMap.Route(addr) {
+	case cxl.RegionHost:
+		s.hostHits.Inc()
+		lat := s.hostDRAMNs
+		s.latency.Observe(lat)
+		s.hostLat.Observe(lat)
+		s.now += lat
+		return time.Duration(lat), nil
+	case cxl.RegionExpanded:
+		page, err := s.addrMap.DevicePage(addr)
+		if err != nil {
+			return 0, err
+		}
+		s.expanded.Inc()
+		lat := s.deviceAccess(page, write)
+		s.latency.Observe(lat)
+		s.devLat.Observe(lat)
+		s.now += lat
+		return time.Duration(lat), nil
+	default:
+		s.invalid.Inc()
+		return 0, fmt.Errorf("core: address %#x outside the unified space", addr)
+	}
+}
+
+// deviceAccess runs the device-side path: link request, cache lookup, and
+// the miss machinery of Run, returning the total latency in ns.
+func (s *System) deviceAccess(page uint64, write bool) int64 {
+	res := s.devCache.Access(page, write)
+
+	// Device-internal service time.
+	var dev int64
+	switch {
+	case res.Hit:
+		dev = s.devMem.Access(page, s.now) - s.now
+	case res.Admitted:
+		done := s.devSSD.Access(ssd.OpRead, page, s.now)
+		dev = done - s.now
+		if res.WriteBack {
+			wb := s.devSSD.Access(ssd.OpWrite, res.VictimPage, s.now)
+			dev += wb - s.now
+		}
+		// Fill lands in device DRAM before the completion returns.
+		dev += s.devMem.Access(page, s.now+dev) - (s.now + dev)
+	case write:
+		dev = s.devSSD.Access(ssd.OpWrite, page, s.now) - s.now
+	default:
+		dev = s.devSSD.Access(ssd.OpRead, page, s.now) - s.now
+	}
+
+	if !res.Hit && s.overhead > 0 {
+		if s.cfg.Core.Overlap {
+			if s.overhead > dev {
+				dev = s.overhead
+			}
+		} else {
+			dev += s.overhead
+		}
+	}
+
+	// CXL round trip wraps the device service time: request over, data
+	// back (page payload on the read completion).
+	rt := s.link.RoundTrip(!write, trace.PageSize, s.now) - s.now
+	return rt + dev
+}
+
+// SystemStats summarizes a run.
+type SystemStats struct {
+	HostAccesses     uint64
+	ExpandedAccesses uint64
+	InvalidAccesses  uint64
+	Cache            cache.Stats
+	Link             cxl.Stats
+	SSD              ssd.Stats
+	// Overall/Host/Device are latency summaries for all, host-routed and
+	// expanded-routed requests respectively.
+	Overall, Host, Device stats.Summary
+}
+
+// Stats returns a snapshot.
+func (s *System) Stats() SystemStats {
+	return SystemStats{
+		HostAccesses:     s.hostHits.Value(),
+		ExpandedAccesses: s.expanded.Value(),
+		InvalidAccesses:  s.invalid.Value(),
+		Cache:            s.devCache.Stats(),
+		Link:             s.link.Stats(),
+		SSD:              s.devSSD.Stats(),
+		Overall:          s.latency.Summarize(),
+		Host:             s.hostLat.Summarize(),
+		Device:           s.devLat.Summarize(),
+	}
+}
+
+// ReplayExpanded replays a device-page trace through the expanded region
+// (offsetting each page into the unified space), the bridge from the
+// benchmark traces to whole-system simulation.
+func (s *System) ReplayExpanded(tr trace.Trace) error {
+	base := s.addrMap.HostBytes
+	for _, r := range tr {
+		addr := base + r.Addr
+		if _, err := s.Access(addr, r.Op == trace.Write); err != nil {
+			return err
+		}
+	}
+	return nil
+}

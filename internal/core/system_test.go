@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cxl"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testSystemConfig() SystemConfig {
+	cfg := DefaultSystemConfig(policy.NewLRU())
+	cfg.Core = testConfig()
+	cfg.AddressMap = cxl.AddressMap{HostBytes: 1 << 20, ExpandedBytes: 1 << 30}
+	return cfg
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	cfg := testSystemConfig()
+	cfg.Policy = nil
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("nil policy accepted")
+	}
+	cfg = testSystemConfig()
+	cfg.HostDRAMLatency = 0
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("zero host latency accepted")
+	}
+	cfg = testSystemConfig()
+	cfg.AddressMap = cxl.AddressMap{}
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("empty address map accepted")
+	}
+	cfg = testSystemConfig()
+	cfg.Core.Cache.Ways = 0
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("invalid core config accepted")
+	}
+}
+
+func TestSystemHostPathIsFast(t *testing.T) {
+	s, err := NewSystem(testSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := s.Access(0, false) // host DRAM
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 100*time.Nanosecond {
+		t.Errorf("host access latency = %v, want 100ns", lat)
+	}
+	st := s.Stats()
+	if st.HostAccesses != 1 || st.ExpandedAccesses != 0 {
+		t.Errorf("routing counters wrong: %+v", st)
+	}
+	if st.Link.Messages != 0 {
+		t.Error("host access crossed the CXL link")
+	}
+}
+
+func TestSystemExpandedMissAndHit(t *testing.T) {
+	s, err := NewSystem(testSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(1<<20) + 42*trace.PageSize
+	// Cold miss: link + SSD read + HBM fill.
+	miss, err := s.Access(addr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss < 75*time.Microsecond {
+		t.Errorf("miss latency %v below the SSD read floor", miss)
+	}
+	// Hit: link + HBM only.
+	hit, err := s.Access(addr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit >= miss {
+		t.Errorf("hit %v not faster than miss %v", hit, miss)
+	}
+	if hit < time.Microsecond {
+		t.Errorf("hit %v below the HBM floor", hit)
+	}
+	st := s.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v", st.Cache)
+	}
+	if st.Link.Messages != 4 { // 2 round trips
+		t.Errorf("link messages = %d, want 4", st.Link.Messages)
+	}
+	if st.SSD.Reads != 1 {
+		t.Errorf("SSD reads = %d, want 1", st.SSD.Reads)
+	}
+}
+
+func TestSystemInvalidAddress(t *testing.T) {
+	s, err := NewSystem(testSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Access(1<<20+1<<30, false); err == nil {
+		t.Error("out-of-range address accepted")
+	}
+	if s.Stats().InvalidAccesses != 1 {
+		t.Error("invalid access not counted")
+	}
+}
+
+func TestSystemOverheadOverlap(t *testing.T) {
+	cfg := testSystemConfig()
+	cfg.PolicyOverhead = 3 * time.Microsecond
+	cfg.Core.Overlap = true
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(1 << 20)
+	overlapped, err := s.Access(addr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Core.Overlap = false
+	s2, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialized, err := s2.Access(addr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialized-overlapped != 3*time.Microsecond {
+		t.Errorf("serialization penalty = %v, want 3us", serialized-overlapped)
+	}
+}
+
+func TestSystemReplayExpanded(t *testing.T) {
+	tr := workload.NewHashmap().Generate(20000, 1)
+	s, err := NewSystem(testSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplayExpanded(tr); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ExpandedAccesses != 20000 {
+		t.Errorf("expanded accesses = %d, want 20000", st.ExpandedAccesses)
+	}
+	if st.Overall.Count != 20000 {
+		t.Errorf("latency samples = %d", st.Overall.Count)
+	}
+	if st.Device.Count != 20000 || st.Host.Count != 0 {
+		t.Error("per-region summaries wrong")
+	}
+	if st.Overall.Mean <= time.Microsecond {
+		t.Errorf("mean latency %v implausibly low", st.Overall.Mean)
+	}
+	// Link flit accounting: every request is one round trip with a 4 KiB
+	// payload on one leg = 1 + 64 flits.
+	if st.Link.Flits != 20000*65 {
+		t.Errorf("flits = %d, want %d", st.Link.Flits, 20000*65)
+	}
+}
+
+func TestSystemMixedHostAndExpanded(t *testing.T) {
+	s, err := NewSystem(testSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Access(uint64(i)*64, false); err != nil { // host
+			t.Fatal(err)
+		}
+		if _, err := s.Access(1<<20+uint64(i%4)*trace.PageSize, true); err != nil { // expanded
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.HostAccesses != 100 || st.ExpandedAccesses != 100 {
+		t.Errorf("routing = %d host / %d expanded", st.HostAccesses, st.ExpandedAccesses)
+	}
+	// Host mean must be far below device mean.
+	if st.Host.Mean >= st.Device.Mean {
+		t.Errorf("host mean %v >= device mean %v", st.Host.Mean, st.Device.Mean)
+	}
+}
+
+func TestSystemWithGMMEngine(t *testing.T) {
+	// Integration: train a GMM and run it as the device policy engine in
+	// the whole-system model.
+	tr := workload.NewHashmap().Generate(40000, 2)
+	coreCfg := testConfig()
+	tg, err := Train(tr, coreCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testSystemConfig()
+	cfg.Core = coreCfg
+	cfg.Policy = tg.Policy(policy.GMMCachingEviction)
+	cfg.PolicyOverhead = coreCfg.GMMInference
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplayExpanded(tr); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Cache.Accesses() != 40000 {
+		t.Errorf("cache accesses = %d", st.Cache.Accesses())
+	}
+	if st.Cache.HitRate() == 0 {
+		t.Error("GMM-managed cache produced no hits")
+	}
+}

@@ -1,0 +1,212 @@
+// Package cxl models the CXL-enabled memory expansion fabric of Fig. 1: a
+// unified physical address space in which the host's native DRAM and the
+// SSD-backed expanded region appear as one flat memory, plus a CXL.mem
+// transaction layer whose latency and flit accounting connect the host to
+// the ICGMM device.
+//
+// The model is deliberately at the transaction level (not flit-by-flit
+// timing): what the paper's evaluation depends on is which region a request
+// routes to and what round-trip latency the link adds, both of which are
+// captured here.
+package cxl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Region identifies which memory a physical address belongs to.
+type Region uint8
+
+const (
+	// RegionHost is native host DRAM (served without touching the device).
+	RegionHost Region = iota
+	// RegionExpanded is the CXL device's SSD-backed expansion space.
+	RegionExpanded
+	// RegionInvalid is an address beyond the unified space.
+	RegionInvalid
+)
+
+// String names the region.
+func (r Region) String() string {
+	switch r {
+	case RegionHost:
+		return "host"
+	case RegionExpanded:
+		return "expanded"
+	default:
+		return "invalid"
+	}
+}
+
+// AddressMap lays out the unified memory space: host DRAM at the bottom,
+// the expanded SSD space above it.
+type AddressMap struct {
+	// HostBytes is the size of native host DRAM.
+	HostBytes uint64
+	// ExpandedBytes is the size of the SSD-backed expansion.
+	ExpandedBytes uint64
+}
+
+// DefaultAddressMap models a host with 16 GiB of DRAM expanding into a
+// 1 TiB SSD.
+func DefaultAddressMap() AddressMap {
+	return AddressMap{HostBytes: 16 << 30, ExpandedBytes: 1 << 40}
+}
+
+// Validate checks the map.
+func (m AddressMap) Validate() error {
+	if m.ExpandedBytes == 0 {
+		return errors.New("cxl: empty expanded region")
+	}
+	return nil
+}
+
+// TotalBytes returns the unified space size.
+func (m AddressMap) TotalBytes() uint64 { return m.HostBytes + m.ExpandedBytes }
+
+// Route classifies a physical address.
+func (m AddressMap) Route(addr uint64) Region {
+	switch {
+	case addr < m.HostBytes:
+		return RegionHost
+	case addr < m.HostBytes+m.ExpandedBytes:
+		return RegionExpanded
+	default:
+		return RegionInvalid
+	}
+}
+
+// DevicePage translates a unified-space address in the expanded region to a
+// page index local to the device (what the DRAM cache and SSD index by).
+func (m AddressMap) DevicePage(addr uint64) (uint64, error) {
+	if m.Route(addr) != RegionExpanded {
+		return 0, fmt.Errorf("cxl: address %#x not in expanded region", addr)
+	}
+	return (addr - m.HostBytes) >> trace.PageShift, nil
+}
+
+// MsgType is a CXL.mem transaction type (the master-to-subordinate and
+// subordinate-to-master opcode classes relevant to memory expansion).
+type MsgType uint8
+
+const (
+	// MemRd requests a read of one cacheline/page.
+	MemRd MsgType = iota
+	// MemWr writes data to the device.
+	MemWr
+	// Cmp is the subordinate completion for a read (with data) or write.
+	Cmp
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MemRd:
+		return "MemRd"
+	case MemWr:
+		return "MemWr"
+	default:
+		return "Cmp"
+	}
+}
+
+// Message is one transaction-layer message.
+type Message struct {
+	Type MsgType
+	Addr uint64
+	// PayloadBytes is the data carried (0 for requests without data).
+	PayloadBytes uint64
+}
+
+// LinkConfig characterizes the CXL link. Defaults approximate a x8 CXL 2.0
+// port: ~25 GB/s usable bandwidth and ~150 ns one-way port-to-port latency
+// (consistent with published CXL memory-expansion measurements).
+type LinkConfig struct {
+	OneWayLatency time.Duration
+	BytesPerNs    float64
+	FlitBytes     uint64
+}
+
+// DefaultLinkConfig returns the x8 CXL 2.0 approximation.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		OneWayLatency: 150 * time.Nanosecond,
+		BytesPerNs:    25,
+		FlitBytes:     64,
+	}
+}
+
+// Validate checks the link parameters.
+func (c LinkConfig) Validate() error {
+	if c.OneWayLatency <= 0 || c.BytesPerNs <= 0 || c.FlitBytes == 0 {
+		return errors.New("cxl: invalid link config")
+	}
+	return nil
+}
+
+// Link models the CXL.mem port: latency plus serialization delay, with flit
+// counting for bandwidth accounting.
+type Link struct {
+	cfg      LinkConfig
+	flits    stats.Counter
+	messages stats.Counter
+	bytes    stats.Counter
+}
+
+// NewLink builds a link.
+func NewLink(cfg LinkConfig) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Link{cfg: cfg}, nil
+}
+
+// Transfer models sending one message across the link at virtual time
+// nowNs, returning its arrival time at the far side. Serialization delay is
+// payload size over bandwidth; every message costs at least one flit.
+func (l *Link) Transfer(msg Message, nowNs int64) int64 {
+	l.messages.Inc()
+	flits := uint64(1)
+	if msg.PayloadBytes > 0 {
+		flits = (msg.PayloadBytes + l.cfg.FlitBytes - 1) / l.cfg.FlitBytes
+	}
+	l.flits.Add(flits)
+	l.bytes.Add(msg.PayloadBytes)
+	ser := int64(float64(msg.PayloadBytes) / l.cfg.BytesPerNs)
+	return nowNs + l.cfg.OneWayLatency.Nanoseconds() + ser
+}
+
+// RoundTrip models a request/completion pair: request (no payload for
+// reads; page payload for writes) then completion (page payload for reads).
+// It returns the completion arrival time at the host.
+func (l *Link) RoundTrip(read bool, payloadBytes uint64, nowNs int64) int64 {
+	var reqPayload, cmpPayload uint64
+	if read {
+		cmpPayload = payloadBytes
+	} else {
+		reqPayload = payloadBytes
+	}
+	reqType := MemWr
+	if read {
+		reqType = MemRd
+	}
+	arrive := l.Transfer(Message{Type: reqType, PayloadBytes: reqPayload}, nowNs)
+	return l.Transfer(Message{Type: Cmp, PayloadBytes: cmpPayload}, arrive)
+}
+
+// Stats summarizes link activity.
+type Stats struct {
+	Messages uint64
+	Flits    uint64
+	Bytes    uint64
+}
+
+// Stats returns a snapshot of link counters.
+func (l *Link) Stats() Stats {
+	return Stats{Messages: l.messages.Value(), Flits: l.flits.Value(), Bytes: l.bytes.Value()}
+}

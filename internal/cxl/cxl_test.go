@@ -1,0 +1,139 @@
+package cxl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestAddressMapRouting(t *testing.T) {
+	m := AddressMap{HostBytes: 1 << 20, ExpandedBytes: 1 << 20}
+	cases := []struct {
+		addr uint64
+		want Region
+	}{
+		{0, RegionHost},
+		{1<<20 - 1, RegionHost},
+		{1 << 20, RegionExpanded},
+		{2<<20 - 1, RegionExpanded},
+		{2 << 20, RegionInvalid},
+	}
+	for _, c := range cases {
+		if got := m.Route(c.addr); got != c.want {
+			t.Errorf("Route(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionHost.String() != "host" || RegionExpanded.String() != "expanded" ||
+		RegionInvalid.String() != "invalid" {
+		t.Error("region names wrong")
+	}
+}
+
+func TestDevicePage(t *testing.T) {
+	m := AddressMap{HostBytes: 1 << 20, ExpandedBytes: 1 << 30}
+	p, err := m.DevicePage(1<<20 + 2*trace.PageSize + 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 2 {
+		t.Errorf("DevicePage = %d, want 2", p)
+	}
+	if _, err := m.DevicePage(0); err == nil {
+		t.Error("host address translated")
+	}
+	if _, err := m.DevicePage(1<<20 + 1<<30); err == nil {
+		t.Error("out-of-range address translated")
+	}
+}
+
+func TestAddressMapValidate(t *testing.T) {
+	if err := DefaultAddressMap().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (AddressMap{HostBytes: 1}).Validate(); err == nil {
+		t.Error("empty expansion accepted")
+	}
+	m := DefaultAddressMap()
+	if m.TotalBytes() != m.HostBytes+m.ExpandedBytes {
+		t.Error("TotalBytes wrong")
+	}
+}
+
+func TestLinkTransferLatency(t *testing.T) {
+	l, err := NewLink(DefaultLinkConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request without payload: one-way latency only.
+	arrive := l.Transfer(Message{Type: MemRd}, 0)
+	if arrive != 150 {
+		t.Errorf("no-payload transfer = %d ns, want 150", arrive)
+	}
+	// 4 KiB payload at 25 B/ns adds ~163 ns serialization.
+	arrive = l.Transfer(Message{Type: Cmp, PayloadBytes: 4096}, 0)
+	want := int64(150 + 4096/25)
+	if arrive != want {
+		t.Errorf("payload transfer = %d ns, want %d", arrive, want)
+	}
+}
+
+func TestLinkRoundTrip(t *testing.T) {
+	l, _ := NewLink(DefaultLinkConfig())
+	// Read: request (no payload) + completion (4 KiB payload).
+	done := l.RoundTrip(true, 4096, 0)
+	want := int64(150 + 150 + 4096/25)
+	if done != want {
+		t.Errorf("read round trip = %d, want %d", done, want)
+	}
+	// Write: payload travels on the request.
+	done = l.RoundTrip(false, 4096, 1000)
+	if done != 1000+want {
+		t.Errorf("write round trip = %d, want %d", done, 1000+want)
+	}
+}
+
+func TestLinkFlitAccounting(t *testing.T) {
+	l, _ := NewLink(DefaultLinkConfig())
+	l.Transfer(Message{Type: MemRd}, 0)                    // 1 flit
+	l.Transfer(Message{Type: Cmp, PayloadBytes: 4096}, 0)  // 64 flits
+	l.Transfer(Message{Type: MemWr, PayloadBytes: 100}, 0) // 2 flits
+	st := l.Stats()
+	if st.Messages != 3 {
+		t.Errorf("messages = %d", st.Messages)
+	}
+	if st.Flits != 1+64+2 {
+		t.Errorf("flits = %d, want 67", st.Flits)
+	}
+	if st.Bytes != 4196 {
+		t.Errorf("bytes = %d", st.Bytes)
+	}
+}
+
+func TestLinkConfigValidate(t *testing.T) {
+	if err := DefaultLinkConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []LinkConfig{
+		{},
+		{OneWayLatency: time.Nanosecond, BytesPerNs: 0, FlitBytes: 64},
+		{OneWayLatency: time.Nanosecond, BytesPerNs: 1, FlitBytes: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewLink(LinkConfig{}); err == nil {
+		t.Error("NewLink accepted invalid config")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MemRd.String() != "MemRd" || MemWr.String() != "MemWr" || Cmp.String() != "Cmp" {
+		t.Error("message type names wrong")
+	}
+}

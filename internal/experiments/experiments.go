@@ -1,0 +1,143 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 5): Fig. 2 (access distributions), Fig. 6 (miss-rate
+// comparison), Table 1 (average SSD access time), and Table 2 (policy-engine
+// hardware cost), plus the ablation sweeps DESIGN.md calls out. The
+// cmd/experiments binary and the repository benchmarks are thin wrappers
+// over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options configures a full experiment run.
+type Options struct {
+	// Requests is the trace length per benchmark.
+	Requests int
+	// Seed drives the workload generators.
+	Seed int64
+	// Config is the system configuration (cache geometry, SSD profile,
+	// GMM training parameters).
+	Config core.Config
+	// Benchmarks restricts the run to the named benchmarks; empty means
+	// all seven.
+	Benchmarks []string
+}
+
+// DefaultOptions mirrors the paper's setup at a laptop-friendly trace
+// length.
+func DefaultOptions() Options {
+	return Options{
+		Requests: 600_000,
+		Seed:     1,
+		Config:   core.DefaultConfig(),
+	}
+}
+
+func (o Options) generators() ([]workload.Generator, error) {
+	if len(o.Benchmarks) == 0 {
+		return workload.Registry(), nil
+	}
+	gens := make([]workload.Generator, 0, len(o.Benchmarks))
+	for _, name := range o.Benchmarks {
+		g, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		gens = append(gens, g)
+	}
+	return gens, nil
+}
+
+// RunAll trains and compares the four Fig. 6 policies on every selected
+// benchmark. The returned comparisons feed both Fig. 6 and Table 1. When
+// progress is non-nil, a line is printed per benchmark.
+func RunAll(o Options, progress io.Writer) ([]*core.Comparison, error) {
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.Comparison, 0, len(gens))
+	for _, g := range gens {
+		tr := g.Generate(o.Requests, o.Seed)
+		cmp, err := core.Compare(g.Name(), tr, o.Config)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", g.Name(), err)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%-9s LRU %.2f%%  best GMM %.2f%% (%s)  latency %-8v -> %-8v (-%.2f%%)\n",
+				g.Name(), 100*cmp.LRU.Cache.MissRate(), 100*cmp.BestGMM().Cache.MissRate(),
+				cmp.BestGMM().Policy, cmp.LRU.AvgLatency, cmp.BestGMM().AvgLatency,
+				cmp.LatencyReductionPct())
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+// Fig6Table renders the miss-rate comparison in the paper's Fig. 6 layout:
+// one row per benchmark, columns for LRU and the three GMM strategies, the
+// winning strategy, and the miss-rate decrease of the best strategy.
+func Fig6Table(cmps []*core.Comparison) *stats.Table {
+	t := stats.NewTable("Fig. 6 — cache miss rate (%) by policy",
+		"Benchmark", "LRU", "GMM caching-only", "GMM eviction-only",
+		"GMM caching-eviction", "Best", "Decrease (pp)")
+	for _, c := range cmps {
+		best := c.BestGMM()
+		t.AddRowStrings(
+			c.Benchmark,
+			fmt.Sprintf("%.2f", c.LRU.MissRatePct()),
+			fmt.Sprintf("%.2f", c.Caching.MissRatePct()),
+			fmt.Sprintf("%.2f", c.Eviction.MissRatePct()),
+			fmt.Sprintf("%.2f", c.Combined.MissRatePct()),
+			best.Policy,
+			fmt.Sprintf("%.2f", c.LRU.MissRatePct()-best.MissRatePct()),
+		)
+	}
+	return t
+}
+
+// Table1 renders the average SSD access time comparison in the paper's
+// Table 1 layout.
+func Table1(cmps []*core.Comparison) *stats.Table {
+	t := stats.NewTable("Table 1 — average SSD access time by cache policy",
+		"Benchmark", "LRU", "GMM", "Reduction (%)")
+	for _, c := range cmps {
+		best := c.BestGMM()
+		t.AddRowStrings(
+			c.Benchmark,
+			fmt.Sprintf("%.2f us", float64(c.LRU.AvgLatency.Nanoseconds())/1000),
+			fmt.Sprintf("%.2f us", float64(best.AvgLatency.Nanoseconds())/1000),
+			fmt.Sprintf("%.2f", c.LatencyReductionPct()),
+		)
+	}
+	return t
+}
+
+// Fig2Series produces the data behind one benchmark's Fig. 2 panels: the
+// spatial histogram (page-bin center vs access count) and the temporal
+// scatter (time vs page).
+func Fig2Series(name string, requests int, seed int64, bins, scatterPoints int) (spatial, temporal stats.Series, err error) {
+	g, err := workload.ByName(name)
+	if err != nil {
+		return spatial, temporal, err
+	}
+	tr := g.Generate(requests, seed)
+	centers, counts := trace.SpatialHistogram(tr, bins)
+	spatial.Name = name + "-spatial"
+	for i := range centers {
+		spatial.Append(centers[i], float64(counts[i]))
+	}
+	times, pages := trace.TemporalScatter(tr, scatterPoints)
+	temporal.Name = name + "-temporal"
+	for i := range times {
+		temporal.Append(times[i], pages[i])
+	}
+	return spatial, temporal, nil
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gmm"
+)
+
+// fastOptions keeps experiment tests quick: short traces, small K, one or
+// two benchmarks.
+func fastOptions(benchmarks ...string) Options {
+	o := DefaultOptions()
+	o.Requests = 60_000
+	o.Config.Train = gmm.TrainConfig{K: 16, MaxIters: 10, Seed: 1, MaxSamples: 5000}
+	o.Benchmarks = benchmarks
+	return o
+}
+
+func TestRunAllSingleBenchmark(t *testing.T) {
+	cmps, err := RunAll(fastOptions("hashmap"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) != 1 || cmps[0].Benchmark != "hashmap" {
+		t.Fatalf("unexpected comparisons: %+v", cmps)
+	}
+	if cmps[0].LRU.Cache.Accesses() == 0 {
+		t.Error("no traffic simulated")
+	}
+}
+
+func TestRunAllUnknownBenchmark(t *testing.T) {
+	if _, err := RunAll(fastOptions("nosuch"), nil); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunAllProgressOutput(t *testing.T) {
+	var sb strings.Builder
+	if _, err := RunAll(fastOptions("parsec"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "parsec") {
+		t.Errorf("progress output missing benchmark name: %q", sb.String())
+	}
+}
+
+func TestFig6TableLayout(t *testing.T) {
+	cmps, err := RunAll(fastOptions("heap"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Fig6Table(cmps).String()
+	for _, want := range []string{"Fig. 6", "heap", "LRU", "GMM caching-only", "Decrease"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Layout(t *testing.T) {
+	cmps, err := RunAll(fastOptions("heap"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table1(cmps).String()
+	for _, want := range []string{"Table 1", "heap", "us", "Reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2MatchesPaperShape(t *testing.T) {
+	out := Table2().String()
+	// The calibrated hardware model must print the paper's headline
+	// values.
+	for _, want := range []string{"339", "113", "58353", "46.3", "LSTM", "GMM gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Series(t *testing.T) {
+	spatial, temporal, err := Fig2Series("dlrm", 30_000, 1, 32, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spatial.Len() != 32 {
+		t.Errorf("spatial bins = %d, want 32", spatial.Len())
+	}
+	if temporal.Len() == 0 || temporal.Len() > 550 {
+		t.Errorf("temporal points = %d", temporal.Len())
+	}
+	total := 0.0
+	for _, y := range spatial.Y {
+		total += y
+	}
+	if total != 30_000 {
+		t.Errorf("spatial histogram mass %v, want 30000", total)
+	}
+	if _, _, err := Fig2Series("nosuch", 100, 1, 4, 4); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestAblationK(t *testing.T) {
+	o := fastOptions("hashmap")
+	tbl, err := AblationK(o, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "K=4") || !strings.Contains(out, "K=8") {
+		t.Errorf("ablation table missing K columns:\n%s", out)
+	}
+	if !strings.Contains(out, "hashmap") {
+		t.Errorf("ablation table missing benchmark row:\n%s", out)
+	}
+}
+
+func TestAblation1D(t *testing.T) {
+	tbl, err := Ablation1D(fastOptions("memtier"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"1D GMM", "2D GMM", "memtier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("1D ablation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationThreshold(t *testing.T) {
+	o := fastOptions("parsec")
+	o.Config.AutoThreshold = false
+	tbl, err := AblationThreshold(o, []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "q=0.10") {
+		t.Errorf("threshold ablation missing column:\n%s", tbl.String())
+	}
+}
+
+func TestAblationWindow(t *testing.T) {
+	tbl, err := AblationWindow(fastOptions("parsec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "w=32 shot=10000") {
+		t.Errorf("window ablation missing paper config column:\n%s", tbl.String())
+	}
+}
+
+func TestOverlapAblation(t *testing.T) {
+	tbl, err := OverlapAblation(fastOptions("heap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Overlapped") || !strings.Contains(out, "Serialized") {
+		t.Errorf("overlap ablation layout wrong:\n%s", out)
+	}
+}
+
+func TestDefaultOptionsAreValid(t *testing.T) {
+	o := DefaultOptions()
+	if err := o.Config.Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+	gens, err := o.generators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 7 {
+		t.Errorf("default generators = %d, want 7", len(gens))
+	}
+}
+
+func TestComparisonIntegration(t *testing.T) {
+	// Cross-module integration: the full train+compare flow on a fast
+	// config must produce self-consistent statistics.
+	o := fastOptions("stream")
+	cmps, err := RunAll(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cmps[0]
+	for _, r := range []core.RunResult{c.LRU, c.Caching, c.Eviction, c.Combined} {
+		if r.Cache.Accesses() != uint64(o.Requests) {
+			t.Errorf("%s: %d accesses, want %d", r.Policy, r.Cache.Accesses(), o.Requests)
+		}
+		if r.AvgLatency <= 0 {
+			t.Errorf("%s: non-positive latency", r.Policy)
+		}
+		if r.Cache.Hits+r.Cache.Misses != r.Cache.Accesses() {
+			t.Errorf("%s: hits+misses != accesses", r.Policy)
+		}
+	}
+}
+
+func TestAblationPrecision(t *testing.T) {
+	o := fastOptions("hashmap")
+	tbl, err := AblationPrecision(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"float64", "Q16.16", "diagonal cov", "hashmap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("precision ablation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRepeated(t *testing.T) {
+	o := fastOptions("hashmap")
+	o.Requests = 40_000
+	rs, err := RunRepeated(o, []int64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Seeds != 2 {
+		t.Fatalf("results = %+v", rs)
+	}
+	if rs[0].LRU.Count() != 2 || rs[0].BestGMM.Count() != 2 {
+		t.Error("per-seed observations missing")
+	}
+	out := RepeatedTable(rs).String()
+	for _, want := range []string{"hashmap", "±", "Decrease"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repeated table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRepeatedDefaultSeeds(t *testing.T) {
+	o := fastOptions("parsec")
+	o.Requests = 30_000
+	rs, err := RunRepeated(o, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Seeds != 3 {
+		t.Errorf("default seeds = %d, want 3", rs[0].Seeds)
+	}
+}
+
+func TestRunRepeatedUnknownBenchmark(t *testing.T) {
+	if _, err := RunRepeated(fastOptions("nope"), []int64{1}, nil); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

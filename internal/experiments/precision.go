@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationPrecision compares three policy-engine datapaths on the combined
+// strategy: float64 inference, the Q16.16 fixed-point weight buffer the FPGA
+// actually runs, and a diagonal-covariance model (two multiplies per
+// Gaussian exponent instead of five). The paper deploys the quantized
+// full-covariance engine; this sweep quantifies what each hardware
+// simplification costs in miss rate.
+func AblationPrecision(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Ablation — policy engine datapath vs miss rate (%)",
+		"Benchmark", "LRU", "float64", "Q16.16", "diagonal cov")
+	for _, name := range o.ablationBenchmarks() {
+		g, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		tr := g.Generate(o.Requests, o.Seed)
+
+		lru, err := core.Run(tr, policy.NewLRU(), 0, o.Config)
+		if err != nil {
+			return nil, err
+		}
+
+		variants := []struct {
+			label  string
+			mutate func(*core.Config)
+		}{
+			{"float64", func(*core.Config) {}},
+			{"Q16.16", func(c *core.Config) { c.Quantized = true }},
+			{"diagonal", func(c *core.Config) { c.Train.DiagonalCov = true }},
+		}
+		row := []string{name, fmt.Sprintf("%.2f", lru.MissRatePct())}
+		for _, v := range variants {
+			cfg := o.Config
+			v.mutate(&cfg)
+			tg, err := core.Train(tr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, v.label, err)
+			}
+			r, err := core.Run(tr, tg.Policy(policy.GMMCachingEviction), cfg.GMMInference, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", r.MissRatePct()))
+		}
+		t.AddRowStrings(row...)
+	}
+	return t, nil
+}

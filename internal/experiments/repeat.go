@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// RepeatedResult aggregates one benchmark's miss rates across seeds.
+type RepeatedResult struct {
+	Benchmark string
+	Seeds     int
+	// LRU and BestGMM accumulate the per-seed miss rates (percent).
+	LRU, BestGMM stats.Welford
+	// Decrease accumulates the per-seed (LRU − best GMM) deltas, which is
+	// the right unit for a paired comparison: the delta's spread is much
+	// tighter than either policy's own spread.
+	Decrease stats.Welford
+}
+
+// RunRepeated replays the Fig. 6 comparison across several workload seeds
+// and aggregates mean ± std, quantifying how sensitive the headline result
+// is to trace randomness. Training repeats per seed, exactly as a fresh
+// deployment would.
+func RunRepeated(o Options, seeds []int64, progress io.Writer) ([]*RepeatedResult, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*RepeatedResult, 0, len(gens))
+	for _, g := range gens {
+		rr := &RepeatedResult{Benchmark: g.Name(), Seeds: len(seeds)}
+		for _, seed := range seeds {
+			tr := g.Generate(o.Requests, seed)
+			cmp, err := core.Compare(g.Name(), tr, o.Config)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s seed %d: %w", g.Name(), seed, err)
+			}
+			lru := cmp.LRU.MissRatePct()
+			best := cmp.BestGMM().MissRatePct()
+			rr.LRU.Observe(lru)
+			rr.BestGMM.Observe(best)
+			rr.Decrease.Observe(lru - best)
+			if progress != nil {
+				fmt.Fprintf(progress, "%-9s seed %-3d LRU %.2f%% best %.2f%%\n",
+					g.Name(), seed, lru, best)
+			}
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+// RepeatedTable renders the multi-seed aggregation.
+func RepeatedTable(rs []*RepeatedResult) *stats.Table {
+	t := stats.NewTable("Fig. 6 across seeds — miss rate (%) mean ± std",
+		"Benchmark", "Seeds", "LRU", "Best GMM", "Decrease (pp)")
+	for _, r := range rs {
+		t.AddRowStrings(
+			r.Benchmark,
+			fmt.Sprint(r.Seeds),
+			fmt.Sprintf("%.2f ± %.2f", r.LRU.Mean(), r.LRU.Std()),
+			fmt.Sprintf("%.2f ± %.2f", r.BestGMM.Mean(), r.BestGMM.Std()),
+			fmt.Sprintf("%.2f ± %.2f", r.Decrease.Mean(), r.Decrease.Std()),
+		)
+	}
+	return t
+}

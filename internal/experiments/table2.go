@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fpga"
+	"repro/internal/stats"
+)
+
+// Table2 renders the policy-engine hardware comparison in the paper's
+// Table 2 layout: resource utilization and inference latency for the LSTM
+// baseline and the GMM engine, plus the GMM's gain row.
+func Table2() *stats.Table {
+	c := fpga.CompareEngines()
+	t := stats.NewTable("Table 2 — policy engine resource utilization and latency",
+		"Engine", "BRAM", "DSP", "LUT", "FF", "Latency")
+	t.AddRowStrings("LSTM",
+		fmt.Sprint(c.LSTM.BRAM), fmt.Sprint(c.LSTM.DSP),
+		fmt.Sprint(c.LSTM.LUT), fmt.Sprint(c.LSTM.FF),
+		fmt.Sprint(c.LSTM.Latency))
+	t.AddRowStrings("GMM",
+		fmt.Sprint(c.GMM.BRAM), fmt.Sprint(c.GMM.DSP),
+		fmt.Sprint(c.GMM.LUT), fmt.Sprint(c.GMM.FF),
+		fmt.Sprint(c.GMM.Latency))
+	t.AddRowStrings("GMM gain",
+		fmt.Sprintf("%.0fx", c.BRAMRatio),
+		fmt.Sprintf("%.1fx", c.DSPRatio),
+		fmt.Sprintf("%.1fx", c.LUTRatio),
+		fmt.Sprintf("%.2fx", c.FFRatio),
+		fmt.Sprintf("%.0fx faster", c.Speedup))
+	return t
+}

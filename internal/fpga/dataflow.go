@@ -1,0 +1,263 @@
+package fpga
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AccessEvent is one page request annotated with the cache outcome, the
+// input to the timing simulation. Outcomes come from a functional cache
+// simulation (internal/cache); this model adds the hardware timing.
+type AccessEvent struct {
+	Page      uint64
+	Write     bool
+	Hit       bool
+	WriteBack bool
+	// Bypassed marks misses the policy declined to cache.
+	Bypassed bool
+}
+
+// DataflowConfig times the Fig. 5 architecture.
+type DataflowConfig struct {
+	// GMM is the policy-engine model; its InferenceCycles is the per-miss
+	// scoring latency.
+	GMM GMMEngineModel
+	// PolicyEnabled mirrors the signal controller's activation of the
+	// policy engine; disabled, the system runs plain LRU with no scoring
+	// cost (Sec. 4.1).
+	PolicyEnabled bool
+	// Overlap selects the dataflow behaviour of Sec. 4.3: policy engine
+	// and SSD emulator triggered concurrently on a miss. Disabling it
+	// serializes SSD access after scoring (the ablation configuration).
+	Overlap bool
+	// TagCompareCycles is the parallel tag comparison time (Sec. 4.2).
+	TagCompareCycles int64
+	// HitCycles is the HBM data-return time on a hit (1 us measured).
+	HitCycles int64
+	// SSDReadCycles / SSDWriteCycles time the latency emulator (75 us /
+	// 900 us at 233 MHz).
+	SSDReadCycles, SSDWriteCycles int64
+	// Outstanding is the host's request window: request i enters the
+	// device only after response i-Outstanding has left (CXL.mem hosts
+	// issue loads near-synchronously; 1 models a fully synchronous host).
+	// Values <= 0 default to 1.
+	Outstanding int
+}
+
+// DefaultDataflowConfig returns the paper's measured timing at 233 MHz.
+func DefaultDataflowConfig() DataflowConfig {
+	return DataflowConfig{
+		GMM:              PaperGMMEngine(),
+		PolicyEnabled:    true,
+		Overlap:          true,
+		TagCompareCycles: 2,
+		HitCycles:        233,    // ~1 us
+		SSDReadCycles:    17475,  // 75 us
+		SSDWriteCycles:   209700, // 900 us
+		Outstanding:      1,
+	}
+}
+
+// Validate checks the timing parameters.
+func (c DataflowConfig) Validate() error {
+	if c.TagCompareCycles < 0 || c.HitCycles <= 0 ||
+		c.SSDReadCycles <= 0 || c.SSDWriteCycles <= 0 {
+		return errors.New("fpga: non-positive timing parameter")
+	}
+	return nil
+}
+
+// Timeline reports the timing simulation.
+type Timeline struct {
+	// TotalCycles is the completion cycle of the last response.
+	TotalCycles int64
+	// Responses holds each request's completion cycle, in request order.
+	Responses []int64
+	// Arrivals holds the cycle each request entered the device (after
+	// waiting for the host window).
+	Arrivals []int64
+	// GMMBusy/SSDBusy/CtrlBusy accumulate per-module busy cycles, the
+	// utilization view of the dataflow.
+	GMMBusy, SSDBusy, CtrlBusy int64
+	// HiddenGMMCycles counts policy-engine cycles fully overlapped with
+	// SSD access — the Sec. 4.3 win.
+	HiddenGMMCycles int64
+}
+
+// MeanLatencyCycles returns the average per-request latency in cycles,
+// measured from each request's entry into the device to its response.
+func (t *Timeline) MeanLatencyCycles() float64 {
+	if len(t.Responses) == 0 {
+		return 0
+	}
+	var sum int64
+	for i, r := range t.Responses {
+		sum += r - t.Arrivals[i]
+	}
+	return float64(sum) / float64(len(t.Responses))
+}
+
+// SimulateDataflow runs the Fig. 5 pipeline over the annotated accesses.
+// The model tracks per-module availability (controller, policy engine, SSD
+// emulator) and FIFO-style in-order responses:
+//
+//   - The controller decodes one trace and compares tags; it is free to
+//     fetch the next trace as soon as the comparison finishes (trace
+//     loading overlaps cache management, Sec. 4.3).
+//   - On a miss with the policy engine enabled, scoring and SSD access
+//     start concurrently when Overlap is set; otherwise the SSD access
+//     waits for the score.
+//   - A dirty eviction serializes the victim write-back after the fill
+//     read on the SSD emulator.
+func SimulateDataflow(events []AccessEvent, cfg DataflowConfig) (*Timeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tl := &Timeline{
+		Responses: make([]int64, len(events)),
+		Arrivals:  make([]int64, len(events)),
+	}
+	var ctrlFree, gmmFree, ssdFree, lastResp int64
+	window := cfg.Outstanding
+	if window <= 0 {
+		window = 1
+	}
+
+	for i, ev := range events {
+		arrival := int64(i) // at most one request per cycle from the trace FIFO
+		if i >= window {
+			// The host window is full until response i-window drains.
+			arrival = max64(arrival, tl.Responses[i-window])
+		}
+		tl.Arrivals[i] = arrival
+		start := max64(arrival, ctrlFree)
+		tagDone := start + cfg.TagCompareCycles
+		tl.CtrlBusy += tagDone - start
+		// Controller pipelines the next trace fetch immediately after the
+		// tag comparison.
+		ctrlFree = tagDone
+
+		var resp int64
+		switch {
+		case ev.Hit:
+			resp = tagDone + cfg.HitCycles
+		default:
+			gmmDone := tagDone
+			if cfg.PolicyEnabled {
+				gmmStart := max64(tagDone, gmmFree)
+				gmmDone = gmmStart + cfg.GMM.InferenceCycles()
+				gmmFree = gmmDone
+				tl.GMMBusy += cfg.GMM.InferenceCycles()
+			}
+			ssdKickoff := tagDone
+			if cfg.PolicyEnabled && !cfg.Overlap {
+				ssdKickoff = gmmDone
+			}
+			var ssdCycles int64
+			switch {
+			case ev.Bypassed && ev.Write:
+				ssdCycles = cfg.SSDWriteCycles
+			case ev.Bypassed:
+				ssdCycles = cfg.SSDReadCycles
+			default:
+				ssdCycles = cfg.SSDReadCycles
+				if ev.WriteBack {
+					ssdCycles += cfg.SSDWriteCycles
+				}
+			}
+			ssdStart := max64(ssdKickoff, ssdFree)
+			ssdDone := ssdStart + ssdCycles
+			ssdFree = ssdDone
+			tl.SSDBusy += ssdCycles
+
+			if cfg.PolicyEnabled && cfg.Overlap {
+				hidden := min64(gmmDone, ssdDone) - max64(tagDone, gmmDone-cfg.GMM.InferenceCycles())
+				if hidden > 0 {
+					tl.HiddenGMMCycles += hidden
+				}
+			}
+			resp = max64(gmmDone, ssdDone) + cfg.HitCycles
+		}
+		// Responses leave through the rsp FIFO in order.
+		if resp <= lastResp {
+			resp = lastResp + 1
+		}
+		lastResp = resp
+		tl.Responses[i] = resp
+	}
+	tl.TotalCycles = lastResp
+	return tl, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PipelineSim verifies the GMM PE's initiation-interval behaviour cycle by
+// cycle: a pipeline of the configured depth accepts one Gaussian term per
+// cycle (II = 1) and the accumulated score emerges K + depth cycles after
+// the first term enters. It is the micro-model behind
+// GMMEngineModel.InferenceCycles.
+type PipelineSim struct {
+	depth int
+	// stages[i] holds the Gaussian index occupying stage i, or -1.
+	stages []int
+	in     *FIFO[int]
+	// Done collects (gaussian index, completion cycle) pairs.
+	Done []int64
+	// acc counts accumulated terms; when it reaches K the score is ready.
+	acc, k int
+	cycle  int64
+}
+
+// NewPipelineSim builds a pipeline simulation for k Gaussians.
+func NewPipelineSim(k, depth int) (*PipelineSim, error) {
+	if k <= 0 || depth <= 0 {
+		return nil, fmt.Errorf("fpga: invalid pipeline shape k=%d depth=%d", k, depth)
+	}
+	in, err := NewFIFO[int]("gaussian-terms", k)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		in.Push(i)
+	}
+	stages := make([]int, depth)
+	for i := range stages {
+		stages[i] = -1
+	}
+	return &PipelineSim{depth: depth, stages: stages, in: in, k: k}, nil
+}
+
+// Run advances the pipeline until the full score is accumulated and returns
+// the completion cycle.
+func (p *PipelineSim) Run() int64 {
+	for p.acc < p.k {
+		p.cycle++
+		// Drain the last stage into the accumulator (shift register
+		// resolves the dependency, Sec. 4.1).
+		if p.stages[p.depth-1] >= 0 {
+			p.acc++
+			p.Done = append(p.Done, p.cycle)
+		}
+		// Advance the pipeline one stage.
+		copy(p.stages[1:], p.stages[:p.depth-1])
+		// Issue one new term per cycle: II = 1.
+		if v, ok := p.in.Pop(); ok {
+			p.stages[0] = v
+		} else {
+			p.stages[0] = -1
+		}
+	}
+	return p.cycle
+}

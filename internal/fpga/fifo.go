@@ -1,0 +1,84 @@
+// Package fpga models the ICGMM hardware prototype of Sec. 4: the dataflow
+// architecture built from FIFO-connected free-running kernels, the deeply
+// pipelined GMM processing element (II = 1), the SSD access-latency
+// emulator, and an analytic resource model calibrated against the paper's
+// Vitis HLS synthesis results (Table 2 and Sec. 5.1).
+//
+// The simulator is cycle-accurate at the granularity the evaluation needs:
+// kernel service times, FIFO backpressure, and the concurrency between the
+// cache policy engine and the SSD emulator on a miss (the Sec. 4.3 overlap).
+package fpga
+
+import "errors"
+
+// FIFO is a bounded queue connecting two kernels, the hardware stream
+// interface of the dataflow design.
+type FIFO[T any] struct {
+	name  string
+	buf   []T
+	head  int
+	count int
+	// peak tracks the maximum occupancy reached, for sizing reports.
+	peak int
+}
+
+// NewFIFO creates a FIFO with the given capacity.
+func NewFIFO[T any](name string, capacity int) (*FIFO[T], error) {
+	if capacity <= 0 {
+		return nil, errors.New("fpga: FIFO capacity must be positive")
+	}
+	return &FIFO[T]{name: name, buf: make([]T, capacity)}, nil
+}
+
+// Name returns the FIFO's name.
+func (f *FIFO[T]) Name() string { return f.name }
+
+// Cap returns the capacity.
+func (f *FIFO[T]) Cap() int { return len(f.buf) }
+
+// Len returns the current occupancy.
+func (f *FIFO[T]) Len() int { return f.count }
+
+// Peak returns the maximum occupancy observed.
+func (f *FIFO[T]) Peak() int { return f.peak }
+
+// Empty reports whether the FIFO holds no elements.
+func (f *FIFO[T]) Empty() bool { return f.count == 0 }
+
+// Full reports whether a push would block.
+func (f *FIFO[T]) Full() bool { return f.count == len(f.buf) }
+
+// Push enqueues v, reporting false when the FIFO is full (backpressure).
+func (f *FIFO[T]) Push(v T) bool {
+	if f.Full() {
+		return false
+	}
+	f.buf[(f.head+f.count)%len(f.buf)] = v
+	f.count++
+	if f.count > f.peak {
+		f.peak = f.count
+	}
+	return true
+}
+
+// Pop dequeues the oldest element, reporting false when empty.
+func (f *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if f.count == 0 {
+		return zero, false
+	}
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.count--
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (f *FIFO[T]) Peek() (T, bool) {
+	var zero T
+	if f.count == 0 {
+		return zero, false
+	}
+	return f.buf[f.head], true
+}

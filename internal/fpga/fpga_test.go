@@ -1,0 +1,297 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFIFOBasics(t *testing.T) {
+	f, err := NewFIFO[int]("t", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFIFO[int]("bad", 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if !f.Empty() || f.Full() {
+		t.Error("fresh FIFO state wrong")
+	}
+	if !f.Push(1) || !f.Push(2) {
+		t.Fatal("pushes failed")
+	}
+	if f.Push(3) {
+		t.Error("push into full FIFO succeeded")
+	}
+	if f.Len() != 2 || f.Peak() != 2 || f.Cap() != 2 || f.Name() != "t" {
+		t.Error("accessors wrong")
+	}
+	if v, ok := f.Peek(); !ok || v != 1 {
+		t.Error("Peek wrong")
+	}
+	if v, ok := f.Pop(); !ok || v != 1 {
+		t.Error("Pop order wrong")
+	}
+	if v, ok := f.Pop(); !ok || v != 2 {
+		t.Error("Pop order wrong")
+	}
+	if _, ok := f.Pop(); ok {
+		t.Error("pop from empty FIFO succeeded")
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	f, _ := NewFIFO[int]("w", 3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !f.Push(round*10 + i) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := f.Pop()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: got %d ok=%v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestGMMEngineMatchesPaperTable2(t *testing.T) {
+	u := PaperGMMEngine().Utilization()
+	if u.BRAM != 8 {
+		t.Errorf("BRAM = %d, want 8", u.BRAM)
+	}
+	if u.DSP != 113 {
+		t.Errorf("DSP = %d, want 113", u.DSP)
+	}
+	if u.LUT != 58353 {
+		t.Errorf("LUT = %d, want 58353", u.LUT)
+	}
+	if u.FF != 152583 {
+		t.Errorf("FF = %d, want 152583", u.FF)
+	}
+	if u.Latency < 2900*time.Nanosecond || u.Latency > 3100*time.Nanosecond {
+		t.Errorf("latency = %v, want ~3us", u.Latency)
+	}
+}
+
+func TestLSTMEngineMatchesPaperTable2(t *testing.T) {
+	u := PaperLSTMEngine().Utilization()
+	if u.BRAM != 339 {
+		t.Errorf("BRAM = %d, want 339", u.BRAM)
+	}
+	if u.DSP != 145 {
+		t.Errorf("DSP = %d, want 145", u.DSP)
+	}
+	if u.LUT != 85029 {
+		t.Errorf("LUT = %d, want 85029", u.LUT)
+	}
+	if u.FF != 103561 {
+		t.Errorf("FF = %d, want 103561", u.FF)
+	}
+	if u.Latency < 46*time.Millisecond || u.Latency > 47*time.Millisecond {
+		t.Errorf("latency = %v, want ~46.3ms", u.Latency)
+	}
+}
+
+func TestCompareEnginesSpeedup(t *testing.T) {
+	c := CompareEngines()
+	// The paper reports >10000x (15433x); the derived model must land in
+	// that regime.
+	if c.Speedup < 10_000 || c.Speedup > 20_000 {
+		t.Errorf("speedup = %.0f, want ~15000", c.Speedup)
+	}
+	if c.BRAMRatio < 40 {
+		t.Errorf("BRAM ratio = %.1f, want > 40 (paper: 339/8)", c.BRAMRatio)
+	}
+	if c.DSPRatio <= 1 {
+		t.Errorf("DSP ratio = %.2f, want > 1", c.DSPRatio)
+	}
+}
+
+func TestGMMUtilizationWithinU50(t *testing.T) {
+	u := PaperGMMEngine().Utilization()
+	if u.BRAM > U50.BRAM || u.DSP > U50.DSP || u.LUT > U50.LUT || u.FF > U50.FF {
+		t.Errorf("GMM engine exceeds U50 capacity: %v", u)
+	}
+	// The paper reports 14% BRAM and 2% DSP for the full system; the
+	// engine alone must be below those.
+	if pct := 100 * float64(u.DSP) / float64(U50.DSP); pct > 2.5 {
+		t.Errorf("DSP utilization %.1f%%, want < 2.5%%", pct)
+	}
+}
+
+func TestCyclesToDuration(t *testing.T) {
+	d := CyclesToDuration(233)
+	if d < 999*time.Nanosecond || d > 1001*time.Nanosecond {
+		t.Errorf("233 cycles = %v, want ~1us", d)
+	}
+}
+
+func TestPipelineSimIIOne(t *testing.T) {
+	// K Gaussians through a depth-D pipeline with II=1 finish at K+D.
+	const k, depth = 16, 5
+	p, err := NewPipelineSim(k, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := p.Run()
+	if done != k+depth {
+		t.Errorf("completion cycle = %d, want %d", done, k+depth)
+	}
+	// One result per cycle after the pipeline fills.
+	for i := 1; i < len(p.Done); i++ {
+		if p.Done[i] != p.Done[i-1]+1 {
+			t.Fatalf("results not II=1: %v", p.Done)
+		}
+	}
+	if _, err := NewPipelineSim(0, 5); err == nil {
+		t.Error("invalid pipeline accepted")
+	}
+}
+
+func TestPipelineSimMatchesEngineModel(t *testing.T) {
+	m := PaperGMMEngine()
+	p, err := NewPipelineSim(m.K, m.PipelineDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Run(); got != m.InferenceCycles() {
+		t.Errorf("pipeline sim %d cycles, model says %d", got, m.InferenceCycles())
+	}
+}
+
+func TestDataflowHitLatency(t *testing.T) {
+	cfg := DefaultDataflowConfig()
+	tl, err := SimulateDataflow([]AccessEvent{{Hit: true}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.TagCompareCycles + cfg.HitCycles
+	if tl.Responses[0] != want {
+		t.Errorf("hit response at %d, want %d", tl.Responses[0], want)
+	}
+}
+
+func TestDataflowOverlapHidesGMM(t *testing.T) {
+	cfg := DefaultDataflowConfig()
+	miss := []AccessEvent{{Hit: false}}
+	on, err := SimulateDataflow(miss, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overlap = false
+	off, err := SimulateDataflow(miss, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmmCycles := cfg.GMM.InferenceCycles()
+	if off.Responses[0]-on.Responses[0] != gmmCycles {
+		t.Errorf("serialization penalty = %d cycles, want %d",
+			off.Responses[0]-on.Responses[0], gmmCycles)
+	}
+	if on.HiddenGMMCycles != gmmCycles {
+		t.Errorf("hidden cycles = %d, want %d", on.HiddenGMMCycles, gmmCycles)
+	}
+}
+
+func TestDataflowPolicyDisabledNoGMMCost(t *testing.T) {
+	cfg := DefaultDataflowConfig()
+	cfg.PolicyEnabled = false
+	tl, err := SimulateDataflow([]AccessEvent{{Hit: false}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.TagCompareCycles + cfg.SSDReadCycles + cfg.HitCycles
+	if tl.Responses[0] != want {
+		t.Errorf("response at %d, want %d", tl.Responses[0], want)
+	}
+	if tl.GMMBusy != 0 {
+		t.Error("GMM busy while disabled")
+	}
+}
+
+func TestDataflowWriteBackSerializes(t *testing.T) {
+	cfg := DefaultDataflowConfig()
+	tl, err := SimulateDataflow([]AccessEvent{{Hit: false, WriteBack: true}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.TagCompareCycles + cfg.SSDReadCycles + cfg.SSDWriteCycles + cfg.HitCycles
+	if tl.Responses[0] != want {
+		t.Errorf("response at %d, want %d", tl.Responses[0], want)
+	}
+}
+
+func TestDataflowBypassedWrite(t *testing.T) {
+	cfg := DefaultDataflowConfig()
+	tl, err := SimulateDataflow([]AccessEvent{{Hit: false, Bypassed: true, Write: true}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.TagCompareCycles + cfg.SSDWriteCycles + cfg.HitCycles
+	if tl.Responses[0] != want {
+		t.Errorf("bypassed write response at %d, want %d", tl.Responses[0], want)
+	}
+}
+
+func TestDataflowInOrderResponses(t *testing.T) {
+	events := []AccessEvent{
+		{Hit: false}, // slow
+		{Hit: true},  // fast, but must respond after the miss
+		{Hit: true},
+	}
+	tl, err := SimulateDataflow(events, DefaultDataflowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tl.Responses); i++ {
+		if tl.Responses[i] <= tl.Responses[i-1] {
+			t.Fatalf("responses out of order: %v", tl.Responses)
+		}
+	}
+}
+
+func TestDataflowPipelinesIndependentRequests(t *testing.T) {
+	// Hits behind a miss: controller keeps fetching (trace loading
+	// overlaps cache management), so total time is far less than the sum
+	// of isolated latencies.
+	var events []AccessEvent
+	for i := 0; i < 50; i++ {
+		events = append(events, AccessEvent{Hit: true})
+	}
+	cfgW := DefaultDataflowConfig()
+	cfgW.Outstanding = 8
+	tl, err := SimulateDataflow(events, cfgW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDataflowConfig()
+	isolated := int64(50) * (cfg.TagCompareCycles + cfg.HitCycles)
+	if tl.TotalCycles >= isolated {
+		t.Errorf("no pipelining: total %d >= serial %d", tl.TotalCycles, isolated)
+	}
+}
+
+func TestDataflowMeanLatency(t *testing.T) {
+	tl, err := SimulateDataflow([]AccessEvent{{Hit: true}, {Hit: true}}, DefaultDataflowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := tl.MeanLatencyCycles(); m <= 0 || math.IsNaN(m) {
+		t.Errorf("mean latency = %v", m)
+	}
+	empty := &Timeline{}
+	if empty.MeanLatencyCycles() != 0 {
+		t.Error("empty timeline mean should be 0")
+	}
+}
+
+func TestDataflowValidate(t *testing.T) {
+	cfg := DefaultDataflowConfig()
+	cfg.HitCycles = 0
+	if _, err := SimulateDataflow(nil, cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

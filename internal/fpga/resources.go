@@ -1,0 +1,154 @@
+package fpga
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lstm"
+)
+
+// ClockMHz is the prototype's kernel clock (Sec. 5.1).
+const ClockMHz = 233
+
+// CycleNs is the clock period in nanoseconds.
+const CycleNs = 1000.0 / ClockMHz
+
+// CyclesToDuration converts a cycle count at the prototype clock.
+func CyclesToDuration(cycles int64) time.Duration {
+	return time.Duration(float64(cycles) * CycleNs)
+}
+
+// Utilization is one design's FPGA resource usage, the Table 2 row format.
+type Utilization struct {
+	BRAM, DSP, LUT, FF int
+	Latency            time.Duration
+}
+
+// String renders the row.
+func (u Utilization) String() string {
+	return fmt.Sprintf("BRAM=%d DSP=%d LUT=%d FF=%d latency=%v",
+		u.BRAM, u.DSP, u.LUT, u.FF, u.Latency)
+}
+
+// U50 capacity, for utilization percentages (Alveo U50: 1344 BRAM36,
+// 5952 DSP48, 872k LUT, 1743k FF).
+var U50 = Utilization{BRAM: 1344, DSP: 5952, LUT: 872000, FF: 1743000}
+
+// GMMEngineModel is the analytic cost model of the GMM policy engine
+// (Sec. 4.1). The constants are calibrated against the paper's synthesis
+// report for K = 256 at 233 MHz: 8 BRAM, 113 DSP, 58353 LUT, 152583 FF,
+// 3 us inference. The structure of each formula follows the architecture:
+//
+//   - Weights: six 32-bit constants per Gaussian, double-buffered in BRAM
+//     blocks of 4.5 KiB.
+//   - DSP: a fixed four-lane multiply-add datapath (the pipeline is reused
+//     across Gaussians, so DSP count is independent of K).
+//   - LUT/FF: grow linearly with K — the score-accumulation shift register
+//     (Sec. 4.1) and per-Gaussian pipeline registers dominate.
+//   - Latency: one Gaussian enters the pipeline per cycle (II = 1), so a
+//     K-term mixture drains in K cycles plus the pipeline depth.
+type GMMEngineModel struct {
+	// K is the number of Gaussian components.
+	K int
+	// PipelineDepth is the PE's stage count (exp/accumulate units).
+	PipelineDepth int
+	// Lanes is the number of parallel multiply-add lanes.
+	Lanes int
+}
+
+// PaperGMMEngine returns the deployed configuration (K = 256).
+func PaperGMMEngine() GMMEngineModel {
+	return GMMEngineModel{K: 256, PipelineDepth: 443, Lanes: 4}
+}
+
+// WeightBytes returns the on-chip weight buffer footprint: six 32-bit words
+// per Gaussian (two means, three folded precision terms, one log
+// coefficient), matching gmm.QuantizedModel.
+func (m GMMEngineModel) WeightBytes() int { return m.K * 6 * 4 }
+
+// InferenceCycles returns the latency of one score computation.
+func (m GMMEngineModel) InferenceCycles() int64 {
+	return int64(m.K + m.PipelineDepth)
+}
+
+// Utilization evaluates the resource model.
+func (m GMMEngineModel) Utilization() Utilization {
+	bramBlocks := (m.WeightBytes() + 4607) / 4608 // 4.5 KiB BRAM36 blocks
+	return Utilization{
+		BRAM:    2*bramBlocks + 4, // double-buffered weights + stream FIFOs
+		DSP:     m.Lanes*24 + 17,  // per-lane mul/add/exp + control
+		LUT:     190*m.K + 9713,
+		FF:      560*m.K + 9223,
+		Latency: CyclesToDuration(m.InferenceCycles()),
+	}
+}
+
+// LSTMEngineModel is the cost model of the LSTM policy engine baseline
+// (Table 2): a 3-layer, hidden-128 network evaluated sequence-at-a-time.
+// Calibrated against the paper's baseline synthesis: 339 BRAM, 145 DSP,
+// 85029 LUT, 103561 FF, 46.3 ms inference.
+//
+// The latency structure explains the paper's 15433x gap: the recurrent
+// dependence serializes the gate matrix-vector products (about one MAC per
+// cycle effective throughput), and each layer-step additionally pays a
+// serialized element-wise pass (sigmoid/tanh/Hadamard) over the hidden
+// units.
+type LSTMEngineModel struct {
+	Net lstm.Config
+	// ElemCyclesPerUnit is the serialized element-wise cost per hidden
+	// unit per layer-step (gate nonlinearities and products).
+	ElemCyclesPerUnit int
+}
+
+// PaperLSTMEngine returns the Table 2 baseline.
+func PaperLSTMEngine() LSTMEngineModel {
+	return LSTMEngineModel{Net: lstm.PaperBaseline(), ElemCyclesPerUnit: 22}
+}
+
+// InferenceCycles returns the latency of one sequence inference.
+func (m LSTMEngineModel) InferenceCycles() int64 {
+	macs := int64(m.Net.MACsPerInference())
+	layerSteps := int64(m.Net.SeqLen * m.Net.Layers)
+	elem := layerSteps * int64(m.Net.HiddenDim) * int64(m.ElemCyclesPerUnit)
+	return macs + elem
+}
+
+// WeightBytes returns the parameter footprint at 16-bit precision.
+func (m LSTMEngineModel) WeightBytes() int { return m.Net.ParamCount() * 2 }
+
+// Utilization evaluates the resource model.
+func (m LSTMEngineModel) Utilization() Utilization {
+	bram := (m.WeightBytes()+2303)/2304 + 52 // 2.25 KiB BRAM18 blocks + buffers
+	return Utilization{
+		BRAM:    bram,
+		DSP:     m.Net.HiddenDim + 17, // one MAC lane per hidden unit + control
+		LUT:     600*m.Net.HiddenDim + 8229,
+		FF:      800*m.Net.HiddenDim + 1161,
+		Latency: CyclesToDuration(m.InferenceCycles()),
+	}
+}
+
+// CompareEngines summarizes the Table 2 comparison: per-resource gain of the
+// GMM engine over the LSTM engine and the latency ratio.
+type EngineComparison struct {
+	LSTM, GMM Utilization
+	// BRAMRatio etc. are LSTM/GMM resource ratios (>1 means GMM smaller).
+	BRAMRatio, DSPRatio, LUTRatio, FFRatio float64
+	// Speedup is LSTM latency / GMM latency.
+	Speedup float64
+}
+
+// CompareEngines evaluates both paper-configuration engines.
+func CompareEngines() EngineComparison {
+	l := PaperLSTMEngine().Utilization()
+	g := PaperGMMEngine().Utilization()
+	return EngineComparison{
+		LSTM:      l,
+		GMM:       g,
+		BRAMRatio: float64(l.BRAM) / float64(g.BRAM),
+		DSPRatio:  float64(l.DSP) / float64(g.DSP),
+		LUTRatio:  float64(l.LUT) / float64(g.LUT),
+		FFRatio:   float64(l.FF) / float64(g.FF),
+		Speedup:   float64(l.Latency) / float64(g.Latency),
+	}
+}

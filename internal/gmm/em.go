@@ -1,0 +1,293 @@
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+// TrainConfig controls EM training (Sec. 3.3).
+type TrainConfig struct {
+	// K is the number of Gaussian components; the paper deploys K = 256.
+	K int
+	// MaxIters bounds the number of EM iterations.
+	MaxIters int
+	// Tol is the convergence threshold on the change in mean log-likelihood
+	// between iterations (the paper's "change in MLE" criterion).
+	Tol float64
+	// CovReg is added to covariance diagonals each M-step to keep estimates
+	// positive definite when a component collapses.
+	CovReg float64
+	// Seed drives initialization; fixed seeds give reproducible models.
+	Seed int64
+	// MaxSamples, when positive, caps the training set by uniform
+	// subsampling. EM is O(N*K) per iteration, and traces can run to tens
+	// of millions of records; subsampling preserves the density shape.
+	MaxSamples int
+	// LloydIters is the number of k-means refinement sweeps used to place
+	// the initial component means.
+	LloydIters int
+	// DiagonalCov constrains covariances to be diagonal. The hardware
+	// exponent then needs two multiplies instead of five per Gaussian —
+	// the cheaper-datapath ablation — at the cost of not modeling
+	// page/time correlation within a component.
+	DiagonalCov bool
+}
+
+// DefaultTrainConfig mirrors the paper's deployed configuration.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		K:          256,
+		MaxIters:   50,
+		Tol:        1e-4,
+		CovReg:     1e-6,
+		Seed:       1,
+		MaxSamples: 20000,
+		LloydIters: 4,
+	}
+}
+
+func (c TrainConfig) sanitized() TrainConfig {
+	d := DefaultTrainConfig()
+	if c.K <= 0 {
+		c.K = d.K
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = d.MaxIters
+	}
+	if c.Tol <= 0 {
+		c.Tol = d.Tol
+	}
+	if c.CovReg <= 0 {
+		c.CovReg = d.CovReg
+	}
+	if c.LloydIters < 0 {
+		c.LloydIters = d.LloydIters
+	}
+	return c
+}
+
+// TrainResult reports how training went.
+type TrainResult struct {
+	Model *Model
+	// Iters is the number of EM iterations performed.
+	Iters int
+	// Converged reports whether the Tol criterion stopped training (as
+	// opposed to hitting MaxIters).
+	Converged bool
+	// LogLikelihood is the final mean log-likelihood of the training set.
+	LogLikelihood float64
+	// History holds the mean log-likelihood after each iteration.
+	History []float64
+	// SamplesUsed is the size of the (possibly subsampled) training set.
+	SamplesUsed int
+}
+
+// Fit trains a GMM on normalized samples with the EM algorithm. Samples
+// should already be normalized (see trace.Normalizer); training on raw page
+// indices spanning 2^40 would be numerically hopeless.
+func Fit(samples []trace.Sample, cfg TrainConfig) (*TrainResult, error) {
+	cfg = cfg.sanitized()
+	if len(samples) < 2 {
+		return nil, errors.New("gmm: need at least 2 samples to fit")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	points := make([]linalg.Vec2, len(samples))
+	for i, s := range samples {
+		points[i] = linalg.V2(s.Page, s.Timestamp)
+	}
+	if cfg.MaxSamples > 0 && len(points) > cfg.MaxSamples {
+		points = subsample(points, cfg.MaxSamples, rng)
+	}
+	k := cfg.K
+	if k > len(points) {
+		k = len(points)
+	}
+
+	model, err := initialModel(points, k, rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TrainResult{Model: model, SamplesUsed: len(points)}
+	prevLL := math.Inf(-1)
+	resp := make([]float64, k)
+
+	// Accumulators for the M-step.
+	nk := make([]float64, k)
+	meanSum := make([]linalg.Vec2, k)
+	covSum := make([]linalg.Sym2, k)
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		for i := range nk {
+			nk[i] = 0
+			meanSum[i] = linalg.Vec2{}
+			covSum[i] = linalg.Sym2{}
+		}
+		ll := 0.0
+
+		// E-step: accumulate responsibility-weighted sufficient statistics.
+		for _, x := range points {
+			ll += model.Responsibilities(x, resp)
+			for j := 0; j < k; j++ {
+				r := resp[j]
+				if r == 0 {
+					continue
+				}
+				nk[j] += r
+				meanSum[j] = meanSum[j].Add(x.Scale(r))
+			}
+		}
+
+		// M-step part 1: means and weights.
+		n := float64(len(points))
+		for j := 0; j < k; j++ {
+			if nk[j] < 1e-10 {
+				// Dead component: re-seed on a random point with a broad
+				// covariance so it can recapture mass.
+				model.Components[j].Mean = points[rng.Intn(len(points))]
+				model.Components[j].Weight = 1 / n
+				model.Components[j].Cov = linalg.SymDiag(0.05, 0.05)
+				continue
+			}
+			model.Components[j].Weight = nk[j] / n
+			model.Components[j].Mean = meanSum[j].Scale(1 / nk[j])
+		}
+
+		// M-step part 2: covariances need the new means.
+		for _, x := range points {
+			model.Responsibilities(x, resp)
+			for j := 0; j < k; j++ {
+				r := resp[j]
+				if r == 0 {
+					continue
+				}
+				d := x.Sub(model.Components[j].Mean)
+				covSum[j] = covSum[j].Add(d.OuterSelf().Scale(r))
+			}
+		}
+		for j := 0; j < k; j++ {
+			if nk[j] < 1e-10 {
+				continue
+			}
+			cov := covSum[j].Scale(1 / nk[j]).Regularize(cfg.CovReg)
+			if cfg.DiagonalCov {
+				cov.XY = 0
+			}
+			if !cov.IsPositiveDefinite() {
+				cov = cov.Regularize(1e-3)
+			}
+			model.Components[j].Cov = cov
+		}
+		renormalize(model)
+		if err := prepareAll(model); err != nil {
+			return nil, fmt.Errorf("gmm: iteration %d: %w", iter, err)
+		}
+
+		meanLL := ll / n
+		res.History = append(res.History, meanLL)
+		res.Iters = iter + 1
+		res.LogLikelihood = meanLL
+		if iter > 0 && math.Abs(meanLL-prevLL) < cfg.Tol {
+			res.Converged = true
+			break
+		}
+		prevLL = meanLL
+	}
+	if err := res.Model.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FitTrace is the end-to-end convenience path: preprocess a raw trace per
+// Sec. 3.1 (trim, page index, Algorithm 1 timestamps), fit the normalizer,
+// and train. It returns the trained model along with the normalizer needed
+// to score future requests in the same coordinate system.
+func FitTrace(t trace.Trace, tcfg trace.TransformConfig, cfg TrainConfig) (*TrainResult, trace.Normalizer, error) {
+	samples := trace.Preprocess(t, tcfg)
+	if len(samples) < 2 {
+		return nil, trace.Normalizer{}, errors.New("gmm: trace too short after preprocessing")
+	}
+	norm := trace.FitNormalizer(samples)
+	res, err := Fit(norm.ApplyAll(samples), cfg)
+	return res, norm, err
+}
+
+func subsample(points []linalg.Vec2, n int, rng *rand.Rand) []linalg.Vec2 {
+	out := make([]linalg.Vec2, n)
+	// Uniform stride with random phase keeps temporal coverage while the
+	// random phase avoids aliasing with periodic workloads.
+	stride := float64(len(points)) / float64(n)
+	phase := rng.Float64() * stride
+	for i := range out {
+		idx := int(phase + float64(i)*stride)
+		if idx >= len(points) {
+			idx = len(points) - 1
+		}
+		out[i] = points[idx]
+	}
+	return out
+}
+
+func initialModel(points []linalg.Vec2, k int, rng *rand.Rand, cfg TrainConfig) (*Model, error) {
+	centers := kMeansPlusPlus(points, k, rng, cfg.LloydIters)
+	comps := make([]Component, len(centers))
+	// Start with a shared spherical covariance scaled to the data spread.
+	spread := dataSpread(points)
+	init := math.Max(spread*spread/float64(k), 1e-4)
+	for i, c := range centers {
+		comps[i] = Component{
+			Weight: 1 / float64(len(centers)),
+			Mean:   c,
+			Cov:    linalg.SymDiag(init, init),
+		}
+	}
+	return New(comps)
+}
+
+func dataSpread(points []linalg.Vec2) float64 {
+	if len(points) == 0 {
+		return 1
+	}
+	minX, maxX := points[0].X, points[0].X
+	minY, maxY := points[0].Y, points[0].Y
+	for _, p := range points[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return math.Max(maxX-minX, math.Max(maxY-minY, 1e-3))
+}
+
+func renormalize(m *Model) {
+	total := 0.0
+	for i := range m.Components {
+		total += m.Components[i].Weight
+	}
+	if total <= 0 {
+		u := 1 / float64(len(m.Components))
+		for i := range m.Components {
+			m.Components[i].Weight = u
+		}
+		return
+	}
+	for i := range m.Components {
+		m.Components[i].Weight /= total
+	}
+}
+
+func prepareAll(m *Model) error {
+	for i := range m.Components {
+		if err := m.Components[i].prepare(); err != nil {
+			return fmt.Errorf("component %d: %w", i, err)
+		}
+	}
+	return nil
+}

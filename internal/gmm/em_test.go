@@ -1,0 +1,233 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+func samplesFromPoints(pts []linalg.Vec2) []trace.Sample {
+	out := make([]trace.Sample, len(pts))
+	for i, p := range pts {
+		out[i] = trace.Sample{Page: p.X, Timestamp: p.Y}
+	}
+	return out
+}
+
+func TestFitRecoversTwoClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := sampleMixture(4000, rng)
+	cfg := TrainConfig{K: 2, MaxIters: 100, Tol: 1e-6, Seed: 7}
+	res, err := Fit(samplesFromPoints(pts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.K() != 2 {
+		t.Fatalf("K = %d", res.Model.K())
+	}
+	// Identify the components by their mean X.
+	a, b := res.Model.Components[0], res.Model.Components[1]
+	if a.Mean.X > b.Mean.X {
+		a, b = b, a
+	}
+	if math.Abs(a.Mean.X-0.2) > 0.05 || math.Abs(a.Mean.Y-0.3) > 0.05 {
+		t.Errorf("cluster A mean = %v, want ~(0.2, 0.3)", a.Mean)
+	}
+	if math.Abs(b.Mean.X-0.8) > 0.05 || math.Abs(b.Mean.Y-0.7) > 0.05 {
+		t.Errorf("cluster B mean = %v, want ~(0.8, 0.7)", b.Mean)
+	}
+	// Mixing weights should approximate 0.7/0.3.
+	if math.Abs(a.Weight-0.7) > 0.07 {
+		t.Errorf("cluster A weight = %v, want ~0.7", a.Weight)
+	}
+}
+
+func TestFitLikelihoodMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := sampleMixture(2000, rng)
+	res, err := Fit(samplesFromPoints(pts), TrainConfig{K: 4, MaxIters: 30, Tol: 1e-12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EM guarantees non-decreasing likelihood (up to component re-seeding
+	// and numerics); allow a tiny tolerance.
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1]-1e-6 {
+			t.Errorf("LL decreased at iter %d: %v -> %v", i, res.History[i-1], res.History[i])
+		}
+	}
+}
+
+func TestFitConvergesAndValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := sampleMixture(3000, rng)
+	res, err := Fit(samplesFromPoints(pts), TrainConfig{K: 8, MaxIters: 200, Tol: 1e-5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("EM did not converge in 200 iterations on easy data")
+	}
+	if err := res.Model.Validate(); err != nil {
+		t.Errorf("trained model invalid: %v", err)
+	}
+	if res.SamplesUsed != 3000 {
+		t.Errorf("SamplesUsed = %d", res.SamplesUsed)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, TrainConfig{}); err == nil {
+		t.Error("empty sample set accepted")
+	}
+	if _, err := Fit([]trace.Sample{{Page: 1, Timestamp: 1}}, TrainConfig{}); err == nil {
+		t.Error("single sample accepted")
+	}
+}
+
+func TestFitHandlesDuplicatePoints(t *testing.T) {
+	// All identical points: covariance regularization must keep PD.
+	samples := make([]trace.Sample, 100)
+	for i := range samples {
+		samples[i] = trace.Sample{Page: 0.5, Timestamp: 0.5}
+	}
+	res, err := Fit(samples, TrainConfig{K: 3, MaxIters: 10, Seed: 2})
+	if err != nil {
+		t.Fatalf("degenerate data broke EM: %v", err)
+	}
+	if err := res.Model.Validate(); err != nil {
+		t.Errorf("model invalid on degenerate data: %v", err)
+	}
+}
+
+func TestFitKClampedToSampleCount(t *testing.T) {
+	samples := []trace.Sample{
+		{Page: 0, Timestamp: 0}, {Page: 1, Timestamp: 1}, {Page: 0.5, Timestamp: 0.2},
+	}
+	res, err := Fit(samples, TrainConfig{K: 256, MaxIters: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.K() > 3 {
+		t.Errorf("K = %d, want <= 3", res.Model.K())
+	}
+}
+
+func TestFitSubsampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := sampleMixture(50000, rng)
+	cfg := TrainConfig{K: 4, MaxIters: 20, Seed: 8, MaxSamples: 5000}
+	res, err := Fit(samplesFromPoints(pts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesUsed != 5000 {
+		t.Errorf("SamplesUsed = %d, want 5000", res.SamplesUsed)
+	}
+	if err := res.Model.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pts := sampleMixture(1000, rng)
+	samples := samplesFromPoints(pts)
+	cfg := TrainConfig{K: 4, MaxIters: 15, Seed: 11}
+	r1, err := Fit(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Fit(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Model.Components {
+		c1, c2 := r1.Model.Components[i], r2.Model.Components[i]
+		if c1.Mean != c2.Mean || c1.Weight != c2.Weight || c1.Cov != c2.Cov {
+			t.Fatalf("component %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestFitTraceEndToEnd(t *testing.T) {
+	// Synthetic trace with two hot page clusters.
+	rng := rand.New(rand.NewSource(77))
+	var tr trace.Trace
+	for i := 0; i < 20000; i++ {
+		var page uint64
+		if rng.Float64() < 0.5 {
+			page = uint64(1000 + rng.Intn(50))
+		} else {
+			page = uint64(9000 + rng.Intn(50))
+		}
+		tr = append(tr, trace.Record{Op: trace.Read, Addr: page << trace.PageShift})
+	}
+	tr.Stamp()
+	res, norm, err := FitTrace(tr, trace.DefaultTransformConfig(), TrainConfig{K: 8, MaxIters: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot cluster centers should score far above a cold page.
+	p1, t1 := norm.ApplyPageTime(1025, 0)
+	pc, tc := norm.ApplyPageTime(5000, 0)
+	hot := res.Model.ScorePageTime(p1, t1)
+	cold := res.Model.ScorePageTime(pc, tc)
+	if hot <= cold {
+		t.Errorf("hot page score %v <= cold page score %v", hot, cold)
+	}
+}
+
+func TestFitTraceTooShort(t *testing.T) {
+	tr := trace.Trace{{Op: trace.Read, Addr: 0}}
+	if _, _, err := FitTrace(tr, trace.DefaultTransformConfig(), TrainConfig{}); err == nil {
+		t.Error("short trace accepted")
+	}
+}
+
+func TestKMeansPlusPlus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := sampleMixture(1000, rng)
+	centers := kMeansPlusPlus(pts, 2, rng, 10)
+	if len(centers) != 2 {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	a, b := centers[0], centers[1]
+	if a.X > b.X {
+		a, b = b, a
+	}
+	if math.Abs(a.X-0.2) > 0.1 || math.Abs(b.X-0.8) > 0.1 {
+		t.Errorf("centers %v, %v not near cluster means", a, b)
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if kMeansPlusPlus(nil, 3, rand.New(rand.NewSource(1)), 2) != nil {
+		t.Error("empty points should give nil")
+	}
+	pts := []linalg.Vec2{{X: 1, Y: 1}}
+	c := kMeansPlusPlus(pts, 5, rand.New(rand.NewSource(1)), 2)
+	if len(c) != 1 {
+		t.Errorf("k clamp failed: %d centers", len(c))
+	}
+	// All-identical points: must not loop forever.
+	same := make([]linalg.Vec2, 10)
+	for i := range same {
+		same[i] = linalg.V2(2, 2)
+	}
+	c = kMeansPlusPlus(same, 3, rand.New(rand.NewSource(1)), 2)
+	if len(c) != 3 {
+		t.Errorf("identical points: %d centers, want 3", len(c))
+	}
+}
+
+func TestTrainConfigSanitized(t *testing.T) {
+	c := TrainConfig{}.sanitized()
+	d := DefaultTrainConfig()
+	if c.K != d.K || c.MaxIters != d.MaxIters || c.Tol != d.Tol {
+		t.Errorf("sanitized zero config = %+v", c)
+	}
+}

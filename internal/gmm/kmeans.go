@@ -1,0 +1,86 @@
+package gmm
+
+import (
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// kMeansPlusPlus picks k initial centers from points using the k-means++
+// D^2-weighted seeding, then refines them with a bounded number of Lloyd
+// iterations. It is the initialization step of the EM trainer: starting EM
+// from spread-out centers avoids the degenerate local optima that random
+// starts routinely hit on clustered memory traces.
+func kMeansPlusPlus(points []linalg.Vec2, k int, rng *rand.Rand, lloydIters int) []linalg.Vec2 {
+	if len(points) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	centers := make([]linalg.Vec2, 0, k)
+	centers = append(centers, points[rng.Intn(len(points))])
+
+	// D^2 sampling for the remaining centers.
+	d2 := make([]float64, len(points))
+	for len(centers) < k {
+		total := 0.0
+		last := centers[len(centers)-1]
+		for i, p := range points {
+			d := p.Sub(last).Norm2()
+			if len(centers) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All points coincide with existing centers; duplicate one.
+			centers = append(centers, points[rng.Intn(len(points))])
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		chosen := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				chosen = i
+				break
+			}
+		}
+		centers = append(centers, points[chosen])
+	}
+
+	// Lloyd refinement.
+	assign := make([]int, len(points))
+	for iter := 0; iter < lloydIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, p.Sub(centers[0]).Norm2()
+			for c := 1; c < len(centers); c++ {
+				if d := p.Sub(centers[c]).Norm2(); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		sums := make([]linalg.Vec2, len(centers))
+		counts := make([]int, len(centers))
+		for i, p := range points {
+			sums[assign[i]] = sums[assign[i]].Add(p)
+			counts[assign[i]]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c].Scale(1 / float64(counts[c]))
+			}
+		}
+	}
+	return centers
+}

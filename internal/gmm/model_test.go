@@ -1,0 +1,204 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+// twoBlobModel builds a simple well-separated two-component mixture.
+func twoBlobModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New([]Component{
+		{Weight: 0.5, Mean: linalg.V2(0, 0), Cov: linalg.SymDiag(1, 1)},
+		{Weight: 0.5, Mean: linalg.V2(10, 10), Cov: linalg.SymDiag(1, 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty component list accepted")
+	}
+	if _, err := New([]Component{{Weight: -1, Cov: linalg.SymIdentity()}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := New([]Component{{Weight: 0}}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+	if _, err := New([]Component{{Weight: 1, Cov: linalg.SymDiag(-1, 1)}}); err == nil {
+		t.Error("non-PD covariance accepted")
+	}
+}
+
+func TestNewRenormalizesWeights(t *testing.T) {
+	m, err := New([]Component{
+		{Weight: 2, Mean: linalg.V2(0, 0), Cov: linalg.SymIdentity()},
+		{Weight: 6, Mean: linalg.V2(5, 5), Cov: linalg.SymIdentity()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Components[0].Weight-0.25) > 1e-12 {
+		t.Errorf("weight 0 = %v, want 0.25", m.Components[0].Weight)
+	}
+	if math.Abs(m.WeightsSum()-1) > 1e-12 {
+		t.Errorf("weights sum = %v", m.WeightsSum())
+	}
+}
+
+func TestScoreSingleGaussian(t *testing.T) {
+	m, err := New([]Component{
+		{Weight: 1, Mean: linalg.V2(0, 0), Cov: linalg.SymIdentity()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard bivariate normal at origin: 1/(2*pi).
+	want := 1 / (2 * math.Pi)
+	if got := m.Score(linalg.V2(0, 0)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score(0,0) = %v, want %v", got, want)
+	}
+	// At distance r the density is (1/2pi) exp(-r^2/2).
+	want1 := want * math.Exp(-0.5)
+	if got := m.Score(linalg.V2(1, 0)); math.Abs(got-want1) > 1e-12 {
+		t.Errorf("Score(1,0) = %v, want %v", got, want1)
+	}
+}
+
+func TestScoreHigherNearMass(t *testing.T) {
+	m := twoBlobModel(t)
+	near := m.Score(linalg.V2(0.1, -0.1))
+	far := m.Score(linalg.V2(5, 5))
+	if near <= far {
+		t.Errorf("score near blob %v <= score at saddle %v", near, far)
+	}
+	if m.ScorePageTime(10, 10) <= far {
+		t.Error("ScorePageTime disagrees with Score")
+	}
+}
+
+func TestLogScoreUnderflowSafe(t *testing.T) {
+	m := twoBlobModel(t)
+	// Far enough that exp underflows but log-domain stays finite.
+	ls := m.LogScore(linalg.V2(1e4, 1e4))
+	if math.IsInf(ls, 0) || math.IsNaN(ls) {
+		t.Errorf("LogScore far away = %v, want finite", ls)
+	}
+	if s := m.Score(linalg.V2(1e4, 1e4)); s != 0 {
+		// density underflow to 0 is acceptable in the density domain
+		if math.IsNaN(s) {
+			t.Error("Score produced NaN")
+		}
+	}
+}
+
+func TestResponsibilities(t *testing.T) {
+	m := twoBlobModel(t)
+	resp := make([]float64, m.K())
+	m.Responsibilities(linalg.V2(0, 0), resp)
+	if resp[0] < 0.999 {
+		t.Errorf("resp[0] = %v, want ~1 near blob 0", resp[0])
+	}
+	sum := resp[0] + resp[1]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("responsibilities sum to %v", sum)
+	}
+	// Midpoint: symmetric responsibilities.
+	m.Responsibilities(linalg.V2(5, 5), resp)
+	if math.Abs(resp[0]-resp[1]) > 1e-9 {
+		t.Errorf("midpoint responsibilities %v not symmetric", resp)
+	}
+}
+
+// Property: responsibilities always form a probability vector.
+func TestResponsibilitiesSimplexProperty(t *testing.T) {
+	m := twoBlobModel(t)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		// Clamp magnitude to avoid degenerate all-underflow cases being
+		// handled by the uniform fallback (still a valid simplex).
+		resp := make([]float64, m.K())
+		m.Responsibilities(linalg.V2(math.Mod(x, 1e6), math.Mod(y, 1e6)), resp)
+		sum := 0.0
+		for _, r := range resp {
+			if r < 0 || r > 1 || math.IsNaN(r) {
+				return false
+			}
+			sum += r
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanLogLikelihood(t *testing.T) {
+	m := twoBlobModel(t)
+	if m.MeanLogLikelihood(nil) != 0 {
+		t.Error("empty point set should give 0")
+	}
+	pts := []linalg.Vec2{{X: 0, Y: 0}, {X: 10, Y: 10}}
+	ll := m.MeanLogLikelihood(pts)
+	if ll >= 0 {
+		t.Errorf("LL = %v, densities < 1 should give negative LL", ll)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := twoBlobModel(t)
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := &Model{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty model accepted")
+	}
+	m2 := twoBlobModel(t)
+	m2.Components[0].Weight = 0.9 // breaks simplex
+	if err := m2.Validate(); err == nil {
+		t.Error("non-normalized weights accepted")
+	}
+	m3 := twoBlobModel(t)
+	m3.Components[1].Cov = linalg.SymDiag(-1, 1)
+	if err := m3.Validate(); err == nil {
+		t.Error("non-PD covariance accepted")
+	}
+}
+
+// sampleMixture draws n points from a reference mixture for training tests.
+func sampleMixture(n int, rng *rand.Rand) []linalg.Vec2 {
+	pts := make([]linalg.Vec2, n)
+	for i := range pts {
+		if rng.Float64() < 0.7 {
+			pts[i] = linalg.V2(rng.NormFloat64()*0.05+0.2, rng.NormFloat64()*0.05+0.3)
+		} else {
+			pts[i] = linalg.V2(rng.NormFloat64()*0.05+0.8, rng.NormFloat64()*0.05+0.7)
+		}
+	}
+	return pts
+}
+
+func TestScoreMatchesComponentSum(t *testing.T) {
+	// LogScore via log-sum-exp must agree with the naive density sum where
+	// the naive sum is representable.
+	m := twoBlobModel(t)
+	for _, x := range []linalg.Vec2{{X: 0, Y: 0}, {X: 3, Y: 2}, {X: 10, Y: 10}, {X: 5, Y: 5}} {
+		naive := 0.0
+		for i := range m.Components {
+			naive += math.Exp(m.Components[i].LogDensity(x))
+		}
+		if got := m.Score(x); math.Abs(got-naive) > 1e-12*math.Max(1, naive) {
+			t.Errorf("Score(%v) = %v, naive sum %v", x, got, naive)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package gmm
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// QuantizedModel is the fixed-point form of a trained GMM as it would live in
+// the FPGA's on-board weight buffer (Sec. 4.1). Each component is reduced to
+// the five constants the pipelined PE consumes per Gaussian: the two mean
+// coordinates, the three precision-matrix entries folded with the -1/2
+// exponent factor, and the log coefficient. Values are stored in Q16.16
+// two's-complement, matching a 32-bit datapath.
+type QuantizedModel struct {
+	// Per-component quantized parameters, parallel slices of length K.
+	MeanX, MeanY []int32
+	// PrecXX/PrecXY/PrecYY hold -(1/2) * Sigma^-1 entries.
+	PrecXX, PrecXY, PrecYY []int32
+	LogCoef                []int32
+}
+
+// QFracBits is the number of fractional bits in the Q16.16 representation.
+const QFracBits = 16
+
+const qScale = 1 << QFracBits
+
+// toQ converts a float64 to Q16.16 with saturation.
+func toQ(f float64) int32 {
+	v := math.Round(f * qScale)
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(v)
+}
+
+// fromQ converts Q16.16 back to float64.
+func fromQ(q int32) float64 { return float64(q) / qScale }
+
+// Quantize converts a prepared model into its fixed-point hardware form.
+func Quantize(m *Model) *QuantizedModel {
+	k := m.K()
+	q := &QuantizedModel{
+		MeanX: make([]int32, k), MeanY: make([]int32, k),
+		PrecXX: make([]int32, k), PrecXY: make([]int32, k), PrecYY: make([]int32, k),
+		LogCoef: make([]int32, k),
+	}
+	for i := range m.Components {
+		c := &m.Components[i]
+		q.MeanX[i] = toQ(c.Mean.X)
+		q.MeanY[i] = toQ(c.Mean.Y)
+		q.PrecXX[i] = toQ(-0.5 * c.precision.XX)
+		q.PrecXY[i] = toQ(-0.5 * c.precision.XY)
+		q.PrecYY[i] = toQ(-0.5 * c.precision.YY)
+		lc := c.logCoef
+		if math.IsInf(lc, -1) {
+			lc = -32768 // saturates to the most negative representable exponent
+		}
+		q.LogCoef[i] = toQ(lc)
+	}
+	return q
+}
+
+// K returns the number of components.
+func (q *QuantizedModel) K() int { return len(q.MeanX) }
+
+// LogScore evaluates the mixture log-density using only the quantized
+// constants and float64 exp/log for the transcendental steps, emulating the
+// PE datapath (per-Gaussian multiply-adds on fixed-point weights).
+func (q *QuantizedModel) LogScore(x linalg.Vec2) float64 {
+	maxLog := math.Inf(-1)
+	logs := make([]float64, q.K())
+	for i := range logs {
+		dx := x.X - fromQ(q.MeanX[i])
+		dy := x.Y - fromQ(q.MeanY[i])
+		// exponent = logCoef + dx^2*pxx + 2*dx*dy*pxy + dy^2*pyy
+		e := fromQ(q.LogCoef[i]) +
+			dx*dx*fromQ(q.PrecXX[i]) +
+			2*dx*dy*fromQ(q.PrecXY[i]) +
+			dy*dy*fromQ(q.PrecYY[i])
+		logs[i] = e
+		if e > maxLog {
+			maxLog = e
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		return maxLog
+	}
+	sum := 0.0
+	for _, e := range logs {
+		sum += math.Exp(e - maxLog)
+	}
+	return maxLog + math.Log(sum)
+}
+
+// Score is the density-domain counterpart of LogScore.
+func (q *QuantizedModel) Score(x linalg.Vec2) float64 { return math.Exp(q.LogScore(x)) }
+
+// ScorePageTime evaluates the density at a (page, timestamp) pair; it makes
+// the quantized model satisfy the policy engine's Scorer interface alongside
+// the float Model.
+func (q *QuantizedModel) ScorePageTime(page, timestamp float64) float64 {
+	return q.Score(linalg.V2(page, timestamp))
+}
+
+// WeightBufferBytes returns the on-chip storage the quantized model needs:
+// six 32-bit words per component. With K = 256 this is 6 KiB, which is why
+// the paper's design holds the whole model in a single on-board buffer and
+// never touches HBM during inference.
+func (q *QuantizedModel) WeightBufferBytes() int { return q.K() * 6 * 4 }

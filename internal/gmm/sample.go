@@ -1,0 +1,118 @@
+package gmm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+// This file makes the trained mixture generative: Sample draws points from
+// the density, and SynthesizeTrace turns a model fitted on one trace into a
+// statistically similar synthetic trace. That closes a loop the paper only
+// implies — the GMM is a workload model, so it can also *produce* workloads
+// (for capacity planning, fuzzing the cache controller, or sharing traces
+// without sharing raw addresses).
+
+// Sample draws n points from the mixture. The model must have been built
+// through New/Fit (positive-definite covariances).
+func (m *Model) Sample(n int, rng *rand.Rand) ([]linalg.Vec2, error) {
+	if n < 0 {
+		return nil, errors.New("gmm: negative sample count")
+	}
+	// Component CDF over weights.
+	cdf := make([]float64, m.K())
+	acc := 0.0
+	for i := range m.Components {
+		acc += m.Components[i].Weight
+		cdf[i] = acc
+	}
+	out := make([]linalg.Vec2, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64() * acc
+		ci := len(cdf) - 1
+		for j, c := range cdf {
+			if u <= c {
+				ci = j
+				break
+			}
+		}
+		comp := &m.Components[ci]
+		l, ok := comp.Cov.Cholesky()
+		if !ok {
+			return nil, errors.New("gmm: component covariance not factorable")
+		}
+		z := linalg.V2(rng.NormFloat64(), rng.NormFloat64())
+		out[i] = comp.Mean.Add(l.MulVec(z))
+	}
+	return out, nil
+}
+
+// SynthesizeTrace generates a trace of n records whose (page, window)
+// density follows the model. The normalizer maps model coordinates back to
+// raw page indices; writeFrac sets the store mix; cfg supplies the window
+// length so each sampled point expands into one request at the right
+// position in time. Sampled points are bucketed by timestamp and emitted in
+// time order, so the synthetic trace exhibits the same temporal phasing the
+// model learned.
+func SynthesizeTrace(m *Model, norm trace.Normalizer, cfg trace.TransformConfig, n int, writeFrac float64, seed int64) (trace.Trace, error) {
+	if n <= 0 {
+		return nil, errors.New("gmm: non-positive trace length")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts, err := m.Sample(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Invert the normalizer: raw = normalized/scale + offset.
+	pageScale := norm.PageScale
+	if pageScale == 0 {
+		pageScale = 1
+	}
+	timeScale := norm.TimeScale
+	if timeScale == 0 {
+		timeScale = 1
+	}
+	maxTS := cfg.LenAccessShot
+	if maxTS <= 0 {
+		maxTS = trace.DefaultTransformConfig().LenAccessShot
+	}
+	// Bucket by transformed timestamp.
+	buckets := make(map[int][]uint64)
+	order := make([]int, 0, 64)
+	for _, p := range pts {
+		rawPage := p.X/pageScale + norm.PageOffset
+		if rawPage < 0 {
+			rawPage = 0
+		}
+		rawTS := int(math.Round(p.Y/timeScale + norm.TimeOffset))
+		if rawTS < 0 {
+			rawTS = 0
+		}
+		if rawTS >= maxTS {
+			rawTS = maxTS - 1
+		}
+		if _, ok := buckets[rawTS]; !ok {
+			order = append(order, rawTS)
+		}
+		buckets[rawTS] = append(buckets[rawTS], uint64(rawPage))
+	}
+	// Emit buckets in timestamp order.
+	sort.Ints(order)
+	tr := make(trace.Trace, 0, n)
+	for _, ts := range order {
+		for _, page := range buckets[ts] {
+			op := trace.Read
+			if rng.Float64() < writeFrac {
+				op = trace.Write
+			}
+			offset := uint64(rng.Intn(trace.PageSize/64)) * 64
+			tr = append(tr, trace.Record{Op: op, Addr: page<<trace.PageShift | offset})
+		}
+	}
+	tr.Stamp()
+	return tr, nil
+}

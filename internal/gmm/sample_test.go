@@ -1,0 +1,183 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+func TestSampleMatchesMoments(t *testing.T) {
+	m, err := New([]Component{
+		{Weight: 1, Mean: linalg.V2(2, -1), Cov: linalg.Sym2{XX: 0.5, XY: 0.2, YY: 0.3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts, err := m.Sample(50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mx, my float64
+	for _, p := range pts {
+		mx += p.X
+		my += p.Y
+	}
+	n := float64(len(pts))
+	mx /= n
+	my /= n
+	if math.Abs(mx-2) > 0.02 || math.Abs(my+1) > 0.02 {
+		t.Errorf("sample mean (%v, %v), want (2, -1)", mx, my)
+	}
+	var cxx, cxy, cyy float64
+	for _, p := range pts {
+		dx, dy := p.X-mx, p.Y-my
+		cxx += dx * dx
+		cxy += dx * dy
+		cyy += dy * dy
+	}
+	cxx /= n
+	cxy /= n
+	cyy /= n
+	if math.Abs(cxx-0.5) > 0.02 || math.Abs(cxy-0.2) > 0.02 || math.Abs(cyy-0.3) > 0.02 {
+		t.Errorf("sample covariance (%v, %v, %v), want (0.5, 0.2, 0.3)", cxx, cxy, cyy)
+	}
+}
+
+func TestSampleMixtureWeights(t *testing.T) {
+	m, err := New([]Component{
+		{Weight: 0.8, Mean: linalg.V2(0, 0), Cov: linalg.SymDiag(0.01, 0.01)},
+		{Weight: 0.2, Mean: linalg.V2(10, 10), Cov: linalg.SymDiag(0.01, 0.01)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	pts, err := m.Sample(10000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := 0
+	for _, p := range pts {
+		if p.X < 5 {
+			near++
+		}
+	}
+	frac := float64(near) / float64(len(pts))
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Errorf("component 0 fraction = %v, want 0.8", frac)
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	m, _ := New([]Component{{Weight: 1, Mean: linalg.V2(0, 0), Cov: linalg.SymIdentity()}})
+	if _, err := m.Sample(-1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative count accepted")
+	}
+	if pts, err := m.Sample(0, rand.New(rand.NewSource(1))); err != nil || len(pts) != 0 {
+		t.Error("zero count should give empty slice")
+	}
+}
+
+func TestSynthesizeTraceRoundTrip(t *testing.T) {
+	// Fit a model on a two-cluster trace, synthesize a new trace from it,
+	// and verify the synthetic trace concentrates on the same clusters.
+	var orig trace.Trace
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30000; i++ {
+		var page uint64
+		if rng.Float64() < 0.6 {
+			page = uint64(1000 + rng.Intn(60))
+		} else {
+			page = uint64(8000 + rng.Intn(60))
+		}
+		orig = append(orig, trace.Record{Op: trace.Read, Addr: page << trace.PageShift})
+	}
+	orig.Stamp()
+	cfg := trace.DefaultTransformConfig()
+	res, norm, err := FitTrace(orig, cfg, TrainConfig{K: 4, MaxIters: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := SynthesizeTrace(res.Model, norm, cfg, 20000, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(synth) != 20000 {
+		t.Fatalf("synthetic length %d", len(synth))
+	}
+	// Most synthetic pages must land near one of the original clusters.
+	inCluster := 0
+	writes := 0
+	for _, r := range synth {
+		p := r.Page()
+		if (p >= 800 && p <= 1300) || (p >= 7800 && p <= 8300) {
+			inCluster++
+		}
+		if r.Op == trace.Write {
+			writes++
+		}
+	}
+	if frac := float64(inCluster) / float64(len(synth)); frac < 0.9 {
+		t.Errorf("only %.1f%% of synthetic pages near original clusters", 100*frac)
+	}
+	wf := float64(writes) / float64(len(synth))
+	if wf < 0.2 || wf > 0.3 {
+		t.Errorf("write fraction %v, want ~0.25", wf)
+	}
+	// Timestamps must be stamped in arrival order.
+	for i := 1; i < len(synth); i++ {
+		if synth[i].Time != synth[i-1].Time+1 {
+			t.Fatal("synthetic trace not stamped")
+		}
+	}
+}
+
+func TestSynthesizeTraceErrors(t *testing.T) {
+	m, _ := New([]Component{{Weight: 1, Mean: linalg.V2(0.5, 0.5), Cov: linalg.SymDiag(0.01, 0.01)}})
+	if _, err := SynthesizeTrace(m, trace.Normalizer{PageScale: 1, TimeScale: 1},
+		trace.DefaultTransformConfig(), 0, 0, 1); err == nil {
+		t.Error("zero length accepted")
+	}
+	// Zero scales are defaulted rather than dividing by zero.
+	tr, err := SynthesizeTrace(m, trace.Normalizer{}, trace.TransformConfig{}, 100, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 100 {
+		t.Errorf("length %d", len(tr))
+	}
+}
+
+func TestSynthesizedTraceIsGMMFriendly(t *testing.T) {
+	// The loop closes: a GMM trained on a synthetic trace produced by
+	// another GMM should recover similar structure (high likelihood).
+	m, _ := New([]Component{
+		{Weight: 0.5, Mean: linalg.V2(0.2, 0.3), Cov: linalg.SymDiag(0.002, 0.01)},
+		{Weight: 0.5, Mean: linalg.V2(0.8, 0.7), Cov: linalg.SymDiag(0.002, 0.01)},
+	})
+	norm := trace.Normalizer{PageOffset: 0, PageScale: 1.0 / 10000, TimeOffset: 0, TimeScale: 1.0 / 9999}
+	cfg := trace.DefaultTransformConfig()
+	synth, err := SynthesizeTrace(m, norm, cfg, 30000, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := FitTrace(synth, cfg, TrainConfig{K: 2, MaxIters: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Model.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Two clusters at page ~2000 and ~8000: the refit means must split.
+	a, b := res.Model.Components[0].Mean.X, res.Model.Components[1].Mean.X
+	if a > b {
+		a, b = b, a
+	}
+	if b-a < 0.3 {
+		t.Errorf("refit means %v and %v did not separate", a, b)
+	}
+}

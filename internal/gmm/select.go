@@ -1,0 +1,94 @@
+package gmm
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+// This file adds model selection on top of the EM trainer. The paper fixes
+// K = 256 empirically; these utilities quantify that choice: information
+// criteria score the likelihood/complexity trade-off, and ChooseK sweeps a
+// ladder of K values the way a deployment would tune the engine for a new
+// workload class.
+
+// freeParameters returns the number of free parameters of a K-component
+// 2-D full-covariance mixture: per component 2 mean + 3 covariance entries,
+// plus K-1 free mixing weights.
+func freeParameters(k int) int { return k*5 + (k - 1) }
+
+// BIC returns the Bayesian Information Criterion of the model on the
+// points: -2*logL + p*ln(n). Lower is better; the ln(n) complexity term
+// penalizes large K harder as the training set grows.
+func (m *Model) BIC(points []linalg.Vec2) float64 {
+	n := float64(len(points))
+	if n == 0 {
+		return math.Inf(1)
+	}
+	logL := m.MeanLogLikelihood(points) * n
+	return -2*logL + float64(freeParameters(m.K()))*math.Log(n)
+}
+
+// AIC returns the Akaike Information Criterion: -2*logL + 2p.
+func (m *Model) AIC(points []linalg.Vec2) float64 {
+	n := float64(len(points))
+	if n == 0 {
+		return math.Inf(1)
+	}
+	logL := m.MeanLogLikelihood(points) * n
+	return -2*logL + 2*float64(freeParameters(m.K()))
+}
+
+// Criterion selects the scoring rule for ChooseK.
+type Criterion int
+
+const (
+	// ByBIC selects by Bayesian Information Criterion.
+	ByBIC Criterion = iota
+	// ByAIC selects by Akaike Information Criterion.
+	ByAIC
+)
+
+// KSelection reports one sweep entry.
+type KSelection struct {
+	K     int
+	Score float64
+	// Result is the trained model for this K.
+	Result *TrainResult
+}
+
+// ChooseK trains one model per candidate K and returns the winner under the
+// criterion together with the full sweep (ascending K). Candidates larger
+// than the sample count are clamped by Fit; duplicate effective K values are
+// still evaluated once each as given.
+func ChooseK(samples []trace.Sample, ks []int, cfg TrainConfig, crit Criterion) (best KSelection, sweep []KSelection, err error) {
+	if len(ks) == 0 {
+		return best, nil, errors.New("gmm: no K candidates")
+	}
+	points := make([]linalg.Vec2, len(samples))
+	for i, s := range samples {
+		points[i] = linalg.V2(s.Page, s.Timestamp)
+	}
+	for i, k := range ks {
+		c := cfg
+		c.K = k
+		res, ferr := Fit(samples, c)
+		if ferr != nil {
+			return best, sweep, ferr
+		}
+		var score float64
+		if crit == ByAIC {
+			score = res.Model.AIC(points)
+		} else {
+			score = res.Model.BIC(points)
+		}
+		entry := KSelection{K: k, Score: score, Result: res}
+		sweep = append(sweep, entry)
+		if i == 0 || score < best.Score {
+			best = entry
+		}
+	}
+	return best, sweep, nil
+}

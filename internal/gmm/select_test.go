@@ -1,0 +1,128 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestInformationCriteria(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := sampleMixture(2000, rng)
+	samples := samplesFromPoints(pts)
+
+	res2, err := Fit(samples, TrainConfig{K: 2, MaxIters: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Fit(samples, TrainConfig{K: 1, MaxIters: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The data has two clusters: K=2 must score better (lower) than K=1
+	// under both criteria.
+	if res2.Model.BIC(pts) >= res1.Model.BIC(pts) {
+		t.Errorf("BIC(K=2)=%v >= BIC(K=1)=%v on 2-cluster data",
+			res2.Model.BIC(pts), res1.Model.BIC(pts))
+	}
+	if res2.Model.AIC(pts) >= res1.Model.AIC(pts) {
+		t.Errorf("AIC(K=2) >= AIC(K=1) on 2-cluster data")
+	}
+	// Empty point set: +Inf.
+	if !math.IsInf(res2.Model.BIC(nil), 1) || !math.IsInf(res2.Model.AIC(nil), 1) {
+		t.Error("criteria on empty data should be +Inf")
+	}
+}
+
+func TestBICPenalizesComplexityOnSimpleData(t *testing.T) {
+	// Single Gaussian data: a huge mixture should NOT win under BIC.
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]linalg.Vec2, 1500)
+	for i := range pts {
+		pts[i] = linalg.V2(rng.NormFloat64()*0.1+0.5, rng.NormFloat64()*0.1+0.5)
+	}
+	samples := samplesFromPoints(pts)
+	res1, err := Fit(samples, TrainConfig{K: 1, MaxIters: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res40, err := Fit(samples, TrainConfig{K: 40, MaxIters: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res40.Model.BIC(pts) < res1.Model.BIC(pts) {
+		t.Errorf("BIC preferred K=40 (%v) over K=1 (%v) on single-cluster data",
+			res40.Model.BIC(pts), res1.Model.BIC(pts))
+	}
+}
+
+func TestChooseK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := samplesFromPoints(sampleMixture(2000, rng))
+	best, sweep, err := ChooseK(samples, []int{1, 2, 6}, TrainConfig{MaxIters: 30, Seed: 1}, ByBIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 3 {
+		t.Fatalf("sweep has %d entries", len(sweep))
+	}
+	if best.K != 2 {
+		t.Errorf("ChooseK picked K=%d, want 2 for two-cluster data", best.K)
+	}
+	for _, e := range sweep {
+		if e.Result == nil || e.Result.Model.K() == 0 {
+			t.Error("sweep entry missing trained model")
+		}
+	}
+	if _, _, err := ChooseK(samples, nil, TrainConfig{}, ByBIC); err == nil {
+		t.Error("empty K list accepted")
+	}
+}
+
+func TestChooseKByAIC(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := samplesFromPoints(sampleMixture(1500, rng))
+	best, _, err := ChooseK(samples, []int{1, 2}, TrainConfig{MaxIters: 25, Seed: 2}, ByAIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.K != 2 {
+		t.Errorf("AIC picked K=%d, want 2", best.K)
+	}
+}
+
+func TestDiagonalCovTraining(t *testing.T) {
+	// Correlated data: full covariance captures the tilt, diagonal cannot,
+	// but the diagonal model must still train, validate, and have XY == 0.
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]linalg.Vec2, 2000)
+	for i := range pts {
+		x := rng.NormFloat64() * 0.2
+		pts[i] = linalg.V2(x+0.5, 0.8*x+0.5+rng.NormFloat64()*0.05)
+	}
+	samples := samplesFromPoints(pts)
+
+	diag, err := Fit(samples, TrainConfig{K: 2, MaxIters: 30, Seed: 1, DiagonalCov: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range diag.Model.Components {
+		if c.Cov.XY != 0 {
+			t.Errorf("component %d has off-diagonal covariance %v", i, c.Cov.XY)
+		}
+	}
+	if err := diag.Model.Validate(); err != nil {
+		t.Error(err)
+	}
+	full, err := Fit(samples, TrainConfig{K: 2, MaxIters: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full covariance must fit tilted data at least as well.
+	if full.LogLikelihood < diag.LogLikelihood {
+		t.Errorf("full-cov LL %v < diagonal LL %v on correlated data",
+			full.LogLikelihood, diag.LogLikelihood)
+	}
+}

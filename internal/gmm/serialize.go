@@ -1,0 +1,96 @@
+package gmm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+// modelJSON is the on-disk form of a trained model plus the normalizer that
+// maps raw (page, timestamp) pairs into model coordinates. Persisting the
+// two together mirrors the FPGA flow, where the affine map is baked into the
+// trace decoder next to the weight buffer.
+type modelJSON struct {
+	Format     string          `json:"format"`
+	K          int             `json:"k"`
+	Components []componentJSON `json:"components"`
+	Normalizer normalizerJSON  `json:"normalizer"`
+}
+
+type componentJSON struct {
+	Weight float64    `json:"weight"`
+	Mean   [2]float64 `json:"mean"`
+	// Cov stores [xx, xy, yy] of the symmetric covariance.
+	Cov [3]float64 `json:"cov"`
+}
+
+type normalizerJSON struct {
+	PageOffset float64 `json:"page_offset"`
+	PageScale  float64 `json:"page_scale"`
+	TimeOffset float64 `json:"time_offset"`
+	TimeScale  float64 `json:"time_scale"`
+}
+
+const formatName = "icgmm-gmm-v1"
+
+// Save writes the model and normalizer as JSON.
+func Save(w io.Writer, m *Model, norm trace.Normalizer) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("gmm: refusing to save invalid model: %w", err)
+	}
+	out := modelJSON{
+		Format: formatName,
+		K:      m.K(),
+		Normalizer: normalizerJSON{
+			PageOffset: norm.PageOffset, PageScale: norm.PageScale,
+			TimeOffset: norm.TimeOffset, TimeScale: norm.TimeScale,
+		},
+	}
+	for _, c := range m.Components {
+		out.Components = append(out.Components, componentJSON{
+			Weight: c.Weight,
+			Mean:   [2]float64{c.Mean.X, c.Mean.Y},
+			Cov:    [3]float64{c.Cov.XX, c.Cov.XY, c.Cov.YY},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a model and normalizer written by Save.
+func Load(r io.Reader) (*Model, trace.Normalizer, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, trace.Normalizer{}, fmt.Errorf("gmm: decoding model: %w", err)
+	}
+	if in.Format != formatName {
+		return nil, trace.Normalizer{}, fmt.Errorf("gmm: unknown format %q", in.Format)
+	}
+	comps := make([]Component, len(in.Components))
+	for i, c := range in.Components {
+		comps[i] = Component{
+			Weight: c.Weight,
+			Mean:   linalg.V2(c.Mean[0], c.Mean[1]),
+			Cov:    linalg.Sym2{XX: c.Cov[0], XY: c.Cov[1], YY: c.Cov[2]},
+		}
+	}
+	m, err := New(comps)
+	if err != nil {
+		return nil, trace.Normalizer{}, err
+	}
+	norm := trace.Normalizer{
+		PageOffset: in.Normalizer.PageOffset, PageScale: in.Normalizer.PageScale,
+		TimeOffset: in.Normalizer.TimeOffset, TimeScale: in.Normalizer.TimeScale,
+	}
+	if norm.PageScale == 0 {
+		norm.PageScale = 1
+	}
+	if norm.TimeScale == 0 {
+		norm.TimeScale = 1
+	}
+	return m, norm, nil
+}

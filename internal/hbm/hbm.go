@@ -1,0 +1,149 @@
+// Package hbm models the FPGA's high-bandwidth memory, which the ICGMM
+// prototype uses as the DRAM cache (Sec. 4), together with the on-board
+// cache-tag/GMM-score table buffer of the cache control engine (Sec. 4.2).
+// The model captures what the evaluation depends on: per-bank service
+// latency with bank-conflict queueing, and the parallel tag comparison that
+// makes hit/miss determination constant-time.
+package hbm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Config sizes the HBM model. The Alveo U50 exposes 32 pseudo-channels;
+// access latency is set so the end-to-end measured DRAM-cache hit time is
+// the paper's 1 us.
+type Config struct {
+	Banks int
+	// AccessLatency is the service time of one page-sized transfer.
+	AccessLatency time.Duration
+}
+
+// DefaultConfig mirrors the U50-based prototype.
+func DefaultConfig() Config {
+	return Config{Banks: 32, AccessLatency: time.Microsecond}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Banks <= 0 {
+		return errors.New("hbm: bank count must be positive")
+	}
+	if c.AccessLatency <= 0 {
+		return errors.New("hbm: access latency must be positive")
+	}
+	return nil
+}
+
+// Memory is the banked HBM model. Like ssd.Device it runs on virtual time.
+type Memory struct {
+	cfg      Config
+	busy     []int64
+	accesses stats.Counter
+	lat      stats.LatencyAccumulator
+}
+
+// New builds the memory model.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Memory{cfg: cfg, busy: make([]int64, cfg.Banks)}, nil
+}
+
+// Access services one page transfer for the given page at virtual time
+// nowNs, returning the completion time (queueing behind a busy bank plus the
+// service latency).
+func (m *Memory) Access(page uint64, nowNs int64) int64 {
+	bank := int(page % uint64(m.cfg.Banks))
+	start := nowNs
+	if m.busy[bank] > start {
+		start = m.busy[bank]
+	}
+	done := start + m.cfg.AccessLatency.Nanoseconds()
+	m.busy[bank] = done
+	m.accesses.Inc()
+	m.lat.Observe(done - nowNs)
+	return done
+}
+
+// HitLatency returns the nominal service latency in nanoseconds.
+func (m *Memory) HitLatency() int64 { return m.cfg.AccessLatency.Nanoseconds() }
+
+// Accesses returns the access count.
+func (m *Memory) Accesses() uint64 { return m.accesses.Value() }
+
+// MeanLatency returns the observed mean access latency.
+func (m *Memory) MeanLatency() time.Duration { return m.lat.MeanDuration() }
+
+// TagEntry is one way's worth of cache metadata held in the on-board buffer:
+// the tag plus the GMM score that replaces the LRU counter (Sec. 3.2).
+type TagEntry struct {
+	Tag   uint64
+	Valid bool
+	Score float64
+}
+
+// TagBuffer is the on-board cache tag and GMM score table (Sec. 4.2). The
+// buffer is partitioned by way so all tags of a set are compared against the
+// target in a single cycle, as opposed to sequential comparison; Lookup
+// models that with one pass over the ways of the chosen set.
+type TagBuffer struct {
+	ways    int
+	entries [][]TagEntry // [set][way]
+	lookups stats.Counter
+}
+
+// NewTagBuffer allocates the table.
+func NewTagBuffer(sets, ways int) (*TagBuffer, error) {
+	if sets <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("hbm: invalid tag buffer geometry %dx%d", sets, ways)
+	}
+	e := make([][]TagEntry, sets)
+	for i := range e {
+		e[i] = make([]TagEntry, ways)
+	}
+	return &TagBuffer{ways: ways, entries: e}, nil
+}
+
+// Lookup compares the tag against every way of the set in parallel,
+// returning the matching way or -1.
+func (tb *TagBuffer) Lookup(set int, tag uint64) int {
+	tb.lookups.Inc()
+	for w, e := range tb.entries[set] {
+		if e.Valid && e.Tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// Set writes one entry.
+func (tb *TagBuffer) Set(set, way int, e TagEntry) { tb.entries[set][way] = e }
+
+// Get reads one entry.
+func (tb *TagBuffer) Get(set, way int) TagEntry { return tb.entries[set][way] }
+
+// MinScoreWay returns the valid way with the lowest score, or -1 when the
+// set has an invalid way (no eviction needed) — the hardware smart-eviction
+// primitive.
+func (tb *TagBuffer) MinScoreWay(set int) int {
+	best := -1
+	bestScore := 0.0
+	for w, e := range tb.entries[set] {
+		if !e.Valid {
+			return -1
+		}
+		if best == -1 || e.Score < bestScore {
+			best, bestScore = w, e.Score
+		}
+	}
+	return best
+}
+
+// Lookups returns the number of Lookup calls.
+func (tb *TagBuffer) Lookups() uint64 { return tb.lookups.Value() }

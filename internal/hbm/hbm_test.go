@@ -1,0 +1,95 @@
+package hbm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := (Config{Banks: 0, AccessLatency: time.Microsecond}).Validate(); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if err := (Config{Banks: 4}).Validate(); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestMemoryAccess(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := m.Access(0, 0)
+	if done != 1000 {
+		t.Errorf("access done at %d ns, want 1000", done)
+	}
+	if m.HitLatency() != 1000 {
+		t.Errorf("HitLatency = %d", m.HitLatency())
+	}
+}
+
+func TestBankConflict(t *testing.T) {
+	m, _ := New(Config{Banks: 2, AccessLatency: time.Microsecond})
+	// Pages 0 and 2 map to bank 0: second queues behind first.
+	m.Access(0, 0)
+	done := m.Access(2, 0)
+	if done != 2000 {
+		t.Errorf("conflicting access done at %d, want 2000", done)
+	}
+	// Page 1 on bank 1 proceeds independently.
+	if done := m.Access(1, 0); done != 1000 {
+		t.Errorf("independent bank done at %d, want 1000", done)
+	}
+	if m.Accesses() != 3 {
+		t.Errorf("accesses = %d", m.Accesses())
+	}
+	if m.MeanLatency() != (1000+2000+1000)/3*time.Nanosecond {
+		t.Errorf("mean latency = %v", m.MeanLatency())
+	}
+}
+
+func TestTagBuffer(t *testing.T) {
+	tb, err := NewTagBuffer(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTagBuffer(0, 2); err == nil {
+		t.Error("zero sets accepted")
+	}
+	tb.Set(1, 0, TagEntry{Tag: 42, Valid: true, Score: 0.9})
+	tb.Set(1, 1, TagEntry{Tag: 43, Valid: true, Score: 0.3})
+	if w := tb.Lookup(1, 42); w != 0 {
+		t.Errorf("Lookup(42) = %d, want 0", w)
+	}
+	if w := tb.Lookup(1, 99); w != -1 {
+		t.Errorf("Lookup(99) = %d, want -1", w)
+	}
+	if w := tb.Lookup(2, 42); w != -1 {
+		t.Errorf("Lookup in wrong set = %d, want -1", w)
+	}
+	if tb.Lookups() != 3 {
+		t.Errorf("lookups = %d", tb.Lookups())
+	}
+	if e := tb.Get(1, 1); e.Tag != 43 || e.Score != 0.3 {
+		t.Errorf("Get = %+v", e)
+	}
+}
+
+func TestMinScoreWay(t *testing.T) {
+	tb, _ := NewTagBuffer(2, 3)
+	// Set 0 has an invalid way: no eviction needed.
+	tb.Set(0, 0, TagEntry{Tag: 1, Valid: true, Score: 0.5})
+	if w := tb.MinScoreWay(0); w != -1 {
+		t.Errorf("MinScoreWay with free way = %d, want -1", w)
+	}
+	// Fill set 1 and check the lowest score wins.
+	tb.Set(1, 0, TagEntry{Tag: 1, Valid: true, Score: 0.5})
+	tb.Set(1, 1, TagEntry{Tag: 2, Valid: true, Score: 0.1})
+	tb.Set(1, 2, TagEntry{Tag: 3, Valid: true, Score: 0.9})
+	if w := tb.MinScoreWay(1); w != 1 {
+		t.Errorf("MinScoreWay = %d, want 1", w)
+	}
+}

@@ -1,0 +1,65 @@
+// Package linalg provides the small dense linear-algebra substrate used by
+// the 2-D Gaussian mixture model at the heart of ICGMM: 2-vectors, 2x2
+// matrices (general and symmetric), determinants, inverses, Cholesky
+// factorizations and Mahalanobis distances.
+//
+// The GMM only ever works in two dimensions (page index, timestamp), so the
+// package is deliberately specialized: every operation is closed-form,
+// allocation-free and branch-light, which is what makes the hardware pipeline
+// model in internal/fpga credible (each Gaussian evaluation lowers to a fixed
+// number of multiply-adds).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a column vector in R^2. In ICGMM the first component is the
+// (normalized) page index and the second the transformed timestamp.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 constructs a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns s*v.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{s * v.X, s * v.Y} }
+
+// Dot returns the inner product <v, w>.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Norm returns the Euclidean norm of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm2 returns the squared Euclidean norm of v.
+func (v Vec2) Norm2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Outer returns the outer product v * w^T as a general 2x2 matrix.
+func (v Vec2) Outer(w Vec2) Mat2 {
+	return Mat2{
+		A: v.X * w.X, B: v.X * w.Y,
+		C: v.Y * w.X, D: v.Y * w.Y,
+	}
+}
+
+// OuterSelf returns v * v^T, which is symmetric by construction.
+func (v Vec2) OuterSelf() Sym2 {
+	return Sym2{XX: v.X * v.X, XY: v.X * v.Y, YY: v.Y * v.Y}
+}
+
+// IsFinite reports whether both components are finite (not NaN or ±Inf).
+func (v Vec2) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0)
+}
+
+// String renders the vector for diagnostics.
+func (v Vec2) String() string { return fmt.Sprintf("(%g, %g)", v.X, v.Y) }

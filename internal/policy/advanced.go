@@ -1,0 +1,236 @@
+package policy
+
+import "repro/internal/cache"
+
+// This file adds the classic set-associative replacement policies beyond
+// the paper's LRU baseline — CLOCK (second chance), SLRU (segmented LRU)
+// and SRRIP (static re-reference interval prediction) — so the policy
+// comparison can place the GMM engine against the standard hardware-cache
+// repertoire, not only against LRU.
+
+// Clock implements the second-chance algorithm per set: a reference bit per
+// way and a rotating hand; the first block with a clear bit is evicted,
+// set bits are cleared as the hand passes.
+type Clock struct {
+	base
+	ref  [][]bool
+	hand []int
+}
+
+// NewClock returns a CLOCK policy engine.
+func NewClock() *Clock { return &Clock{} }
+
+// Name implements cache.Policy.
+func (p *Clock) Name() string { return "clock" }
+
+// Attach implements cache.Policy.
+func (p *Clock) Attach(numSets, ways int) {
+	p.base.Attach(numSets, ways)
+	p.ref = make([][]bool, numSets)
+	for i := range p.ref {
+		p.ref[i] = make([]bool, ways)
+	}
+	p.hand = make([]int, numSets)
+}
+
+// OnAccess implements cache.Policy.
+func (p *Clock) OnAccess(cache.Request) {}
+
+// OnHit implements cache.Policy.
+func (p *Clock) OnHit(setIdx, way int, _ cache.Request) {
+	p.ref[setIdx][way] = true
+}
+
+// Admit implements cache.Policy.
+func (p *Clock) Admit(cache.Request) bool { return true }
+
+// Victim implements cache.Policy.
+func (p *Clock) Victim(setIdx int, blocks []cache.BlockView) int {
+	refs := p.ref[setIdx]
+	hand := p.hand[setIdx]
+	// At most two sweeps: the first clears bits, so the second must find a
+	// clear one.
+	for i := 0; i < 2*len(blocks); i++ {
+		w := (hand + i) % len(blocks)
+		if !refs[w] {
+			p.hand[setIdx] = (w + 1) % len(blocks)
+			return w
+		}
+		refs[w] = false
+	}
+	return hand // unreachable: all bits were cleared in sweep one
+}
+
+// OnEvict implements cache.Policy.
+func (p *Clock) OnEvict(int, int, uint64) {}
+
+// OnInsert implements cache.Policy.
+func (p *Clock) OnInsert(setIdx, way int, _ cache.Request) {
+	// New blocks start without a second chance, as in classic CLOCK.
+	p.ref[setIdx][way] = false
+}
+
+// SLRU implements segmented LRU per set: blocks enter a probationary
+// segment and are promoted to the protected segment on a hit; victims come
+// from the probationary segment first. Scan-resistant: one-shot pages never
+// get promoted and are evicted before any protected block.
+type SLRU struct {
+	base
+	lastUse   [][]uint64
+	protected [][]bool
+	// ProtectedWays caps the protected segment per set (defaults to
+	// ways/2 at Attach when zero).
+	ProtectedWays int
+}
+
+// NewSLRU returns an SLRU policy engine.
+func NewSLRU() *SLRU { return &SLRU{} }
+
+// Name implements cache.Policy.
+func (p *SLRU) Name() string { return "slru" }
+
+// Attach implements cache.Policy.
+func (p *SLRU) Attach(numSets, ways int) {
+	p.base.Attach(numSets, ways)
+	p.lastUse = p.meta()
+	p.protected = make([][]bool, numSets)
+	for i := range p.protected {
+		p.protected[i] = make([]bool, ways)
+	}
+	if p.ProtectedWays <= 0 || p.ProtectedWays >= ways {
+		p.ProtectedWays = ways / 2
+		if p.ProtectedWays == 0 {
+			p.ProtectedWays = 1
+		}
+	}
+}
+
+// OnAccess implements cache.Policy.
+func (p *SLRU) OnAccess(cache.Request) {}
+
+// OnHit implements cache.Policy: promote to protected, demoting the oldest
+// protected block if the segment is full.
+func (p *SLRU) OnHit(setIdx, way int, req cache.Request) {
+	p.lastUse[setIdx][way] = req.Seq
+	if p.protected[setIdx][way] {
+		return
+	}
+	count := 0
+	oldest, oldestUse := -1, uint64(0)
+	for w, prot := range p.protected[setIdx] {
+		if !prot {
+			continue
+		}
+		count++
+		if oldest == -1 || p.lastUse[setIdx][w] < oldestUse {
+			oldest, oldestUse = w, p.lastUse[setIdx][w]
+		}
+	}
+	if count >= p.ProtectedWays && oldest >= 0 {
+		p.protected[setIdx][oldest] = false
+	}
+	p.protected[setIdx][way] = true
+}
+
+// Admit implements cache.Policy.
+func (p *SLRU) Admit(cache.Request) bool { return true }
+
+// Victim implements cache.Policy: LRU among probationary blocks, falling
+// back to LRU among protected when every way is protected.
+func (p *SLRU) Victim(setIdx int, blocks []cache.BlockView) int {
+	best := -1
+	var bestUse uint64
+	for w := range blocks {
+		if p.protected[setIdx][w] {
+			continue
+		}
+		if best == -1 || p.lastUse[setIdx][w] < bestUse {
+			best, bestUse = w, p.lastUse[setIdx][w]
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for w := range blocks {
+		if best == -1 || p.lastUse[setIdx][w] < bestUse {
+			best, bestUse = w, p.lastUse[setIdx][w]
+		}
+	}
+	return best
+}
+
+// OnEvict implements cache.Policy.
+func (p *SLRU) OnEvict(setIdx, way int, _ uint64) {
+	p.protected[setIdx][way] = false
+}
+
+// OnInsert implements cache.Policy.
+func (p *SLRU) OnInsert(setIdx, way int, req cache.Request) {
+	p.lastUse[setIdx][way] = req.Seq
+	p.protected[setIdx][way] = false
+}
+
+// rripMax is the 2-bit re-reference prediction value range of SRRIP.
+const rripMax = 3
+
+// SRRIP implements static re-reference interval prediction (Jaleel et al.,
+// ISCA 2010) with 2-bit RRPVs: blocks insert at RRPV 2 ("long"), hits reset
+// to 0 ("near-immediate"), and eviction takes the first block at RRPV 3,
+// aging the whole set when none is found. Scan- and thrash-resistant, the
+// strongest non-learned hardware baseline here.
+type SRRIP struct {
+	base
+	rrpv [][]uint8
+}
+
+// NewSRRIP returns an SRRIP policy engine.
+func NewSRRIP() *SRRIP { return &SRRIP{} }
+
+// Name implements cache.Policy.
+func (p *SRRIP) Name() string { return "srrip" }
+
+// Attach implements cache.Policy.
+func (p *SRRIP) Attach(numSets, ways int) {
+	p.base.Attach(numSets, ways)
+	p.rrpv = make([][]uint8, numSets)
+	for i := range p.rrpv {
+		p.rrpv[i] = make([]uint8, ways)
+		for w := range p.rrpv[i] {
+			p.rrpv[i][w] = rripMax
+		}
+	}
+}
+
+// OnAccess implements cache.Policy.
+func (p *SRRIP) OnAccess(cache.Request) {}
+
+// OnHit implements cache.Policy.
+func (p *SRRIP) OnHit(setIdx, way int, _ cache.Request) {
+	p.rrpv[setIdx][way] = 0
+}
+
+// Admit implements cache.Policy.
+func (p *SRRIP) Admit(cache.Request) bool { return true }
+
+// Victim implements cache.Policy.
+func (p *SRRIP) Victim(setIdx int, blocks []cache.BlockView) int {
+	rr := p.rrpv[setIdx]
+	for {
+		for w := range blocks {
+			if rr[w] == rripMax {
+				return w
+			}
+		}
+		for w := range blocks {
+			rr[w]++
+		}
+	}
+}
+
+// OnEvict implements cache.Policy.
+func (p *SRRIP) OnEvict(int, int, uint64) {}
+
+// OnInsert implements cache.Policy.
+func (p *SRRIP) OnInsert(setIdx, way int, _ cache.Request) {
+	p.rrpv[setIdx][way] = rripMax - 1
+}

@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+func TestClockSecondChance(t *testing.T) {
+	c := tinyCache(t, NewClock())
+	access(c, 1, 2, 3, 4) // fill; all ref bits clear
+	access(c, 1)          // 1 gets a second chance
+	res := c.Access(5, false)
+	// Hand starts at 0; way 0 holds page 1 with ref set -> cleared, move
+	// on; way 1 (page 2) has clear bit -> evicted.
+	if res.VictimPage != 2 {
+		t.Errorf("CLOCK evicted %d, want 2", res.VictimPage)
+	}
+	if !c.Contains(1) {
+		t.Error("referenced page 1 lost its second chance")
+	}
+}
+
+func TestClockAllReferenced(t *testing.T) {
+	c := tinyCache(t, NewClock())
+	access(c, 1, 2, 3, 4)
+	access(c, 1, 2, 3, 4) // all referenced
+	res := c.Access(5, false)
+	// First sweep clears everything, second sweep evicts way 0.
+	if !res.Evicted {
+		t.Fatal("no eviction")
+	}
+	if res.VictimPage != 1 {
+		t.Errorf("victim = %d, want 1", res.VictimPage)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLRUScanResistance(t *testing.T) {
+	c := tinyCache(t, NewSLRU())
+	// Build a protected working set: hits promote 1 and 2.
+	access(c, 1, 2, 1, 2)
+	// Scan: one-shot pages 10, 11, 12 flow through the probationary
+	// segment.
+	access(c, 10, 11, 12)
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Error("protected pages lost to a scan — SLRU not scan-resistant")
+	}
+}
+
+func TestSLRUProtectedCapacity(t *testing.T) {
+	p := NewSLRU()
+	c := tinyCache(t, p)
+	// Promote three pages with ProtectedWays = 2 (ways/2): the oldest
+	// promotion is demoted.
+	access(c, 1, 2, 3, 4)
+	access(c, 1, 2, 3) // promote 1, 2, then 3 demotes 1
+	prot := 0
+	for _, v := range p.protected[0] {
+		if v {
+			prot++
+		}
+	}
+	if prot != 2 {
+		t.Errorf("protected count = %d, want 2", prot)
+	}
+}
+
+func TestSLRUAllProtectedFallback(t *testing.T) {
+	p := NewSLRU()
+	p.ProtectedWays = 4 // allow everything to be protected
+	c := tinyCache(t, p)
+	access(c, 1, 2, 3, 4)
+	access(c, 1, 2, 3, 4) // promote all
+	res := c.Access(5, false)
+	if !res.Evicted {
+		t.Fatal("no eviction when all ways protected")
+	}
+	if res.VictimPage != 1 {
+		t.Errorf("victim = %d, want LRU fallback 1", res.VictimPage)
+	}
+}
+
+func TestSRRIPHitPromotion(t *testing.T) {
+	c := tinyCache(t, NewSRRIP())
+	access(c, 1, 2, 3, 4)
+	access(c, 1) // page 1 -> RRPV 0
+	// Insertions are at RRPV 2; eviction ages everyone to find RRPV 3:
+	// pages 2, 3, 4 reach 3 before page 1.
+	res := c.Access(5, false)
+	if res.VictimPage == 1 {
+		t.Error("SRRIP evicted the re-referenced block")
+	}
+}
+
+func TestSRRIPScanResistance(t *testing.T) {
+	// A hot set with periodic re-reference should survive a scan burst
+	// better under SRRIP than under LRU.
+	run := func(p cache.Policy) uint64 {
+		c, err := cache.New(cache.Config{SizeBytes: 16 * 4096, BlockBytes: 4096, Ways: 4}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 20000; i++ {
+			if i%10 == 9 {
+				// Scan: fresh one-shot page.
+				c.Access(uint64(100000+i), false)
+			} else {
+				c.Access(uint64(rng.Intn(12)), false)
+			}
+		}
+		return c.Stats().Misses
+	}
+	srrip := run(NewSRRIP())
+	lru := run(NewLRU())
+	if srrip > lru {
+		t.Errorf("SRRIP misses %d > LRU misses %d on scan-mixed traffic", srrip, lru)
+	}
+}
+
+func TestAdvancedPolicyNamesAndInvariants(t *testing.T) {
+	policies := []cache.Policy{NewClock(), NewSLRU(), NewSRRIP()}
+	names := []string{"clock", "slru", "srrip"}
+	for i, p := range policies {
+		if p.Name() != names[i] {
+			t.Errorf("Name = %q, want %q", p.Name(), names[i])
+		}
+		c, err := cache.New(cache.Config{SizeBytes: 64 * 4096, BlockBytes: 4096, Ways: 8}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		for j := 0; j < 5000; j++ {
+			c.Access(uint64(rng.Intn(300)), rng.Intn(3) == 0)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+		if c.Stats().Accesses() != 5000 {
+			t.Errorf("%s: lost accesses", p.Name())
+		}
+	}
+}
+
+func TestAdvancedPoliciesBeatRandomOnLocality(t *testing.T) {
+	// Sanity: on strongly local traffic every structured policy should
+	// beat random replacement.
+	tr := make(trace.Trace, 30000)
+	rng := rand.New(rand.NewSource(4))
+	for i := range tr {
+		page := uint64(rng.Intn(64))
+		if rng.Intn(20) == 0 {
+			page = uint64(1000 + rng.Intn(5000))
+		}
+		tr[i] = trace.Record{Op: trace.Read, Addr: page << trace.PageShift}
+	}
+	run := func(p cache.Policy) float64 {
+		c, err := cache.New(cache.Config{SizeBytes: 32 * 4096, BlockBytes: 4096, Ways: 4}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tr {
+			c.Access(r.Page(), false)
+		}
+		return c.Stats().MissRate()
+	}
+	random := run(NewRandom(1))
+	for _, p := range []cache.Policy{NewClock(), NewSLRU(), NewSRRIP()} {
+		if mr := run(p); mr > random {
+			t.Errorf("%s miss rate %.4f worse than random %.4f", p.Name(), mr, random)
+		}
+	}
+}

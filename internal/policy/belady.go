@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Belady is the clairvoyant MIN/OPT replacement policy: evict the block
+// whose next use lies furthest in the future. It needs the whole request
+// sequence up front, so it is an offline oracle — the upper bound the
+// ablation benches compare learned policies against.
+type Belady struct {
+	base
+	// nextUse[i] is the arrival index of the next access to the same page
+	// after request i, or maxUint64 when the page never recurs.
+	nextUse []uint64
+	// blockNext[set][way] is the next-use index of the resident page.
+	blockNext [][]uint64
+	cur       uint64
+	// Bypass admits a missed page only when its next use precedes the
+	// latest next use in its set, the admission-aware variant of OPT.
+	Bypass bool
+}
+
+const never = math.MaxUint64
+
+// NewBelady precomputes next-use chains for the given trace. The cache must
+// then be driven with exactly that trace, in order.
+func NewBelady(t trace.Trace, bypass bool) *Belady {
+	next := make([]uint64, len(t))
+	last := make(map[uint64]uint64, len(t)/4)
+	for i := len(t) - 1; i >= 0; i-- {
+		page := t[i].Page()
+		if j, ok := last[page]; ok {
+			next[i] = j
+		} else {
+			next[i] = never
+		}
+		last[page] = uint64(i)
+	}
+	return &Belady{nextUse: next, Bypass: bypass}
+}
+
+// Name implements cache.Policy.
+func (p *Belady) Name() string {
+	if p.Bypass {
+		return "belady-bypass"
+	}
+	return "belady"
+}
+
+// Attach implements cache.Policy.
+func (p *Belady) Attach(numSets, ways int) {
+	p.base.Attach(numSets, ways)
+	p.blockNext = p.meta()
+	for si := range p.blockNext {
+		for w := range p.blockNext[si] {
+			p.blockNext[si][w] = never
+		}
+	}
+}
+
+// OnAccess implements cache.Policy; it records the current request's
+// next-use distance for use by Admit/OnInsert.
+func (p *Belady) OnAccess(req cache.Request) {
+	if int(req.Seq) < len(p.nextUse) {
+		p.cur = p.nextUse[req.Seq]
+	} else {
+		p.cur = never
+	}
+}
+
+// OnHit implements cache.Policy.
+func (p *Belady) OnHit(setIdx, way int, req cache.Request) {
+	p.blockNext[setIdx][way] = p.cur
+}
+
+// Admit implements cache.Policy.
+func (p *Belady) Admit(req cache.Request) bool {
+	if !p.Bypass {
+		return true
+	}
+	// Pages that never recur are pure pollution; skip them.
+	return p.cur != never
+}
+
+// Victim implements cache.Policy: furthest next use loses.
+func (p *Belady) Victim(setIdx int, blocks []cache.BlockView) int {
+	best, bestNext := 0, p.blockNext[setIdx][0]
+	for w := 1; w < len(blocks); w++ {
+		if p.blockNext[setIdx][w] > bestNext {
+			best, bestNext = w, p.blockNext[setIdx][w]
+		}
+	}
+	return best
+}
+
+// OnEvict implements cache.Policy.
+func (p *Belady) OnEvict(int, int, uint64) {}
+
+// OnInsert implements cache.Policy.
+func (p *Belady) OnInsert(setIdx, way int, req cache.Request) {
+	p.blockNext[setIdx][way] = p.cur
+}

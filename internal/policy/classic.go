@@ -1,0 +1,209 @@
+// Package policy implements the cache policy engines evaluated in the
+// paper: the LRU baseline, the three GMM strategies of Fig. 6 (smart caching
+// only, smart eviction only, and both combined), an LSTM-based engine
+// adapter, and additional classic references (FIFO, LFU, Random) plus the
+// Belady oracle used as an upper bound in ablation studies.
+package policy
+
+import (
+	"math/rand"
+
+	"repro/internal/cache"
+)
+
+// base carries the geometry shared by the classic per-block-metadata
+// policies.
+type base struct {
+	numSets, ways int
+}
+
+func (b *base) Attach(numSets, ways int) {
+	b.numSets, b.ways = numSets, ways
+}
+
+// meta allocates a [numSets][ways] metadata table.
+func (b *base) meta() [][]uint64 {
+	m := make([][]uint64, b.numSets)
+	for i := range m {
+		m[i] = make([]uint64, b.ways)
+	}
+	return m
+}
+
+// LRU is the Least Recently Used baseline the paper compares against: every
+// missed page is admitted and the least recently touched block is evicted.
+type LRU struct {
+	base
+	lastUse [][]uint64
+}
+
+// NewLRU returns an LRU policy engine.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements cache.Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// Attach implements cache.Policy.
+func (p *LRU) Attach(numSets, ways int) {
+	p.base.Attach(numSets, ways)
+	p.lastUse = p.meta()
+}
+
+// OnAccess implements cache.Policy.
+func (p *LRU) OnAccess(cache.Request) {}
+
+// OnHit implements cache.Policy.
+func (p *LRU) OnHit(setIdx, way int, req cache.Request) {
+	p.lastUse[setIdx][way] = req.Seq
+}
+
+// Admit implements cache.Policy; LRU admits everything.
+func (p *LRU) Admit(cache.Request) bool { return true }
+
+// Victim implements cache.Policy.
+func (p *LRU) Victim(setIdx int, blocks []cache.BlockView) int {
+	best, bestUse := 0, p.lastUse[setIdx][0]
+	for w := 1; w < len(blocks); w++ {
+		if p.lastUse[setIdx][w] < bestUse {
+			best, bestUse = w, p.lastUse[setIdx][w]
+		}
+	}
+	return best
+}
+
+// OnEvict implements cache.Policy.
+func (p *LRU) OnEvict(int, int, uint64) {}
+
+// OnInsert implements cache.Policy.
+func (p *LRU) OnInsert(setIdx, way int, req cache.Request) {
+	p.lastUse[setIdx][way] = req.Seq
+}
+
+// FIFO evicts the oldest-inserted block regardless of reuse.
+type FIFO struct {
+	base
+	inserted [][]uint64
+}
+
+// NewFIFO returns a FIFO policy engine.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements cache.Policy.
+func (p *FIFO) Name() string { return "fifo" }
+
+// Attach implements cache.Policy.
+func (p *FIFO) Attach(numSets, ways int) {
+	p.base.Attach(numSets, ways)
+	p.inserted = p.meta()
+}
+
+// OnAccess implements cache.Policy.
+func (p *FIFO) OnAccess(cache.Request) {}
+
+// OnHit implements cache.Policy.
+func (p *FIFO) OnHit(int, int, cache.Request) {}
+
+// Admit implements cache.Policy.
+func (p *FIFO) Admit(cache.Request) bool { return true }
+
+// Victim implements cache.Policy.
+func (p *FIFO) Victim(setIdx int, blocks []cache.BlockView) int {
+	best, bestIns := 0, p.inserted[setIdx][0]
+	for w := 1; w < len(blocks); w++ {
+		if p.inserted[setIdx][w] < bestIns {
+			best, bestIns = w, p.inserted[setIdx][w]
+		}
+	}
+	return best
+}
+
+// OnEvict implements cache.Policy.
+func (p *FIFO) OnEvict(int, int, uint64) {}
+
+// OnInsert implements cache.Policy.
+func (p *FIFO) OnInsert(setIdx, way int, req cache.Request) {
+	p.inserted[setIdx][way] = req.Seq
+}
+
+// LFU evicts the block with the fewest accesses since insertion.
+type LFU struct {
+	base
+	freq [][]uint64
+}
+
+// NewLFU returns an LFU policy engine.
+func NewLFU() *LFU { return &LFU{} }
+
+// Name implements cache.Policy.
+func (p *LFU) Name() string { return "lfu" }
+
+// Attach implements cache.Policy.
+func (p *LFU) Attach(numSets, ways int) {
+	p.base.Attach(numSets, ways)
+	p.freq = p.meta()
+}
+
+// OnAccess implements cache.Policy.
+func (p *LFU) OnAccess(cache.Request) {}
+
+// OnHit implements cache.Policy.
+func (p *LFU) OnHit(setIdx, way int, req cache.Request) {
+	p.freq[setIdx][way]++
+}
+
+// Admit implements cache.Policy.
+func (p *LFU) Admit(cache.Request) bool { return true }
+
+// Victim implements cache.Policy.
+func (p *LFU) Victim(setIdx int, blocks []cache.BlockView) int {
+	best, bestF := 0, p.freq[setIdx][0]
+	for w := 1; w < len(blocks); w++ {
+		if p.freq[setIdx][w] < bestF {
+			best, bestF = w, p.freq[setIdx][w]
+		}
+	}
+	return best
+}
+
+// OnEvict implements cache.Policy.
+func (p *LFU) OnEvict(int, int, uint64) {}
+
+// OnInsert implements cache.Policy.
+func (p *LFU) OnInsert(setIdx, way int, req cache.Request) {
+	p.freq[setIdx][way] = 1
+}
+
+// Random evicts a uniformly random way; the floor any learned policy must
+// beat.
+type Random struct {
+	base
+	rng *rand.Rand
+}
+
+// NewRandom returns a random-eviction policy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements cache.Policy.
+func (p *Random) Name() string { return "random" }
+
+// OnAccess implements cache.Policy.
+func (p *Random) OnAccess(cache.Request) {}
+
+// OnHit implements cache.Policy.
+func (p *Random) OnHit(int, int, cache.Request) {}
+
+// Admit implements cache.Policy.
+func (p *Random) Admit(cache.Request) bool { return true }
+
+// Victim implements cache.Policy.
+func (p *Random) Victim(setIdx int, blocks []cache.BlockView) int {
+	return p.rng.Intn(len(blocks))
+}
+
+// OnEvict implements cache.Policy.
+func (p *Random) OnEvict(int, int, uint64) {}
+
+// OnInsert implements cache.Policy.
+func (p *Random) OnInsert(int, int, cache.Request) {}

@@ -1,0 +1,190 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// tinyCache builds a 1-set, 4-way cache so eviction order is easy to reason
+// about (all pages map to set 0 when page % 1 == 0).
+func tinyCache(t *testing.T, p cache.Policy) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Config{SizeBytes: 4 * 4096, BlockBytes: 4096, Ways: 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func access(c *cache.Cache, pages ...uint64) {
+	for _, p := range pages {
+		c.Access(p, false)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := tinyCache(t, NewLRU())
+	access(c, 1, 2, 3, 4) // fill
+	access(c, 1, 2, 3)    // page 4 becomes LRU
+	res := c.Access(5, false)
+	if !res.Evicted || res.VictimPage != 4 {
+		t.Errorf("LRU evicted %d, want 4 (result %+v)", res.VictimPage, res)
+	}
+}
+
+func TestLRUHitRefreshes(t *testing.T) {
+	c := tinyCache(t, NewLRU())
+	access(c, 1, 2, 3, 4)
+	access(c, 1) // refresh 1; LRU is now 2
+	res := c.Access(6, false)
+	if res.VictimPage != 2 {
+		t.Errorf("victim = %d, want 2", res.VictimPage)
+	}
+}
+
+func TestFIFOEvictionIgnoresHits(t *testing.T) {
+	c := tinyCache(t, NewFIFO())
+	access(c, 1, 2, 3, 4)
+	access(c, 1, 1, 1) // hits must not matter
+	res := c.Access(5, false)
+	if res.VictimPage != 1 {
+		t.Errorf("FIFO evicted %d, want 1", res.VictimPage)
+	}
+}
+
+func TestLFUEvictsColdest(t *testing.T) {
+	c := tinyCache(t, NewLFU())
+	access(c, 1, 2, 3, 4)
+	access(c, 1, 1, 2, 2, 3) // page 4 has lowest frequency
+	res := c.Access(5, false)
+	if res.VictimPage != 4 {
+		t.Errorf("LFU evicted %d, want 4", res.VictimPage)
+	}
+}
+
+func TestLFUResetOnInsert(t *testing.T) {
+	c := tinyCache(t, NewLFU())
+	access(c, 1, 2, 3, 4)
+	access(c, 1, 1, 2, 2, 3, 3)
+	access(c, 5) // evicts 4; page 5 enters with freq 1
+	access(c, 4) // evicts 5 (lowest freq), page 4 enters fresh
+	if !c.Contains(4) {
+		t.Error("page 4 not reinserted")
+	}
+	if c.Contains(5) {
+		t.Error("page 5 should have been evicted as coldest")
+	}
+}
+
+func TestRandomStaysInBounds(t *testing.T) {
+	c := tinyCache(t, NewRandom(1))
+	for p := uint64(0); p < 100; p++ {
+		c.Access(p, false)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if c.Occupancy() != 4 {
+		t.Errorf("occupancy = %d, want 4", c.Occupancy())
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[string]cache.Policy{
+		"lru":    NewLRU(),
+		"fifo":   NewFIFO(),
+		"lfu":    NewLFU(),
+		"random": NewRandom(0),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestBeladyOptimalOnKnownSequence(t *testing.T) {
+	// Classic example where Belady beats LRU. Sequence on a 1-set cache:
+	// working set alternates so the furthest-future page differs from LRU.
+	seq := []uint64{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	tr := make(trace.Trace, len(seq))
+	for i, p := range seq {
+		tr[i] = trace.Record{Op: trace.Read, Addr: p << trace.PageShift}
+	}
+	tr.Stamp()
+
+	run := func(p cache.Policy) cache.Stats {
+		c := tinyCache(t, p)
+		for _, r := range tr {
+			c.Access(r.Page(), false)
+		}
+		return c.Stats()
+	}
+	beladyStats := run(NewBelady(tr, false))
+	lruStats := run(NewLRU())
+	if beladyStats.Misses > lruStats.Misses {
+		t.Errorf("Belady misses %d > LRU misses %d", beladyStats.Misses, lruStats.Misses)
+	}
+}
+
+func TestBeladyNeverRecursEvictedFirst(t *testing.T) {
+	// Page 9 never recurs; it must be the victim.
+	seq := []uint64{1, 2, 3, 9, 1, 2, 3, 4, 1, 2, 3, 4}
+	tr := make(trace.Trace, len(seq))
+	for i, p := range seq {
+		tr[i] = trace.Record{Op: trace.Read, Addr: p << trace.PageShift}
+	}
+	tr.Stamp()
+	c := tinyCache(t, NewBelady(tr, false))
+	for i, r := range tr {
+		res := c.Access(r.Page(), false)
+		if res.Evicted && res.VictimPage != 9 {
+			t.Errorf("access %d evicted %d, want 9", i, res.VictimPage)
+		}
+	}
+}
+
+func TestBeladyBypassSkipsNonRecurring(t *testing.T) {
+	seq := []uint64{1, 2, 3, 4, 99, 1, 2, 3, 4} // 99 never recurs
+	tr := make(trace.Trace, len(seq))
+	for i, p := range seq {
+		tr[i] = trace.Record{Op: trace.Read, Addr: p << trace.PageShift}
+	}
+	tr.Stamp()
+	c := tinyCache(t, NewBelady(tr, true))
+	for _, r := range tr {
+		c.Access(r.Page(), false)
+	}
+	st := c.Stats()
+	// Misses: 4 cold + 99 = 5; pages 1..4 must all hit on the second round.
+	if st.Misses != 5 {
+		t.Errorf("misses = %d, want 5", st.Misses)
+	}
+	if st.Bypasses != 1 {
+		t.Errorf("bypasses = %d, want 1", st.Bypasses)
+	}
+}
+
+func TestBeladyBypassName(t *testing.T) {
+	if NewBelady(nil, true).Name() != "belady-bypass" {
+		t.Error("bypass name wrong")
+	}
+	if NewBelady(nil, false).Name() != "belady" {
+		t.Error("plain name wrong")
+	}
+}
+
+func TestBeladyBeyondPrecomputedTrace(t *testing.T) {
+	tr := trace.Trace{{Op: trace.Read, Addr: 1 << trace.PageShift}}
+	tr.Stamp()
+	c := tinyCache(t, NewBelady(tr, false))
+	// Drive more requests than the precomputed trace; must not panic.
+	for p := uint64(0); p < 20; p++ {
+		c.Access(p, false)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Scorer predicts future access frequency from a normalized (page,
+// timestamp) pair. Both the float gmm.Model and the fixed-point
+// gmm.QuantizedModel satisfy it.
+type Scorer interface {
+	ScorePageTime(page, timestamp float64) float64
+}
+
+// GMMMode selects which of the paper's three strategies (Fig. 6) the policy
+// applies.
+type GMMMode int
+
+const (
+	// GMMCachingOnly uses the score for admission and falls back to LRU
+	// for eviction.
+	GMMCachingOnly GMMMode = iota
+	// GMMEvictionOnly admits everything and evicts the lowest-scored block.
+	GMMEvictionOnly
+	// GMMCachingEviction applies the score to both decisions.
+	GMMCachingEviction
+)
+
+// String names the mode as in the Fig. 6 legend.
+func (m GMMMode) String() string {
+	switch m {
+	case GMMCachingOnly:
+		return "gmm-caching-only"
+	case GMMEvictionOnly:
+		return "gmm-eviction-only"
+	default:
+		return "gmm-caching-eviction"
+	}
+}
+
+// GMM is the paper's cache policy engine (Sec. 3.2): on a miss the GMM
+// scores the requested page from its page index and transformed timestamp;
+// pages scoring below the threshold are not cached (smart caching), and when
+// eviction is needed the resident block with the lowest stored score is
+// replaced (smart eviction). Hits bypass the GMM entirely, exactly as in the
+// hardware dataflow.
+type GMM struct {
+	base
+	scorer    Scorer
+	norm      trace.Normalizer
+	tt        *trace.TimestampTransformer
+	threshold float64
+	mode      GMMMode
+
+	scores  [][]float64 // per-block GMM score, the eviction key
+	lastUse [][]uint64  // LRU metadata for the caching-only fallback
+
+	// curScore/curValid memoize the score computed in Admit so OnInsert
+	// stores it without a second inference, mirroring the single GMM PE
+	// pass per miss in hardware.
+	curScore float64
+	curValid bool
+	curTime  int
+}
+
+// GMMConfig assembles a GMM policy.
+type GMMConfig struct {
+	// Scorer is the trained model (float or quantized).
+	Scorer Scorer
+	// Normalizer maps raw (page, timestamp) into model coordinates; use the
+	// one fitted during training.
+	Normalizer trace.Normalizer
+	// Transform supplies the Algorithm 1 windowing parameters; it must
+	// match the training configuration.
+	Transform trace.TransformConfig
+	// Threshold is the admission cutoff on the score. CalibrateThreshold
+	// derives one from training-set scores.
+	Threshold float64
+	// Mode picks the Fig. 6 strategy.
+	Mode GMMMode
+}
+
+// NewGMM builds the policy engine.
+func NewGMM(cfg GMMConfig) *GMM {
+	return &GMM{
+		scorer:    cfg.Scorer,
+		norm:      cfg.Normalizer,
+		tt:        trace.NewTimestampTransformer(cfg.Transform),
+		threshold: cfg.Threshold,
+		mode:      cfg.Mode,
+	}
+}
+
+// Name implements cache.Policy.
+func (p *GMM) Name() string { return p.mode.String() }
+
+// Mode returns the configured strategy.
+func (p *GMM) Mode() GMMMode { return p.mode }
+
+// Threshold returns the admission cutoff.
+func (p *GMM) Threshold() float64 { return p.threshold }
+
+// Attach implements cache.Policy.
+func (p *GMM) Attach(numSets, ways int) {
+	p.base.Attach(numSets, ways)
+	p.scores = make([][]float64, numSets)
+	for i := range p.scores {
+		p.scores[i] = make([]float64, ways)
+	}
+	p.lastUse = p.meta()
+}
+
+// OnAccess implements cache.Policy. Every request advances the Algorithm 1
+// window clock, whether it hits or misses.
+func (p *GMM) OnAccess(req cache.Request) {
+	p.curTime = p.tt.Next()
+	p.curValid = false
+}
+
+// score runs one GMM inference for the current request.
+func (p *GMM) score(page uint64) float64 {
+	if p.curValid {
+		return p.curScore
+	}
+	np, nt := p.norm.ApplyPageTime(page, p.curTime)
+	p.curScore = p.scorer.ScorePageTime(np, nt)
+	p.curValid = true
+	return p.curScore
+}
+
+// OnHit implements cache.Policy. Hits bypass the GMM (Sec. 3.2); only the
+// LRU fallback metadata is refreshed.
+func (p *GMM) OnHit(setIdx, way int, req cache.Request) {
+	p.lastUse[setIdx][way] = req.Seq
+}
+
+// Admit implements cache.Policy.
+func (p *GMM) Admit(req cache.Request) bool {
+	if p.mode == GMMEvictionOnly {
+		// Smart eviction still needs the score recorded at insertion.
+		p.score(req.Page)
+		return true
+	}
+	return p.score(req.Page) >= p.threshold
+}
+
+// Victim implements cache.Policy.
+func (p *GMM) Victim(setIdx int, blocks []cache.BlockView) int {
+	if p.mode == GMMCachingOnly {
+		// LRU fallback.
+		best, bestUse := 0, p.lastUse[setIdx][0]
+		for w := 1; w < len(blocks); w++ {
+			if p.lastUse[setIdx][w] < bestUse {
+				best, bestUse = w, p.lastUse[setIdx][w]
+			}
+		}
+		return best
+	}
+	best, bestScore := 0, p.scores[setIdx][0]
+	for w := 1; w < len(blocks); w++ {
+		if p.scores[setIdx][w] < bestScore {
+			best, bestScore = w, p.scores[setIdx][w]
+		}
+	}
+	return best
+}
+
+// OnEvict implements cache.Policy.
+func (p *GMM) OnEvict(int, int, uint64) {}
+
+// OnInsert implements cache.Policy: the score computed on the miss is stored
+// alongside the tag, substituting for the LRU counter (Sec. 3.2).
+func (p *GMM) OnInsert(setIdx, way int, req cache.Request) {
+	p.scores[setIdx][way] = p.score(req.Page)
+	p.lastUse[setIdx][way] = req.Seq
+}
+
+// CalibrateThreshold chooses an admission threshold as the pct-quantile
+// (0..1) of the model's scores over the (normalized) training samples.
+// Rejecting the lowest-scoring pct of training mass makes the threshold
+// track each benchmark's density scale, since absolute GMM densities vary
+// by orders of magnitude across traces.
+func CalibrateThreshold(s Scorer, samples []trace.Sample, pct float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 1 {
+		pct = 1
+	}
+	// Subsample large training sets; the quantile is insensitive to it.
+	const maxN = 8192
+	stride := 1
+	if len(samples) > maxN {
+		stride = len(samples) / maxN
+	}
+	scores := make([]float64, 0, maxN)
+	for i := 0; i < len(samples); i += stride {
+		sc := s.ScorePageTime(samples[i].Page, samples[i].Timestamp)
+		if !math.IsNaN(sc) {
+			scores = append(scores, sc)
+		}
+	}
+	if len(scores) == 0 {
+		return 0
+	}
+	sort.Float64s(scores)
+	idx := int(pct * float64(len(scores)-1))
+	return scores[idx]
+}

@@ -1,0 +1,250 @@
+// Package stats provides the measurement substrate shared by the ICGMM
+// simulator: counters, latency accumulators, histograms with percentile
+// queries, and renderers that print results in the same row/series formats
+// as the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio is a hit/total style ratio tracker.
+type Ratio struct {
+	Hits, Total uint64
+}
+
+// Observe records one event, hit or not.
+func (r *Ratio) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Rate returns hits/total, or 0 when nothing was observed.
+func (r *Ratio) Rate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// MissRate returns 1 - Rate() when anything was observed, otherwise 0.
+func (r *Ratio) MissRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 1 - r.Rate()
+}
+
+// LatencyAccumulator tracks a running sum/count/min/max of latencies in
+// nanoseconds. It is the cheap always-on companion to Histogram.
+type LatencyAccumulator struct {
+	sum   int64
+	count int64
+	min   int64
+	max   int64
+}
+
+// Observe records one latency sample.
+func (a *LatencyAccumulator) Observe(ns int64) {
+	if a.count == 0 || ns < a.min {
+		a.min = ns
+	}
+	if ns > a.max {
+		a.max = ns
+	}
+	a.sum += ns
+	a.count++
+}
+
+// ObserveDuration records one latency sample from a time.Duration.
+func (a *LatencyAccumulator) ObserveDuration(d time.Duration) {
+	a.Observe(d.Nanoseconds())
+}
+
+// Count returns the number of samples.
+func (a *LatencyAccumulator) Count() int64 { return a.count }
+
+// Sum returns the total of all samples in nanoseconds.
+func (a *LatencyAccumulator) Sum() int64 { return a.sum }
+
+// Mean returns the average sample in nanoseconds, or 0 with no samples.
+func (a *LatencyAccumulator) Mean() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return float64(a.sum) / float64(a.count)
+}
+
+// MeanDuration returns the mean as a time.Duration.
+func (a *LatencyAccumulator) MeanDuration() time.Duration {
+	return time.Duration(a.Mean())
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (a *LatencyAccumulator) Min() int64 { return a.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (a *LatencyAccumulator) Max() int64 { return a.max }
+
+// Histogram is a log-bucketed latency histogram. Buckets grow geometrically
+// from Base by Growth per bucket, which keeps memory constant regardless of
+// the latency range (nanoseconds to seconds).
+type Histogram struct {
+	base    float64
+	growth  float64
+	buckets []uint64
+	under   uint64 // samples below base
+	acc     LatencyAccumulator
+	samples []int64 // raw retention for exact percentiles, bounded
+	maxKeep int
+}
+
+// NewHistogram creates a histogram with the given base (smallest bucketed
+// value, ns), per-bucket growth factor (>1) and bucket count.
+func NewHistogram(base float64, growth float64, nbuckets int) *Histogram {
+	if base <= 0 {
+		base = 1
+	}
+	if growth <= 1 {
+		growth = 2
+	}
+	if nbuckets <= 0 {
+		nbuckets = 64
+	}
+	return &Histogram{
+		base:    base,
+		growth:  growth,
+		buckets: make([]uint64, nbuckets),
+		maxKeep: 1 << 16,
+	}
+}
+
+// DefaultLatencyHistogram covers 100 ns .. ~1 s with ~7% resolution.
+func DefaultLatencyHistogram() *Histogram {
+	return NewHistogram(100, 1.07, 240)
+}
+
+// Observe records one sample in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	h.acc.Observe(ns)
+	if len(h.samples) < h.maxKeep {
+		h.samples = append(h.samples, ns)
+	}
+	v := float64(ns)
+	if v < h.base {
+		h.under++
+		return
+	}
+	idx := int(math.Log(v/h.base) / math.Log(h.growth))
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() int64 { return h.acc.Count() }
+
+// Mean returns the mean of observed samples in nanoseconds.
+func (h *Histogram) Mean() float64 { return h.acc.Mean() }
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the retained raw
+// samples. It is exact while the number of samples is below the retention cap
+// and an approximation from the same reservoir beyond it.
+func (h *Histogram) Percentile(p float64) int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(h.samples))
+	copy(s, h.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return int64(float64(s[lo])*(1-frac) + float64(s[hi])*frac)
+}
+
+// BucketBounds returns the lower bound of bucket i in nanoseconds.
+func (h *Histogram) BucketBounds(i int) float64 {
+	return h.base * math.Pow(h.growth, float64(i))
+}
+
+// NonEmptyBuckets returns (lowerBoundNs, count) pairs for buckets with data.
+func (h *Histogram) NonEmptyBuckets() []BucketCount {
+	var out []BucketCount
+	if h.under > 0 {
+		out = append(out, BucketCount{Lower: 0, Count: h.under})
+	}
+	for i, c := range h.buckets {
+		if c > 0 {
+			out = append(out, BucketCount{Lower: h.BucketBounds(i), Count: c})
+		}
+	}
+	return out
+}
+
+// BucketCount is one (lower bound, count) histogram entry.
+type BucketCount struct {
+	Lower float64
+	Count uint64
+}
+
+// Summary is a compact snapshot of a latency distribution.
+type Summary struct {
+	Count      int64
+	Mean       time.Duration
+	Min, Max   time.Duration
+	P50, P99   time.Duration
+	SumNanosec int64
+}
+
+// Summarize extracts a Summary from the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:      h.acc.Count(),
+		Mean:       time.Duration(h.acc.Mean()),
+		Min:        time.Duration(h.acc.Min()),
+		Max:        time.Duration(h.acc.Max()),
+		P50:        time.Duration(h.Percentile(50)),
+		P99:        time.Duration(h.Percentile(99)),
+		SumNanosec: h.acc.Sum(),
+	}
+}
+
+// String renders the summary on a single line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v p50=%v p99=%v max=%v",
+		s.Count, s.Mean, s.Min, s.P50, s.P99, s.Max)
+}

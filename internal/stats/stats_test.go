@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Errorf("Value after Reset = %d, want 0", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Rate() != 0 || r.MissRate() != 0 {
+		t.Error("empty ratio should report 0")
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(i < 7)
+	}
+	if r.Rate() != 0.7 {
+		t.Errorf("Rate = %v, want 0.7", r.Rate())
+	}
+	if got := r.MissRate(); got < 0.2999 || got > 0.3001 {
+		t.Errorf("MissRate = %v, want 0.3", got)
+	}
+}
+
+func TestLatencyAccumulator(t *testing.T) {
+	var a LatencyAccumulator
+	for _, ns := range []int64{10, 20, 30} {
+		a.Observe(ns)
+	}
+	if a.Count() != 3 || a.Sum() != 60 {
+		t.Errorf("Count=%d Sum=%d", a.Count(), a.Sum())
+	}
+	if a.Mean() != 20 {
+		t.Errorf("Mean = %v, want 20", a.Mean())
+	}
+	if a.Min() != 10 || a.Max() != 30 {
+		t.Errorf("Min=%d Max=%d", a.Min(), a.Max())
+	}
+	a.ObserveDuration(100 * time.Nanosecond)
+	if a.Count() != 4 || a.Max() != 100 {
+		t.Error("ObserveDuration not recorded")
+	}
+}
+
+func TestLatencyAccumulatorFirstSampleIsMin(t *testing.T) {
+	var a LatencyAccumulator
+	a.Observe(50)
+	if a.Min() != 50 || a.Max() != 50 {
+		t.Errorf("single sample Min=%d Max=%d, want 50/50", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	// 1..1000 ns uniformly.
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 480_000 || p50 > 520_000 {
+		t.Errorf("P50 = %d, want ~500000", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 980_000 || p99 > 1_000_000 {
+		t.Errorf("P99 = %d, want ~990000", p99)
+	}
+	if h.Percentile(0) != 1000 {
+		t.Errorf("P0 = %d, want 1000", h.Percentile(0))
+	}
+	if h.Percentile(100) != 1_000_000 {
+		t.Errorf("P100 = %d, want 1000000", h.Percentile(100))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	if h.Percentile(50) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	s := h.Summarize()
+	if s.Count != 0 {
+		t.Error("empty summary should report 0 count")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(100, 2, 10)
+	h.Observe(50)   // under base
+	h.Observe(150)  // bucket 0 [100, 200)
+	h.Observe(300)  // bucket 1 [200, 400)
+	h.Observe(1e12) // clamps to last bucket
+	bs := h.NonEmptyBuckets()
+	if len(bs) != 4 {
+		t.Fatalf("NonEmptyBuckets = %d entries, want 4: %+v", len(bs), bs)
+	}
+	if bs[0].Lower != 0 || bs[0].Count != 1 {
+		t.Errorf("under-bucket = %+v", bs[0])
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		h.Observe(1000 + r.Int63n(9000))
+	}
+	s := h.Summarize()
+	if s.Count != 5000 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Mean < 5*time.Microsecond || s.Mean > 6*time.Microsecond {
+		t.Errorf("Mean = %v, want ~5.5us", s.Mean)
+	}
+	if !strings.Contains(s.String(), "n=5000") {
+		t.Errorf("Summary.String = %q", s.String())
+	}
+}
+
+func TestHistogramDefensiveConstruction(t *testing.T) {
+	h := NewHistogram(-5, 0.5, -1)
+	h.Observe(10)
+	if h.Count() != 1 {
+		t.Error("histogram with corrected params should still work")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1", "Benchmark", "LRU", "GMM", "Reduction (%)")
+	tb.AddRow("parsec", 3.92, 3.29, 16.23)
+	tb.AddRow("memtier", 2.98, 2.09, 29.87)
+	out := tb.String()
+	for _, want := range []string{"Table 1", "Benchmark", "parsec", "3.92", "29.87"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "Benchmark,LRU,GMM,Reduction (%)\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Errorf("CSV has %d lines, want 3", len(lines))
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("comma not escaped: %q", csv)
+	}
+	if !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("quote not escaped: %q", csv)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "missrate"
+	s.Append(1, 0.5)
+	s.Append(2, 0.25)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "x,missrate\n") || !strings.Contains(csv, "2,0.25") {
+		t.Errorf("Series CSV = %q", csv)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.Std() != 0 || w.StdErr() != 0 {
+		t.Error("empty Welford should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if w.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of this classic dataset: 32/7.
+	want := 32.0 / 7
+	if diff := w.Variance() - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Variance = %v, want %v", w.Variance(), want)
+	}
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	// Large offset: naive sum-of-squares would lose all precision.
+	var w Welford
+	const offset = 1e9
+	for _, x := range []float64{offset + 1, offset + 2, offset + 3} {
+		w.Observe(x)
+	}
+	if diff := w.Mean() - (offset + 2); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("Mean drifted: %v", w.Mean())
+	}
+	if diff := w.Variance() - 1; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("Variance = %v, want 1", w.Variance())
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Observe(42)
+	if w.Mean() != 42 || w.Variance() != 0 {
+		t.Error("single sample stats wrong")
+	}
+	if w.StdErr() != 0 {
+		t.Error("single-sample StdErr should be 0")
+	}
+}

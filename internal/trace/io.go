@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The binary trace container starts with a magic header so truncated or
+// foreign files fail fast instead of decoding garbage.
+var binaryMagic = [8]byte{'I', 'C', 'G', 'M', 'M', 'T', 'R', '1'}
+
+// ErrBadMagic is returned when a binary trace file has the wrong header.
+var ErrBadMagic = errors.New("trace: not an ICGMM binary trace (bad magic)")
+
+// WriteBinary writes the trace in the compact binary container:
+// 8-byte magic, uint64 record count, then per record 1 byte op + uint64
+// address + uint64 time, all little endian.
+func WriteBinary(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t))); err != nil {
+		return err
+	}
+	var rec [17]byte
+	for _, r := range t {
+		rec[0] = byte(r.Op)
+		binary.LittleEndian.PutUint64(rec[1:9], r.Addr)
+		binary.LittleEndian.PutUint64(rec[9:17], r.Time)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxReasonable = 1 << 32
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	out := make(Trace, 0, count)
+	var rec [17]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		op := Op(rec[0])
+		if op != Read && op != Write {
+			return nil, fmt.Errorf("trace: record %d: invalid op %d", i, rec[0])
+		}
+		out = append(out, Record{
+			Op:   op,
+			Addr: binary.LittleEndian.Uint64(rec[1:9]),
+			Time: binary.LittleEndian.Uint64(rec[9:17]),
+		})
+	}
+	return out, nil
+}
+
+// WriteCSV writes the trace in the human-readable "op,addr,time" format with
+// a header line, matching the open-source trace collector's output layout.
+func WriteCSV(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("op,addr,time\n"); err != nil {
+		return err
+	}
+	for _, r := range t {
+		if _, err := fmt.Fprintf(bw, "%s,%d,%d\n", r.Op, r.Addr, r.Time); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a trace written by WriteCSV. A missing header is tolerated;
+// blank lines are skipped.
+func ReadCSV(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out Trace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || (lineNo == 1 && strings.HasPrefix(line, "op,")) {
+			continue
+		}
+		rec, err := parseCSVRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseCSVRecord(line string) (Record, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 3 {
+		return Record{}, fmt.Errorf("want 3 fields, got %d", len(parts))
+	}
+	var op Op
+	switch strings.TrimSpace(parts[0]) {
+	case "R", "r", "0":
+		op = Read
+	case "W", "w", "1":
+		op = Write
+	default:
+		return Record{}, fmt.Errorf("invalid op %q", parts[0])
+	}
+	addr, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("invalid addr: %w", err)
+	}
+	tm, err := strconv.ParseUint(strings.TrimSpace(parts[2]), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("invalid time: %w", err)
+	}
+	return Record{Op: op, Addr: addr, Time: tm}, nil
+}

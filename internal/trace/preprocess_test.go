@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageIndex(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		page uint64
+	}{
+		{0, 0},
+		{4095, 0},
+		{4096, 1},
+		{8191, 1},
+		{1 << 30, 1 << 18},
+	}
+	for _, c := range cases {
+		r := Record{Addr: c.addr}
+		if got := r.Page(); got != c.page {
+			t.Errorf("Page(%d) = %d, want %d", c.addr, got, c.page)
+		}
+	}
+}
+
+func TestTrim(t *testing.T) {
+	tr := make(Trace, 100)
+	tr.Stamp()
+	kept := Trim(tr, DefaultTransformConfig())
+	if len(kept) != 70 {
+		t.Fatalf("Trim kept %d records, want 70", len(kept))
+	}
+	// First kept record should be original index 20 (first 20% dropped).
+	if kept[0].Time != 20 {
+		t.Errorf("first kept Time = %d, want 20", kept[0].Time)
+	}
+	if kept[len(kept)-1].Time != 89 {
+		t.Errorf("last kept Time = %d, want 89", kept[len(kept)-1].Time)
+	}
+}
+
+func TestTrimEdgeCases(t *testing.T) {
+	if got := Trim(Trace{}, DefaultTransformConfig()); len(got) != 0 {
+		t.Error("trimming empty trace should be empty")
+	}
+	// Fractions summing >= 1 are ignored rather than producing nothing.
+	cfg := TransformConfig{WarmupFrac: 0.6, TailFrac: 0.6}
+	tr := make(Trace, 10)
+	if got := Trim(tr, cfg); len(got) != 10 {
+		t.Errorf("invalid fractions should disable trimming, kept %d", len(got))
+	}
+	// Zero-value config uses defaults for window params but keeps 0 trims.
+	cfg2 := TransformConfig{}
+	if got := Trim(tr, cfg2); len(got) != 10 {
+		t.Errorf("zero config should keep everything, kept %d", len(got))
+	}
+}
+
+// TestAlgorithm1Verbatim checks the transformer against a direct transliteration
+// of the paper's Algorithm 1 pseudocode.
+func TestAlgorithm1Verbatim(t *testing.T) {
+	cfg := TransformConfig{LenWindow: 4, LenAccessShot: 3}
+	tt := NewTimestampTransformer(cfg)
+
+	// Reference implementation, literally Algorithm 1.
+	timestamp, index := 0, 0
+	ref := func() int {
+		if index >= cfg.LenWindow {
+			timestamp++
+			index = 0
+		}
+		if timestamp >= cfg.LenAccessShot {
+			timestamp = 0
+		}
+		index++
+		return timestamp
+	}
+
+	for i := 0; i < 200; i++ {
+		want := ref()
+		if got := tt.Next(); got != want {
+			t.Fatalf("request %d: Next() = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestTimestampTransformerWindowing(t *testing.T) {
+	cfg := TransformConfig{LenWindow: 32, LenAccessShot: 10000}
+	tt := NewTimestampTransformer(cfg)
+	// First 32 requests share timestamp 0.
+	for i := 0; i < 32; i++ {
+		if got := tt.Next(); got != 0 {
+			t.Fatalf("request %d: timestamp = %d, want 0", i, got)
+		}
+	}
+	// Next 32 share timestamp 1.
+	for i := 0; i < 32; i++ {
+		if got := tt.Next(); got != 1 {
+			t.Fatalf("request %d: timestamp = %d, want 1", 32+i, got)
+		}
+	}
+}
+
+func TestTimestampTransformerShotWrap(t *testing.T) {
+	cfg := TransformConfig{LenWindow: 2, LenAccessShot: 3}
+	tt := NewTimestampTransformer(cfg)
+	var got []int
+	for i := 0; i < 14; i++ {
+		got = append(got, tt.Next())
+	}
+	// windows of 2: ts 0,0 1,1 2,2 then wrap to 0,0 1,1 2,2 0,0
+	want := []int{0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTimestampTransformerReset(t *testing.T) {
+	tt := NewTimestampTransformer(TransformConfig{LenWindow: 1, LenAccessShot: 100})
+	for i := 0; i < 10; i++ {
+		tt.Next()
+	}
+	tt.Reset()
+	if got := tt.Next(); got != 0 {
+		t.Errorf("after Reset, Next() = %d, want 0", got)
+	}
+}
+
+func TestTimestampTransformerMaxTimestamp(t *testing.T) {
+	tt := NewTimestampTransformer(TransformConfig{LenWindow: 1, LenAccessShot: 5})
+	maxSeen := 0
+	for i := 0; i < 1000; i++ {
+		if v := tt.Next(); v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if maxSeen != tt.MaxTimestamp() || maxSeen != 4 {
+		t.Errorf("max emitted = %d, MaxTimestamp = %d, want 4", maxSeen, tt.MaxTimestamp())
+	}
+}
+
+// Property: the timestamp emitted is always within [0, LenAccessShot).
+func TestTimestampBoundsProperty(t *testing.T) {
+	f := func(w, s uint8, n uint16) bool {
+		cfg := TransformConfig{LenWindow: int(w%60) + 1, LenAccessShot: int(s%50) + 1}
+		tt := NewTimestampTransformer(cfg)
+		for i := 0; i < int(n); i++ {
+			v := tt.Next()
+			if v < 0 || v >= cfg.LenAccessShot {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreprocessPipeline(t *testing.T) {
+	// 1000 records over pages 0..9.
+	tr := make(Trace, 1000)
+	for i := range tr {
+		tr[i] = Record{Op: Read, Addr: uint64(i%10) * PageSize}
+	}
+	tr.Stamp()
+	samples := Preprocess(tr, DefaultTransformConfig())
+	if len(samples) != 700 {
+		t.Fatalf("Preprocess kept %d samples, want 700", len(samples))
+	}
+	// First sample corresponds to original record 200 → page 0.
+	if samples[0].Page != 0 {
+		t.Errorf("first sample page = %v, want 0", samples[0].Page)
+	}
+	// Timestamps restart at 0 for the retained window.
+	if samples[0].Timestamp != 0 {
+		t.Errorf("first sample timestamp = %v, want 0", samples[0].Timestamp)
+	}
+	// With LenWindow=32, sample 32 is in window 1.
+	if samples[32].Timestamp != 1 {
+		t.Errorf("sample 32 timestamp = %v, want 1", samples[32].Timestamp)
+	}
+}
+
+func TestFitNormalizer(t *testing.T) {
+	samples := []Sample{
+		{Page: 100, Timestamp: 0},
+		{Page: 300, Timestamp: 50},
+		{Page: 200, Timestamp: 100},
+	}
+	n := FitNormalizer(samples)
+	out := n.ApplyAll(samples)
+	if out[0].Page != 0 || out[1].Page != 1 {
+		t.Errorf("page normalization wrong: %+v", out)
+	}
+	if out[0].Timestamp != 0 || out[2].Timestamp != 1 {
+		t.Errorf("time normalization wrong: %+v", out)
+	}
+	if out[2].Page != 0.5 {
+		t.Errorf("midpoint page = %v, want 0.5", out[2].Page)
+	}
+	p, tm := n.ApplyPageTime(200, 50)
+	if p != 0.5 || tm != 0.5 {
+		t.Errorf("ApplyPageTime = %v, %v, want 0.5, 0.5", p, tm)
+	}
+}
+
+func TestFitNormalizerDegenerate(t *testing.T) {
+	// All samples identical: scales stay 1, offsets map to 0.
+	samples := []Sample{{Page: 7, Timestamp: 3}, {Page: 7, Timestamp: 3}}
+	n := FitNormalizer(samples)
+	out := n.Apply(samples[0])
+	if out.Page != 0 || out.Timestamp != 0 {
+		t.Errorf("degenerate normalization = %+v, want zeros", out)
+	}
+	if FitNormalizer(nil).PageScale != 1 {
+		t.Error("empty normalizer should have unit scale")
+	}
+}
+
+// Property: normalized samples always land in [0,1] for the fitted range.
+func TestNormalizerRangeProperty(t *testing.T) {
+	f := func(pages []uint32, times []uint16) bool {
+		if len(pages) == 0 {
+			return true
+		}
+		n := len(pages)
+		if len(times) < n {
+			n = len(times)
+		}
+		if n == 0 {
+			return true
+		}
+		samples := make([]Sample, n)
+		for i := 0; i < n; i++ {
+			samples[i] = Sample{Page: float64(pages[i]), Timestamp: float64(times[i])}
+		}
+		norm := FitNormalizer(samples)
+		for _, s := range norm.ApplyAll(samples) {
+			if s.Page < -1e-12 || s.Page > 1+1e-12 || math.IsNaN(s.Page) {
+				return false
+			}
+			if s.Timestamp < -1e-12 || s.Timestamp > 1+1e-12 || math.IsNaN(s.Timestamp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

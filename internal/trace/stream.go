@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming access to binary trace files. Traces from long-running
+// collections reach billions of records; the streaming reader/writer pair
+// processes them at constant memory, record at a time, where the slurping
+// ReadBinary/WriteBinary would not fit.
+
+// StreamWriter writes records incrementally in the binary container format.
+// The record count is written on Close by rewriting the header, so the
+// destination must support Seek; use CountlessWriter for pure pipes.
+type StreamWriter struct {
+	ws    io.WriteSeeker
+	bw    *bufio.Writer
+	count uint64
+	done  bool
+}
+
+// NewStreamWriter starts a binary trace stream on ws.
+func NewStreamWriter(ws io.WriteSeeker) (*StreamWriter, error) {
+	w := &StreamWriter{ws: ws, bw: bufio.NewWriter(ws)}
+	if _, err := w.bw.Write(binaryMagic[:]); err != nil {
+		return nil, err
+	}
+	// Placeholder count, fixed up by Close.
+	if err := binary.Write(w.bw, binary.LittleEndian, uint64(0)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write appends one record.
+func (w *StreamWriter) Write(r Record) error {
+	if w.done {
+		return errors.New("trace: write after Close")
+	}
+	var rec [17]byte
+	rec[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(rec[1:9], r.Addr)
+	binary.LittleEndian.PutUint64(rec[9:17], r.Time)
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *StreamWriter) Count() uint64 { return w.count }
+
+// Close flushes buffered records and patches the header's record count.
+func (w *StreamWriter) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := w.ws.Seek(int64(len(binaryMagic)), io.SeekStart); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], w.count)
+	if _, err := w.ws.Write(cnt[:]); err != nil {
+		return err
+	}
+	_, err := w.ws.Seek(0, io.SeekEnd)
+	return err
+}
+
+// StreamReader iterates a binary trace file record at a time.
+type StreamReader struct {
+	br        *bufio.Reader
+	remaining uint64
+}
+
+// NewStreamReader validates the header and prepares iteration.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	return &StreamReader{br: br, remaining: count}, nil
+}
+
+// Remaining returns how many records have not been read yet.
+func (r *StreamReader) Remaining() uint64 { return r.remaining }
+
+// Next returns the next record, or io.EOF after the last one.
+func (r *StreamReader) Next() (Record, error) {
+	if r.remaining == 0 {
+		return Record{}, io.EOF
+	}
+	var rec [17]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		return Record{}, fmt.Errorf("trace: reading record: %w", err)
+	}
+	op := Op(rec[0])
+	if op != Read && op != Write {
+		return Record{}, fmt.Errorf("trace: invalid op %d", rec[0])
+	}
+	r.remaining--
+	return Record{
+		Op:   op,
+		Addr: binary.LittleEndian.Uint64(rec[1:9]),
+		Time: binary.LittleEndian.Uint64(rec[9:17]),
+	}, nil
+}
+
+// ForEach iterates the rest of the stream, stopping early if fn returns an
+// error (which is returned verbatim).
+func (r *StreamReader) ForEach(fn func(Record) error) error {
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Filter returns the records for which keep returns true, preserving order.
+func Filter(t Trace, keep func(Record) bool) Trace {
+	var out Trace
+	for _, r := range t {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Merge interleaves traces by their Time fields (stable for equal times,
+// in argument order). Inputs must be individually time-sorted, which holds
+// for anything produced by Stamp.
+func Merge(traces ...Trace) Trace {
+	total := 0
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make(Trace, 0, total)
+	idx := make([]int, len(traces))
+	for len(out) < total {
+		best := -1
+		var bestTime uint64
+		for i, t := range traces {
+			if idx[i] >= len(t) {
+				continue
+			}
+			if best == -1 || t[idx[i]].Time < bestTime {
+				best = i
+				bestTime = t[idx[i]].Time
+			}
+		}
+		out = append(out, traces[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// SliceTime returns the sub-trace with Time in [from, to).
+func SliceTime(t Trace, from, to uint64) Trace {
+	var out Trace
+	for _, r := range t {
+		if r.Time >= from && r.Time < to {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStreamWriterReaderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randomTrace(5000, 9)
+	for _, r := range want {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5000 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streamed file must be readable by the slurping reader too.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slurped, err := ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slurped) != len(want) {
+		t.Fatalf("slurped %d records, want %d", len(slurped), len(want))
+	}
+
+	// And by the streaming reader.
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	sr, err := NewStreamReader(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Remaining() != 5000 {
+		t.Errorf("Remaining = %d", sr.Remaining())
+	}
+	for i := range want {
+		got, err := sr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Errorf("after last record err = %v, want EOF", err)
+	}
+}
+
+func TestStreamWriterDoubleCloseAndWriteAfterClose(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "t.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close errored: %v", err)
+	}
+	if err := w.Write(Record{}); err == nil {
+		t.Error("write after Close accepted")
+	}
+}
+
+func TestStreamReaderForEach(t *testing.T) {
+	var buf bytes.Buffer
+	tr := randomTrace(100, 3)
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := sr.ForEach(func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("visited %d records", n)
+	}
+
+	// Early stop propagates the error.
+	var buf2 bytes.Buffer
+	if err := WriteBinary(&buf2, tr); err != nil {
+		t.Fatal(err)
+	}
+	sr2, _ := NewStreamReader(&buf2)
+	sentinel := errors.New("stop")
+	count := 0
+	err = sr2.ForEach(func(Record) error {
+		count++
+		if count == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || count != 10 {
+		t.Errorf("early stop failed: err=%v count=%d", err, count)
+	}
+}
+
+func TestStreamReaderBadInput(t *testing.T) {
+	if _, err := NewStreamReader(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := NewStreamReader(bytes.NewReader(append([]byte("XXXXXXXX"), make([]byte, 8)...))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic gave %v", err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := Trace{
+		{Op: Read, Addr: 0}, {Op: Write, Addr: PageSize}, {Op: Read, Addr: 2 * PageSize},
+	}
+	reads := Filter(tr, func(r Record) bool { return r.Op == Read })
+	if len(reads) != 2 {
+		t.Errorf("filtered %d records, want 2", len(reads))
+	}
+	if got := Filter(tr, func(Record) bool { return false }); len(got) != 0 {
+		t.Error("reject-all filter returned records")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Trace{{Addr: 1, Time: 0}, {Addr: 2, Time: 4}, {Addr: 3, Time: 8}}
+	b := Trace{{Addr: 10, Time: 1}, {Addr: 11, Time: 5}}
+	m := Merge(a, b)
+	if len(m) != 5 {
+		t.Fatalf("merged %d records", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].Time < m[i-1].Time {
+			t.Fatalf("merge not time-ordered: %+v", m)
+		}
+	}
+	if m[0].Addr != 1 || m[1].Addr != 10 {
+		t.Errorf("interleave order wrong: %+v", m)
+	}
+	if got := Merge(); len(got) != 0 {
+		t.Error("empty merge should be empty")
+	}
+	if got := Merge(a); len(got) != 3 {
+		t.Error("single-input merge wrong")
+	}
+}
+
+func TestMergeStableOnEqualTimes(t *testing.T) {
+	a := Trace{{Addr: 1, Time: 5}}
+	b := Trace{{Addr: 2, Time: 5}}
+	m := Merge(a, b)
+	if m[0].Addr != 1 || m[1].Addr != 2 {
+		t.Errorf("equal-time merge not stable: %+v", m)
+	}
+}
+
+func TestSliceTime(t *testing.T) {
+	tr := make(Trace, 10)
+	tr.Stamp()
+	s := SliceTime(tr, 3, 7)
+	if len(s) != 4 {
+		t.Fatalf("slice has %d records, want 4", len(s))
+	}
+	if s[0].Time != 3 || s[3].Time != 6 {
+		t.Errorf("slice bounds wrong: %+v", s)
+	}
+	if got := SliceTime(tr, 100, 200); len(got) != 0 {
+		t.Error("out-of-range slice should be empty")
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func validCustomConfig() CustomConfig {
+	return CustomConfig{
+		Name:       "mytest",
+		TotalPages: 10000,
+		Clusters: []ClusterSpec{
+			{CenterPage: 1000, Spread: 100},
+			{CenterPage: 8000, Spread: 50},
+		},
+		TailFrac:  0.05,
+		WriteFrac: 0.2,
+	}
+}
+
+func TestNewCustomValid(t *testing.T) {
+	g, err := NewCustom(validCustomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "mytest" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	tr := g.Generate(20000, 1)
+	if len(tr) != 20000 {
+		t.Fatalf("generated %d records", len(tr))
+	}
+	s := trace.Summarize(tr)
+	if s.MaxPage >= 10000 {
+		t.Errorf("page %d outside footprint", s.MaxPage)
+	}
+	if s.Writes == 0 || s.Reads == 0 {
+		t.Error("write mix missing")
+	}
+	// Cluster concentration: most pages near the two centers.
+	near := 0
+	for _, r := range tr {
+		p := r.Page()
+		if (p >= 600 && p <= 1400) || (p >= 7800 && p <= 8200) {
+			near++
+		}
+	}
+	if frac := float64(near) / float64(len(tr)); frac < 0.85 {
+		t.Errorf("cluster concentration %.2f too low", frac)
+	}
+}
+
+func TestNewCustomValidation(t *testing.T) {
+	cases := []func(*CustomConfig){
+		func(c *CustomConfig) { c.Name = "" },
+		func(c *CustomConfig) { c.TotalPages = 0 },
+		func(c *CustomConfig) { c.Clusters[0].CenterPage = 99999 },
+		func(c *CustomConfig) { c.TailFrac = -1 },
+		func(c *CustomConfig) { c.TailFrac = 0.7; c.ScanFrac = 0.7 },
+		func(c *CustomConfig) { c.WriteFrac = 2 },
+		func(c *CustomConfig) { c.PhaseWeights = [][]float64{{1}} },     // row length 1 != 2 clusters
+		func(c *CustomConfig) { c.PhaseWeights = [][]float64{{-1, 1}} }, // negative
+		func(c *CustomConfig) { c.PhaseWeights = [][]float64{{0, 0}} },  // zero sum
+		func(c *CustomConfig) { c.Clusters = nil; c.TailFrac = 0; c.ScanFrac = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := validCustomConfig()
+		mutate(&cfg)
+		if _, err := NewCustom(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCustomPureScanWorkload(t *testing.T) {
+	g, err := NewCustom(CustomConfig{
+		Name:       "scanner",
+		TotalPages: 5000,
+		ScanFrac:   1.0,
+		ScanStride: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Generate(1000, 1)
+	// Strided sweep: each page advances by 2.
+	for i := 1; i < len(tr); i++ {
+		d := (tr[i].Page() - tr[i-1].Page() + 5000) % 5000
+		if d != 2 {
+			t.Fatalf("scan stride broken at %d: %d -> %d", i, tr[i-1].Page(), tr[i].Page())
+		}
+	}
+}
+
+func TestCustomPhases(t *testing.T) {
+	g, err := NewCustom(CustomConfig{
+		Name:       "phased",
+		TotalPages: 10000,
+		Clusters: []ClusterSpec{
+			{CenterPage: 1000, Spread: 10},
+			{CenterPage: 9000, Spread: 10},
+		},
+		PhaseWeights: [][]float64{{1, 0}, {0, 1}},
+		PhaseLen:     1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Generate(2000, 1)
+	// First phase: cluster 0 only.
+	for _, r := range tr[:1000] {
+		if r.Page() > 5000 {
+			t.Fatalf("phase 0 touched cluster 1 page %d", r.Page())
+		}
+	}
+	for _, r := range tr[1000:] {
+		if r.Page() < 5000 {
+			t.Fatalf("phase 1 touched cluster 0 page %d", r.Page())
+		}
+	}
+}
+
+func TestCustomDefaults(t *testing.T) {
+	g, err := NewCustom(CustomConfig{
+		Name:       "defaults",
+		TotalPages: 100,
+		Clusters:   []ClusterSpec{{CenterPage: 50, Spread: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Generate(500, 1)
+	if len(tr) != 500 {
+		t.Fatal("generation with defaults failed")
+	}
+}
