@@ -1,0 +1,34 @@
+# Development and CI entry points. CI runs `make ci`; every target is safe
+# to run locally with a stock Go toolchain (no external dependencies).
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: one iteration of every benchmark in the root harness,
+# enough to catch bit-rot without waiting for stable numbers.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+# fmt-check fails (and lists the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check vet build race bench

@@ -312,6 +312,33 @@ func BenchmarkAblationWindow(b *testing.B) {
 	}
 }
 
+// --- Engine: sharded experiment fan-out ---
+
+// benchmarkRunAll measures a full seven-benchmark RunAll grid at the given
+// worker count. The ratio BenchmarkRunAllSequential / BenchmarkRunAllWorkers8
+// is the engine's wall-clock speedup; results are bit-identical at any
+// worker count (see TestRunAllDeterministicAcrossWorkers).
+func benchmarkRunAll(b *testing.B, workers int) {
+	o := experiments.DefaultOptions()
+	o.Requests = 60_000
+	o.Config = benchConfig()
+	o.Config.Train.K = 16
+	o.Config.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmps, err := experiments.RunAll(o, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cmps) != 7 {
+			b.Fatalf("comparisons = %d, want 7", len(cmps))
+		}
+	}
+}
+
+func BenchmarkRunAllSequential(b *testing.B) { benchmarkRunAll(b, 1) }
+func BenchmarkRunAllWorkers8(b *testing.B)   { benchmarkRunAll(b, 8) }
+
 // --- Component micro-benchmarks ---
 
 // BenchmarkEMTraining measures one full EM fit at the bench configuration.

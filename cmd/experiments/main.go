@@ -12,9 +12,13 @@
 //	experiments -exp ablation-window
 //	experiments -exp overlap         # dataflow overlap ablation
 //	experiments -exp all             # everything above
+//	experiments -grid sweep.json     # run a JSON scenario grid
 //
 // Flags -n, -seed, -bench restrict the trace length, generator seed and
-// benchmark set.
+// benchmark set. -workers shards experiment tasks over a worker pool
+// (0 = one per core; results are bit-identical at any worker count), and
+// -grid runs a workload × policy × cache × seed scenario file through the
+// same engine.
 package main
 
 import (
@@ -26,35 +30,37 @@ import (
 	"repro/internal/experiments"
 )
 
-// nSeeds carries the -seeds flag to the repeat experiment.
-var nSeeds int
-
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig2|fig6|table1|table2|eval|repeat|ablation-k|ablation-1d|ablation-threshold|ablation-window|ablation-precision|overlap|all")
-		n     = flag.Int("n", 600_000, "requests per benchmark trace")
-		seed  = flag.Int64("seed", 1, "workload generator seed")
-		seeds = flag.Int("seeds", 3, "seed count for -exp repeat")
-		bench = flag.String("bench", "", "comma-separated benchmark subset (default all)")
-		outd  = flag.String("out", "", "directory for CSV output (fig2); stdout tables otherwise")
+		exp     = flag.String("exp", "all", "experiment: fig2|fig6|table1|table2|eval|repeat|grid|ablation-k|ablation-1d|ablation-threshold|ablation-window|ablation-precision|overlap|all")
+		n       = flag.Int("n", 600_000, "requests per benchmark trace")
+		seed    = flag.Int64("seed", 1, "workload generator seed")
+		seeds   = flag.Int("seeds", 3, "seed count for -exp repeat")
+		bench   = flag.String("bench", "", "comma-separated benchmark subset (default all)")
+		outd    = flag.String("out", "", "directory for CSV output (fig2); stdout tables otherwise")
+		workers = flag.Int("workers", 0, "experiment worker pool size (0 = one per core, 1 = sequential)")
+		gridP   = flag.String("grid", "", "JSON scenario grid file; implies -exp grid")
 	)
 	flag.Parse()
-	nSeeds = *seeds
 
 	o := experiments.DefaultOptions()
 	o.Requests = *n
 	o.Seed = *seed
+	o.Config.Workers = *workers
 	if *bench != "" {
 		o.Benchmarks = strings.Split(*bench, ",")
 	}
+	if *gridP != "" {
+		*exp = "grid"
+	}
 
-	if err := run(*exp, o, *outd); err != nil {
+	if err := run(*exp, o, *outd, *gridP, *seeds); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, o experiments.Options, outDir string) error {
+func run(exp string, o experiments.Options, outDir, gridPath string, nSeeds int) error {
 	switch exp {
 	case "fig2":
 		return runFig2(o, outDir)
@@ -83,6 +89,16 @@ func run(exp string, o experiments.Options, outDir string) error {
 			return err
 		}
 		fmt.Println(experiments.RepeatedTable(rs))
+		return nil
+	case "grid":
+		if gridPath == "" {
+			return fmt.Errorf("-exp grid needs -grid <file.json>")
+		}
+		results, err := experiments.RunGridFile(gridPath, o, os.Stderr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.GridTable(results))
 		return nil
 	case "ablation-k":
 		t, err := experiments.AblationK(o, []int{8, 16, 32, 64, 128, 256})
@@ -129,7 +145,7 @@ func run(exp string, o experiments.Options, outDir string) error {
 	case "all":
 		for _, e := range []string{"fig2", "fig6", "table1", "table2", "ablation-k", "ablation-1d", "ablation-threshold", "ablation-window", "ablation-precision", "overlap"} {
 			fmt.Printf("### %s\n\n", e)
-			if err := run(e, o, outDir); err != nil {
+			if err := run(e, o, outDir, gridPath, nSeeds); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
 			fmt.Println()

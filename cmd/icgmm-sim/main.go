@@ -9,18 +9,20 @@
 //	icgmm-sim -bench dlrm -n 500000 -policy lru
 //	icgmm-sim -bench stream -policy all        # Fig. 6-style comparison
 //	icgmm-sim -bench dlrm -model dlrm.gmm -policy gmm-eviction-only
+//	icgmm-sim -grid sweep.json -workers 8      # scenario grid on 8 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/gmm"
-	"repro/internal/policy"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -37,16 +39,53 @@ func main() {
 		ways      = flag.Int("ways", 8, "cache associativity")
 		k         = flag.Int("k", 256, "GMM components when training in-process")
 		noOverlap = flag.Bool("no-overlap", false, "serialize GMM inference after SSD access")
+		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = one per core, 1 = sequential)")
+		gridP     = flag.String("grid", "", "JSON scenario grid file; sweeps workload × policy × cache × seed")
 	)
 	flag.Parse()
 
-	if err := run(*tracePath, *bench, *n, *seed, *pol, *modelPath, *cacheMB, *ways, *k, *noOverlap); err != nil {
+	if *gridP != "" {
+		// The grid file is the single source of truth for its scenarios;
+		// refuse per-run flags that it would silently override.
+		var clash []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "grid", "workers":
+			default:
+				clash = append(clash, "-"+f.Name)
+			}
+		})
+		if len(clash) > 0 {
+			fmt.Fprintf(os.Stderr, "icgmm-sim: -grid ignores %s; set them in the grid file instead\n",
+				strings.Join(clash, ", "))
+			os.Exit(1)
+		}
+		if err := runGrid(*gridP, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "icgmm-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*tracePath, *bench, *n, *seed, *pol, *modelPath, *cacheMB, *ways, *k, *noOverlap, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "icgmm-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, bench string, n int, seed int64, pol, modelPath string, cacheMB, ways, k int, noOverlap bool) error {
+// runGrid fans a scenario grid out over the experiment engine.
+func runGrid(gridPath string, workers int) error {
+	o := experiments.DefaultOptions()
+	o.Config.Workers = workers
+	results, err := experiments.RunGridFile(gridPath, o, os.Stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.GridTable(results))
+	return nil
+}
+
+func run(tracePath, bench string, n int, seed int64, pol, modelPath string, cacheMB, ways, k int, noOverlap bool, workers int) error {
 	tr, err := loadTrace(tracePath, bench, n, seed)
 	if err != nil {
 		return err
@@ -56,6 +95,7 @@ func run(tracePath, bench string, n int, seed int64, pol, modelPath string, cach
 	cfg.Cache = cache.Config{SizeBytes: uint64(cacheMB) << 20, BlockBytes: trace.PageSize, Ways: ways}
 	cfg.Train.K = k
 	cfg.Overlap = !noOverlap
+	cfg.Workers = workers
 
 	needGMM := pol == "all" || pol == "gmm-caching-only" ||
 		pol == "gmm-eviction-only" || pol == "gmm-caching-eviction"
@@ -157,34 +197,7 @@ func trainOrLoad(tr trace.Trace, modelPath string, cfg core.Config) (*core.Train
 }
 
 func buildPolicy(name string, tr trace.Trace, tg *core.TrainedGMM, cfg core.Config) (cache.Policy, time.Duration, error) {
-	switch name {
-	case "lru":
-		return policy.NewLRU(), 0, nil
-	case "fifo":
-		return policy.NewFIFO(), 0, nil
-	case "lfu":
-		return policy.NewLFU(), 0, nil
-	case "random":
-		return policy.NewRandom(1), 0, nil
-	case "clock":
-		return policy.NewClock(), 0, nil
-	case "slru":
-		return policy.NewSLRU(), 0, nil
-	case "srrip":
-		return policy.NewSRRIP(), 0, nil
-	case "belady":
-		return policy.NewBelady(tr, false), 0, nil
-	case "belady-bypass":
-		return policy.NewBelady(tr, true), 0, nil
-	case "gmm-caching-only":
-		return tg.Policy(policy.GMMCachingOnly), cfg.GMMInference, nil
-	case "gmm-eviction-only":
-		return tg.Policy(policy.GMMEvictionOnly), cfg.GMMInference, nil
-	case "gmm-caching-eviction":
-		return tg.Policy(policy.GMMCachingEviction), cfg.GMMInference, nil
-	default:
-		return nil, 0, fmt.Errorf("unknown policy %q", name)
-	}
+	return experiments.PolicyByName(name, tr, tg, cfg)
 }
 
 func report(r core.RunResult) {

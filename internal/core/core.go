@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/engine"
 	"repro/internal/gmm"
 	"repro/internal/policy"
 	"repro/internal/ssd"
@@ -58,6 +59,10 @@ type Config struct {
 	// Quantized runs inference through the fixed-point weight-buffer model
 	// instead of float64, as the hardware does.
 	Quantized bool
+	// Workers bounds the harness parallelism (policy comparisons, threshold
+	// sweeps): 0 means one worker per core, 1 forces sequential execution.
+	// It affects wall-clock only — results are bit-identical at any value.
+	Workers int
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -78,6 +83,9 @@ func DefaultConfig() Config {
 // defaultThresholdCandidates is the quantile ladder the empirical sweep
 // tries: from "admit everything" to "admit only the hottest half".
 var defaultThresholdCandidates = []float64{0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5}
+
+// runner builds the task runner for this configuration's worker bound.
+func (c Config) runner() *engine.Runner { return engine.NewRunner(c.Workers) }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -167,6 +175,13 @@ func CalibrateThreshold(tr trace.Trace, tg *TrainedGMM, cfg Config) (float64, er
 // candidate quantile it simulates the combined caching+eviction strategy on
 // a calibration slice of the trace and keeps the quantile with the lowest
 // miss rate. Candidates whose thresholds coincide are simulated once.
+//
+// The candidate simulations share one batched scoring pass: per-access GMM
+// scores depend only on the trace and the model, never on the threshold, so
+// they are precomputed in blocks and every candidate replay reuses them. The
+// surviving candidate replays then run in parallel on cfg.Workers workers;
+// the selection scan stays sequential in candidate order, so the sweep picks
+// the same threshold as the original inline loop at any worker count.
 func sweepThreshold(tr trace.Trace, tg *TrainedGMM, samples []trace.Sample, cfg Config) (float64, error) {
 	cands := cfg.ThresholdCandidates
 	if len(cands) == 0 {
@@ -181,30 +196,36 @@ func sweepThreshold(tr trace.Trace, tg *TrainedGMM, samples []trace.Sample, cfg 
 		start := (len(slice) - limit) / 2
 		slice = slice[start : start+limit]
 	}
-	bestTh := tg.Threshold
-	bestMiss := 2.0
 	// Threshold 0 admits everything (densities are non-negative), making
 	// the combined strategy degrade gracefully to eviction-only when
 	// admission filtering cannot help this trace.
-	thresholds := []float64{0}
-	for _, pct := range cands {
-		thresholds = append(thresholds, policy.CalibrateThreshold(tg.Scorer(), samples, pct))
-	}
+	thresholds := append([]float64{0}, policy.CalibrateThresholds(tg.Scorer(), samples, cands)...)
 	seen := make(map[float64]bool, len(thresholds))
+	unique := thresholds[:0]
 	for _, th := range thresholds {
-		if seen[th] {
-			continue
+		if !seen[th] {
+			seen[th] = true
+			unique = append(unique, th)
 		}
-		seen[th] = true
-		probe := *tg
-		probe.Threshold = th
-		res, err := Run(slice, probe.Policy(policy.GMMCachingEviction), cfg.GMMInference, cfg)
+	}
+	scores := tg.PrescoreTrace(slice)
+	results, err := engine.Map(cfg.runner(), unique, func(_ int, th float64) (RunResult, error) {
+		pol := tg.policyWithScores(policy.GMMCachingEviction, th, scores)
+		res, err := Run(slice, pol, cfg.GMMInference, cfg)
 		if err != nil {
-			return 0, fmt.Errorf("core: threshold sweep: %w", err)
+			return RunResult{}, fmt.Errorf("core: threshold sweep: %w", err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	bestTh := tg.Threshold
+	bestMiss := 2.0
+	for i, res := range results {
 		if mr := res.Cache.MissRate(); mr < bestMiss {
 			bestMiss = mr
-			bestTh = th
+			bestTh = unique[i]
 		}
 	}
 	return bestTh, nil
@@ -223,13 +244,56 @@ func (tg *TrainedGMM) Scorer() policy.Scorer {
 // call returns an independent engine (with its own Algorithm 1 clock), so
 // one trained model can drive several simulations.
 func (tg *TrainedGMM) Policy(mode policy.GMMMode) *policy.GMM {
+	return tg.policyWithScores(mode, tg.Threshold, nil)
+}
+
+// PolicyPrescored is Policy with precomputed per-access scores from
+// PrescoreTrace: the replay skips live inference and reads scores by access
+// index. One prescoring pass serves every mode replayed over the same
+// trace.
+func (tg *TrainedGMM) PolicyPrescored(mode policy.GMMMode, scores []float64) *policy.GMM {
+	return tg.policyWithScores(mode, tg.Threshold, scores)
+}
+
+// policyWithScores builds a policy engine with an explicit threshold and
+// optional precomputed per-access scores (see PrescoreTrace).
+func (tg *TrainedGMM) policyWithScores(mode policy.GMMMode, threshold float64, scores []float64) *policy.GMM {
 	return policy.NewGMM(policy.GMMConfig{
 		Scorer:     tg.Scorer(),
 		Normalizer: tg.Norm,
 		Transform:  tg.Transform,
-		Threshold:  tg.Threshold,
+		Threshold:  threshold,
 		Mode:       mode,
+		Scores:     scores,
 	})
+}
+
+// PrescoreTrace computes the per-access GMM score for every request of the
+// trace in blocks (through the scorer's batch path when it has one), exactly
+// mirroring the timestamp clock a live policy engine would run. The returned
+// slice feeds policy replays via GMMConfig.Scores, replacing one inference
+// call per access with block evaluation; batched scoring is bit-identical to
+// live scoring, so replay results do not change.
+//
+// The scores are threshold- and mode-independent, so one prescoring pass
+// serves every policy variant replayed over the same trace.
+func (tg *TrainedGMM) PrescoreTrace(tr trace.Trace) []float64 {
+	pages := make([]float64, len(tr))
+	times := make([]float64, len(tr))
+	tt := trace.NewTimestampTransformer(tg.Transform)
+	for i, rec := range tr {
+		pages[i], times[i] = tg.Norm.ApplyPageTime(rec.Page(), tt.Next())
+	}
+	scores := make([]float64, len(tr))
+	if bs, ok := tg.Scorer().(policy.BatchScorer); ok {
+		bs.ScorePageTimeBatch(pages, times, scores)
+	} else {
+		s := tg.Scorer()
+		for i := range scores {
+			scores[i] = s.ScorePageTime(pages[i], times[i])
+		}
+	}
+	return scores
 }
 
 // RunResult reports one simulation.
@@ -384,28 +448,35 @@ func Compare(benchmark string, tr trace.Trace, cfg Config) (*Comparison, error) 
 }
 
 // CompareTrained is Compare with a pre-trained model, so callers can reuse
-// one training run across configurations.
+// one training run across configurations. The four policy replays are
+// independent simulations, so they run as engine tasks on cfg.Workers
+// workers, and the three GMM replays share one batched prescoring pass over
+// the trace instead of scoring per miss.
 func CompareTrained(benchmark string, tr trace.Trace, tg *TrainedGMM, cfg Config) (*Comparison, error) {
-	out := &Comparison{Benchmark: benchmark}
-	lru, err := Run(tr, policy.NewLRU(), 0, cfg)
+	scores := tg.PrescoreTrace(tr)
+	tasks := []func() (RunResult, error){
+		func() (RunResult, error) { return Run(tr, policy.NewLRU(), 0, cfg) },
+		func() (RunResult, error) {
+			return Run(tr, tg.policyWithScores(policy.GMMCachingOnly, tg.Threshold, scores), cfg.GMMInference, cfg)
+		},
+		func() (RunResult, error) {
+			return Run(tr, tg.policyWithScores(policy.GMMEvictionOnly, tg.Threshold, scores), cfg.GMMInference, cfg)
+		},
+		func() (RunResult, error) {
+			return Run(tr, tg.policyWithScores(policy.GMMCachingEviction, tg.Threshold, scores), cfg.GMMInference, cfg)
+		},
+	}
+	results, err := engine.Map(cfg.runner(), tasks, func(_ int, task func() (RunResult, error)) (RunResult, error) {
+		return task()
+	})
 	if err != nil {
 		return nil, err
 	}
-	out.LRU = lru
-	modes := []struct {
-		mode policy.GMMMode
-		dst  *RunResult
-	}{
-		{policy.GMMCachingOnly, &out.Caching},
-		{policy.GMMEvictionOnly, &out.Eviction},
-		{policy.GMMCachingEviction, &out.Combined},
-	}
-	for _, m := range modes {
-		r, err := Run(tr, tg.Policy(m.mode), cfg.GMMInference, cfg)
-		if err != nil {
-			return nil, err
-		}
-		*m.dst = r
-	}
-	return out, nil
+	return &Comparison{
+		Benchmark: benchmark,
+		LRU:       results[0],
+		Caching:   results[1],
+		Eviction:  results[2],
+		Combined:  results[3],
+	}, nil
 }

@@ -22,6 +22,7 @@ func testConfig() Config {
 }
 
 func TestConfigValidate(t *testing.T) {
+	t.Parallel()
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Errorf("default config invalid: %v", err)
 	}
@@ -43,6 +44,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestRunAllHitsLatency(t *testing.T) {
+	t.Parallel()
 	// Single page accessed repeatedly: 1 cold miss then hits at 1 us.
 	var tr trace.Trace
 	for i := 0; i < 1000; i++ {
@@ -66,6 +68,7 @@ func TestRunAllHitsLatency(t *testing.T) {
 }
 
 func TestRunMissLatencyIncludesWriteback(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	// Cache with a single set of 1 way: every distinct page evicts.
 	cfg.Cache = cache.Config{SizeBytes: 4096, BlockBytes: 4096, Ways: 1}
@@ -93,6 +96,7 @@ func TestRunMissLatencyIncludesWriteback(t *testing.T) {
 }
 
 func TestRunOverlapHidesEngineLatency(t *testing.T) {
+	t.Parallel()
 	tr := trace.Trace{{Op: trace.Read, Addr: 0}}
 	tr.Stamp()
 	cfg := testConfig()
@@ -123,6 +127,7 @@ func TestRunOverlapHidesEngineLatency(t *testing.T) {
 }
 
 func TestRunOverlapEngineSlowerThanSSD(t *testing.T) {
+	t.Parallel()
 	// If the engine were slower than the SSD (as an LSTM would be), the
 	// excess becomes visible even with overlap.
 	tr := trace.Trace{{Op: trace.Read, Addr: 0}}
@@ -142,6 +147,7 @@ func TestRunOverlapEngineSlowerThanSSD(t *testing.T) {
 }
 
 func TestTrainProducesUsableEngine(t *testing.T) {
+	t.Parallel()
 	tr := workload.NewParsec().Generate(60000, 1)
 	cfg := testConfig()
 	tg, err := Train(tr, cfg)
@@ -169,6 +175,7 @@ func TestTrainProducesUsableEngine(t *testing.T) {
 }
 
 func TestTrainQuantizedScorer(t *testing.T) {
+	t.Parallel()
 	tr := workload.NewParsec().Generate(40000, 2)
 	cfg := testConfig()
 	cfg.Quantized = true
@@ -190,6 +197,7 @@ func TestTrainQuantizedScorer(t *testing.T) {
 }
 
 func TestCompareGMMBeatsLRU(t *testing.T) {
+	t.Parallel()
 	// The headline claim (Fig. 6): on a workload with hot clusters plus
 	// scan pollution, the best GMM strategy has a lower miss rate than LRU.
 	tr := workload.NewParsec().Generate(120000, 3)
@@ -209,6 +217,7 @@ func TestCompareGMMBeatsLRU(t *testing.T) {
 }
 
 func TestComparisonBestGMMPicksMinimum(t *testing.T) {
+	t.Parallel()
 	mk := func(misses uint64) RunResult {
 		return RunResult{Cache: cache.Stats{Hits: 100 - misses, Misses: misses}}
 	}
@@ -224,6 +233,7 @@ func TestComparisonBestGMMPicksMinimum(t *testing.T) {
 }
 
 func TestLatencyReductionPctZeroLRU(t *testing.T) {
+	t.Parallel()
 	var c Comparison
 	if c.LatencyReductionPct() != 0 {
 		t.Error("zero LRU latency should give 0 reduction")
@@ -231,6 +241,7 @@ func TestLatencyReductionPctZeroLRU(t *testing.T) {
 }
 
 func TestRunRejectsInvalidConfig(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	cfg.Cache.Ways = 0
 	if _, err := Run(trace.Trace{}, policy.NewLRU(), 0, cfg); err == nil {
@@ -242,6 +253,7 @@ func TestRunRejectsInvalidConfig(t *testing.T) {
 }
 
 func TestRunBypassedWritePaysProgramLatency(t *testing.T) {
+	t.Parallel()
 	// A policy that rejects everything: write misses go straight to SSD.
 	cfg := testConfig()
 	tr := trace.Trace{{Op: trace.Write, Addr: 0}}

@@ -14,6 +14,7 @@ import (
 // round trips, and classic-policy orderings on the benchmark workloads.
 
 func TestQuantizedPipelineMatchesFloatClosely(t *testing.T) {
+	t.Parallel()
 	tr := workload.NewHashmap().Generate(80000, 4)
 	cfgF := testConfig()
 	tgF, err := Train(tr, cfgF)
@@ -44,6 +45,7 @@ func TestQuantizedPipelineMatchesFloatClosely(t *testing.T) {
 }
 
 func TestNoPolicyBeatsBelady(t *testing.T) {
+	t.Parallel()
 	// Belady is the offline optimum for eviction; with admission the GMM
 	// could in principle skip never-reused pages Belady caches, so compare
 	// against belady-bypass, the admission-aware oracle.
@@ -78,6 +80,7 @@ func TestNoPolicyBeatsBelady(t *testing.T) {
 }
 
 func TestSynthesizedTraceDrivesSystem(t *testing.T) {
+	t.Parallel()
 	// Generative round trip at the system level: train on a benchmark,
 	// synthesize a trace from the model, and run the full pipeline on the
 	// synthetic trace.
@@ -104,6 +107,7 @@ func TestSynthesizedTraceDrivesSystem(t *testing.T) {
 }
 
 func TestAllPoliciesRunAllBenchmarks(t *testing.T) {
+	t.Parallel()
 	// Smoke matrix: every policy engine must survive every benchmark
 	// without violating cache invariants. Short traces keep it quick.
 	if testing.Short() {
@@ -151,6 +155,7 @@ func TestAllPoliciesRunAllBenchmarks(t *testing.T) {
 }
 
 func TestTrainWithChooseKIntegration(t *testing.T) {
+	t.Parallel()
 	// ChooseK feeding the deployment path: pick K by BIC, then run the
 	// selected model through the simulator.
 	tr := workload.NewMemtier().Generate(50000, 9)
@@ -182,6 +187,7 @@ func TestTrainWithChooseKIntegration(t *testing.T) {
 }
 
 func TestCalibrateThresholdForLoadedModel(t *testing.T) {
+	t.Parallel()
 	// A model loaded from disk arrives without a calibrated threshold; the
 	// exported sweep must pick one at least as good (on the calibration
 	// trace) as any fixed quantile.

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gmm"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// TestPrescoredReplayMatchesLive pins the batching contract: a replay fed
+// precomputed block scores must produce exactly the result of a replay that
+// scores one access at a time.
+func TestPrescoredReplayMatchesLive(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.Train = gmm.TrainConfig{K: 8, MaxIters: 10, Seed: 1, MaxSamples: 4000}
+	tr := workload.NewHashmap().Generate(30_000, 1)
+	tg, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := tg.PrescoreTrace(tr)
+	for _, mode := range []policy.GMMMode{policy.GMMCachingOnly, policy.GMMEvictionOnly, policy.GMMCachingEviction} {
+		live, err := Run(tr, tg.Policy(mode), cfg.GMMInference, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := Run(tr, tg.policyWithScores(mode, tg.Threshold, scores), cfg.GMMInference, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, pre) {
+			t.Errorf("%v: prescored replay diverged from live replay:\nlive %+v\npre  %+v", mode, live, pre)
+		}
+	}
+}
+
+// TestCompareTrainedDeterministicAcrossWorkers pins that the parallel policy
+// fan-out does not perturb any result.
+func TestCompareTrainedDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.Train = gmm.TrainConfig{K: 8, MaxIters: 10, Seed: 1, MaxSamples: 4000}
+	tr := workload.NewHashmap().Generate(30_000, 1)
+	run := func(workers int) *Comparison {
+		c := cfg
+		c.Workers = workers
+		tg, err := Train(tr, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := CompareTrained("hashmap", tr, tg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp
+	}
+	if seq, par := run(1), run(8); !reflect.DeepEqual(seq, par) {
+		t.Errorf("comparison differs between 1 and 8 workers:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+// TestPrescoreTraceLength sanity-checks the prescoring pass shape.
+func TestPrescoreTraceLength(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.Train = gmm.TrainConfig{K: 4, MaxIters: 5, Seed: 1, MaxSamples: 2000}
+	cfg.AutoThreshold = false
+	tr := workload.NewHeap().Generate(10_000, 1)
+	tg, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := tg.PrescoreTrace(tr)
+	if len(scores) != len(tr) {
+		t.Fatalf("prescored %d accesses, want %d", len(scores), len(tr))
+	}
+	for i, s := range scores {
+		if s < 0 {
+			t.Fatalf("negative density %v at access %d", s, i)
+		}
+	}
+}

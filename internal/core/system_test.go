@@ -18,6 +18,7 @@ func testSystemConfig() SystemConfig {
 }
 
 func TestNewSystemValidation(t *testing.T) {
+	t.Parallel()
 	cfg := testSystemConfig()
 	cfg.Policy = nil
 	if _, err := NewSystem(cfg); err == nil {
@@ -41,6 +42,7 @@ func TestNewSystemValidation(t *testing.T) {
 }
 
 func TestSystemHostPathIsFast(t *testing.T) {
+	t.Parallel()
 	s, err := NewSystem(testSystemConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +64,7 @@ func TestSystemHostPathIsFast(t *testing.T) {
 }
 
 func TestSystemExpandedMissAndHit(t *testing.T) {
+	t.Parallel()
 	s, err := NewSystem(testSystemConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +102,7 @@ func TestSystemExpandedMissAndHit(t *testing.T) {
 }
 
 func TestSystemInvalidAddress(t *testing.T) {
+	t.Parallel()
 	s, err := NewSystem(testSystemConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -112,6 +116,7 @@ func TestSystemInvalidAddress(t *testing.T) {
 }
 
 func TestSystemOverheadOverlap(t *testing.T) {
+	t.Parallel()
 	cfg := testSystemConfig()
 	cfg.PolicyOverhead = 3 * time.Microsecond
 	cfg.Core.Overlap = true
@@ -140,6 +145,7 @@ func TestSystemOverheadOverlap(t *testing.T) {
 }
 
 func TestSystemReplayExpanded(t *testing.T) {
+	t.Parallel()
 	tr := workload.NewHashmap().Generate(20000, 1)
 	s, err := NewSystem(testSystemConfig())
 	if err != nil {
@@ -169,6 +175,7 @@ func TestSystemReplayExpanded(t *testing.T) {
 }
 
 func TestSystemMixedHostAndExpanded(t *testing.T) {
+	t.Parallel()
 	s, err := NewSystem(testSystemConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -192,6 +199,7 @@ func TestSystemMixedHostAndExpanded(t *testing.T) {
 }
 
 func TestSystemWithGMMEngine(t *testing.T) {
+	t.Parallel()
 	// Integration: train a GMM and run it as the device policy engine in
 	// the whole-system model.
 	tr := workload.NewHashmap().Generate(40000, 2)

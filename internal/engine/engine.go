@@ -1,0 +1,206 @@
+// Package engine provides the parallel sharded experiment runner: a
+// worker-pool Map over an indexed task list, deterministic per-task seed
+// derivation, and the scenario-grid types behind the -grid flag.
+//
+// The design contract is bit-identical results regardless of worker count:
+// tasks are identified by their index, outputs land in an index-ordered
+// slice, per-task randomness derives from (base seed, task index) alone, and
+// error selection is by lowest task index — so a grid run at -workers=1 and
+// -workers=8 produces the same bytes.
+package engine
+
+import (
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner bounds the concurrency of experiment task fan-out. The zero value
+// and nil both mean "sequential"; NewRunner(0) sizes the pool to
+// runtime.GOMAXPROCS.
+type Runner struct {
+	workers int
+}
+
+// NewRunner builds a runner with the given worker count; workers <= 0 uses
+// runtime.GOMAXPROCS(0), i.e. one worker per available core.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers}
+}
+
+// Workers reports the concurrency bound (1 for a nil or zero runner).
+func (r *Runner) Workers() int {
+	if r == nil || r.workers < 1 {
+		return 1
+	}
+	return r.workers
+}
+
+// Extra worker goroutines are budgeted process-wide: nested Map calls
+// (a grid fanning out comparisons that fan out threshold sweeps) would
+// otherwise multiply their worker counts into far more runnable goroutines
+// than cores. Each Map runs tasks inline on its calling goroutine and only
+// spawns extra workers while the global budget — one per core — has room,
+// so total extra concurrency stays bounded no matter how deep fan-outs
+// nest, and a starved Map still progresses (inline) instead of
+// deadlocking.
+var (
+	extraWorkers    atomic.Int64
+	maxExtraWorkers = int64(runtime.GOMAXPROCS(0))
+)
+
+// Map runs fn over every item on the runner's worker pool and returns the
+// results in item order. fn receives the item index and the item; it must be
+// safe for concurrent invocation across distinct indices.
+//
+// Concurrency is bounded twice: per call by the runner's worker count, and
+// process-wide by the extra-worker budget above. Neither bound affects
+// results — only wall clock.
+//
+// On failure Map returns the error of the lowest-index failing task — the
+// same error a sequential loop would surface — and skips tasks beyond that
+// index (tasks below it always complete, preserving the sequential
+// contract).
+func Map[T, R any](r *Runner, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	workers := r.Workers()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, item := range items {
+			v, err := fn(i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var next atomic.Int64
+	// errIdx is the lowest task index that failed so far; len(items) is the
+	// "none" sentinel.
+	errIdx := int64(len(items))
+	var errVal error
+	var errMu sync.Mutex
+
+	loadErrIdx := func() int64 {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return errIdx
+	}
+	runTasks := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(len(items)) {
+				return
+			}
+			if i > loadErrIdx() {
+				// A lower-index task already failed; this task's result
+				// can never be observed.
+				continue
+			}
+			v, err := fn(int(i), items[i])
+			if err != nil {
+				errMu.Lock()
+				if i < errIdx {
+					errIdx, errVal = i, err
+				}
+				errMu.Unlock()
+				continue
+			}
+			out[i] = v
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers-1; w++ {
+		if extraWorkers.Add(1) > maxExtraWorkers {
+			extraWorkers.Add(-1)
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer extraWorkers.Add(-1)
+			runTasks()
+		}()
+	}
+	runTasks()
+	wg.Wait()
+
+	if errVal != nil {
+		return nil, errVal
+	}
+	return out, nil
+}
+
+// ForEach is Map without results.
+func ForEach[T any](r *Runner, items []T, fn func(i int, item T) error) error {
+	_, err := Map(r, items, func(i int, item T) (struct{}, error) {
+		return struct{}{}, fn(i, item)
+	})
+	return err
+}
+
+// OrderedEmitter serializes per-task progress output into task-index order:
+// each task Emits its lines under its own index, and the emitter writes the
+// longest contiguous prefix as it completes. With a nil writer every call is
+// a no-op, so callers can pass their (possibly nil) progress writer through
+// unconditionally.
+type OrderedEmitter struct {
+	w    io.Writer
+	mu   sync.Mutex
+	next int
+	buf  map[int]string
+}
+
+// NewOrderedEmitter wraps w (which may be nil).
+func NewOrderedEmitter(w io.Writer) *OrderedEmitter {
+	return &OrderedEmitter{w: w, buf: make(map[int]string)}
+}
+
+// Emit records task i's output and flushes everything up to the first
+// still-running task.
+func (e *OrderedEmitter) Emit(i int, s string) {
+	if e == nil || e.w == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.buf[i] = s
+	for {
+		s, ok := e.buf[e.next]
+		if !ok {
+			return
+		}
+		delete(e.buf, e.next)
+		e.next++
+		io.WriteString(e.w, s)
+	}
+}
+
+// Flush writes any buffered output that never became contiguous (tasks
+// skipped after an error), in index order.
+func (e *OrderedEmitter) Flush() {
+	if e == nil || e.w == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idxs := make([]int, 0, len(e.buf))
+	for i := range e.buf {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		io.WriteString(e.w, e.buf[i])
+		delete(e.buf, i)
+	}
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Scenario is one cell of the experiment grid: a (workload, policy,
+// cache-config, seed) combination plus the trace length. The engine keeps it
+// to plain values so grids serialize as JSON and expansion stays independent
+// of the simulator packages; the experiments package maps a Scenario onto a
+// core.Config and runs it.
+type Scenario struct {
+	// Index is the cell's position in the expanded grid, recorded so
+	// results stay identifiable after filtering or re-ordering. (Seeds are
+	// carried explicitly in Seed; when a grid derives them, Expand keys
+	// DeriveSeed by seed-list position, not by cell index.)
+	Index int `json:"index"`
+	// Workload names the trace generator (see internal/workload).
+	Workload string `json:"workload"`
+	// Policy names the cache policy to simulate (lru, fifo, ...,
+	// gmm-caching-eviction).
+	Policy string `json:"policy"`
+	// Requests is the trace length.
+	Requests int `json:"requests"`
+	// Seed drives the workload generator.
+	Seed int64 `json:"seed"`
+	// CacheMB and Ways set the DRAM cache geometry.
+	CacheMB int `json:"cache_mb"`
+	Ways    int `json:"ways"`
+	// K is the GMM component count for GMM policies.
+	K int `json:"k"`
+	// Overlap mirrors core.Config.Overlap (dataflow overlap of inference
+	// with SSD access).
+	Overlap bool `json:"overlap"`
+	// Quantized runs GMM inference through the fixed-point weight buffer.
+	Quantized bool `json:"quantized"`
+}
+
+// Label renders the cell for progress lines and result tables.
+func (s Scenario) Label() string {
+	return fmt.Sprintf("%s/%s cache=%dMiB seed=%d", s.Workload, s.Policy, s.CacheMB, s.Seed)
+}
+
+// Grid declares an experiment sweep as the cross product
+// workloads × policies × cache sizes × seeds. Zero-valued fields fall back
+// to the paper's defaults, so a minimal grid file is just
+// {"workloads": ["dlrm"]}.
+type Grid struct {
+	Workloads []string `json:"workloads"`
+	// Policies defaults to the four Fig. 6 policies (lru plus the three GMM
+	// strategies).
+	Policies []string `json:"policies"`
+	// CacheMB defaults to the paper's 64 MiB case study.
+	CacheMB []int `json:"cache_mb"`
+	// Ways defaults to 8.
+	Ways int `json:"ways"`
+	// Seeds lists explicit generator seeds. When empty, NumSeeds seeds are
+	// derived from BaseSeed via DeriveSeed; NumSeeds 0 means one derived
+	// seed.
+	Seeds    []int64 `json:"seeds"`
+	NumSeeds int     `json:"num_seeds"`
+	BaseSeed int64   `json:"base_seed"`
+	// Requests defaults to 600000, the laptop-friendly trace length.
+	Requests int `json:"requests"`
+	// K defaults to 256, the paper's deployed component count.
+	K int `json:"k"`
+	// NoOverlap serializes GMM inference after the SSD access.
+	NoOverlap bool `json:"no_overlap"`
+	// Quantized runs GMM inference through the fixed-point weight buffer.
+	Quantized bool `json:"quantized"`
+}
+
+// DefaultGridPolicies is the Fig. 6 policy set a grid sweeps when none is
+// given.
+var DefaultGridPolicies = []string{
+	"lru", "gmm-caching-only", "gmm-eviction-only", "gmm-caching-eviction",
+}
+
+// Expand materializes the cross product in deterministic order (workload
+// outermost, then cache size, then seed, then policy) and assigns each cell
+// its grid index.
+func (g Grid) Expand() ([]Scenario, error) {
+	if len(g.Workloads) == 0 {
+		return nil, fmt.Errorf("engine: grid needs at least one workload")
+	}
+	policies := g.Policies
+	if len(policies) == 0 {
+		policies = DefaultGridPolicies
+	}
+	cacheMB := g.CacheMB
+	if len(cacheMB) == 0 {
+		cacheMB = []int{64}
+	}
+	ways := g.Ways
+	if ways == 0 {
+		ways = 8
+	}
+	requests := g.Requests
+	if requests == 0 {
+		requests = 600_000
+	}
+	k := g.K
+	if k == 0 {
+		k = 256
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		n := g.NumSeeds
+		if n <= 0 {
+			n = 1
+		}
+		seeds = make([]int64, n)
+		for i := range seeds {
+			seeds[i] = DeriveSeed(g.BaseSeed, uint64(i))
+		}
+	}
+
+	out := make([]Scenario, 0, len(g.Workloads)*len(cacheMB)*len(seeds)*len(policies))
+	for _, w := range g.Workloads {
+		for _, mb := range cacheMB {
+			if mb <= 0 {
+				return nil, fmt.Errorf("engine: non-positive cache size %d MiB", mb)
+			}
+			for _, seed := range seeds {
+				for _, pol := range policies {
+					out = append(out, Scenario{
+						Index:     len(out),
+						Workload:  w,
+						Policy:    pol,
+						Requests:  requests,
+						Seed:      seed,
+						CacheMB:   mb,
+						Ways:      ways,
+						K:         k,
+						Overlap:   !g.NoOverlap,
+						Quantized: g.Quantized,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ParseGrid decodes a grid declaration from JSON, rejecting unknown fields
+// so typos in sweep files fail loudly instead of silently running the
+// default.
+func ParseGrid(r io.Reader) (Grid, error) {
+	var g Grid
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("engine: parsing grid: %w", err)
+	}
+	return g, nil
+}
+
+// LoadGrid reads and parses a grid file.
+func LoadGrid(path string) (Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Grid{}, err
+	}
+	defer f.Close()
+	return ParseGrid(f)
+}

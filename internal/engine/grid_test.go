@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGridExpandCrossProduct(t *testing.T) {
+	t.Parallel()
+	g := Grid{
+		Workloads: []string{"dlrm", "stream"},
+		Policies:  []string{"lru", "gmm-caching-eviction"},
+		CacheMB:   []int{64, 128},
+		Seeds:     []int64{1, 2, 3},
+	}
+	scens, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 2*2*2*3 {
+		t.Fatalf("expanded %d scenarios, want 24", len(scens))
+	}
+	for i, s := range scens {
+		if s.Index != i {
+			t.Errorf("scenario %d has index %d", i, s.Index)
+		}
+		if s.Requests != 600_000 || s.Ways != 8 || s.K != 256 || !s.Overlap {
+			t.Errorf("scenario %d defaults wrong: %+v", i, s)
+		}
+	}
+	// Deterministic order: workload outermost, policy innermost.
+	if scens[0].Workload != "dlrm" || scens[0].Policy != "lru" ||
+		scens[1].Policy != "gmm-caching-eviction" {
+		t.Errorf("unexpected expansion order: %+v %+v", scens[0], scens[1])
+	}
+}
+
+func TestGridExpandDefaults(t *testing.T) {
+	t.Parallel()
+	scens, err := Grid{Workloads: []string{"heap"}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != len(DefaultGridPolicies) {
+		t.Fatalf("expanded %d scenarios, want %d", len(scens), len(DefaultGridPolicies))
+	}
+	if scens[0].Seed != DeriveSeed(0, 0) {
+		t.Errorf("default seed = %d, want derived %d", scens[0].Seed, DeriveSeed(0, 0))
+	}
+}
+
+func TestGridExpandDerivedSeeds(t *testing.T) {
+	t.Parallel()
+	g := Grid{Workloads: []string{"heap"}, Policies: []string{"lru"}, NumSeeds: 3, BaseSeed: 9}
+	scens, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 3 {
+		t.Fatalf("expanded %d scenarios, want 3", len(scens))
+	}
+	for i, s := range scens {
+		if want := DeriveSeed(9, uint64(i)); s.Seed != want {
+			t.Errorf("scenario %d seed = %d, want %d", i, s.Seed, want)
+		}
+	}
+}
+
+func TestGridExpandRejectsEmptyWorkloads(t *testing.T) {
+	t.Parallel()
+	if _, err := (Grid{}).Expand(); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestGridExpandRejectsBadCache(t *testing.T) {
+	t.Parallel()
+	g := Grid{Workloads: []string{"heap"}, CacheMB: []int{-1}}
+	if _, err := g.Expand(); err == nil {
+		t.Error("negative cache size accepted")
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	t.Parallel()
+	in := `{"workloads": ["dlrm"], "policies": ["lru"], "cache_mb": [32], "seeds": [5], "requests": 1000, "k": 8}`
+	g, err := ParseGrid(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 1 {
+		t.Fatalf("expanded %d scenarios, want 1", len(scens))
+	}
+	s := scens[0]
+	if s.Workload != "dlrm" || s.Policy != "lru" || s.CacheMB != 32 || s.Seed != 5 || s.Requests != 1000 || s.K != 8 {
+		t.Errorf("scenario = %+v", s)
+	}
+}
+
+func TestParseGridRejectsUnknownFields(t *testing.T) {
+	t.Parallel()
+	if _, err := ParseGrid(strings.NewReader(`{"workload": ["typo"]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestScenarioLabel(t *testing.T) {
+	t.Parallel()
+	s := Scenario{Workload: "dlrm", Policy: "lru", CacheMB: 64, Seed: 3}
+	for _, want := range []string{"dlrm", "lru", "64", "seed=3"} {
+		if !strings.Contains(s.Label(), want) {
+			t.Errorf("label %q missing %q", s.Label(), want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gmm"
 	"repro/internal/policy"
 	"repro/internal/stats"
@@ -21,28 +22,63 @@ func (o Options) ablationBenchmarks() []string {
 	return []string{"parsec", "memtier", "stream"}
 }
 
+// sweepCells evaluates a benchmarks × variants grid of experiment cells on
+// the run's worker pool and returns one row of rendered cells per benchmark,
+// in grid order. Each benchmark's trace is generated once and shared by its
+// row of cells. Each cell is an independent engine task, so a sweep scales
+// with cores while the assembled table stays byte-identical to a sequential
+// double loop (errors included: the lowest-index failing cell wins).
+func sweepCells(o Options, benches []string, nCols int, cellFn func(bench string, tr trace.Trace, col int) (string, error)) ([][]string, error) {
+	traces, err := engine.Map(o.runner(), benches, func(_ int, name string) (trace.Trace, error) {
+		g, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return g.Generate(o.Requests, o.Seed), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	type cellIdx struct{ bi, ci int }
+	cells := make([]cellIdx, 0, len(benches)*nCols)
+	for bi := range benches {
+		for ci := 0; ci < nCols; ci++ {
+			cells = append(cells, cellIdx{bi, ci})
+		}
+	}
+	vals, err := engine.Map(o.runner(), cells, func(_ int, c cellIdx) (string, error) {
+		return cellFn(benches[c.bi], traces[c.bi], c.ci)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, len(benches))
+	for bi := range benches {
+		rows[bi] = vals[bi*nCols : (bi+1)*nCols]
+	}
+	return rows, nil
+}
+
 // AblationK sweeps the number of GMM components (the paper deploys K = 256)
 // and reports the best-strategy miss rate per benchmark.
 func AblationK(o Options, ks []int) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — GMM component count K vs best miss rate (%)",
 		append([]string{"Benchmark"}, intHeaders("K=", ks)...)...)
-	for _, name := range o.ablationBenchmarks() {
-		g, err := workload.ByName(name)
+	benches := o.ablationBenchmarks()
+	rows, err := sweepCells(o, benches, len(ks), func(name string, tr trace.Trace, ci int) (string, error) {
+		cfg := o.Config
+		cfg.Train.K = ks[ci]
+		cmp, err := core.Compare(name, tr, cfg)
 		if err != nil {
-			return nil, err
+			return "", fmt.Errorf("K=%d: %w", ks[ci], err)
 		}
-		tr := g.Generate(o.Requests, o.Seed)
-		row := []string{name}
-		for _, k := range ks {
-			cfg := o.Config
-			cfg.Train.K = k
-			cmp, err := core.Compare(name, tr, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("K=%d: %w", k, err)
-			}
-			row = append(row, fmt.Sprintf("%.2f", cmp.BestGMM().MissRatePct()))
-		}
-		t.AddRowStrings(row...)
+		return fmt.Sprintf("%.2f", cmp.BestGMM().MissRatePct()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, name := range benches {
+		t.AddRowStrings(append([]string{name}, rows[bi]...)...)
 	}
 	return t, nil
 }
@@ -53,7 +89,8 @@ func AblationK(o Options, ks []int) (*stats.Table, error) {
 func Ablation1D(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — 2-D GMM vs spatial-only (1-D) GMM, miss rate (%)",
 		"Benchmark", "LRU", "1D GMM", "2D GMM")
-	for _, name := range o.ablationBenchmarks() {
+	benches := o.ablationBenchmarks()
+	rows, err := engine.Map(o.runner(), benches, func(_ int, name string) ([]string, error) {
 		g, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
@@ -96,11 +133,17 @@ func Ablation1D(o Options) (*stats.Table, error) {
 				first = false
 			}
 		}
-		t.AddRowStrings(name,
+		return []string{name,
 			fmt.Sprintf("%.2f", cmp2d.LRU.MissRatePct()),
 			fmt.Sprintf("%.2f", best.MissRatePct()),
 			fmt.Sprintf("%.2f", cmp2d.BestGMM().MissRatePct()),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRowStrings(row...)
 	}
 	return t, nil
 }
@@ -117,27 +160,29 @@ func (w spatialOnly) ScorePageTime(page, _ float64) float64 {
 func AblationThreshold(o Options, pcts []float64) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — admission threshold quantile vs combined-strategy miss rate (%)",
 		append([]string{"Benchmark"}, floatHeaders("q=", pcts)...)...)
-	for _, name := range o.ablationBenchmarks() {
-		g, err := workload.ByName(name)
+	benches := o.ablationBenchmarks()
+	rows, err := sweepCells(o, benches, len(pcts), func(name string, tr trace.Trace, ci int) (string, error) {
+		cfg := o.Config
+		cfg.ThresholdPct = pcts[ci]
+		// The sweep's whole point is to pin the quantile per column; the
+		// empirical auto-sweep would overwrite it and flatten every column
+		// to the same number.
+		cfg.AutoThreshold = false
+		tg, err := core.Train(tr, cfg)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
-		tr := g.Generate(o.Requests, o.Seed)
-		row := []string{name}
-		for _, pct := range pcts {
-			cfg := o.Config
-			cfg.ThresholdPct = pct
-			tg, err := core.Train(tr, cfg)
-			if err != nil {
-				return nil, err
-			}
-			r, err := core.Run(tr, tg.Policy(policy.GMMCachingEviction), cfg.GMMInference, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", 100*r.Cache.MissRate()))
+		r, err := core.Run(tr, tg.Policy(policy.GMMCachingEviction), cfg.GMMInference, cfg)
+		if err != nil {
+			return "", err
 		}
-		t.AddRowStrings(row...)
+		return fmt.Sprintf("%.2f", 100*r.Cache.MissRate()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, name := range benches {
+		t.AddRowStrings(append([]string{name}, rows[bi]...)...)
 	}
 	return t, nil
 }
@@ -157,23 +202,21 @@ func AblationWindow(o Options) (*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("w=%d shot=%d", c.LenWindow, c.LenAccessShot))
 	}
 	t := stats.NewTable("Ablation — Algorithm 1 windowing vs best miss rate (%)", headers...)
-	for _, name := range o.ablationBenchmarks() {
-		g, err := workload.ByName(name)
+	benches := o.ablationBenchmarks()
+	rows, err := sweepCells(o, benches, len(configs), func(name string, tr trace.Trace, ci int) (string, error) {
+		cfg := o.Config
+		cfg.Transform = configs[ci]
+		cmp, err := core.Compare(name, tr, cfg)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
-		tr := g.Generate(o.Requests, o.Seed)
-		row := []string{name}
-		for _, tc := range configs {
-			cfg := o.Config
-			cfg.Transform = tc
-			cmp, err := core.Compare(name, tr, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", cmp.BestGMM().MissRatePct()))
-		}
-		t.AddRowStrings(row...)
+		return fmt.Sprintf("%.2f", cmp.BestGMM().MissRatePct()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, name := range benches {
+		t.AddRowStrings(append([]string{name}, rows[bi]...)...)
 	}
 	return t, nil
 }
@@ -184,7 +227,8 @@ func AblationWindow(o Options) (*stats.Table, error) {
 func OverlapAblation(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — dataflow overlap of GMM inference with SSD access",
 		"Benchmark", "Overlapped avg", "Serialized avg", "Penalty (%)")
-	for _, name := range o.ablationBenchmarks() {
+	benches := o.ablationBenchmarks()
+	rows, err := engine.Map(o.runner(), benches, func(_ int, name string) ([]string, error) {
 		g, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
@@ -210,9 +254,15 @@ func OverlapAblation(o Options) (*stats.Table, error) {
 		if on.AvgLatency > 0 {
 			penalty = 100 * (float64(off.AvgLatency) - float64(on.AvgLatency)) / float64(on.AvgLatency)
 		}
-		t.AddRowStrings(name,
+		return []string{name,
 			fmt.Sprint(on.AvgLatency), fmt.Sprint(off.AvgLatency),
-			fmt.Sprintf("%.2f", penalty))
+			fmt.Sprintf("%.2f", penalty)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRowStrings(row...)
 	}
 	return t, nil
 }

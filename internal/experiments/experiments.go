@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -40,6 +41,10 @@ func DefaultOptions() Options {
 	}
 }
 
+// runner builds the task runner for the run's worker bound
+// (Config.Workers: 0 = one per core, 1 = sequential).
+func (o Options) runner() *engine.Runner { return engine.NewRunner(o.Config.Workers) }
+
 func (o Options) generators() ([]workload.Generator, error) {
 	if len(o.Benchmarks) == 0 {
 		return workload.Registry(), nil
@@ -58,27 +63,32 @@ func (o Options) generators() ([]workload.Generator, error) {
 // RunAll trains and compares the four Fig. 6 policies on every selected
 // benchmark. The returned comparisons feed both Fig. 6 and Table 1. When
 // progress is non-nil, a line is printed per benchmark.
+//
+// Benchmarks run as engine tasks sharded over Config.Workers workers; the
+// comparisons come back in benchmark order and the progress lines are
+// serialized into the same order, so on a successful run the output is
+// byte-identical at any worker count. (On failure the error is the same one
+// a sequential loop would surface, but how many progress lines made it out
+// first depends on scheduling.)
 func RunAll(o Options, progress io.Writer) ([]*core.Comparison, error) {
 	gens, err := o.generators()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*core.Comparison, 0, len(gens))
-	for _, g := range gens {
+	em := engine.NewOrderedEmitter(progress)
+	defer em.Flush()
+	return engine.Map(o.runner(), gens, func(i int, g workload.Generator) (*core.Comparison, error) {
 		tr := g.Generate(o.Requests, o.Seed)
 		cmp, err := core.Compare(g.Name(), tr, o.Config)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", g.Name(), err)
 		}
-		if progress != nil {
-			fmt.Fprintf(progress, "%-9s LRU %.2f%%  best GMM %.2f%% (%s)  latency %-8v -> %-8v (-%.2f%%)\n",
-				g.Name(), 100*cmp.LRU.Cache.MissRate(), 100*cmp.BestGMM().Cache.MissRate(),
-				cmp.BestGMM().Policy, cmp.LRU.AvgLatency, cmp.BestGMM().AvgLatency,
-				cmp.LatencyReductionPct())
-		}
-		out = append(out, cmp)
-	}
-	return out, nil
+		em.Emit(i, fmt.Sprintf("%-9s LRU %.2f%%  best GMM %.2f%% (%s)  latency %-8v -> %-8v (-%.2f%%)\n",
+			g.Name(), 100*cmp.LRU.Cache.MissRate(), 100*cmp.BestGMM().Cache.MissRate(),
+			cmp.BestGMM().Policy, cmp.LRU.AvgLatency, cmp.BestGMM().AvgLatency,
+			cmp.LatencyReductionPct()))
+		return cmp, nil
+	})
 }
 
 // Fig6Table renders the miss-rate comparison in the paper's Fig. 6 layout:

@@ -19,6 +19,7 @@ func fastOptions(benchmarks ...string) Options {
 }
 
 func TestRunAllSingleBenchmark(t *testing.T) {
+	t.Parallel()
 	cmps, err := RunAll(fastOptions("hashmap"), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -32,12 +33,14 @@ func TestRunAllSingleBenchmark(t *testing.T) {
 }
 
 func TestRunAllUnknownBenchmark(t *testing.T) {
+	t.Parallel()
 	if _, err := RunAll(fastOptions("nosuch"), nil); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
 
 func TestRunAllProgressOutput(t *testing.T) {
+	t.Parallel()
 	var sb strings.Builder
 	if _, err := RunAll(fastOptions("parsec"), &sb); err != nil {
 		t.Fatal(err)
@@ -48,6 +51,7 @@ func TestRunAllProgressOutput(t *testing.T) {
 }
 
 func TestFig6TableLayout(t *testing.T) {
+	t.Parallel()
 	cmps, err := RunAll(fastOptions("heap"), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +65,7 @@ func TestFig6TableLayout(t *testing.T) {
 }
 
 func TestTable1Layout(t *testing.T) {
+	t.Parallel()
 	cmps, err := RunAll(fastOptions("heap"), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -74,6 +79,7 @@ func TestTable1Layout(t *testing.T) {
 }
 
 func TestTable2MatchesPaperShape(t *testing.T) {
+	t.Parallel()
 	out := Table2().String()
 	// The calibrated hardware model must print the paper's headline
 	// values.
@@ -85,6 +91,7 @@ func TestTable2MatchesPaperShape(t *testing.T) {
 }
 
 func TestFig2Series(t *testing.T) {
+	t.Parallel()
 	spatial, temporal, err := Fig2Series("dlrm", 30_000, 1, 32, 500)
 	if err != nil {
 		t.Fatal(err)
@@ -108,6 +115,7 @@ func TestFig2Series(t *testing.T) {
 }
 
 func TestAblationK(t *testing.T) {
+	t.Parallel()
 	o := fastOptions("hashmap")
 	tbl, err := AblationK(o, []int{4, 8})
 	if err != nil {
@@ -123,6 +131,7 @@ func TestAblationK(t *testing.T) {
 }
 
 func TestAblation1D(t *testing.T) {
+	t.Parallel()
 	tbl, err := Ablation1D(fastOptions("memtier"))
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +145,7 @@ func TestAblation1D(t *testing.T) {
 }
 
 func TestAblationThreshold(t *testing.T) {
+	t.Parallel()
 	o := fastOptions("parsec")
 	o.Config.AutoThreshold = false
 	tbl, err := AblationThreshold(o, []float64{0, 0.1})
@@ -148,6 +158,7 @@ func TestAblationThreshold(t *testing.T) {
 }
 
 func TestAblationWindow(t *testing.T) {
+	t.Parallel()
 	tbl, err := AblationWindow(fastOptions("parsec"))
 	if err != nil {
 		t.Fatal(err)
@@ -158,6 +169,7 @@ func TestAblationWindow(t *testing.T) {
 }
 
 func TestOverlapAblation(t *testing.T) {
+	t.Parallel()
 	tbl, err := OverlapAblation(fastOptions("heap"))
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +181,7 @@ func TestOverlapAblation(t *testing.T) {
 }
 
 func TestDefaultOptionsAreValid(t *testing.T) {
+	t.Parallel()
 	o := DefaultOptions()
 	if err := o.Config.Validate(); err != nil {
 		t.Errorf("default options invalid: %v", err)
@@ -183,6 +196,7 @@ func TestDefaultOptionsAreValid(t *testing.T) {
 }
 
 func TestComparisonIntegration(t *testing.T) {
+	t.Parallel()
 	// Cross-module integration: the full train+compare flow on a fast
 	// config must produce self-consistent statistics.
 	o := fastOptions("stream")
@@ -205,6 +219,7 @@ func TestComparisonIntegration(t *testing.T) {
 }
 
 func TestAblationPrecision(t *testing.T) {
+	t.Parallel()
 	o := fastOptions("hashmap")
 	tbl, err := AblationPrecision(o)
 	if err != nil {
@@ -219,6 +234,7 @@ func TestAblationPrecision(t *testing.T) {
 }
 
 func TestRunRepeated(t *testing.T) {
+	t.Parallel()
 	o := fastOptions("hashmap")
 	o.Requests = 40_000
 	rs, err := RunRepeated(o, []int64{1, 2}, nil)
@@ -240,6 +256,7 @@ func TestRunRepeated(t *testing.T) {
 }
 
 func TestRunRepeatedDefaultSeeds(t *testing.T) {
+	t.Parallel()
 	o := fastOptions("parsec")
 	o.Requests = 30_000
 	rs, err := RunRepeated(o, nil, nil)
@@ -252,6 +269,7 @@ func TestRunRepeatedDefaultSeeds(t *testing.T) {
 }
 
 func TestRunRepeatedUnknownBenchmark(t *testing.T) {
+	t.Parallel()
 	if _, err := RunRepeated(fastOptions("nope"), []int64{1}, nil); err == nil {
 		t.Error("unknown benchmark accepted")
 	}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func fastGrid() engine.Grid {
+	return engine.Grid{
+		Workloads: []string{"hashmap", "parsec"},
+		Policies:  []string{"lru", "gmm-caching-eviction"},
+		CacheMB:   []int{16},
+		Seeds:     []int64{1, 2},
+		Requests:  30_000,
+		K:         8,
+	}
+}
+
+func TestRunGrid(t *testing.T) {
+	t.Parallel()
+	o := fastOptions()
+	scens, err := fastGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	results, err := RunGrid(o, scens, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(scens) {
+		t.Fatalf("results = %d, want %d", len(results), len(scens))
+	}
+	for i, r := range results {
+		if r.Scenario.Index != i {
+			t.Errorf("result %d carries scenario %d", i, r.Scenario.Index)
+		}
+		if r.Result.Cache.Accesses() != uint64(r.Scenario.Requests) {
+			t.Errorf("%s: %d accesses, want %d",
+				r.Scenario.Label(), r.Result.Cache.Accesses(), r.Scenario.Requests)
+		}
+	}
+	if got := strings.Count(sb.String(), "\n"); got != len(scens) {
+		t.Errorf("progress lines = %d, want %d", got, len(scens))
+	}
+	out := GridTable(results).String()
+	for _, want := range []string{"hashmap", "parsec", "lru", "gmm-caching-eviction", "16 MiB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGridUnknownWorkload(t *testing.T) {
+	t.Parallel()
+	g := fastGrid()
+	g.Workloads = []string{"nosuch"}
+	scens, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunGrid(fastOptions(), scens, nil); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunGridUnknownPolicy(t *testing.T) {
+	t.Parallel()
+	g := fastGrid()
+	g.Workloads = []string{"hashmap"}
+	g.Policies = []string{"nosuch"}
+	scens, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunGrid(fastOptions(), scens, nil); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunGridBaselinePolicies(t *testing.T) {
+	t.Parallel()
+	g := fastGrid()
+	g.Workloads = []string{"hashmap"}
+	g.Policies = []string{"fifo", "lfu", "random", "clock", "slru", "srrip", "belady", "belady-bypass"}
+	g.Seeds = []int64{1}
+	g.Requests = 20_000
+	scens, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunGrid(fastOptions(), scens, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(g.Policies) {
+		t.Fatalf("results = %d, want %d", len(results), len(g.Policies))
+	}
+}
+
+// TestRunGridDeterministicAcrossWorkers is the engine's core contract: the
+// same grid at -workers=1 and -workers=8 must produce bit-identical results
+// and byte-identical progress output.
+func TestRunGridDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	scens, err := fastGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) ([]ScenarioResult, string) {
+		o := fastOptions()
+		o.Config.Workers = workers
+		var sb strings.Builder
+		results, err := RunGrid(o, scens, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, sb.String()
+	}
+	seq, seqOut := run(1)
+	par, parOut := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("grid results differ between 1 and 8 workers")
+	}
+	if seqOut != parOut {
+		t.Errorf("progress output differs between 1 and 8 workers:\n%q\nvs\n%q", seqOut, parOut)
+	}
+}
+
+// TestRunAllDeterministicAcrossWorkers pins the same contract for the
+// paper's headline comparison.
+func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	run := func(workers int) (string, string) {
+		o := fastOptions("hashmap", "stream")
+		o.Requests = 30_000
+		o.Config.Workers = workers
+		var sb strings.Builder
+		cmps, err := RunAll(o, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Fig6Table(cmps).String() + Table1(cmps).String(), sb.String()
+	}
+	seqTable, seqOut := run(1)
+	parTable, parOut := run(8)
+	if seqTable != parTable {
+		t.Errorf("tables differ between 1 and 8 workers:\n%s\nvs\n%s", seqTable, parTable)
+	}
+	if seqOut != parOut {
+		t.Errorf("progress output differs:\n%q\nvs\n%q", seqOut, parOut)
+	}
+}
+
+// TestRunRepeatedDeterministicAcrossWorkers covers the flattened
+// (benchmark × seed) fan-out and its order-sensitive Welford aggregation.
+func TestRunRepeatedDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	run := func(workers int) string {
+		o := fastOptions("hashmap")
+		o.Requests = 20_000
+		o.Config.Workers = workers
+		rs, err := RunRepeated(o, []int64{1, 2, 3}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RepeatedTable(rs).String()
+	}
+	if seq, par := run(1), run(8); seq != par {
+		t.Errorf("repeated results differ between 1 and 8 workers:\n%s\nvs\n%s", seq, par)
+	}
+}

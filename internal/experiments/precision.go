@@ -6,7 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/policy"
 	"repro/internal/stats"
-	"repro/internal/workload"
+	"repro/internal/trace"
 )
 
 // AblationPrecision compares three policy-engine datapaths on the combined
@@ -18,41 +18,42 @@ import (
 func AblationPrecision(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — policy engine datapath vs miss rate (%)",
 		"Benchmark", "LRU", "float64", "Q16.16", "diagonal cov")
-	for _, name := range o.ablationBenchmarks() {
-		g, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		tr := g.Generate(o.Requests, o.Seed)
-
-		lru, err := core.Run(tr, policy.NewLRU(), 0, o.Config)
-		if err != nil {
-			return nil, err
-		}
-
-		variants := []struct {
-			label  string
-			mutate func(*core.Config)
-		}{
-			{"float64", func(*core.Config) {}},
-			{"Q16.16", func(c *core.Config) { c.Quantized = true }},
-			{"diagonal", func(c *core.Config) { c.Train.DiagonalCov = true }},
-		}
-		row := []string{name, fmt.Sprintf("%.2f", lru.MissRatePct())}
-		for _, v := range variants {
-			cfg := o.Config
-			v.mutate(&cfg)
-			tg, err := core.Train(tr, cfg)
+	variants := []struct {
+		label  string
+		mutate func(*core.Config)
+	}{
+		{"lru", nil},
+		{"float64", func(*core.Config) {}},
+		{"Q16.16", func(c *core.Config) { c.Quantized = true }},
+		{"diagonal", func(c *core.Config) { c.Train.DiagonalCov = true }},
+	}
+	benches := o.ablationBenchmarks()
+	rows, err := sweepCells(o, benches, len(variants), func(name string, tr trace.Trace, ci int) (string, error) {
+		v := variants[ci]
+		if v.mutate == nil {
+			lru, err := core.Run(tr, policy.NewLRU(), 0, o.Config)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, v.label, err)
+				return "", err
 			}
-			r, err := core.Run(tr, tg.Policy(policy.GMMCachingEviction), cfg.GMMInference, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", r.MissRatePct()))
+			return fmt.Sprintf("%.2f", lru.MissRatePct()), nil
 		}
-		t.AddRowStrings(row...)
+		cfg := o.Config
+		v.mutate(&cfg)
+		tg, err := core.Train(tr, cfg)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: %w", name, v.label, err)
+		}
+		r, err := core.Run(tr, tg.Policy(policy.GMMCachingEviction), cfg.GMMInference, cfg)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%.2f", r.MissRatePct()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, name := range benches {
+		t.AddRowStrings(append([]string{name}, rows[bi]...)...)
 	}
 	return t, nil
 }

@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // RepeatedResult aggregates one benchmark's miss rates across seeds.
@@ -24,6 +26,11 @@ type RepeatedResult struct {
 // and aggregates mean ± std, quantifying how sensitive the headline result
 // is to trace randomness. Training repeats per seed, exactly as a fresh
 // deployment would.
+//
+// The (benchmark, seed) grid is flattened into engine tasks and sharded over
+// Config.Workers workers; aggregation walks the results in grid order, so
+// the Welford accumulators see the same observation sequence — and produce
+// the same bytes — at any worker count.
 func RunRepeated(o Options, seeds []int64, progress io.Writer) ([]*RepeatedResult, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3}
@@ -32,24 +39,41 @@ func RunRepeated(o Options, seeds []int64, progress io.Writer) ([]*RepeatedResul
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*RepeatedResult, 0, len(gens))
+	type cell struct {
+		g    workload.Generator
+		seed int64
+	}
+	cells := make([]cell, 0, len(gens)*len(seeds))
 	for _, g := range gens {
-		rr := &RepeatedResult{Benchmark: g.Name(), Seeds: len(seeds)}
 		for _, seed := range seeds {
-			tr := g.Generate(o.Requests, seed)
-			cmp, err := core.Compare(g.Name(), tr, o.Config)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s seed %d: %w", g.Name(), seed, err)
-			}
-			lru := cmp.LRU.MissRatePct()
-			best := cmp.BestGMM().MissRatePct()
-			rr.LRU.Observe(lru)
-			rr.BestGMM.Observe(best)
-			rr.Decrease.Observe(lru - best)
-			if progress != nil {
-				fmt.Fprintf(progress, "%-9s seed %-3d LRU %.2f%% best %.2f%%\n",
-					g.Name(), seed, lru, best)
-			}
+			cells = append(cells, cell{g, seed})
+		}
+	}
+	em := engine.NewOrderedEmitter(progress)
+	defer em.Flush()
+	type missPair struct{ lru, best float64 }
+	pairs, err := engine.Map(o.runner(), cells, func(i int, c cell) (missPair, error) {
+		tr := c.g.Generate(o.Requests, c.seed)
+		cmp, err := core.Compare(c.g.Name(), tr, o.Config)
+		if err != nil {
+			return missPair{}, fmt.Errorf("experiments: %s seed %d: %w", c.g.Name(), c.seed, err)
+		}
+		p := missPair{lru: cmp.LRU.MissRatePct(), best: cmp.BestGMM().MissRatePct()}
+		em.Emit(i, fmt.Sprintf("%-9s seed %-3d LRU %.2f%% best %.2f%%\n",
+			c.g.Name(), c.seed, p.lru, p.best))
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*RepeatedResult, 0, len(gens))
+	for gi, g := range gens {
+		rr := &RepeatedResult{Benchmark: g.Name(), Seeds: len(seeds)}
+		for si := range seeds {
+			p := pairs[gi*len(seeds)+si]
+			rr.LRU.Observe(p.lru)
+			rr.BestGMM.Observe(p.best)
+			rr.Decrease.Observe(p.lru - p.best)
 		}
 		out = append(out, rr)
 	}

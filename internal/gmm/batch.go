@@ -1,0 +1,80 @@
+package gmm
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// scoreBlock is the number of points scored per block. A block's scratch is
+// K*scoreBlock float64s (128 KiB at the paper's K = 256), sized to stay in
+// L2 while amortizing the per-component parameter loads across the block.
+const scoreBlock = 64
+
+// LogScoreBatch writes log G(x) for every x into dst, evaluating the
+// mixture block-wise: for each block of points it streams every component's
+// Mahalanobis distances through linalg.MahalanobisSquaredBatch, then runs
+// the same max-then-sum log-sum-exp as LogScore per point. The arithmetic
+// (per-point component order included) matches LogScore exactly, so batched
+// and per-call scoring are bit-identical — the property that lets the
+// replay engine precompute scores without changing any simulation result.
+//
+// dst must be at least len(xs) long.
+func (m *Model) LogScoreBatch(xs []linalg.Vec2, dst []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	_ = dst[len(xs)-1]
+	k := len(m.Components)
+	// ld[c*scoreBlock+i] is component c's log-density at block point i.
+	ld := make([]float64, k*scoreBlock)
+	for start := 0; start < len(xs); start += scoreBlock {
+		end := start + scoreBlock
+		if end > len(xs) {
+			end = len(xs)
+		}
+		block := xs[start:end]
+		n := len(block)
+		for c := range m.Components {
+			comp := &m.Components[c]
+			row := ld[c*scoreBlock : c*scoreBlock+n]
+			linalg.MahalanobisSquaredBatch(row, block, comp.Mean, comp.precision)
+			for i := range row {
+				row[i] = comp.logCoef - 0.5*row[i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			maxLog := math.Inf(-1)
+			for c := 0; c < k; c++ {
+				if v := ld[c*scoreBlock+i]; v > maxLog {
+					maxLog = v
+				}
+			}
+			if math.IsInf(maxLog, -1) {
+				dst[start+i] = maxLog
+				continue
+			}
+			sum := 0.0
+			for c := 0; c < k; c++ {
+				sum += math.Exp(ld[c*scoreBlock+i] - maxLog)
+			}
+			dst[start+i] = maxLog + math.Log(sum)
+		}
+	}
+}
+
+// ScorePageTimeBatch is the block form of ScorePageTime: it fills dst with
+// the mixture density at each (page, timestamp) pair. It implements the
+// policy package's BatchScorer interface, the hook the replay engine uses to
+// precompute per-access scores in blocks instead of one inference call per
+// access.
+func (m *Model) ScorePageTimeBatch(pages, times, dst []float64) {
+	xs := make([]linalg.Vec2, len(pages))
+	for i := range pages {
+		xs[i] = linalg.V2(pages[i], times[i])
+	}
+	m.LogScoreBatch(xs, dst)
+	for i := range dst[:len(xs)] {
+		dst[i] = math.Exp(dst[i])
+	}
+}

@@ -1,0 +1,104 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// batchTestModel builds a mixture spread over the unit square, large enough
+// to exercise several blocks per call.
+func batchTestModel(t testing.TB, k int) *Model {
+	t.Helper()
+	comps := make([]Component, k)
+	for i := range comps {
+		comps[i] = Component{
+			Weight: float64(i + 1),
+			Mean:   linalg.V2(float64(i)/float64(k), float64(i%7)/7),
+			Cov:    linalg.Sym2{XX: 0.02, XY: 0.005, YY: 0.03},
+		}
+	}
+	m, err := New(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLogScoreBatchMatchesScalar(t *testing.T) {
+	t.Parallel()
+	m := batchTestModel(t, 17)
+	rng := rand.New(rand.NewSource(1))
+	// Spread points well outside the training range too, where densities
+	// underflow and the log-sum-exp guard matters.
+	xs := make([]linalg.Vec2, 3*scoreBlock+5)
+	for i := range xs {
+		xs[i] = linalg.V2(rng.Float64()*40-20, rng.Float64()*40-20)
+	}
+	dst := make([]float64, len(xs))
+	m.LogScoreBatch(xs, dst)
+	for i, x := range xs {
+		want := m.LogScore(x)
+		if dst[i] != want && !(math.IsInf(dst[i], -1) && math.IsInf(want, -1)) {
+			t.Fatalf("point %d: batch %v != scalar %v (must be bit-identical)", i, dst[i], want)
+		}
+	}
+}
+
+func TestScorePageTimeBatchMatchesScalar(t *testing.T) {
+	t.Parallel()
+	m := batchTestModel(t, 5)
+	rng := rand.New(rand.NewSource(2))
+	n := scoreBlock + 3
+	pages := make([]float64, n)
+	times := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range pages {
+		pages[i] = rng.Float64()
+		times[i] = rng.Float64()
+	}
+	m.ScorePageTimeBatch(pages, times, dst)
+	for i := range pages {
+		if want := m.ScorePageTime(pages[i], times[i]); dst[i] != want {
+			t.Fatalf("point %d: batch %v != scalar %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestLogScoreBatchEmpty(t *testing.T) {
+	t.Parallel()
+	m := batchTestModel(t, 3)
+	m.LogScoreBatch(nil, nil) // must not panic
+	m.ScorePageTimeBatch(nil, nil, nil)
+}
+
+func BenchmarkScoreScalar(b *testing.B) {
+	m := batchTestModel(b, 256)
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]linalg.Vec2, 4096)
+	for i := range xs {
+		xs[i] = linalg.V2(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			m.LogScore(x)
+		}
+	}
+}
+
+func BenchmarkScoreBatch(b *testing.B) {
+	m := batchTestModel(b, 256)
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]linalg.Vec2, 4096)
+	dst := make([]float64, len(xs))
+	for i := range xs {
+		xs[i] = linalg.V2(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LogScoreBatch(xs, dst)
+	}
+}

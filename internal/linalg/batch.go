@@ -1,0 +1,19 @@
+package linalg
+
+// MahalanobisSquaredBatch writes (x_i - mu)^T sigmaInv (x_i - mu) for every
+// x into dst. It is the block form of MahalanobisSquared: the caller hoists
+// one component's mean and precision and streams a block of points through
+// them, which keeps the component parameters in registers instead of
+// reloading them per point. dst must be at least len(xs) long.
+//
+// Each distance is computed with exactly the arithmetic of
+// MahalanobisSquared, so batched and per-point scoring are bit-identical.
+func MahalanobisSquaredBatch(dst []float64, xs []Vec2, mu Vec2, sigmaInv Sym2) {
+	if len(xs) == 0 {
+		return
+	}
+	_ = dst[len(xs)-1]
+	for i, x := range xs {
+		dst[i] = sigmaInv.QuadForm(x.Sub(mu))
+	}
+}

@@ -15,6 +15,33 @@ type Scorer interface {
 	ScorePageTime(page, timestamp float64) float64
 }
 
+// BatchScorer is implemented by scorers that can evaluate blocks of points
+// in one call (gmm.Model does, through linalg block kernels). Batched and
+// per-call scoring must be bit-identical so callers may use either path
+// without perturbing simulation results.
+type BatchScorer interface {
+	Scorer
+	// ScorePageTimeBatch fills dst[i] with the score at (pages[i], times[i]).
+	ScorePageTimeBatch(pages, times, dst []float64)
+}
+
+// ScoreSamples evaluates the scorer over normalized samples, using the
+// batch path when the scorer provides one.
+func ScoreSamples(s Scorer, samples []trace.Sample, dst []float64) {
+	if bs, ok := s.(BatchScorer); ok {
+		pages := make([]float64, len(samples))
+		times := make([]float64, len(samples))
+		for i, sm := range samples {
+			pages[i], times[i] = sm.Page, sm.Timestamp
+		}
+		bs.ScorePageTimeBatch(pages, times, dst)
+		return
+	}
+	for i, sm := range samples {
+		dst[i] = s.ScorePageTime(sm.Page, sm.Timestamp)
+	}
+}
+
 // GMMMode selects which of the paper's three strategies (Fig. 6) the policy
 // applies.
 type GMMMode int
@@ -64,6 +91,12 @@ type GMM struct {
 	curScore float64
 	curValid bool
 	curTime  int
+
+	// pre holds precomputed per-access scores (index = arrival order) when
+	// the caller batch-scored the replay up front; accesses beyond its
+	// length fall back to live inference. reqIdx counts OnAccess calls.
+	pre    []float64
+	reqIdx int
 }
 
 // GMMConfig assembles a GMM policy.
@@ -81,6 +114,12 @@ type GMMConfig struct {
 	Threshold float64
 	// Mode picks the Fig. 6 strategy.
 	Mode GMMMode
+	// Scores optionally supplies precomputed per-access scores aligned with
+	// the replay order (entry i belongs to the i-th access of the trace).
+	// When set, the policy reads scores instead of invoking the Scorer,
+	// letting the replay engine batch all inference up front; batched
+	// scoring is bit-identical to live scoring, so results do not change.
+	Scores []float64
 }
 
 // NewGMM builds the policy engine.
@@ -91,6 +130,7 @@ func NewGMM(cfg GMMConfig) *GMM {
 		tt:        trace.NewTimestampTransformer(cfg.Transform),
 		threshold: cfg.Threshold,
 		mode:      cfg.Mode,
+		pre:       cfg.Scores,
 	}
 }
 
@@ -118,15 +158,22 @@ func (p *GMM) Attach(numSets, ways int) {
 func (p *GMM) OnAccess(req cache.Request) {
 	p.curTime = p.tt.Next()
 	p.curValid = false
+	p.reqIdx++
 }
 
-// score runs one GMM inference for the current request.
+// score returns the GMM score for the current request: the precomputed
+// per-access score when the replay was batch-scored up front, one live
+// inference otherwise.
 func (p *GMM) score(page uint64) float64 {
 	if p.curValid {
 		return p.curScore
 	}
-	np, nt := p.norm.ApplyPageTime(page, p.curTime)
-	p.curScore = p.scorer.ScorePageTime(np, nt)
+	if i := p.reqIdx - 1; i >= 0 && i < len(p.pre) {
+		p.curScore = p.pre[i]
+	} else {
+		np, nt := p.norm.ApplyPageTime(page, p.curTime)
+		p.curScore = p.scorer.ScorePageTime(np, nt)
+	}
 	p.curValid = true
 	return p.curScore
 }
@@ -184,14 +231,17 @@ func (p *GMM) OnInsert(setIdx, way int, req cache.Request) {
 // track each benchmark's density scale, since absolute GMM densities vary
 // by orders of magnitude across traces.
 func CalibrateThreshold(s Scorer, samples []trace.Sample, pct float64) float64 {
+	return CalibrateThresholds(s, samples, []float64{pct})[0]
+}
+
+// CalibrateThresholds computes the thresholds for several quantiles from a
+// single (batched) scoring pass over the samples — the path the empirical
+// threshold sweep uses, where re-scoring the training set per candidate
+// would dominate the sweep's cost.
+func CalibrateThresholds(s Scorer, samples []trace.Sample, pcts []float64) []float64 {
+	out := make([]float64, len(pcts))
 	if len(samples) == 0 {
-		return 0
-	}
-	if pct < 0 {
-		pct = 0
-	}
-	if pct > 1 {
-		pct = 1
+		return out
 	}
 	// Subsample large training sets; the quantile is insensitive to it.
 	const maxN = 8192
@@ -199,17 +249,30 @@ func CalibrateThreshold(s Scorer, samples []trace.Sample, pct float64) float64 {
 	if len(samples) > maxN {
 		stride = len(samples) / maxN
 	}
-	scores := make([]float64, 0, maxN)
+	sub := make([]trace.Sample, 0, maxN)
 	for i := 0; i < len(samples); i += stride {
-		sc := s.ScorePageTime(samples[i].Page, samples[i].Timestamp)
+		sub = append(sub, samples[i])
+	}
+	scores := make([]float64, len(sub))
+	ScoreSamples(s, sub, scores)
+	kept := scores[:0]
+	for _, sc := range scores {
 		if !math.IsNaN(sc) {
-			scores = append(scores, sc)
+			kept = append(kept, sc)
 		}
 	}
-	if len(scores) == 0 {
-		return 0
+	if len(kept) == 0 {
+		return out
 	}
-	sort.Float64s(scores)
-	idx := int(pct * float64(len(scores)-1))
-	return scores[idx]
+	sort.Float64s(kept)
+	for i, pct := range pcts {
+		if pct < 0 {
+			pct = 0
+		}
+		if pct > 1 {
+			pct = 1
+		}
+		out[i] = kept[int(pct*float64(len(kept)-1))]
+	}
+	return out
 }
