@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet fmt-check ci
+.PHONY: build test race bench serve-smoke fmt vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Benchmark smoke: one iteration of every benchmark in the root harness,
-# enough to catch bit-rot without waiting for stable numbers.
+# Benchmark smoke: one iteration of every benchmark in the root harness and
+# the serving subsystem, enough to catch bit-rot without waiting for stable
+# numbers.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/serve
+
+# Serving smoke: a short icgmm-serve run under the race detector, exercising
+# ingest, batched admission, a drift-triggered sync refresh, and JSONL
+# metrics end to end.
+serve-smoke:
+	$(GO) run -race ./cmd/icgmm-serve -workload parsec -ops 49152 -batch 1024 \
+		-warmup 60000 -shot 500 -k 16 -shards 4 -refresh sync -drift -out /dev/null
 
 fmt:
 	gofmt -w .
@@ -31,4 +39,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race bench
+ci: fmt-check vet build race bench serve-smoke

@@ -18,12 +18,15 @@
 // benchmark set. -workers shards experiment tasks over a worker pool
 // (0 = one per core; results are bit-identical at any worker count), and
 // -grid runs a workload × policy × cache × seed scenario file through the
-// same engine.
+// same engine. With -out results.jsonl (or .csv), grid results stream to the
+// file incrementally in grid order instead of buffering the whole sweep in
+// memory — the mode for sweeps of thousands of cells.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -37,7 +40,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload generator seed")
 		seeds   = flag.Int("seeds", 3, "seed count for -exp repeat")
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default all)")
-		outd    = flag.String("out", "", "directory for CSV output (fig2); stdout tables otherwise")
+		outd    = flag.String("out", "", "fig2: directory for CSV output; grid: stream results incrementally to this .jsonl/.ndjson/.csv file instead of buffering the sweep")
 		workers = flag.Int("workers", 0, "experiment worker pool size (0 = one per core, 1 = sequential)")
 		gridP   = flag.String("grid", "", "JSON scenario grid file; implies -exp grid")
 	)
@@ -93,6 +96,30 @@ func run(exp string, o experiments.Options, outDir, gridPath string, nSeeds int)
 	case "grid":
 		if gridPath == "" {
 			return fmt.Errorf("-exp grid needs -grid <file.json>")
+		}
+		if outDir != "" {
+			// Stream scenario results to the file as they finish instead of
+			// buffering the whole sweep; rows land in grid order. Validate
+			// the format before creating the file so a typoed extension
+			// does not leave an empty file behind.
+			if _, err := experiments.SinkForPath(outDir, io.Discard); err != nil {
+				return err
+			}
+			f, err := os.Create(outDir)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sink, err := experiments.SinkForPath(outDir, f)
+			if err != nil {
+				return err
+			}
+			n, err := experiments.RunGridFileStream(gridPath, o, sink, os.Stderr)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("streamed %d scenarios to %s\n", n, outDir)
+			return nil
 		}
 		results, err := experiments.RunGridFile(gridPath, o, os.Stderr)
 		if err != nil {

@@ -30,16 +30,17 @@ func main() {
 		shot    = flag.Int("shot", 10000, "Algorithm 1 len_access_shot")
 		diag    = flag.Bool("diag", false, "constrain covariances to be diagonal (cheaper hardware datapath)")
 		chooseK = flag.Bool("choose-k", false, "select K from {16,32,64,128,256} by BIC instead of -k")
+		workers = flag.Int("workers", 0, "E-step worker pool size (0 = one per core, 1 = sequential; results identical at any value)")
 	)
 	flag.Parse()
 
-	if err := run(*inPath, *format, *out, *k, *iters, *tol, *seed, *maxSamp, *window, *shot, *diag, *chooseK); err != nil {
+	if err := run(*inPath, *format, *out, *k, *iters, *tol, *seed, *maxSamp, *window, *shot, *diag, *chooseK, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "gmmtrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, format, out string, k, iters int, tol float64, seed int64, maxSamp, window, shot int, diag, chooseK bool) error {
+func run(inPath, format, out string, k, iters int, tol float64, seed int64, maxSamp, window, shot int, diag, chooseK bool, workers int) error {
 	if inPath == "" {
 		return fmt.Errorf("missing -trace")
 	}
@@ -67,7 +68,7 @@ func run(inPath, format, out string, k, iters int, tol float64, seed int64, maxS
 	tcfg.LenAccessShot = shot
 	cfg := gmm.TrainConfig{
 		K: k, MaxIters: iters, Tol: tol, Seed: seed, MaxSamples: maxSamp,
-		DiagonalCov: diag,
+		DiagonalCov: diag, Workers: workers,
 	}
 	var res *gmm.TrainResult
 	var norm trace.Normalizer

@@ -1,0 +1,177 @@
+// Command icgmm-serve runs the online serving subsystem: a sharded cache
+// service that models the ICGMM device under live open-loop traffic, with
+// batched GMM admission, per-partition cxl/hbm/ssd latency accounting, and
+// optional online model refresh when the hit ratio drifts.
+//
+// Usage:
+//
+//	icgmm-serve -workload dlrm -ops 2000000 -shards 8 -out metrics.jsonl
+//	icgmm-serve -workload memtier -duration 10s -refresh async
+//	icgmm-serve -workload dlrm -ops 1000000 -drift -refresh sync
+//
+// The service first trains an initial GMM on a warm-up trace from the same
+// generator, then serves -ops requests (or ingests until -duration of wall
+// time passes). Metrics stream as JSONL to -out (default stdout): "interval"
+// records while serving, then "partition" and "summary" records. For a fixed
+// seed and -refresh off|sync, every metric is bit-identical at any -shards
+// value; a closing "wall" line on stderr reports (non-deterministic)
+// wall-clock throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		shards     = flag.Int("shards", 0, "shard worker pool size (0 = one per core, 1 = sequential; results identical at any value)")
+		partitions = flag.Int("partitions", 16, "fixed address partitions (part of the simulated configuration)")
+		ops        = flag.Uint64("ops", 2_000_000, "requests to serve")
+		duration   = flag.Duration("duration", 0, "wall-clock ingest bound; stops early even if -ops remain")
+		bench      = flag.String("workload", "dlrm", "workload generator (see cmd/tracegen for names)")
+		seed       = flag.Int64("seed", 1, "workload and training seed")
+		rate       = flag.Float64("rate", 1e6, "open-loop arrival rate in req/s (0 = saturating)")
+		burst      = flag.Float64("burst", 0, "sinusoidal rate modulation amplitude [0,1)")
+		drift      = flag.Bool("drift", false, "shift the working set halfway through -ops (exercises refresh)")
+		refresh    = flag.String("refresh", "off", "online model refresh: off|sync|async (sync keeps determinism, async never blocks serving)")
+		warmup     = flag.Int("warmup", 200_000, "warm-up trace length for initial training")
+		cacheMB    = flag.Int("cache-mb", 64, "total device cache size in MiB")
+		ways       = flag.Int("ways", 8, "cache associativity")
+		k          = flag.Int("k", 64, "GMM components")
+		window     = flag.Int("window", 32, "Algorithm 1 len_window")
+		shot       = flag.Int("shot", 2000, "Algorithm 1 len_access_shot (window*shot must fit in the trimmed warm-up)")
+		batch      = flag.Int("batch", 8192, "ingest batch size (batched GMM admission unit)")
+		report     = flag.Int("report", 16, "batches per interval metrics record")
+		out        = flag.String("out", "", "JSONL metrics file (default stdout)")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		shards: *shards, partitions: *partitions, ops: *ops, duration: *duration,
+		bench: *bench, seed: *seed, rate: *rate, burst: *burst, drift: *drift,
+		refresh: *refresh, warmup: *warmup, cacheMB: *cacheMB, ways: *ways,
+		k: *k, window: *window, shot: *shot, batch: *batch, report: *report, out: *out,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "icgmm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	shards, partitions     int
+	ops                    uint64
+	duration               time.Duration
+	bench                  string
+	seed                   int64
+	rate, burst            float64
+	drift                  bool
+	refresh                string
+	warmup, cacheMB, ways  int
+	k, window, shot, batch int
+	report                 int
+	out                    string
+}
+
+func run(c config) error {
+	gen, err := workload.ByName(c.bench)
+	if err != nil {
+		return err
+	}
+	mode, err := serve.ParseRefreshMode(c.refresh)
+	if err != nil {
+		return err
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.Shards = c.shards
+	cfg.Partitions = c.partitions
+	cfg.Cache = cache.Config{SizeBytes: uint64(c.cacheMB) << 20, BlockBytes: trace.PageSize, Ways: c.ways}
+	cfg.Train.K = c.k
+	cfg.Train.Seed = c.seed
+	cfg.Transform.LenWindow = c.window
+	cfg.Transform.LenAccessShot = c.shot
+	cfg.BatchSize = c.batch
+	cfg.ReportEvery = c.report
+	cfg.Refresh.Mode = mode
+	if span := c.window * c.shot; float64(span) > 0.7*float64(c.warmup) {
+		fmt.Fprintf(os.Stderr,
+			"icgmm-serve: warning: access shot (%d requests) exceeds the trimmed warm-up (%d); "+
+				"serving will hit timestamp ranges the model never trained on\n", span, c.warmup)
+	}
+
+	w := os.Stdout
+	if c.out != "" {
+		f, err := os.Create(c.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg.Metrics = w
+
+	fmt.Fprintf(os.Stderr, "training initial GMM (K=%d) on %d warm-up requests of %s...\n", c.k, c.warmup, gen.Name())
+	bundle, err := serve.TrainBundle(gen.Generate(c.warmup, c.seed), cfg)
+	if err != nil {
+		return err
+	}
+	svc, err := serve.New(cfg, bundle)
+	if err != nil {
+		return err
+	}
+
+	olCfg := workload.OpenLoopConfig{
+		RatePerSec: c.rate,
+		BurstAmp:   c.burst,
+		Seed:       c.seed,
+	}
+	if c.drift {
+		olCfg.ShiftAfter = c.ops / 2
+		olCfg.ShiftOffsetPages = 1 << 30
+	}
+	ol, err := workload.NewOpenLoop(gen, olCfg)
+	if err != nil {
+		return err
+	}
+	var src serve.Source = serve.NewOpenLoopSource(ol, c.ops)
+	if c.duration > 0 {
+		src = &deadlineSource{inner: src, deadline: time.Now().Add(c.duration)}
+	}
+
+	fmt.Fprintf(os.Stderr, "serving %s: shards=%d partitions=%d batch=%d rate=%.0f/s refresh=%s\n",
+		gen.Name(), c.shards, c.partitions, c.batch, c.rate, mode)
+	start := time.Now()
+	snap, err := svc.Run(src)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Fprintf(os.Stderr,
+		"wall: served %d ops in %v (%.0f ops/s wall, %.0f ops/s virtual), hit ratio %.4f, refreshes %d\n",
+		snap.Ops, wall.Round(time.Millisecond), float64(snap.Ops)/wall.Seconds(),
+		snap.Throughput, snap.HitRatio(), snap.Refreshes)
+	return nil
+}
+
+// deadlineSource stops the stream once a wall-clock deadline passes — the
+// -duration bound. Wall time makes runs non-reproducible by construction, so
+// it wraps the deterministic source rather than living inside the service.
+type deadlineSource struct {
+	inner    serve.Source
+	deadline time.Time
+}
+
+func (d *deadlineSource) Next(dst []serve.Request) int {
+	if !time.Now().Before(d.deadline) {
+		return 0
+	}
+	return d.inner.Next(dst)
+}

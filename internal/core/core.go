@@ -126,7 +126,13 @@ func Train(tr trace.Trace, cfg Config) (*TrainedGMM, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	res, norm, err := gmm.FitTrace(tr, cfg.Transform, cfg.Train)
+	tcfg := cfg.Train
+	if tcfg.Workers == 0 {
+		// EM's E-step shards over the same worker bound as the harness
+		// fan-outs; both zero means one worker per core either way.
+		tcfg.Workers = cfg.Workers
+	}
+	res, norm, err := gmm.FitTrace(tr, cfg.Transform, tcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: training GMM: %w", err)
 	}

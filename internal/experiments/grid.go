@@ -107,16 +107,27 @@ func scenarioKey(s engine.Scenario) trainKey {
 	}
 }
 
-// RunGrid fans the scenario grid out over the run's worker pool: traces are
-// generated once per distinct (workload, seed, length), models are trained
-// once per distinct training configuration, and every scenario replay is an
-// independent engine task. Results come back in grid order and, like every
-// engine fan-out, are bit-identical at any worker count (progress lines
-// included on successful runs). progress (which may be nil) receives one
-// line per finished scenario, serialized into grid order.
-func RunGrid(o Options, scens []engine.Scenario, progress io.Writer) ([]ScenarioResult, error) {
-	runner := o.runner()
+// gridPrep holds the shared stages of a grid run: the distinct traces and
+// trained models every scenario replay draws on.
+type gridPrep struct {
+	o        Options
+	traceFor func(engine.Scenario) trace.Trace
+	models   []trained
+	trainIdx map[trainKey]int
+}
 
+// trained pairs a model with its prescored trace: the scores are threshold-
+// and mode-independent, so every GMM replay of this training shares them
+// instead of scoring live per miss.
+type trained struct {
+	tg     *core.TrainedGMM
+	scores []float64
+}
+
+// prepareGrid runs the shared stages on the worker pool: traces are
+// generated once per distinct (workload, seed, length) and models trained
+// once per distinct training configuration.
+func prepareGrid(o Options, scens []engine.Scenario, runner *engine.Runner) (*gridPrep, error) {
 	// Stage 1: distinct traces, in first-use order.
 	type traceKey struct {
 		workload string
@@ -162,13 +173,7 @@ func RunGrid(o Options, scens []engine.Scenario, progress io.Writer) ([]Scenario
 			trainScen[k] = s
 		}
 	}
-	// Each training also prescoring its trace in blocks: the scores are
-	// threshold- and mode-independent, so every GMM replay of this training
-	// shares them instead of scoring live per miss.
-	type trained struct {
-		tg     *core.TrainedGMM
-		scores []float64
-	}
+	// Each training also prescores its trace in blocks (see trained).
 	models, err := engine.Map(runner, trainKeys, func(_ int, k trainKey) (trained, error) {
 		s := trainScen[k]
 		tr := traceFor(s)
@@ -181,32 +186,82 @@ func RunGrid(o Options, scens []engine.Scenario, progress io.Writer) ([]Scenario
 	if err != nil {
 		return nil, err
 	}
+	return &gridPrep{o: o, traceFor: traceFor, models: models, trainIdx: trainIdx}, nil
+}
 
-	// Stage 3: one replay per scenario.
+// run replays one scenario against the shared prep.
+func (gp *gridPrep) run(s engine.Scenario) (ScenarioResult, error) {
+	cfg := gp.o.configFor(s)
+	tr := gp.traceFor(s)
+	var pol cache.Policy
+	var overhead time.Duration
+	if mode, ok := gmmMode(s.Policy); ok {
+		m := gp.models[gp.trainIdx[scenarioKey(s)]]
+		pol, overhead = m.tg.PolicyPrescored(mode, m.scores), cfg.GMMInference
+	} else {
+		var err error
+		pol, overhead, err = PolicyByName(s.Policy, tr, nil, cfg)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+	}
+	res, err := core.Run(tr, pol, overhead, cfg)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("experiments: %s: %w", s.Label(), err)
+	}
+	return ScenarioResult{Scenario: s, Result: res}, nil
+}
+
+// progressLine renders one scenario's progress output.
+func progressLine(r ScenarioResult) string {
+	return fmt.Sprintf("%-44s miss %6.2f%%  avg latency %v\n",
+		r.Scenario.Label(), r.Result.MissRatePct(), r.Result.AvgLatency)
+}
+
+// RunGrid fans the scenario grid out over the run's worker pool (see
+// prepareGrid); every scenario replay is an independent engine task. Results
+// come back in grid order and, like every engine fan-out, are bit-identical
+// at any worker count (progress lines included on successful runs). progress
+// (which may be nil) receives one line per finished scenario, serialized
+// into grid order. For sweeps too large to buffer, use RunGridStream.
+func RunGrid(o Options, scens []engine.Scenario, progress io.Writer) ([]ScenarioResult, error) {
+	runner := o.runner()
+	gp, err := prepareGrid(o, scens, runner)
+	if err != nil {
+		return nil, err
+	}
 	em := engine.NewOrderedEmitter(progress)
 	defer em.Flush()
 	return engine.Map(runner, scens, func(i int, s engine.Scenario) (ScenarioResult, error) {
-		cfg := o.configFor(s)
-		tr := traceFor(s)
-		var pol cache.Policy
-		var overhead time.Duration
-		if mode, ok := gmmMode(s.Policy); ok {
-			m := models[trainIdx[scenarioKey(s)]]
-			pol, overhead = m.tg.PolicyPrescored(mode, m.scores), cfg.GMMInference
-		} else {
-			var err error
-			pol, overhead, err = PolicyByName(s.Policy, tr, nil, cfg)
-			if err != nil {
-				return ScenarioResult{}, err
-			}
-		}
-		res, err := core.Run(tr, pol, overhead, cfg)
+		res, err := gp.run(s)
 		if err != nil {
-			return ScenarioResult{}, fmt.Errorf("experiments: %s: %w", s.Label(), err)
+			return ScenarioResult{}, err
 		}
-		em.Emit(i, fmt.Sprintf("%-44s miss %6.2f%%  avg latency %v\n",
-			s.Label(), res.MissRatePct(), res.AvgLatency))
-		return ScenarioResult{Scenario: s, Result: res}, nil
+		em.Emit(i, progressLine(res))
+		return res, nil
+	})
+}
+
+// RunGridStream is RunGrid for sweeps that should not be buffered whole:
+// each finished scenario is handed to the sink incrementally, in grid order
+// (out-of-order completions wait in a bounded reorder window), and no result
+// slice is retained. A sink error aborts the run like a failing scenario.
+func RunGridStream(o Options, scens []engine.Scenario, sink ResultSink, progress io.Writer) error {
+	runner := o.runner()
+	gp, err := prepareGrid(o, scens, runner)
+	if err != nil {
+		return err
+	}
+	em := engine.NewOrderedEmitter(progress)
+	defer em.Flush()
+	ord := newOrderedSink(sink)
+	return engine.ForEach(runner, scens, func(i int, s engine.Scenario) error {
+		res, err := gp.run(s)
+		if err != nil {
+			return err
+		}
+		em.Emit(i, progressLine(res))
+		return ord.emit(i, res)
 	})
 }
 

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// ResultSink consumes scenario results incrementally, in grid order. Sinks
+// are called from the streaming runner's ordered-delivery layer, one call at
+// a time (never concurrently).
+type ResultSink interface {
+	Emit(ScenarioResult) error
+	Close() error
+}
+
+// GridRecord is the flat, serialization-stable view of one scenario result:
+// the JSONL object and the CSV row both spell exactly these fields, so
+// downstream tooling can join streams from different runs on the scenario
+// columns.
+type GridRecord struct {
+	Index        int     `json:"index"`
+	Workload     string  `json:"workload"`
+	Policy       string  `json:"policy"`
+	CacheMB      int     `json:"cache_mb"`
+	Ways         int     `json:"ways"`
+	Seed         int64   `json:"seed"`
+	Requests     int     `json:"requests"`
+	K            int     `json:"k"`
+	MissPct      float64 `json:"miss_pct"`
+	Bypasses     uint64  `json:"bypasses"`
+	AvgLatencyNs int64   `json:"avg_latency_ns"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	SSDReads     uint64  `json:"ssd_reads"`
+	SSDWrites    uint64  `json:"ssd_writes"`
+}
+
+// RecordFor flattens one scenario result.
+func RecordFor(r ScenarioResult) GridRecord {
+	return GridRecord{
+		Index:        r.Scenario.Index,
+		Workload:     r.Scenario.Workload,
+		Policy:       r.Scenario.Policy,
+		CacheMB:      r.Scenario.CacheMB,
+		Ways:         r.Scenario.Ways,
+		Seed:         r.Scenario.Seed,
+		Requests:     r.Scenario.Requests,
+		K:            r.Scenario.K,
+		MissPct:      r.Result.MissRatePct(),
+		Bypasses:     r.Result.Cache.Bypasses,
+		AvgLatencyNs: r.Result.AvgLatency.Nanoseconds(),
+		P50Ns:        r.Result.Latency.P50.Nanoseconds(),
+		P99Ns:        r.Result.Latency.P99.Nanoseconds(),
+		SSDReads:     r.Result.SSDReads,
+		SSDWrites:    r.Result.SSDWrites,
+	}
+}
+
+// jsonlSink streams one JSON object per line.
+type jsonlSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink streams results to w as JSON Lines.
+func NewJSONLSink(w io.Writer) ResultSink {
+	return &jsonlSink{enc: json.NewEncoder(w)}
+}
+
+func (s *jsonlSink) Emit(r ScenarioResult) error { return s.enc.Encode(RecordFor(r)) }
+func (s *jsonlSink) Close() error                { return nil }
+
+// csvSink streams a header plus one row per result, flushed per row so a
+// killed sweep leaves every completed scenario on disk.
+type csvSink struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSVSink streams results to w as CSV.
+func NewCSVSink(w io.Writer) ResultSink {
+	return &csvSink{w: csv.NewWriter(w)}
+}
+
+var csvHeader = []string{
+	"index", "workload", "policy", "cache_mb", "ways", "seed", "requests", "k",
+	"miss_pct", "bypasses", "avg_latency_ns", "p50_ns", "p99_ns", "ssd_reads", "ssd_writes",
+}
+
+func (s *csvSink) Emit(r ScenarioResult) error {
+	if !s.header {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.header = true
+	}
+	rec := RecordFor(r)
+	if err := s.w.Write([]string{
+		strconv.Itoa(rec.Index), rec.Workload, rec.Policy,
+		strconv.Itoa(rec.CacheMB), strconv.Itoa(rec.Ways),
+		strconv.FormatInt(rec.Seed, 10), strconv.Itoa(rec.Requests), strconv.Itoa(rec.K),
+		strconv.FormatFloat(rec.MissPct, 'f', 4, 64),
+		strconv.FormatUint(rec.Bypasses, 10),
+		strconv.FormatInt(rec.AvgLatencyNs, 10),
+		strconv.FormatInt(rec.P50Ns, 10), strconv.FormatInt(rec.P99Ns, 10),
+		strconv.FormatUint(rec.SSDReads, 10), strconv.FormatUint(rec.SSDWrites, 10),
+	}); err != nil {
+		return err
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+func (s *csvSink) Close() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// SinkForPath picks the stream format from the file extension: .jsonl or
+// .ndjson for JSON Lines, .csv for CSV.
+func SinkForPath(path string, w io.Writer) (ResultSink, error) {
+	switch filepath.Ext(path) {
+	case ".jsonl", ".ndjson":
+		return NewJSONLSink(w), nil
+	case ".csv":
+		return NewCSVSink(w), nil
+	}
+	return nil, fmt.Errorf("experiments: cannot infer stream format from %q (want .jsonl, .ndjson or .csv)", path)
+}
+
+// orderedSink serializes concurrent scenario completions into grid order
+// before they reach the sink: task i's result is held until results 0..i-1
+// have been emitted, mirroring engine.OrderedEmitter for structured values.
+// A sink error is sticky and propagates to the task that hit it (and every
+// later task), so the engine aborts the sweep with it.
+type orderedSink struct {
+	sink ResultSink
+	mu   sync.Mutex
+	next int
+	buf  map[int]ScenarioResult
+	err  error
+}
+
+func newOrderedSink(sink ResultSink) *orderedSink {
+	return &orderedSink{sink: sink, buf: make(map[int]ScenarioResult)}
+}
+
+func (o *orderedSink) emit(i int, r ScenarioResult) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.err != nil {
+		return o.err
+	}
+	o.buf[i] = r
+	for {
+		res, ok := o.buf[o.next]
+		if !ok {
+			return nil
+		}
+		delete(o.buf, o.next)
+		o.next++
+		if err := o.sink.Emit(res); err != nil {
+			o.err = err
+			return err
+		}
+	}
+}
+
+// RunGridFileStream loads a grid declaration, expands it, and streams it to
+// the sink (see RunGridStream), returning the scenario count.
+func RunGridFileStream(path string, o Options, sink ResultSink, progress io.Writer) (int, error) {
+	g, err := engine.LoadGrid(path)
+	if err != nil {
+		return 0, err
+	}
+	scens, err := g.Expand()
+	if err != nil {
+		return 0, err
+	}
+	if err := RunGridStream(o, scens, sink, progress); err != nil {
+		return 0, err
+	}
+	return len(scens), sink.Close()
+}

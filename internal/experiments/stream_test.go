@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// collectSink retains emitted results for assertions.
+type collectSink struct {
+	got    []ScenarioResult
+	closed bool
+}
+
+func (s *collectSink) Emit(r ScenarioResult) error {
+	s.got = append(s.got, r)
+	return nil
+}
+func (s *collectSink) Close() error { s.closed = true; return nil }
+
+// TestRunGridStreamMatchesRunGrid: the streaming path must deliver exactly
+// the buffered path's results, in grid order, at any worker count.
+func TestRunGridStreamMatchesRunGrid(t *testing.T) {
+	t.Parallel()
+	o := fastOptions()
+	scens, err := fastGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunGrid(o, scens, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		o.Config.Workers = workers
+		var sink collectSink
+		if err := RunGridStream(o, scens, &sink, nil); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(sink.got) != len(want) {
+			t.Fatalf("workers=%d: streamed %d results, want %d", workers, len(sink.got), len(want))
+		}
+		for i := range want {
+			if RecordFor(sink.got[i]) != RecordFor(want[i]) {
+				t.Fatalf("workers=%d result %d: streamed %+v != buffered %+v",
+					workers, i, RecordFor(sink.got[i]), RecordFor(want[i]))
+			}
+		}
+	}
+}
+
+func TestRunGridStreamSinkErrorAborts(t *testing.T) {
+	t.Parallel()
+	o := fastOptions()
+	scens, err := fastGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	if err := RunGridStream(o, scens, failAfter(2, boom), nil); !errors.Is(err, boom) {
+		t.Fatalf("sink error not propagated: %v", err)
+	}
+}
+
+type failingSink struct {
+	n   int
+	err error
+}
+
+func failAfter(n int, err error) *failingSink { return &failingSink{n: n, err: err} }
+func (s *failingSink) Emit(ScenarioResult) error {
+	if s.n == 0 {
+		return s.err
+	}
+	s.n--
+	return nil
+}
+func (s *failingSink) Close() error { return nil }
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	t.Parallel()
+	o := fastOptions()
+	scens, err := fastGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := RunGridStream(o, scens, NewJSONLSink(&out), nil); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	var recs []GridRecord
+	for sc.Scan() {
+		var r GridRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != len(scens) {
+		t.Fatalf("got %d JSONL records, want %d", len(recs), len(scens))
+	}
+	for i, r := range recs {
+		if r.Index != i {
+			t.Fatalf("record %d carries index %d; stream out of grid order", i, r.Index)
+		}
+		if r.Workload == "" || r.Policy == "" || r.AvgLatencyNs <= 0 {
+			t.Fatalf("degenerate record: %+v", r)
+		}
+	}
+}
+
+func TestCSVSink(t *testing.T) {
+	t.Parallel()
+	o := fastOptions()
+	scens, err := fastGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sink := NewCSVSink(&out)
+	if err := RunGridStream(o, scens, sink, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(scens)+1 {
+		t.Fatalf("got %d CSV rows, want header + %d", len(rows), len(scens))
+	}
+	if rows[0][0] != "index" || rows[0][8] != "miss_pct" {
+		t.Fatalf("unexpected header: %v", rows[0])
+	}
+}
+
+func TestSinkForPath(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	if _, err := SinkForPath("out.jsonl", &sb); err != nil {
+		t.Error(err)
+	}
+	if _, err := SinkForPath("out.csv", &sb); err != nil {
+		t.Error(err)
+	}
+	if _, err := SinkForPath("out.txt", &sb); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/linalg"
 	"repro/internal/trace"
 )
@@ -36,6 +37,12 @@ type TrainConfig struct {
 	// the cheaper-datapath ablation — at the cost of not modeling
 	// page/time correlation within a component.
 	DiagonalCov bool
+	// Workers bounds the E-step fan-out: 0 uses one worker per core, 1
+	// forces sequential execution. The E-step is sharded over fixed-size
+	// point chunks whose partial statistics are reduced in chunk order, so
+	// the trained model is bit-identical at any worker count (the engine's
+	// determinism contract); Workers affects wall clock only.
+	Workers int
 }
 
 // DefaultTrainConfig mirrors the paper's deployed configuration.
@@ -116,31 +123,28 @@ func Fit(samples []trace.Sample, cfg TrainConfig) (*TrainResult, error) {
 
 	res := &TrainResult{Model: model, SamplesUsed: len(points)}
 	prevLL := math.Inf(-1)
-	resp := make([]float64, k)
-
-	// Accumulators for the M-step.
-	nk := make([]float64, k)
-	meanSum := make([]linalg.Vec2, k)
-	covSum := make([]linalg.Sym2, k)
+	runner := engine.NewRunner(cfg.Workers)
+	chunks := chunkRanges(len(points), emChunk)
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
-		for i := range nk {
-			nk[i] = 0
-			meanSum[i] = linalg.Vec2{}
-			covSum[i] = linalg.Sym2{}
+		// E-step: accumulate responsibility-weighted sufficient statistics,
+		// sharded over fixed point chunks. Chunk boundaries depend only on
+		// the point count, and the partials are reduced in chunk order below,
+		// so the accumulated statistics are independent of worker count.
+		partials, err := engine.Map(runner, chunks, func(_ int, c chunk) (*eStepStats, error) {
+			return eStep(model, points[c.lo:c.hi], k), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		ll := 0.0
-
-		// E-step: accumulate responsibility-weighted sufficient statistics.
-		for _, x := range points {
-			ll += model.Responsibilities(x, resp)
+		nk := make([]float64, k)
+		meanSum := make([]linalg.Vec2, k)
+		for _, p := range partials {
+			ll += p.ll
 			for j := 0; j < k; j++ {
-				r := resp[j]
-				if r == 0 {
-					continue
-				}
-				nk[j] += r
-				meanSum[j] = meanSum[j].Add(x.Scale(r))
+				nk[j] += p.nk[j]
+				meanSum[j] = meanSum[j].Add(p.meanSum[j])
 			}
 		}
 
@@ -159,16 +163,18 @@ func Fit(samples []trace.Sample, cfg TrainConfig) (*TrainResult, error) {
 			model.Components[j].Mean = meanSum[j].Scale(1 / nk[j])
 		}
 
-		// M-step part 2: covariances need the new means.
-		for _, x := range points {
-			model.Responsibilities(x, resp)
+		// M-step part 2: covariances need the new means; the responsibility
+		// recomputation shards over the same chunks.
+		covParts, err := engine.Map(runner, chunks, func(_ int, c chunk) ([]linalg.Sym2, error) {
+			return covStep(model, points[c.lo:c.hi], k), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		covSum := make([]linalg.Sym2, k)
+		for _, p := range covParts {
 			for j := 0; j < k; j++ {
-				r := resp[j]
-				if r == 0 {
-					continue
-				}
-				d := x.Sub(model.Components[j].Mean)
-				covSum[j] = covSum[j].Add(d.OuterSelf().Scale(r))
+				covSum[j] = covSum[j].Add(p[j])
 			}
 		}
 		for j := 0; j < k; j++ {
@@ -217,6 +223,75 @@ func FitTrace(t trace.Trace, tcfg trace.TransformConfig, cfg TrainConfig) (*Trai
 	norm := trace.FitNormalizer(samples)
 	res, err := Fit(norm.ApplyAll(samples), cfg)
 	return res, norm, err
+}
+
+// emChunk is the number of points per E-step task. The chunk layout is a
+// pure function of the point count — never of the worker count — which is
+// what keeps chunked accumulation (and therefore the trained model)
+// bit-identical at any TrainConfig.Workers value. 2048 points keep a chunk's
+// working set (points + K responsibilities) well inside L2 while leaving
+// enough tasks to feed a worker pool on the 20k-sample default training set.
+const emChunk = 2048
+
+// chunk is one half-open E-step point range.
+type chunk struct{ lo, hi int }
+
+// chunkRanges splits n points into emChunk-sized ranges.
+func chunkRanges(n, size int) []chunk {
+	out := make([]chunk, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, chunk{lo, hi})
+	}
+	return out
+}
+
+// eStepStats are one chunk's responsibility-weighted sufficient statistics.
+type eStepStats struct {
+	ll      float64
+	nk      []float64
+	meanSum []linalg.Vec2
+}
+
+// eStep accumulates first-moment sufficient statistics over one point chunk.
+// It only reads the model, so chunks evaluate concurrently.
+func eStep(model *Model, points []linalg.Vec2, k int) *eStepStats {
+	st := &eStepStats{nk: make([]float64, k), meanSum: make([]linalg.Vec2, k)}
+	resp := make([]float64, k)
+	for _, x := range points {
+		st.ll += model.Responsibilities(x, resp)
+		for j := 0; j < k; j++ {
+			r := resp[j]
+			if r == 0 {
+				continue
+			}
+			st.nk[j] += r
+			st.meanSum[j] = st.meanSum[j].Add(x.Scale(r))
+		}
+	}
+	return st
+}
+
+// covStep accumulates the second-moment statistics around the updated means
+// over one point chunk.
+func covStep(model *Model, points []linalg.Vec2, k int) []linalg.Sym2 {
+	covSum := make([]linalg.Sym2, k)
+	resp := make([]float64, k)
+	for _, x := range points {
+		model.Responsibilities(x, resp)
+		for j := 0; j < k; j++ {
+			r := resp[j]
+			if r == 0 {
+				continue
+			}
+			d := x.Sub(model.Components[j].Mean)
+			covSum[j] = covSum[j].Add(d.OuterSelf().Scale(r))
+		}
+	}
+	return covSum
 }
 
 func subsample(points []linalg.Vec2, n int, rng *rand.Rand) []linalg.Vec2 {

@@ -231,3 +231,48 @@ func TestTrainConfigSanitized(t *testing.T) {
 		t.Errorf("sanitized zero config = %+v", c)
 	}
 }
+
+// TestFitParallelEStepBitIdentical pins the E-step sharding contract: chunk
+// boundaries and the reduction order depend only on the point count, so the
+// trained model is bit-identical at any worker count.
+func TestFitParallelEStepBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := sampleMixture(6000, rng)
+	samples := samplesFromPoints(pts)
+	fit := func(workers int) *TrainResult {
+		res, err := Fit(samples, TrainConfig{K: 16, MaxIters: 12, Seed: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := fit(1), fit(8)
+	if seq.Iters != par.Iters || seq.LogLikelihood != par.LogLikelihood {
+		t.Fatalf("iters/LL differ: seq %d/%v par %d/%v",
+			seq.Iters, seq.LogLikelihood, par.Iters, par.LogLikelihood)
+	}
+	for i := range seq.History {
+		if seq.History[i] != par.History[i] {
+			t.Fatalf("history[%d]: seq %v != par %v", i, seq.History[i], par.History[i])
+		}
+	}
+	for i := range seq.Model.Components {
+		a, b := seq.Model.Components[i], par.Model.Components[i]
+		if a.Weight != b.Weight || a.Mean != b.Mean || a.Cov != b.Cov {
+			t.Fatalf("component %d differs between workers=1 and workers=8:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestChunkRanges(t *testing.T) {
+	cs := chunkRanges(5000, 2048)
+	if len(cs) != 3 || cs[0] != (chunk{0, 2048}) || cs[2] != (chunk{4096, 5000}) {
+		t.Fatalf("chunkRanges(5000, 2048) = %v", cs)
+	}
+	if got := chunkRanges(0, 2048); len(got) != 0 {
+		t.Fatalf("chunkRanges(0) = %v", got)
+	}
+	if got := chunkRanges(10, 2048); len(got) != 1 || got[0] != (chunk{0, 10}) {
+		t.Fatalf("chunkRanges(10) = %v", got)
+	}
+}

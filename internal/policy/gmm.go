@@ -97,6 +97,11 @@ type GMM struct {
 	// length fall back to live inference. reqIdx counts OnAccess calls.
 	pre    []float64
 	reqIdx int
+
+	// provided is a one-slot score supplied by ProvideScore for the next
+	// access; it takes precedence over both pre and live inference.
+	provided    float64
+	hasProvided bool
 }
 
 // GMMConfig assembles a GMM policy.
@@ -143,6 +148,24 @@ func (p *GMM) Mode() GMMMode { return p.mode }
 // Threshold returns the admission cutoff.
 func (p *GMM) Threshold() float64 { return p.threshold }
 
+// SetThreshold replaces the admission cutoff. The online serving subsystem
+// calls it at batch boundaries when a model refresh lands a recalibrated
+// threshold; scores already stored with resident blocks are untouched.
+func (p *GMM) SetThreshold(th float64) { p.threshold = th }
+
+// ProvideScore supplies the GMM score for the next access, overriding both
+// the precomputed-score slice and live inference. The serving pipeline uses
+// it after batch-scoring a whole request batch with globally-derived
+// timestamps: each shard pushes the request's score immediately before
+// presenting the request to its cache, so per-shard policies never run their
+// own (shard-local, hence wrong) Algorithm 1 clocks. The slot holds exactly
+// one score and is consumed by the access that follows; callers must provide
+// a score before every access or none.
+func (p *GMM) ProvideScore(s float64) {
+	p.provided = s
+	p.hasProvided = true
+}
+
 // Attach implements cache.Policy.
 func (p *GMM) Attach(numSets, ways int) {
 	p.base.Attach(numSets, ways)
@@ -168,7 +191,10 @@ func (p *GMM) score(page uint64) float64 {
 	if p.curValid {
 		return p.curScore
 	}
-	if i := p.reqIdx - 1; i >= 0 && i < len(p.pre) {
+	if p.hasProvided {
+		p.curScore = p.provided
+		p.hasProvided = false
+	} else if i := p.reqIdx - 1; i >= 0 && i < len(p.pre) {
 		p.curScore = p.pre[i]
 	} else {
 		np, nt := p.norm.ApplyPageTime(page, p.curTime)

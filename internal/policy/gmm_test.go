@@ -254,3 +254,53 @@ func (s *timeRecordingScorer) ScorePageTime(_, ts float64) float64 {
 	s.times = append(s.times, ts)
 	return 1
 }
+
+func TestGMMProvideScoreOverridesInference(t *testing.T) {
+	// No hot pages: live inference would score 0.01, below the 0.5 cutoff.
+	p := newTestGMM(GMMCachingEviction)
+	p.Attach(4, 2)
+
+	// Provided score above threshold: admitted despite cold inference score.
+	p.ProvideScore(0.9)
+	p.OnAccess(cache.Request{Page: 7, Seq: 0})
+	if !p.Admit(cache.Request{Page: 7, Seq: 0}) {
+		t.Fatal("provided score 0.9 not admitted")
+	}
+	// The provided score is what OnInsert stores as the eviction key.
+	p.OnInsert(int(7%4), 0, cache.Request{Page: 7, Seq: 0})
+	if got := p.scores[7%4][0]; got != 0.9 {
+		t.Fatalf("stored score = %v, want provided 0.9", got)
+	}
+
+	// Slot consumed: the next access falls back to live inference (cold).
+	p.OnAccess(cache.Request{Page: 8, Seq: 1})
+	if p.Admit(cache.Request{Page: 8, Seq: 1}) {
+		t.Fatal("stale provided score leaked into the next access")
+	}
+
+	// Provided below threshold: bypassed.
+	p.ProvideScore(0.1)
+	p.OnAccess(cache.Request{Page: 9, Seq: 2})
+	if p.Admit(cache.Request{Page: 9, Seq: 2}) {
+		t.Fatal("provided score 0.1 admitted")
+	}
+}
+
+func TestGMMSetThreshold(t *testing.T) {
+	p := newTestGMM(GMMCachingEviction, 3)
+	p.Attach(4, 2)
+	if p.Threshold() != 0.5 {
+		t.Fatalf("initial threshold = %v", p.Threshold())
+	}
+	// Raise the cutoff above the hot score: now even hot pages bypass.
+	p.SetThreshold(2)
+	p.OnAccess(cache.Request{Page: 3, Seq: 0})
+	if p.Admit(cache.Request{Page: 3, Seq: 0}) {
+		t.Fatal("hot page admitted past raised threshold")
+	}
+	p.SetThreshold(0.5)
+	p.OnAccess(cache.Request{Page: 3, Seq: 1})
+	if !p.Admit(cache.Request{Page: 3, Seq: 1}) {
+		t.Fatal("hot page rejected after restoring threshold")
+	}
+}

@@ -1,0 +1,46 @@
+package serve_test
+
+import (
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// benchmarkServe measures end-to-end serving throughput (ingest -> batched
+// GMM admission -> latency accounting) at the given shard count. The
+// ops/sec ratio across shard counts is the serving subsystem's scaling
+// curve; results are bit-identical at any shard count, so the comparison is
+// pure wall clock.
+func benchmarkServe(b *testing.B, shards int) {
+	cfg := testConfig(shards)
+	cfg.Partitions = 16
+	cfg.Cache.SizeBytes = 2 << 20
+	bundle := trainTestBundle(b, cfg)
+	const ops = 128 * 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := serve.New(cfg, bundle)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ol, err := workload.NewOpenLoop(testGen(b), workload.OpenLoopConfig{RatePerSec: 5e6, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := svc.Run(serve.NewOpenLoopSource(ol, ops))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snap.Ops != ops {
+			b.Fatalf("ops = %d", snap.Ops)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "wall-ops/sec")
+}
+
+func BenchmarkServeShards1(b *testing.B) { benchmarkServe(b, 1) }
+func BenchmarkServeShards2(b *testing.B) { benchmarkServe(b, 2) }
+func BenchmarkServeShards4(b *testing.B) { benchmarkServe(b, 4) }
+func BenchmarkServeShards8(b *testing.B) { benchmarkServe(b, 8) }

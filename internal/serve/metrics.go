@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cxl"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+)
+
+// PartitionSnapshot summarizes one partition (shard-local state).
+type PartitionSnapshot struct {
+	Partition  int
+	Ops        uint64
+	Cache      cache.Stats
+	SSD        ssd.Stats
+	Link       cxl.Stats
+	Latency    stats.Summary // sojourn time: queueing + service
+	EngineBusy time.Duration
+	// LastCompletionNs is the partition's virtual clock at the end of the
+	// run; the makespan is the maximum across partitions.
+	LastCompletionNs int64
+}
+
+// Snapshot is the aggregate view of a run, merged from partitions in
+// partition order so it is deterministic at any shard count.
+type Snapshot struct {
+	Ops     uint64
+	Batches uint64
+	// Refreshes counts installed refreshed models; RefreshesFailed counts
+	// refits that errored (the previous bundle kept serving).
+	Refreshes       uint64
+	RefreshesFailed uint64
+	Cache           cache.Stats
+	SSDReads        uint64
+	SSDWrites       uint64
+	Latency         stats.Summary
+	// MakespanNs is the virtual completion time of the whole run;
+	// Throughput is Ops divided by it (virtual ops/sec).
+	MakespanNs int64
+	Throughput float64
+	// IntervalThroughputMean/Std summarize per-reporting-interval virtual
+	// throughput (Welford over intervals).
+	IntervalThroughputMean float64
+	IntervalThroughputStd  float64
+	Partitions             []PartitionSnapshot
+}
+
+// HitRatio returns the aggregate cache hit ratio.
+func (s *Snapshot) HitRatio() float64 { return s.Cache.HitRate() }
+
+// Snapshot merges per-partition state, in partition order, into the
+// aggregate view. Safe to call between batches (never concurrently with
+// Run).
+func (s *Service) Snapshot() *Snapshot {
+	agg := stats.DefaultLatencyHistogram()
+	// Size the aggregate's sample retention for every partition's retained
+	// samples, so merged percentiles weigh all partitions instead of
+	// filling the default cap from partition 0 alone.
+	agg.SetRetention(len(s.parts) << 16)
+	snap := &Snapshot{
+		Batches:         s.batches,
+		Refreshes:       s.refresher.installed,
+		RefreshesFailed: s.refresher.failed.Load(),
+		Partitions:      make([]PartitionSnapshot, len(s.parts)),
+	}
+	for i, p := range s.parts {
+		cs := p.cache.Stats()
+		ds := p.dev.Stats()
+		agg.Merge(p.hist)
+		snap.Ops += p.ops
+		snap.Cache.Hits += cs.Hits
+		snap.Cache.Misses += cs.Misses
+		snap.Cache.Bypasses += cs.Bypasses
+		snap.Cache.Evictions += cs.Evictions
+		snap.Cache.WriteBacks += cs.WriteBacks
+		snap.Cache.Inserts += cs.Inserts
+		snap.SSDReads += ds.Reads
+		snap.SSDWrites += ds.Writes
+		if p.now > snap.MakespanNs {
+			snap.MakespanNs = p.now
+		}
+		snap.Partitions[i] = PartitionSnapshot{
+			Partition:        i,
+			Ops:              p.ops,
+			Cache:            cs,
+			SSD:              ds,
+			Link:             p.link.Stats(),
+			Latency:          p.hist.Summarize(),
+			EngineBusy:       time.Duration(p.engineBusy),
+			LastCompletionNs: p.now,
+		}
+	}
+	snap.Latency = agg.Summarize()
+	if snap.MakespanNs > 0 {
+		snap.Throughput = float64(snap.Ops) / (float64(snap.MakespanNs) / 1e9)
+	}
+	snap.IntervalThroughputMean = s.intervalThroughput.Mean()
+	snap.IntervalThroughputStd = s.intervalThroughput.Std()
+	return snap
+}
+
+// metricRecord is one JSONL line. Kind distinguishes the record types:
+// "interval" (periodic aggregate), "refresh" (a model install), "partition"
+// (final per-partition summary) and "summary" (final aggregate). All values
+// are virtual-time quantities, so sync-refresh runs emit byte-identical
+// metric streams at any shard count.
+type metricRecord struct {
+	Kind      string `json:"kind"`
+	Batch     uint64 `json:"batch,omitempty"`
+	Partition *int   `json:"partition,omitempty"`
+	Ops       uint64 `json:"ops,omitempty"`
+	// HitRatio is cumulative over the record's scope (the run so far for
+	// interval/summary records, the partition for partition records);
+	// BatchHitRatio is the most recent batch alone — the drift detector's
+	// input — and appears only on interval records.
+	HitRatio        float64  `json:"hit_ratio"`
+	BatchHitRatio   *float64 `json:"batch_hit_ratio,omitempty"`
+	Bypasses        uint64   `json:"bypasses,omitempty"`
+	MeanNs          int64    `json:"mean_ns,omitempty"`
+	P50Ns           int64    `json:"p50_ns,omitempty"`
+	P99Ns           int64    `json:"p99_ns,omitempty"`
+	MaxNs           int64    `json:"max_ns,omitempty"`
+	OpsPerSec       float64  `json:"virtual_ops_per_sec,omitempty"`
+	Refreshes       uint64   `json:"refreshes,omitempty"`
+	RefreshesFailed uint64   `json:"refreshes_failed,omitempty"`
+	Threshold       float64  `json:"threshold,omitempty"`
+	SSDReads        uint64   `json:"ssd_reads,omitempty"`
+	SSDWrites       uint64   `json:"ssd_writes,omitempty"`
+}
+
+// metricsWriter serializes metric records as JSONL. A nil writer turns every
+// call into a no-op; encode errors are sticky and surfaced at the end of the
+// run instead of failing a batch mid-flight.
+type metricsWriter struct {
+	enc *json.Encoder
+	err error
+}
+
+func newMetricsWriter(w io.Writer) *metricsWriter {
+	mw := &metricsWriter{}
+	if w != nil {
+		mw.enc = json.NewEncoder(w)
+	}
+	return mw
+}
+
+func (m *metricsWriter) write(rec metricRecord) {
+	if m.enc == nil || m.err != nil {
+		return
+	}
+	m.err = m.enc.Encode(rec)
+}
+
+func (m *metricsWriter) writeRefresh(batch, installed uint64, threshold float64) {
+	m.write(metricRecord{Kind: "refresh", Batch: batch, Refreshes: installed, Threshold: threshold})
+}
+
+// emitInterval writes one periodic aggregate record and feeds the interval
+// throughput Welford. It reads only O(partitions) counters — no histogram
+// percentile sorting — so periodic reporting stays off the ingest loop's
+// critical path; p50/p99 appear in the final partition/summary records.
+func (s *Service) emitInterval(batchHitRatio float64) error {
+	var ops, hits, misses, bypasses uint64
+	var latSum, latCount, makespan int64
+	for _, p := range s.parts {
+		cs := p.cache.Stats()
+		hits += cs.Hits
+		misses += cs.Misses
+		bypasses += cs.Bypasses
+		ops += p.ops
+		latSum += p.hist.Sum()
+		latCount += p.hist.Count()
+		if p.now > makespan {
+			makespan = p.now
+		}
+	}
+	var hitRatio, throughput, mean float64
+	if hits+misses > 0 {
+		hitRatio = float64(hits) / float64(hits+misses)
+	}
+	if makespan > 0 {
+		throughput = float64(ops) / (float64(makespan) / 1e9)
+	}
+	if latCount > 0 {
+		mean = float64(latSum) / float64(latCount)
+	}
+	if makespan > s.lastMakespan {
+		dOps := ops - s.lastIntervalOps
+		dNs := makespan - s.lastMakespan
+		s.intervalThroughput.Observe(float64(dOps) / (float64(dNs) / 1e9))
+	}
+	s.lastIntervalOps = ops
+	s.lastMakespan = makespan
+	s.metrics.write(metricRecord{
+		Kind:          "interval",
+		Batch:         s.batches,
+		Ops:           ops,
+		HitRatio:      hitRatio,
+		BatchHitRatio: &batchHitRatio,
+		Bypasses:      bypasses,
+		MeanNs:        int64(mean),
+		OpsPerSec:     throughput,
+		Refreshes:     s.refresher.installed,
+	})
+	return s.metrics.err
+}
+
+// writeFinal emits the per-partition and aggregate summary records.
+func (m *metricsWriter) writeFinal(snap *Snapshot) error {
+	for i := range snap.Partitions {
+		ps := &snap.Partitions[i]
+		idx := ps.Partition
+		ops := float64(0)
+		if snap.MakespanNs > 0 {
+			ops = float64(ps.Ops) / (float64(snap.MakespanNs) / 1e9)
+		}
+		m.write(metricRecord{
+			Kind:      "partition",
+			Partition: &idx,
+			Ops:       ps.Ops,
+			HitRatio:  ps.Cache.HitRate(),
+			Bypasses:  ps.Cache.Bypasses,
+			MeanNs:    int64(ps.Latency.Mean),
+			P50Ns:     int64(ps.Latency.P50),
+			P99Ns:     int64(ps.Latency.P99),
+			MaxNs:     int64(ps.Latency.Max),
+			OpsPerSec: ops,
+			SSDReads:  ps.SSD.Reads,
+			SSDWrites: ps.SSD.Writes,
+		})
+	}
+	m.write(metricRecord{
+		Kind:            "summary",
+		Ops:             snap.Ops,
+		HitRatio:        snap.HitRatio(),
+		Bypasses:        snap.Cache.Bypasses,
+		MeanNs:          int64(snap.Latency.Mean),
+		P50Ns:           int64(snap.Latency.P50),
+		P99Ns:           int64(snap.Latency.P99),
+		MaxNs:           int64(snap.Latency.Max),
+		OpsPerSec:       snap.Throughput,
+		Refreshes:       snap.Refreshes,
+		RefreshesFailed: snap.RefreshesFailed,
+		SSDReads:        snap.SSDReads,
+		SSDWrites:       snap.SSDWrites,
+	})
+	return m.err
+}

@@ -1,0 +1,504 @@
+// Package serve is the online serving subsystem: a long-running, sharded
+// cache service that models the ICGMM device under live traffic instead of
+// the offline batch replay of internal/experiments. Requests from an
+// open-loop source are ingested in batches, miss-admission scores are
+// computed through the GMM's batched inference path, and every request is
+// routed through the cxl/hbm/ssd latency models of its address partition for
+// end-to-end service-time accounting. A background drift detector watches
+// the hit ratio and triggers a mini-batch EM refit whose result is
+// hot-swapped into the scoring path (see refresh.go).
+//
+// # Determinism
+//
+// The service carries the experiment engine's contract over to serving:
+// results are bit-identical at any shard count. The decomposition that makes
+// that possible is fixed logical *partitions* (each owning a slice of the
+// cache, its own policy engine, latency models and histograms, keyed by page
+// address) driven by a pool of *shards* — worker goroutines that drain
+// partitions concurrently within each batch. Admission scores derive from
+// the request's global arrival index alone (timestampFor is a pure function,
+// so per-partition policies never run shard-local Algorithm 1 clocks), and
+// aggregate metrics merge per-partition state in partition order. Shard
+// count therefore affects wall clock only; partition count is part of the
+// configuration and does change results, exactly like cache geometry.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cxl"
+	"repro/internal/engine"
+	"repro/internal/gmm"
+	"repro/internal/hbm"
+	"repro/internal/policy"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Request is one page-granular operation presented to the service.
+type Request struct {
+	// Page is the 4 KiB device page index.
+	Page uint64
+	// Write marks store requests.
+	Write bool
+	// ArrivalNs is the open-loop arrival time in virtual nanoseconds.
+	ArrivalNs int64
+	// Seq is the global arrival index; the service assigns it at ingest.
+	Seq uint64
+}
+
+// Config assembles the serving subsystem.
+type Config struct {
+	// Shards is the worker pool draining partitions each batch: 0 = one per
+	// core, 1 = sequential. Results are bit-identical at any value.
+	Shards int
+	// Partitions is the fixed logical decomposition of the address space;
+	// each partition owns Cache.SizeBytes/Partitions of cache plus its own
+	// latency models. Unlike Shards it is part of the simulated
+	// configuration: changing it changes results.
+	Partitions int
+	// Cache is the total device cache geometry, split evenly across
+	// partitions.
+	Cache cache.Config
+	// SSD is the backing-store latency profile; SSDChannels is the channel
+	// count per partition.
+	SSD         ssd.Profile
+	SSDChannels int
+	// HBM models each partition's device-DRAM banks.
+	HBM hbm.Config
+	// Link characterizes the CXL port; every request pays one round trip.
+	Link cxl.LinkConfig
+	// Mode picks the GMM strategy (default caching+eviction).
+	Mode policy.GMMMode
+	// GMMInference is the policy engine's per-miss inference latency;
+	// Overlap hides it behind the SSD access as in Sec. 4.3.
+	GMMInference time.Duration
+	Overlap      bool
+	// Transform supplies the Algorithm 1 windowing parameters; timestamps
+	// derive from the global arrival index through it. For online serving
+	// the warm-up trace must cover at least one full access shot
+	// (LenWindow*LenAccessShot requests after trimming): otherwise the
+	// model never sees the upper timestamp range, scores it as
+	// out-of-distribution once the serving clock passes the warm-up
+	// horizon, and bypasses structurally hot pages.
+	Transform trace.TransformConfig
+	// Train configures initial training and refresh refits; Workers
+	// defaults to Shards so the E-step fans out over the same pool.
+	Train gmm.TrainConfig
+	// ThresholdPct is the admission-threshold quantile over training
+	// scores (see policy.CalibrateThreshold).
+	ThresholdPct float64
+	// BatchSize is the ingest batch length — the unit of batched GMM
+	// admission scoring and of drift-detector observation.
+	BatchSize int
+	// Refresh configures online model refresh (off by default).
+	Refresh RefreshConfig
+	// Metrics, when non-nil, receives JSONL metric records: one "interval"
+	// record every ReportEvery batches, one "refresh" record per installed
+	// model, and "partition" + "summary" records when the run ends.
+	Metrics     io.Writer
+	ReportEvery int
+}
+
+// DefaultConfig mirrors the paper's device configuration as an online
+// service: 64 MiB cache over 16 partitions, TLC SSD, 1 us DRAM hits, 3 us
+// GMM inference overlapped with the SSD access.
+func DefaultConfig() Config {
+	return Config{
+		Shards:       0,
+		Partitions:   16,
+		Cache:        cache.DefaultConfig(),
+		SSD:          ssd.TLC(),
+		SSDChannels:  8,
+		HBM:          hbm.DefaultConfig(),
+		Link:         cxl.DefaultLinkConfig(),
+		Mode:         policy.GMMCachingEviction,
+		GMMInference: 3 * time.Microsecond,
+		Overlap:      true,
+		Transform:    trace.DefaultTransformConfig(),
+		Train:        gmm.DefaultTrainConfig(),
+		ThresholdPct: 0.02,
+		BatchSize:    8192,
+		Refresh:      DefaultRefreshConfig(),
+		ReportEvery:  16,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Partitions <= 0 {
+		return errors.New("serve: need at least one partition")
+	}
+	if c.BatchSize <= 0 {
+		return errors.New("serve: non-positive batch size")
+	}
+	if c.SSDChannels <= 0 {
+		return errors.New("serve: non-positive SSD channel count")
+	}
+	if c.ThresholdPct < 0 || c.ThresholdPct > 1 {
+		return errors.New("serve: threshold percentile outside [0,1]")
+	}
+	if err := c.SSD.Validate(); err != nil {
+		return err
+	}
+	if err := c.HBM.Validate(); err != nil {
+		return err
+	}
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	if err := c.Refresh.Validate(); err != nil {
+		return err
+	}
+	if _, err := c.partitionCache(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// partitionCache derives one partition's cache geometry from the total.
+func (c Config) partitionCache() (cache.Config, error) {
+	pc := c.Cache
+	if pc.SizeBytes%uint64(c.Partitions) != 0 {
+		return pc, fmt.Errorf("serve: cache size %d not divisible by %d partitions", pc.SizeBytes, c.Partitions)
+	}
+	pc.SizeBytes /= uint64(c.Partitions)
+	if err := pc.Validate(); err != nil {
+		return pc, fmt.Errorf("serve: per-partition cache: %w", err)
+	}
+	return pc, nil
+}
+
+// trainConfig is the refit configuration with the worker default applied.
+func (c Config) trainConfig() gmm.TrainConfig {
+	t := c.Train
+	if t.Workers == 0 {
+		t.Workers = c.Shards
+	}
+	return t
+}
+
+// Bundle is the hot-swappable scoring state: the trained model, the
+// coordinate normalizer fitted with it, and the calibrated admission
+// threshold. The service publishes bundles through an atomic pointer, so a
+// refresh replaces all three together without blocking serving.
+type Bundle struct {
+	Scorer    policy.Scorer
+	Norm      trace.Normalizer
+	Threshold float64
+}
+
+// TrainBundle runs the offline Sec. 3 flow on a warm-up trace and packages
+// the result for serving: preprocess, fit the normalizer and the GMM (E-step
+// sharded per Config.Shards), and calibrate the admission threshold.
+func TrainBundle(tr trace.Trace, cfg Config) (*Bundle, error) {
+	samples := trace.Preprocess(tr, cfg.Transform)
+	if len(samples) < 2 {
+		return nil, errors.New("serve: warm-up trace too short after preprocessing")
+	}
+	norm := trace.FitNormalizer(samples)
+	normed := norm.ApplyAll(samples)
+	res, err := gmm.Fit(normed, cfg.trainConfig())
+	if err != nil {
+		return nil, fmt.Errorf("serve: training bundle: %w", err)
+	}
+	return &Bundle{
+		Scorer:    res.Model,
+		Norm:      norm,
+		Threshold: policy.CalibrateThreshold(res.Model, normed, cfg.ThresholdPct),
+	}, nil
+}
+
+// timestampFor is the Algorithm 1 timestamp of the request with global
+// arrival index seq — the closed form of trace.TimestampTransformer, which
+// emits floor(i/LenWindow) mod LenAccessShot for the i-th call. Being a pure
+// function of seq (never of which shard serves the request), it is what
+// keeps batched admission scoring identical at any shard count.
+func timestampFor(seq uint64, lenWindow, lenAccessShot int) int {
+	return int((seq / uint64(lenWindow)) % uint64(lenAccessShot))
+}
+
+// scoredReq is one routed request with its Algorithm 1 timestamp.
+// Normalization and scoring happen partition-side, on the shard pool.
+type scoredReq struct {
+	req Request
+	ts  int
+}
+
+// partition is one address-partition's worth of device state. All fields are
+// touched only by the shard draining the partition (inside a batch) or by
+// the ingest loop (between batches), so no locking is needed.
+type partition struct {
+	cache *cache.Cache
+	pol   *policy.GMM
+	mem   *hbm.Memory
+	dev   *ssd.Device
+	link  *cxl.Link
+
+	hitNs      int64
+	overheadNs int64
+	overlap    bool
+
+	now        int64 // completion time of the last request served here
+	engineBusy int64
+	ops        uint64
+	hist       *stats.Histogram
+
+	batchOps, batchHits uint64
+
+	queue  []scoredReq
+	pages  []float64
+	times  []float64
+	scores []float64
+}
+
+// Service is the running subsystem. Build with New, drive with Run.
+type Service struct {
+	cfg     Config
+	tcfg    trace.TransformConfig
+	runner  *engine.Runner
+	parts   []*partition
+	seq     uint64
+	batches uint64
+
+	refresher *refresher
+	window    *sampleWindow
+	metrics   *metricsWriter
+
+	intervalThroughput stats.Welford
+	lastIntervalOps    uint64
+	lastMakespan       int64
+}
+
+// New builds a service around an initial scoring bundle (see TrainBundle).
+func New(cfg Config, b *Bundle) (*Service, error) {
+	if b == nil || b.Scorer == nil {
+		return nil, errors.New("serve: nil scoring bundle")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pc, err := cfg.partitionCache()
+	if err != nil {
+		return nil, err
+	}
+	tcfg := cfg.Transform.Sanitized()
+	parts := make([]*partition, cfg.Partitions)
+	for i := range parts {
+		pol := policy.NewGMM(policy.GMMConfig{
+			// The scorer/normalizer stay nil-free but unused: every score
+			// reaches the policy through ProvideScore, fed from the batched
+			// admission pass. Threshold swaps arrive via SetThreshold.
+			Scorer:     b.Scorer,
+			Normalizer: b.Norm,
+			Transform:  tcfg,
+			Threshold:  b.Threshold,
+			Mode:       cfg.Mode,
+		})
+		c, err := cache.New(pc, pol)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := hbm.New(cfg.HBM)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := ssd.New(cfg.SSD, cfg.SSDChannels)
+		if err != nil {
+			return nil, err
+		}
+		link, err := cxl.NewLink(cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = &partition{
+			cache:      c,
+			pol:        pol,
+			mem:        mem,
+			dev:        dev,
+			link:       link,
+			overheadNs: cfg.GMMInference.Nanoseconds(),
+			overlap:    cfg.Overlap,
+			hist:       stats.DefaultLatencyHistogram(),
+		}
+	}
+	s := &Service{
+		cfg:     cfg,
+		tcfg:    tcfg,
+		runner:  engine.NewRunner(cfg.Shards),
+		parts:   parts,
+		window:  newSampleWindow(cfg.Refresh.WindowSamples),
+		metrics: newMetricsWriter(cfg.Metrics),
+	}
+	s.refresher = newRefresher(s, b)
+	return s, nil
+}
+
+// Bundle returns the currently active scoring bundle.
+func (s *Service) Bundle() *Bundle { return s.refresher.bundle.Load() }
+
+// Refreshes returns how many refreshed models have been installed.
+func (s *Service) Refreshes() uint64 { return s.refresher.installed }
+
+// Run ingests the source until it is exhausted, then waits for any in-flight
+// asynchronous refresh, emits the final metric records, and returns the
+// aggregate snapshot.
+func (s *Service) Run(src Source) (*Snapshot, error) {
+	buf := make([]Request, s.cfg.BatchSize)
+	for {
+		n := src.Next(buf)
+		if n == 0 {
+			break
+		}
+		if err := s.processBatch(buf[:n]); err != nil {
+			return nil, err
+		}
+	}
+	s.refresher.wait()
+	snap := s.Snapshot()
+	if err := s.metrics.writeFinal(snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// processBatch runs one batch through the pipeline: ingest (assign global
+// sequence numbers, derive Algorithm 1 timestamps, route to partitions),
+// batched GMM admission scoring plus cache/latency accounting per partition
+// on the shard pool, then batch-boundary work (drift detection, refresh
+// installation, metrics).
+func (s *Service) processBatch(batch []Request) error {
+	s.refresher.installPending()
+	b := s.refresher.bundle.Load()
+	nParts := uint64(len(s.parts))
+	// The ingest loop is the pipeline's only serial segment, so it does the
+	// bare minimum per request: sequence assignment, timestamp derivation,
+	// routing, and — only when refresh can ever read it — the refit window.
+	windowOn := s.cfg.Refresh.Mode != RefreshOff
+	for i := range batch {
+		batch[i].Seq = s.seq
+		ts := timestampFor(s.seq, s.tcfg.LenWindow, s.tcfg.LenAccessShot)
+		if windowOn {
+			s.window.push(float64(batch[i].Page), float64(ts))
+		}
+		p := s.parts[batch[i].Page%nParts]
+		p.queue = append(p.queue, scoredReq{req: batch[i], ts: ts})
+		s.seq++
+	}
+	if err := engine.ForEach(s.runner, s.parts, func(_ int, p *partition) error {
+		p.drainBatch(b)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	var ops, hits uint64
+	for _, p := range s.parts {
+		ops += p.batchOps
+		hits += p.batchHits
+		p.batchOps, p.batchHits = 0, 0
+	}
+	s.batches++
+	hitRatio := 0.0
+	if ops > 0 {
+		hitRatio = float64(hits) / float64(ops)
+	}
+	s.refresher.observe(hitRatio)
+
+	if s.cfg.ReportEvery > 0 && s.batches%uint64(s.cfg.ReportEvery) == 0 {
+		if err := s.emitInterval(hitRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainBatch scores the partition's queued requests in one batched inference
+// call and serves them in arrival order. Runs on a shard goroutine; touches
+// only partition-local state plus the immutable bundle.
+func (p *partition) drainBatch(b *Bundle) {
+	n := len(p.queue)
+	if n == 0 {
+		return
+	}
+	if cap(p.pages) < n {
+		p.pages = make([]float64, n)
+		p.times = make([]float64, n)
+		p.scores = make([]float64, n)
+	}
+	pages, times, scores := p.pages[:n], p.times[:n], p.scores[:n]
+	for i, sr := range p.queue {
+		pages[i], times[i] = b.Norm.ApplyPageTime(sr.req.Page, sr.ts)
+	}
+	if bs, ok := b.Scorer.(policy.BatchScorer); ok {
+		bs.ScorePageTimeBatch(pages, times, scores)
+	} else {
+		for i := range scores {
+			scores[i] = b.Scorer.ScorePageTime(pages[i], times[i])
+		}
+	}
+	for i, sr := range p.queue {
+		p.serveOne(sr.req, scores[i])
+	}
+	p.queue = p.queue[:0]
+}
+
+// serveOne routes one request through the partition's cache and latency
+// models. The partition is a single server: a request begins at its arrival
+// time or when the previous request here completed, whichever is later, and
+// the recorded latency is the sojourn time (queueing plus service).
+func (p *partition) serveOne(req Request, score float64) {
+	start := req.ArrivalNs
+	if p.now > start {
+		start = p.now
+	}
+	p.pol.ProvideScore(score)
+	res := p.cache.Access(req.Page, req.Write)
+
+	// Device-internal service time, mirroring core.System's device path.
+	var dev int64
+	switch {
+	case res.Hit:
+		dev = p.mem.Access(req.Page, start) - start
+	case res.Admitted:
+		done := p.dev.Access(ssd.OpRead, req.Page, start)
+		dev = done - start
+		if res.WriteBack {
+			wb := p.dev.Access(ssd.OpWrite, res.VictimPage, start)
+			dev += wb - start
+		}
+		// Fill lands in device DRAM before the completion returns.
+		dev += p.mem.Access(req.Page, start+dev) - (start + dev)
+	case req.Write:
+		dev = p.dev.Access(ssd.OpWrite, req.Page, start) - start
+	default:
+		dev = p.dev.Access(ssd.OpRead, req.Page, start) - start
+	}
+
+	if !res.Hit && p.overheadNs > 0 {
+		if p.overlap {
+			if p.overheadNs > dev {
+				p.engineBusy += p.overheadNs - dev
+				dev = p.overheadNs
+			}
+		} else {
+			p.engineBusy += p.overheadNs
+			dev += p.overheadNs
+		}
+	}
+
+	rt := p.link.RoundTrip(!req.Write, trace.PageSize, start) - start
+	done := start + rt + dev
+	p.now = done
+	p.hist.Observe(done - req.ArrivalNs)
+	p.ops++
+	p.batchOps++
+	if res.Hit {
+		p.batchHits++
+	}
+}

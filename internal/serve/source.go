@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Source feeds requests to the service in batches. Next fills dst and
+// returns how many requests it wrote; 0 ends the run. Sources are pulled
+// from the ingest loop only, so they need not be safe for concurrent use.
+type Source interface {
+	Next(dst []Request) int
+}
+
+// openLoopSource adapts a workload.OpenLoop stream, bounding it to a total
+// operation count.
+type openLoopSource struct {
+	ol        *workload.OpenLoop
+	remaining uint64
+	buf       []trace.Record
+}
+
+// NewOpenLoopSource serves ops requests from an open-loop workload stream.
+func NewOpenLoopSource(ol *workload.OpenLoop, ops uint64) Source {
+	return &openLoopSource{ol: ol, remaining: ops}
+}
+
+func (s *openLoopSource) Next(dst []Request) int {
+	n := len(dst)
+	if uint64(n) > s.remaining {
+		n = int(s.remaining)
+	}
+	if n == 0 {
+		return 0
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]trace.Record, n)
+	}
+	recs := s.buf[:n]
+	s.ol.Next(recs)
+	for i, r := range recs {
+		dst[i] = Request{
+			Page:      r.Page(),
+			Write:     r.Op == trace.Write,
+			ArrivalNs: int64(r.Time),
+		}
+	}
+	s.remaining -= uint64(n)
+	return n
+}
+
+// traceSource replays a fixed trace once, with arrivals evenly spaced at the
+// given rate (or all at time zero for rate <= 0, a saturating replay).
+type traceSource struct {
+	tr    trace.Trace
+	pos   int
+	gapNs float64
+	clock float64
+}
+
+// NewTraceSource serves a trace as an open-loop stream at ratePerSec.
+func NewTraceSource(tr trace.Trace, ratePerSec float64) Source {
+	gap := 0.0
+	if ratePerSec > 0 {
+		gap = 1e9 / ratePerSec
+	}
+	return &traceSource{tr: tr, gapNs: gap}
+}
+
+func (s *traceSource) Next(dst []Request) int {
+	n := 0
+	for n < len(dst) && s.pos < len(s.tr) {
+		r := s.tr[s.pos]
+		dst[n] = Request{
+			Page:      r.Page(),
+			Write:     r.Op == trace.Write,
+			ArrivalNs: int64(s.clock),
+		}
+		s.clock += s.gapNs
+		s.pos++
+		n++
+	}
+	return n
+}

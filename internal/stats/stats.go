@@ -164,8 +164,61 @@ func (h *Histogram) Observe(ns int64) {
 	h.buckets[idx]++
 }
 
+// Merge folds other into h. Both histograms must share bucket geometry
+// (base, growth, bucket count); Merge panics otherwise, since silently mixing
+// geometries would corrupt every percentile afterwards. The accumulator merge
+// is exact (integer sums and counts); retained raw samples are appended up to
+// h's retention cap, so merged percentiles carry the same reservoir caveat as
+// Observe — and a caller folding many histograms into one should first
+// SetRetention(sources * per-source cap) on the destination, otherwise the
+// cap fills from the first sources and later ones stop contributing to
+// percentiles. Merging per-shard histograms in a fixed order yields
+// deterministic aggregate summaries — the property the serving subsystem's
+// determinism contract leans on.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.acc.count == 0 {
+		return
+	}
+	if h.base != other.base || h.growth != other.growth || len(h.buckets) != len(other.buckets) {
+		panic("stats: merging histograms with different geometry")
+	}
+	if h.acc.count == 0 || other.acc.min < h.acc.min {
+		h.acc.min = other.acc.min
+	}
+	if other.acc.max > h.acc.max {
+		h.acc.max = other.acc.max
+	}
+	h.acc.sum += other.acc.sum
+	h.acc.count += other.acc.count
+	h.under += other.under
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	if room := h.maxKeep - len(h.samples); room > 0 {
+		take := other.samples
+		if len(take) > room {
+			take = take[:room]
+		}
+		h.samples = append(h.samples, take...)
+	}
+}
+
+// SetRetention raises the raw-sample retention cap (default 65536). Call it
+// on a fresh histogram before observing or merging; it never drops samples
+// already retained.
+func (h *Histogram) SetRetention(n int) {
+	if n > h.maxKeep {
+		h.maxKeep = n
+	}
+}
+
 // Count returns the number of observed samples.
 func (h *Histogram) Count() int64 { return h.acc.Count() }
+
+// Sum returns the exact total of all observed samples in nanoseconds — an
+// O(1) accessor for callers that need aggregate means without the
+// percentile-sorting cost of Summarize.
+func (h *Histogram) Sum() int64 { return h.acc.Sum() }
 
 // Mean returns the mean of observed samples in nanoseconds.
 func (h *Histogram) Mean() float64 { return h.acc.Mean() }

@@ -231,3 +231,82 @@ func TestWelfordSingleSample(t *testing.T) {
 		t.Error("single-sample StdErr should be 0")
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(100, 2, 16)
+	b := NewHistogram(100, 2, 16)
+	for _, v := range []int64{50, 150, 400} {
+		a.Observe(v)
+	}
+	for _, v := range []int64{25, 1000, 3000} {
+		b.Observe(v)
+	}
+	want := NewHistogram(100, 2, 16)
+	for _, v := range []int64{50, 150, 400, 25, 1000, 3000} {
+		want.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != want.Count() {
+		t.Fatalf("count = %d, want %d", a.Count(), want.Count())
+	}
+	sa, sw := a.Summarize(), want.Summarize()
+	if sa != sw {
+		t.Fatalf("merged summary %+v != direct summary %+v", sa, sw)
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Summarize()
+	a.Merge(NewHistogram(100, 2, 16))
+	a.Merge(nil)
+	if a.Summarize() != before {
+		t.Fatal("merging empty histogram changed the summary")
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	a := NewHistogram(100, 2, 16)
+	b := NewHistogram(100, 2, 16)
+	b.Observe(500)
+	b.Observe(200)
+	a.Merge(b)
+	if a.Count() != 2 || a.Summarize().Min != 200 || a.Summarize().Max != 500 {
+		t.Fatalf("merge into empty: %+v", a.Summarize())
+	}
+}
+
+func TestHistogramMergeRetention(t *testing.T) {
+	// Without raised retention, a full first source crowds later sources out
+	// of the percentile reservoir; SetRetention makes room for all of them.
+	big := NewHistogram(100, 2, 16)
+	for i := 0; i < 1<<16; i++ {
+		big.Observe(100)
+	}
+	small := NewHistogram(100, 2, 16)
+	small.Observe(10_000)
+
+	crowded := NewHistogram(100, 2, 16)
+	crowded.Merge(big)
+	crowded.Merge(small)
+	if got := crowded.Percentile(100); got != 100 {
+		t.Fatalf("default retention: max retained sample = %d, expected later source crowded out", got)
+	}
+
+	roomy := NewHistogram(100, 2, 16)
+	roomy.SetRetention(2 << 16)
+	roomy.Merge(big)
+	roomy.Merge(small)
+	if got := roomy.Percentile(100); got != 10_000 {
+		t.Fatalf("raised retention: max retained sample = %d, want 10000", got)
+	}
+}
+
+func TestHistogramMergeGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geometry mismatch did not panic")
+		}
+	}()
+	a := NewHistogram(100, 2, 16)
+	b := NewHistogram(10, 2, 16)
+	b.Observe(500)
+	a.Merge(b)
+}

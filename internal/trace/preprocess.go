@@ -36,6 +36,13 @@ func DefaultTransformConfig() TransformConfig {
 	}
 }
 
+// Sanitized returns the config with invalid fields replaced by defaults, the
+// exact normalization every transformer in this package applies internally.
+// Exported so consumers that derive timestamps themselves (the serving
+// subsystem's closed-form clock) see the same effective parameters as the
+// streaming TimestampTransformer.
+func (c TransformConfig) Sanitized() TransformConfig { return c.sanitized() }
+
 // sanitized returns the config with invalid fields replaced by defaults so a
 // zero value is still usable.
 func (c TransformConfig) sanitized() TransformConfig {

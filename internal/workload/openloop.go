@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// OpenLoopConfig describes an open-loop arrival process layered over a
+// trace generator: requests arrive on their own clock regardless of how fast
+// the service drains them, the load shape a production memory expander sees
+// from independent hosts (as opposed to the closed-loop replay of
+// internal/core, where each request waits for the previous completion).
+type OpenLoopConfig struct {
+	// RatePerSec is the mean arrival rate in requests per second. Zero or
+	// negative means a saturating source: every request arrives at time 0
+	// and the service runs as fast as its own latency model allows.
+	RatePerSec float64
+	// BurstAmp sinusoidally modulates the instantaneous rate by ±BurstAmp
+	// (0 <= BurstAmp < 1); 0 keeps arrivals evenly spaced. Bursts stress
+	// per-shard queueing without adding a second RNG stream — the arrival
+	// clock stays a pure function of the request index.
+	BurstAmp float64
+	// BurstPeriod is the modulation period in requests (default 100000).
+	BurstPeriod int
+	// SegmentLen is how many records are drawn from the generator per
+	// segment (default 65536). Each segment uses a seed derived from
+	// (Seed, segment index), so the stream is reproducible and unbounded
+	// without materializing one giant trace.
+	SegmentLen int
+	// Seed drives segment seed derivation.
+	Seed int64
+	// ShiftAfter, when positive, remaps every page by ShiftOffsetPages
+	// once that many requests have been emitted — a sustained working-set
+	// drift that invalidates a model trained before the shift. Used to
+	// exercise online model refresh.
+	ShiftAfter uint64
+	// ShiftOffsetPages is the page offset applied after the shift point.
+	ShiftOffsetPages uint64
+}
+
+// OpenLoop is a deterministic open-loop request stream: workload records from
+// a Generator, stamped with arrival times in nanoseconds. The stream is
+// unbounded; callers stop pulling when they have served enough requests (or
+// enough virtual time has passed).
+type OpenLoop struct {
+	g   Generator
+	cfg OpenLoopConfig
+
+	buf     trace.Trace // current segment
+	pos     int
+	seg     uint64
+	emitted uint64
+	clockNs float64
+}
+
+// NewOpenLoop validates the config and builds the stream.
+func NewOpenLoop(g Generator, cfg OpenLoopConfig) (*OpenLoop, error) {
+	if g == nil {
+		return nil, errors.New("workload: open loop needs a generator")
+	}
+	if cfg.BurstAmp < 0 || cfg.BurstAmp >= 1 {
+		return nil, errors.New("workload: burst amplitude outside [0, 1)")
+	}
+	if cfg.BurstPeriod <= 0 {
+		cfg.BurstPeriod = 100_000
+	}
+	if cfg.SegmentLen <= 0 {
+		cfg.SegmentLen = 1 << 16
+	}
+	return &OpenLoop{g: g, cfg: cfg}, nil
+}
+
+// Name labels the stream after its generator.
+func (ol *OpenLoop) Name() string { return ol.g.Name() }
+
+// Emitted returns how many requests have been produced so far.
+func (ol *OpenLoop) Emitted() uint64 { return ol.emitted }
+
+// Next fills dst with the next len(dst) requests of the stream and returns
+// how many were written (always len(dst); the stream never ends). Each
+// record's Time field carries the arrival time in nanoseconds.
+func (ol *OpenLoop) Next(dst []trace.Record) int {
+	for i := range dst {
+		if ol.pos >= len(ol.buf) {
+			ol.buf = ol.g.Generate(ol.cfg.SegmentLen, engine.DeriveSeed(ol.cfg.Seed, ol.seg))
+			ol.pos = 0
+			ol.seg++
+		}
+		r := ol.buf[ol.pos]
+		ol.pos++
+		if ol.cfg.ShiftAfter > 0 && ol.emitted >= ol.cfg.ShiftAfter {
+			r.Addr += ol.cfg.ShiftOffsetPages << trace.PageShift
+		}
+		r.Time = uint64(ol.clockNs)
+		dst[i] = r
+		ol.clockNs += ol.interarrivalNs()
+		ol.emitted++
+	}
+	return len(dst)
+}
+
+// interarrivalNs returns the gap to the next arrival: 1e9/rate scaled by the
+// sinusoidal burst modulation at the current request index. A pure function
+// of the emitted count, so arrival times are reproducible bit for bit.
+func (ol *OpenLoop) interarrivalNs() float64 {
+	if ol.cfg.RatePerSec <= 0 {
+		return 0
+	}
+	gap := 1e9 / ol.cfg.RatePerSec
+	if ol.cfg.BurstAmp > 0 {
+		phase := 2 * math.Pi * float64(ol.emitted) / float64(ol.cfg.BurstPeriod)
+		// Modulating the gap by (1 - amp*sin) speeds arrivals up during the
+		// positive half-cycle — a burst — and thins them after.
+		gap *= 1 - ol.cfg.BurstAmp*math.Sin(phase)
+	}
+	return gap
+}

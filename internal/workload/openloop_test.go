@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	mk := func() *OpenLoop {
+		ol, err := NewOpenLoop(NewDLRM(), OpenLoopConfig{
+			RatePerSec: 1e6, BurstAmp: 0.5, Seed: 3, SegmentLen: 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ol
+	}
+	a, b := mk(), mk()
+	bufA := make([]trace.Record, 600)
+	bufB := make([]trace.Record, 600)
+	for round := 0; round < 4; round++ {
+		a.Next(bufA)
+		b.Next(bufB)
+		for i := range bufA {
+			if bufA[i] != bufB[i] {
+				t.Fatalf("round %d record %d differs: %v vs %v", round, i, bufA[i], bufB[i])
+			}
+		}
+	}
+	if a.Emitted() != 2400 {
+		t.Fatalf("emitted = %d", a.Emitted())
+	}
+}
+
+func TestOpenLoopArrivalClock(t *testing.T) {
+	ol, err := NewOpenLoop(NewStream(), OpenLoopConfig{RatePerSec: 1e9}) // 1 req/ns
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]trace.Record, 100)
+	ol.Next(buf)
+	for i, r := range buf {
+		if r.Time != uint64(i) {
+			t.Fatalf("record %d arrival = %d, want %d", i, r.Time, i)
+		}
+	}
+
+	// Saturating source: every arrival at t=0.
+	sat, err := NewOpenLoop(NewStream(), OpenLoopConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat.Next(buf)
+	for i, r := range buf {
+		if r.Time != 0 {
+			t.Fatalf("saturating record %d arrival = %d, want 0", i, r.Time)
+		}
+	}
+}
+
+func TestOpenLoopBurstModulation(t *testing.T) {
+	ol, err := NewOpenLoop(NewStream(), OpenLoopConfig{
+		RatePerSec: 1e6, BurstAmp: 0.9, BurstPeriod: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]trace.Record, 1000)
+	ol.Next(buf)
+	// During the first (positive) half-cycle gaps shrink, so the first 500
+	// arrivals must be denser than the steady 1 us spacing.
+	steady := uint64(500 * 1000)
+	if buf[499].Time >= steady {
+		t.Fatalf("burst half-cycle not denser: arrival 499 at %d ns, steady would be %d", buf[499].Time, steady)
+	}
+	// Arrival times stay monotonically non-decreasing despite modulation.
+	for i := 1; i < len(buf); i++ {
+		if buf[i].Time < buf[i-1].Time {
+			t.Fatalf("arrival clock went backwards at %d", i)
+		}
+	}
+}
+
+func TestOpenLoopShiftMovesWorkingSet(t *testing.T) {
+	const offset = 1 << 30 // pages, far beyond any generator footprint
+	ol, err := NewOpenLoop(NewDLRM(), OpenLoopConfig{
+		Seed: 1, SegmentLen: 500, ShiftAfter: 700, ShiftOffsetPages: offset,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]trace.Record, 1400)
+	ol.Next(buf)
+	for i, r := range buf {
+		shifted := r.Page() >= offset
+		if i < 700 && shifted {
+			t.Fatalf("record %d shifted before the shift point", i)
+		}
+		if i >= 700 && !shifted {
+			t.Fatalf("record %d not shifted after the shift point", i)
+		}
+	}
+}
+
+func TestOpenLoopConfigValidation(t *testing.T) {
+	if _, err := NewOpenLoop(nil, OpenLoopConfig{}); err == nil {
+		t.Error("nil generator accepted")
+	}
+	if _, err := NewOpenLoop(NewStream(), OpenLoopConfig{BurstAmp: 1}); err == nil {
+		t.Error("burst amplitude 1 accepted")
+	}
+	if _, err := NewOpenLoop(NewStream(), OpenLoopConfig{BurstAmp: -0.1}); err == nil {
+		t.Error("negative burst amplitude accepted")
+	}
+}
