@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench serve-smoke fmt vet fmt-check ci
+.PHONY: build test race bench serve-smoke test-tenants cover fuzz-smoke fmt vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,41 @@ serve-smoke:
 	$(GO) run -race ./cmd/icgmm-serve -workload parsec -ops 49152 -batch 1024 \
 		-warmup 60000 -shot 500 -k 16 -shards 4 -refresh sync -drift -out /dev/null
 
+# Multi-tenant suite: the tenant/controller/golden-determinism tests plus a
+# 3-tenant icgmm-serve smoke (per-tenant QoS, capacity shares, adaptive
+# controller) under the race detector.
+test-tenants:
+	$(GO) test ./internal/serve -run 'Tenant|Golden|ValidateWarmup|ParseTenantSpecs' -race
+	$(GO) test ./internal/workload -run 'Mux' -race
+	$(GO) run -race ./cmd/icgmm-serve -ops 32768 -batch 1024 -warmup 60000 -shot 500 \
+		-k 16 -shards 4 -cache-mb 16 -out /dev/null \
+		-tenants cmd/icgmm-serve/testdata/tenants-sample.json
+
+# Ratcheted coverage floors for the packages the test subsystem hardens.
+# Raise a floor when coverage grows; never lower one.
+COVER_FLOORS := ./internal/serve:85 ./internal/workload:95
+cover:
+	@fail=0; \
+	for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%%:*}; min=$${spec##*:}; \
+		if ! $(GO) test -coverprofile=cover.tmp.out $$pkg > cover.tmp.log 2>&1; then \
+			cat cover.tmp.log; rm -f cover.tmp.out cover.tmp.log; exit 1; \
+		fi; \
+		pct=$$($(GO) tool cover -func=cover.tmp.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "coverage $$pkg: $$pct% (floor $$min%)"; \
+		if [ "$$(awk -v p=$$pct -v m=$$min 'BEGIN {print (p >= m) ? 1 : 0}')" != 1 ]; then \
+			echo "FAIL: coverage for $$pkg fell below the ratcheted floor"; fail=1; \
+		fi; \
+	done; \
+	rm -f cover.tmp.out cover.tmp.log; exit $$fail
+
+# Fuzz smoke: 20 seconds per target against the trace CSV parser and the
+# -tenants JSON spec parser. -run='^$$' skips the unit tests so the time
+# budget goes entirely to fuzzing.
+fuzz-smoke:
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzParseRecord -fuzztime=20s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzTenantSpec -fuzztime=20s
+
 fmt:
 	gofmt -w .
 
@@ -39,4 +74,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race bench serve-smoke
+ci: fmt-check vet build race cover bench serve-smoke test-tenants fuzz-smoke

@@ -8,6 +8,7 @@
 //	icgmm-serve -workload dlrm -ops 2000000 -shards 8 -out metrics.jsonl
 //	icgmm-serve -workload memtier -duration 10s -refresh async
 //	icgmm-serve -workload dlrm -ops 1000000 -drift -refresh sync
+//	icgmm-serve -tenants tenants.json -ops 1000000 -shards 8
 //
 // The service first trains an initial GMM on a warm-up trace from the same
 // generator, then serves -ops requests (or ingests until -duration of wall
@@ -16,41 +17,54 @@
 // seed and -refresh off|sync, every metric is bit-identical at any -shards
 // value; a closing "wall" line on stderr reports (non-deterministic)
 // wall-clock throughput.
+//
+// -tenants switches to multi-tenant serving: the argument is a JSON array of
+// tenant specs (inline if it starts with '[', otherwise a file path), each
+// naming a workload stream with its own seed, rate, HBM capacity share and
+// optional QoS target for the adaptive threshold controller. The stream
+// gains "tenant-interval", "control" and final "tenant" records, and a
+// per-tenant table prints to stderr. -workload/-rate/-burst/-drift describe
+// the single anonymous stream and are ignored under -tenants.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/serve"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		shards     = flag.Int("shards", 0, "shard worker pool size (0 = one per core, 1 = sequential; results identical at any value)")
-		partitions = flag.Int("partitions", 16, "fixed address partitions (part of the simulated configuration)")
-		ops        = flag.Uint64("ops", 2_000_000, "requests to serve")
-		duration   = flag.Duration("duration", 0, "wall-clock ingest bound; stops early even if -ops remain")
-		bench      = flag.String("workload", "dlrm", "workload generator (see cmd/tracegen for names)")
-		seed       = flag.Int64("seed", 1, "workload and training seed")
-		rate       = flag.Float64("rate", 1e6, "open-loop arrival rate in req/s (0 = saturating)")
-		burst      = flag.Float64("burst", 0, "sinusoidal rate modulation amplitude [0,1)")
-		drift      = flag.Bool("drift", false, "shift the working set halfway through -ops (exercises refresh)")
-		refresh    = flag.String("refresh", "off", "online model refresh: off|sync|async (sync keeps determinism, async never blocks serving)")
-		warmup     = flag.Int("warmup", 200_000, "warm-up trace length for initial training")
-		cacheMB    = flag.Int("cache-mb", 64, "total device cache size in MiB")
-		ways       = flag.Int("ways", 8, "cache associativity")
-		k          = flag.Int("k", 64, "GMM components")
-		window     = flag.Int("window", 32, "Algorithm 1 len_window")
-		shot       = flag.Int("shot", 2000, "Algorithm 1 len_access_shot (window*shot must fit in the trimmed warm-up)")
-		batch      = flag.Int("batch", 8192, "ingest batch size (batched GMM admission unit)")
-		report     = flag.Int("report", 16, "batches per interval metrics record")
-		out        = flag.String("out", "", "JSONL metrics file (default stdout)")
+		shards       = flag.Int("shards", 0, "shard worker pool size (0 = one per core, 1 = sequential; results identical at any value)")
+		partitions   = flag.Int("partitions", 16, "fixed address partitions (part of the simulated configuration)")
+		ops          = flag.Uint64("ops", 2_000_000, "requests to serve")
+		duration     = flag.Duration("duration", 0, "wall-clock ingest bound; stops early even if -ops remain")
+		bench        = flag.String("workload", "dlrm", "workload generator (see cmd/tracegen for names)")
+		seed         = flag.Int64("seed", 1, "workload and training seed")
+		rate         = flag.Float64("rate", 1e6, "open-loop arrival rate in req/s (0 = saturating)")
+		burst        = flag.Float64("burst", 0, "sinusoidal rate modulation amplitude [0,1)")
+		drift        = flag.Bool("drift", false, "shift the working set halfway through -ops (exercises refresh)")
+		refresh      = flag.String("refresh", "off", "online model refresh: off|sync|async (sync keeps determinism, async never blocks serving)")
+		warmup       = flag.Int("warmup", 200_000, "warm-up trace length for initial training")
+		cacheMB      = flag.Int("cache-mb", 64, "total device cache size in MiB")
+		ways         = flag.Int("ways", 8, "cache associativity")
+		k            = flag.Int("k", 64, "GMM components")
+		window       = flag.Int("window", 32, "Algorithm 1 len_window")
+		shot         = flag.Int("shot", 2000, "Algorithm 1 len_access_shot (window*shot must fit in the trimmed warm-up)")
+		batch        = flag.Int("batch", 8192, "ingest batch size (batched GMM admission unit)")
+		report       = flag.Int("report", 16, "batches per interval metrics record")
+		out          = flag.String("out", "", "JSONL metrics file (default stdout)")
+		tenants      = flag.String("tenants", "", "multi-tenant spec: JSON array of tenants (inline if it starts with '[', else a file path); overrides -workload/-rate/-burst/-drift")
+		controlEvery = flag.Int("control-every", 16, "batches per adaptive-controller step (tenants with QoS targets)")
+		controlStep  = flag.Float64("control-step", 1.25, "multiplicative threshold step of the adaptive controller (> 1)")
 	)
 	flag.Parse()
 
@@ -59,6 +73,7 @@ func main() {
 		bench: *bench, seed: *seed, rate: *rate, burst: *burst, drift: *drift,
 		refresh: *refresh, warmup: *warmup, cacheMB: *cacheMB, ways: *ways,
 		k: *k, window: *window, shot: *shot, batch: *batch, report: *report, out: *out,
+		tenants: *tenants, controlEvery: *controlEvery, controlStep: *controlStep,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "icgmm-serve:", err)
 		os.Exit(1)
@@ -78,16 +93,35 @@ type config struct {
 	k, window, shot, batch int
 	report                 int
 	out                    string
+	tenants                string
+	controlEvery           int
+	controlStep            float64
+}
+
+// loadTenantSpecs resolves the -tenants argument: inline JSON when it starts
+// with '[', otherwise a file path.
+func loadTenantSpecs(arg string) ([]serve.TenantSpec, error) {
+	data := []byte(arg)
+	if !strings.HasPrefix(strings.TrimSpace(arg), "[") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, fmt.Errorf("reading -tenants file: %w", err)
+		}
+		data = b
+	}
+	return serve.ParseTenantSpecs(data)
 }
 
 func run(c config) error {
-	gen, err := workload.ByName(c.bench)
-	if err != nil {
-		return err
-	}
 	mode, err := serve.ParseRefreshMode(c.refresh)
 	if err != nil {
 		return err
+	}
+	var specs []serve.TenantSpec
+	if c.tenants != "" {
+		if specs, err = loadTenantSpecs(c.tenants); err != nil {
+			return err
+		}
 	}
 
 	cfg := serve.DefaultConfig()
@@ -101,10 +135,14 @@ func run(c config) error {
 	cfg.BatchSize = c.batch
 	cfg.ReportEvery = c.report
 	cfg.Refresh.Mode = mode
-	if span := c.window * c.shot; float64(span) > 0.7*float64(c.warmup) {
-		fmt.Fprintf(os.Stderr,
-			"icgmm-serve: warning: access shot (%d requests) exceeds the trimmed warm-up (%d); "+
-				"serving will hit timestamp ranges the model never trained on\n", span, c.warmup)
+	cfg.Tenants = specs
+	cfg.Control.Every = c.controlEvery
+	cfg.Control.Step = c.controlStep
+	// Every tenant (or the single anonymous stream) must see the full
+	// Algorithm 1 timestamp range during warm-up; anything less trains a
+	// model that scores live traffic out-of-distribution.
+	if err := serve.ValidateWarmup(c.warmup, cfg.Transform, specs); err != nil {
+		return err
 	}
 
 	w := os.Stdout
@@ -118,8 +156,46 @@ func run(c config) error {
 	}
 	cfg.Metrics = w
 
-	fmt.Fprintf(os.Stderr, "training initial GMM (K=%d) on %d warm-up requests of %s...\n", c.k, c.warmup, gen.Name())
-	bundle, err := serve.TrainBundle(gen.Generate(c.warmup, c.seed), cfg)
+	var warm trace.Trace
+	var src serve.Source
+	var label string
+	if len(specs) > 0 {
+		label = fmt.Sprintf("%d tenants", len(specs))
+		warmMux, err := serve.NewTenantMux(specs)
+		if err != nil {
+			return err
+		}
+		warm = warmMux.Trace(c.warmup)
+		srvMux, err := serve.NewTenantMux(specs)
+		if err != nil {
+			return err
+		}
+		src = serve.NewMuxSource(srvMux, c.ops)
+	} else {
+		gen, err := workload.ByName(c.bench)
+		if err != nil {
+			return err
+		}
+		label = gen.Name()
+		warm = gen.Generate(c.warmup, c.seed)
+		olCfg := workload.OpenLoopConfig{
+			RatePerSec: c.rate,
+			BurstAmp:   c.burst,
+			Seed:       c.seed,
+		}
+		if c.drift {
+			olCfg.ShiftAfter = c.ops / 2
+			olCfg.ShiftOffsetPages = 1 << 30
+		}
+		ol, err := workload.NewOpenLoop(gen, olCfg)
+		if err != nil {
+			return err
+		}
+		src = serve.NewOpenLoopSource(ol, c.ops)
+	}
+
+	fmt.Fprintf(os.Stderr, "training initial GMM (K=%d) on %d warm-up requests of %s...\n", c.k, c.warmup, label)
+	bundle, err := serve.TrainBundle(warm, cfg)
 	if err != nil {
 		return err
 	}
@@ -127,27 +203,12 @@ func run(c config) error {
 	if err != nil {
 		return err
 	}
-
-	olCfg := workload.OpenLoopConfig{
-		RatePerSec: c.rate,
-		BurstAmp:   c.burst,
-		Seed:       c.seed,
-	}
-	if c.drift {
-		olCfg.ShiftAfter = c.ops / 2
-		olCfg.ShiftOffsetPages = 1 << 30
-	}
-	ol, err := workload.NewOpenLoop(gen, olCfg)
-	if err != nil {
-		return err
-	}
-	var src serve.Source = serve.NewOpenLoopSource(ol, c.ops)
 	if c.duration > 0 {
 		src = &deadlineSource{inner: src, deadline: time.Now().Add(c.duration)}
 	}
 
-	fmt.Fprintf(os.Stderr, "serving %s: shards=%d partitions=%d batch=%d rate=%.0f/s refresh=%s\n",
-		gen.Name(), c.shards, c.partitions, c.batch, c.rate, mode)
+	fmt.Fprintf(os.Stderr, "serving %s: shards=%d partitions=%d batch=%d refresh=%s\n",
+		label, c.shards, c.partitions, c.batch, mode)
 	start := time.Now()
 	snap, err := svc.Run(src)
 	if err != nil {
@@ -158,7 +219,37 @@ func run(c config) error {
 		"wall: served %d ops in %v (%.0f ops/s wall, %.0f ops/s virtual), hit ratio %.4f, refreshes %d\n",
 		snap.Ops, wall.Round(time.Millisecond), float64(snap.Ops)/wall.Seconds(),
 		snap.Throughput, snap.HitRatio(), snap.Refreshes)
+	if len(specs) > 0 {
+		fmt.Fprint(os.Stderr, tenantTable(snap))
+	}
 	return nil
+}
+
+// tenantTable renders the final per-tenant accounting as an aligned table.
+func tenantTable(snap *serve.Snapshot) string {
+	tbl := stats.NewTable("per-tenant summary",
+		"tenant", "ops", "hit%", "mb_admitted", "p99_us", "hbm_p99_us", "ssd_p99_us", "blocks", "threshold", "qos", "in_band")
+	for i := range snap.Tenants {
+		ts := &snap.Tenants[i]
+		qos, inBand := "-", "-"
+		if ts.QoS != nil {
+			qos = fmt.Sprintf("%s<=%.3g", ts.QoS.Metric, ts.QoS.Target)
+			if ts.QoS.Metric == serve.QoSHitRatio {
+				qos = fmt.Sprintf("%s>=%.3g", ts.QoS.Metric, ts.QoS.Target)
+			}
+			if ts.QoSValid {
+				inBand = fmt.Sprintf("%v", ts.WithinQoS)
+			}
+		}
+		tbl.AddRow(ts.Tenant, ts.Ops, 100*ts.HitRatio(),
+			float64(ts.BytesAdmitted)/(1<<20),
+			float64(ts.Latency.P99.Nanoseconds())/1e3,
+			float64(ts.HBM.P99.Nanoseconds())/1e3,
+			float64(ts.SSD.P99.Nanoseconds())/1e3,
+			fmt.Sprintf("%d/%d", ts.ResidentBlocks, ts.BudgetBlocks),
+			ts.Threshold, qos, inBand)
+	}
+	return tbl.String()
 }
 
 // deadlineSource stops the stream once a wall-clock deadline passes — the

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// baseConfig returns flag defaults scaled down for tests. The warmup/shot
+// pairs under test must fail fast — before any GMM training — so these runs
+// complete in milliseconds.
+func baseConfig() config {
+	return config{
+		shards: 1, partitions: 8, ops: 1024, duration: time.Duration(0),
+		bench: "dlrm", seed: 1, rate: 1e6,
+		refresh: "off", warmup: 200_000, cacheMB: 16, ways: 8,
+		k: 8, window: 32, shot: 2000, batch: 1024, report: 16,
+		out: "/dev/null", controlEvery: 16, controlStep: 1.25,
+	}
+}
+
+// TestRunRejectsShortWarmup is the regression test for the warm-up
+// validation: a warm-up whose trimmed length cannot cover one access shot
+// must be an error (the old CLI only printed a warning, and only for the
+// default single-workload path).
+func TestRunRejectsShortWarmup(t *testing.T) {
+	c := baseConfig()
+	c.warmup = 40_000 // trimmed 28k < 32*2000 = 64k
+	err := run(c)
+	if err == nil {
+		t.Fatal("short warm-up accepted")
+	}
+	if !strings.Contains(err.Error(), "access shot") {
+		t.Errorf("error does not explain the access-shot constraint: %v", err)
+	}
+}
+
+// TestRunRejectsStarvedTenantWarmup: the per-tenant validation must error,
+// naming the tenant whose rate share leaves unseen timestamp stripes, even
+// when the global warm-up is long enough.
+func TestRunRejectsStarvedTenantWarmup(t *testing.T) {
+	c := baseConfig()
+	c.shot = 500 // global span 16k fits the 140k trimmed warm-up
+	c.tenants = `[
+	 {"name":"whale","workload":"dlrm","seed":1,"rate":990000,"share":0.5},
+	 {"name":"starved","workload":"memtier","seed":2,"rate":10000,"share":0.5}
+	]`
+	err := run(c)
+	if err == nil {
+		t.Fatal("starved tenant accepted")
+	}
+	if !strings.Contains(err.Error(), `"starved"`) {
+		t.Errorf("error does not name the starved tenant: %v", err)
+	}
+}
+
+// TestRunRejectsBadTenantSpec: malformed -tenants JSON is an error, not a
+// silent fallback to the single-workload path.
+func TestRunRejectsBadTenantSpec(t *testing.T) {
+	c := baseConfig()
+	c.tenants = `[{"name":"a","workload":"dlrm","rate":1e6,"share":0.5,"typo_field":1}]`
+	if err := run(c); err == nil {
+		t.Fatal("malformed tenant spec accepted")
+	}
+}
+
+// TestLoadTenantSpecsInline: the -tenants argument doubles as inline JSON
+// when it starts with '['.
+func TestLoadTenantSpecsInline(t *testing.T) {
+	specs, err := loadTenantSpecs(` [{"name":"a","workload":"dlrm","rate":1e6,"share":0.5}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Name != "a" {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if _, err := loadTenantSpecs("/nonexistent/tenants.json"); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}

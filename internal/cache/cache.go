@@ -254,6 +254,21 @@ func (c *Cache) Access(page uint64, write bool) AccessResult {
 	return res
 }
 
+// Scan calls fn for every valid block in set order, ways within a set in way
+// order (no side effects). The serving subsystem uses it to rescore resident
+// blocks when a refreshed model lands: stored scores from the previous model
+// live on a different density scale, and comparing across scales during
+// eviction would make stale blocks immortal.
+func (c *Cache) Scan(fn func(setIdx, way int, page uint64, dirty bool)) {
+	for si, set := range c.sets {
+		for w, b := range set {
+			if b.valid {
+				fn(si, w, b.page, b.dirty)
+			}
+		}
+	}
+}
+
 // Contains reports whether the page is currently cached (no side effects).
 func (c *Cache) Contains(page uint64) bool {
 	set := c.sets[c.setIndex(page)]

@@ -273,3 +273,32 @@ func TestRepeatedAccessSamePageNoEviction(t *testing.T) {
 		t.Errorf("stats = %+v", st)
 	}
 }
+
+func TestScanVisitsEveryValidBlock(t *testing.T) {
+	c := smallCache(t)
+	// Pages 0..5 land in sets 0..3 (page%4) without filling every way.
+	for p := uint64(0); p < 6; p++ {
+		c.Access(p, p%2 == 0)
+	}
+	seen := map[uint64]bool{}
+	lastSet, lastWay := -1, -1
+	c.Scan(func(set, way int, page uint64, dirty bool) {
+		if set < lastSet || (set == lastSet && way <= lastWay) {
+			t.Fatalf("scan order not (set, way) increasing: (%d,%d) after (%d,%d)", set, way, lastSet, lastWay)
+		}
+		lastSet, lastWay = set, way
+		if seen[page] {
+			t.Fatalf("page %d visited twice", page)
+		}
+		seen[page] = true
+		if !c.Contains(page) {
+			t.Fatalf("scan reported non-resident page %d", page)
+		}
+		if dirty != (page%2 == 0) {
+			t.Fatalf("page %d dirty = %v", page, dirty)
+		}
+	})
+	if uint64(len(seen)) != c.Occupancy() {
+		t.Fatalf("scan visited %d blocks, occupancy %d", len(seen), c.Occupancy())
+	}
+}

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"errors"
+
+	"repro/internal/stats"
+)
+
+// ControlConfig parameterizes the adaptive per-tenant threshold controller.
+// Every Every batches the controller measures each QoS-bearing tenant's
+// metric over the elapsed control interval and nudges that tenant's
+// admission threshold with a deterministic multiplicative hill-climb:
+//
+//   - QoS violated beyond its band: step the threshold in the tenant's
+//     current search direction (loosening first — admit more). If the
+//     previous violated step failed to improve the metric, reverse the
+//     direction before stepping. The reversal is what finds QoS optima on
+//     non-monotone response curves: a tenant whose working set exceeds its
+//     capacity share loses hits both when the threshold is too tight (hot
+//     pages bypassed) and when it is too loose (admit-everything thrashes
+//     its share), and only an intermediate threshold — reachable from
+//     either side — holds the hot head stable.
+//   - comfortably inside the target: tighten (admit less), freeing device
+//     bandwidth for tenants that need it, and arm the next violated step to
+//     loosen (the overshoot correction).
+//   - inside the band: hold.
+//
+// The tenant's threshold is base*mult, where base is the active bundle's
+// calibrated threshold and mult is the controller's accumulated factor — so
+// a model refresh rebases every tenant onto the new calibration while
+// preserving the controller's learned offset. The step rule reads only
+// virtual-time interval metrics, which in sync-refresh mode are themselves
+// bit-identical at any shard count, so controlled runs keep the serving
+// subsystem's determinism contract.
+type ControlConfig struct {
+	// Every is the control period in ingest batches (default 16).
+	Every int
+	// Step is the multiplicative threshold step, > 1 (default 1.25).
+	Step float64
+	// MinMult/MaxMult clamp the accumulated multiplier (defaults 2^-10 and
+	// 2^10), bounding how far the controller can push a tenant away from
+	// the calibrated threshold.
+	MinMult float64
+	MaxMult float64
+}
+
+// DefaultControlConfig returns the defaults above.
+func DefaultControlConfig() ControlConfig {
+	return ControlConfig{Every: 16, Step: 1.25, MinMult: 1.0 / 1024, MaxMult: 1024}
+}
+
+// sanitized fills zero-valued fields with defaults.
+func (c ControlConfig) sanitized() ControlConfig {
+	d := DefaultControlConfig()
+	if c.Every == 0 {
+		c.Every = d.Every
+	}
+	if c.Step == 0 {
+		c.Step = d.Step
+	}
+	if c.MinMult == 0 {
+		c.MinMult = d.MinMult
+	}
+	if c.MaxMult == 0 {
+		c.MaxMult = d.MaxMult
+	}
+	return c
+}
+
+// Validate checks the configuration (after sanitizing defaults).
+func (c ControlConfig) Validate() error {
+	c = c.sanitized()
+	if c.Every < 1 {
+		return errors.New("serve: control period below one batch")
+	}
+	if c.Step <= 1 {
+		return errors.New("serve: control step must exceed 1")
+	}
+	if c.MinMult <= 0 || c.MinMult > 1 || c.MaxMult < 1 {
+		return errors.New("serve: control multiplier clamp must satisfy 0 < MinMult <= 1 <= MaxMult")
+	}
+	return nil
+}
+
+// tenantState is the serving-time state of one tenant: its spec plus the
+// controller's accumulated threshold multiplier and the last control-interval
+// measurement.
+type tenantState struct {
+	spec TenantSpec
+	// mult is the controller's accumulated multiplicative offset from the
+	// bundle's calibrated threshold.
+	mult float64
+	// threshold is the effective admission cutoff, base*mult.
+	threshold float64
+	// lastMetric/lastWithin record the most recent completed control
+	// interval's QoS measurement (valid once lastValid is set).
+	lastMetric float64
+	lastWithin bool
+	lastValid  bool
+	// Hill-climb state: the current violated-step direction (+1 tighten,
+	// -1 loosen) and whether the previous control step was also violated
+	// (enabling the no-improvement reversal against lastMetric).
+	ctrlDir         float64
+	ctrlPrevViolate bool
+}
+
+// controller drives the per-tenant threshold adaptation. It runs on the
+// ingest goroutine at batch boundaries only, so it may touch partition state
+// freely.
+type controller struct {
+	cfg ControlConfig
+	svc *Service
+}
+
+// newController returns nil when no tenant carries a QoS target — untargeted
+// runs pay zero control overhead.
+func newController(svc *Service, cfg ControlConfig) *controller {
+	hasQoS := false
+	for _, t := range svc.tenants {
+		if t.spec.QoS != nil {
+			hasQoS = true
+			break
+		}
+	}
+	if !hasQoS {
+		return nil
+	}
+	return &controller{cfg: cfg.sanitized(), svc: svc}
+}
+
+// step runs one control interval: measure each QoS tenant, classify against
+// its band, apply the threshold step rule, publish the new thresholds, emit
+// one "control" metric record per measured tenant, and reset the interval
+// accumulators.
+func (c *controller) step() {
+	s := c.svc
+	changed := false
+	measured := make([]bool, len(s.tenants))
+	for ti, t := range s.tenants {
+		if t.spec.QoS == nil {
+			continue
+		}
+		v, ok := c.measure(ti, *t.spec.QoS)
+		if !ok {
+			continue // idle tenant this interval: hold
+		}
+		measured[ti] = true
+		violated, comfortable := t.spec.QoS.classify(v)
+		switch {
+		case violated:
+			// Reverse the search direction when the previous violated step
+			// failed to move the metric toward the target by at least 2% of
+			// it — the deterministic hill-climb that escapes the wrong side
+			// of a non-monotone response curve.
+			if t.ctrlPrevViolate && !t.spec.QoS.improved(v, t.lastMetric) {
+				t.ctrlDir = -t.ctrlDir
+			}
+			if t.ctrlDir > 0 {
+				t.mult *= c.cfg.Step
+			} else {
+				t.mult /= c.cfg.Step
+			}
+			t.ctrlPrevViolate = true
+			changed = true
+		case comfortable:
+			t.mult *= c.cfg.Step
+			t.ctrlDir = -1 // an overshoot into violation loosens first
+			t.ctrlPrevViolate = false
+			changed = true
+		default:
+			t.ctrlPrevViolate = false
+		}
+		if t.mult < c.cfg.MinMult {
+			t.mult = c.cfg.MinMult
+		}
+		if t.mult > c.cfg.MaxMult {
+			t.mult = c.cfg.MaxMult
+		}
+		t.lastMetric = v
+		t.lastWithin = !violated
+		t.lastValid = true
+	}
+	if changed {
+		s.applyThresholds()
+	}
+	for ti, t := range s.tenants {
+		// Emit only for tenants measured this interval: a record with a
+		// stale carried-over value would claim a measurement that never
+		// happened.
+		if !measured[ti] {
+			continue
+		}
+		within, v := t.lastWithin, t.lastMetric
+		s.metrics.write(metricRecord{
+			Kind:      "control",
+			Batch:     s.batches,
+			Tenant:    t.spec.Name,
+			QoSMetric: t.spec.QoS.Metric,
+			QoS:       &v,
+			WithinQoS: &within,
+			Threshold: t.threshold,
+			Mult:      t.mult,
+		})
+	}
+	c.reset()
+}
+
+// measure merges tenant ti's control-interval accumulators across partitions
+// (in partition order) into one QoS metric value. ok is false when the
+// tenant served nothing this interval.
+func (c *controller) measure(ti int, q QoSSpec) (v float64, ok bool) {
+	s := c.svc
+	var ops, hits uint64
+	for _, p := range s.parts {
+		ops += p.ten[ti].ctrlOps
+		hits += p.ten[ti].ctrlHits
+	}
+	if ops == 0 {
+		return 0, false
+	}
+	switch q.Metric {
+	case QoSHitRatio:
+		return float64(hits) / float64(ops), true
+	case QoSMeanNs:
+		var sum, count int64
+		for _, p := range s.parts {
+			sum += p.ten[ti].ctrlHist.Sum()
+			count += p.ten[ti].ctrlHist.Count()
+		}
+		if count == 0 {
+			return 0, false
+		}
+		return float64(sum) / float64(count), true
+	default: // QoSP99Ns
+		agg := stats.DefaultLatencyHistogram()
+		agg.SetRetention(len(s.parts) << 16)
+		for _, p := range s.parts {
+			agg.Merge(p.ten[ti].ctrlHist)
+		}
+		if agg.Count() == 0 {
+			return 0, false
+		}
+		return float64(agg.Percentile(99)), true
+	}
+}
+
+// reset clears every tenant's control-interval accumulators.
+func (c *controller) reset() {
+	for _, p := range c.svc.parts {
+		for ti := range p.ten {
+			ts := &p.ten[ti]
+			ts.ctrlOps, ts.ctrlHits = 0, 0
+			if ts.ctrlHist != nil {
+				ts.ctrlHist.Reset()
+			}
+		}
+	}
+}

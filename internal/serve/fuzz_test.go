@@ -1,0 +1,64 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// FuzzTenantSpec fuzzes the -tenants JSON wire format: arbitrary bytes must
+// never panic, and every accepted spec list must satisfy the documented
+// invariants (unique names, positive rates, shares in (0,1] summing to at
+// most 1) and survive a marshal/parse round trip unchanged.
+func FuzzTenantSpec(f *testing.F) {
+	f.Add([]byte(`[{"name":"a","workload":"dlrm","seed":1,"rate":1e6,"share":0.5}]`))
+	f.Add([]byte(`[{"name":"a","workload":"parsec","rate":1,"share":0.3,
+	  "qos":{"metric":"hit_ratio","target":0.7,"band":0.2}},
+	 {"name":"b","custom":{"Name":"c","TotalPages":64,"Clusters":[{"CenterPage":8,"Spread":2}]},
+	  "rate":2,"share":0.7,"burst":0.5,"offset_pages":1048576,"shift_after":100,"shift_offset_pages":4096}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"share":1e308},{"share":1e308}]`))
+	f.Add([]byte(`[{"name":"a","workload":"dlrm","rate":1,"share":"NaN"}]`))
+	f.Add([]byte(`{"name":"a"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		specs, err := serve.ParseTenantSpecs(data)
+		if err != nil {
+			return
+		}
+		seen := map[string]bool{}
+		var shareSum float64
+		for _, ts := range specs {
+			if ts.Name == "" || seen[ts.Name] {
+				t.Fatalf("accepted spec with missing/duplicate name: %+v", specs)
+			}
+			seen[ts.Name] = true
+			if ts.RatePerSec <= 0 {
+				t.Fatalf("accepted non-positive rate: %+v", ts)
+			}
+			if ts.Share <= 0 || ts.Share > 1 {
+				t.Fatalf("accepted share outside (0,1]: %+v", ts)
+			}
+			if ts.BurstAmp < 0 || ts.BurstAmp >= 1 {
+				t.Fatalf("accepted burst outside [0,1): %+v", ts)
+			}
+			shareSum += ts.Share
+		}
+		if shareSum > 1+1e-6 {
+			t.Fatalf("accepted over-committed shares (sum %v): %s", shareSum, data)
+		}
+		// Accepted specs are canonical: marshal/parse must be lossless.
+		out, err := json.Marshal(specs)
+		if err != nil {
+			t.Fatalf("marshalling accepted specs: %v", err)
+		}
+		again, err := serve.ParseTenantSpecs(out)
+		if err != nil {
+			t.Fatalf("re-parsing %s: %v", out, err)
+		}
+		if !reflect.DeepEqual(specs, again) {
+			t.Fatalf("round trip changed specs:\n%+v\n%+v", specs, again)
+		}
+	})
+}

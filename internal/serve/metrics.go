@@ -25,6 +25,46 @@ type PartitionSnapshot struct {
 	LastCompletionNs int64
 }
 
+// TenantSnapshot summarizes one tenant, merged across partitions in
+// partition order.
+type TenantSnapshot struct {
+	// Tenant is the spec name ("default" for single-tenant runs).
+	Tenant string
+	Ops    uint64
+	Hits   uint64
+	// BytesAdmitted counts cache fills charged to the tenant.
+	BytesAdmitted uint64
+	// Latency is the end-to-end sojourn distribution; CXL/HBM/SSD break the
+	// service time down by component (link round trip, hit device time,
+	// miss device time).
+	Latency stats.Summary
+	CXL     stats.Summary
+	HBM     stats.Summary
+	SSD     stats.Summary
+	// ResidentBlocks / BudgetBlocks are the tenant's cache footprint and
+	// capacity share at the end of the run, summed over partitions.
+	ResidentBlocks uint64
+	BudgetBlocks   uint64
+	// Threshold/Mult are the tenant's final admission threshold and the
+	// controller's accumulated multiplier.
+	Threshold float64
+	Mult      float64
+	// QoS echoes the spec; QoSValue/WithinQoS report the last completed
+	// control interval's measurement (valid only when QoSValid).
+	QoS       *QoSSpec
+	QoSValue  float64
+	WithinQoS bool
+	QoSValid  bool
+}
+
+// HitRatio returns the tenant's cumulative hit ratio.
+func (t *TenantSnapshot) HitRatio() float64 {
+	if t.Ops == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(t.Ops)
+}
+
 // Snapshot is the aggregate view of a run, merged from partitions in
 // partition order so it is deterministic at any shard count.
 type Snapshot struct {
@@ -47,6 +87,9 @@ type Snapshot struct {
 	IntervalThroughputMean float64
 	IntervalThroughputStd  float64
 	Partitions             []PartitionSnapshot
+	// Tenants holds one entry per configured tenant (exactly one for
+	// single-tenant runs), in Config.Tenants order.
+	Tenants []TenantSnapshot
 }
 
 // HitRatio returns the aggregate cache hit ratio.
@@ -100,18 +143,75 @@ func (s *Service) Snapshot() *Snapshot {
 	}
 	snap.IntervalThroughputMean = s.intervalThroughput.Mean()
 	snap.IntervalThroughputStd = s.intervalThroughput.Std()
+	snap.Tenants = s.tenantSnapshots()
 	return snap
 }
 
+// tenantCounters sums tenant ti's accounting counters across partitions —
+// the single O(partitions) merge behind both the periodic tenant-interval
+// records and the final snapshots, so the two can never drift apart.
+func (s *Service) tenantCounters(ti int) (ops, hits, bytesAdmitted, resident uint64) {
+	for _, p := range s.parts {
+		cell := &p.ten[ti]
+		ops += cell.ops
+		hits += cell.hits
+		bytesAdmitted += cell.bytesAdmitted
+		resident += uint64(p.pol.Resident(ti))
+	}
+	return ops, hits, bytesAdmitted, resident
+}
+
+// tenantSnapshots merges per-(partition, tenant) accounting cells, in
+// partition order within each tenant, into one TenantSnapshot per tenant.
+func (s *Service) tenantSnapshots() []TenantSnapshot {
+	out := make([]TenantSnapshot, len(s.tenants))
+	for ti, t := range s.tenants {
+		hist := stats.DefaultLatencyHistogram()
+		cxlH := stats.DefaultLatencyHistogram()
+		hbmH := stats.DefaultLatencyHistogram()
+		ssdH := stats.DefaultLatencyHistogram()
+		for _, h := range []*stats.Histogram{hist, cxlH, hbmH, ssdH} {
+			h.SetRetention(len(s.parts) << 16)
+		}
+		ts := TenantSnapshot{
+			Tenant:    t.spec.Name,
+			Threshold: t.threshold,
+			Mult:      t.mult,
+			QoS:       t.spec.QoS,
+			QoSValue:  t.lastMetric,
+			WithinQoS: t.lastWithin,
+			QoSValid:  t.lastValid,
+		}
+		ts.Ops, ts.Hits, ts.BytesAdmitted, ts.ResidentBlocks = s.tenantCounters(ti)
+		for _, p := range s.parts {
+			cell := &p.ten[ti]
+			ts.BudgetBlocks += uint64(p.pol.budget[ti])
+			hist.Merge(cell.hist)
+			cxlH.Merge(cell.cxlHist)
+			hbmH.Merge(cell.hbmHist)
+			ssdH.Merge(cell.ssdHist)
+		}
+		ts.Latency = hist.Summarize()
+		ts.CXL = cxlH.Summarize()
+		ts.HBM = hbmH.Summarize()
+		ts.SSD = ssdH.Summarize()
+		out[ti] = ts
+	}
+	return out
+}
+
 // metricRecord is one JSONL line. Kind distinguishes the record types:
-// "interval" (periodic aggregate), "refresh" (a model install), "partition"
-// (final per-partition summary) and "summary" (final aggregate). All values
-// are virtual-time quantities, so sync-refresh runs emit byte-identical
-// metric streams at any shard count.
+// "interval" (periodic aggregate), "tenant-interval" (periodic per-tenant),
+// "control" (one adaptive-controller step for one tenant), "refresh" (a
+// model install), "partition" (final per-partition summary), "tenant" (final
+// per-tenant summary) and "summary" (final aggregate). All values are
+// virtual-time quantities, so sync-refresh runs emit byte-identical metric
+// streams at any shard count.
 type metricRecord struct {
 	Kind      string `json:"kind"`
 	Batch     uint64 `json:"batch,omitempty"`
 	Partition *int   `json:"partition,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
 	Ops       uint64 `json:"ops,omitempty"`
 	// HitRatio is cumulative over the record's scope (the run so far for
 	// interval/summary records, the partition for partition records);
@@ -130,6 +230,22 @@ type metricRecord struct {
 	Threshold       float64  `json:"threshold,omitempty"`
 	SSDReads        uint64   `json:"ssd_reads,omitempty"`
 	SSDWrites       uint64   `json:"ssd_writes,omitempty"`
+	// Tenant-record fields.
+	BytesAdmitted  uint64  `json:"bytes_admitted,omitempty"`
+	ResidentBlocks uint64  `json:"resident_blocks,omitempty"`
+	BudgetBlocks   uint64  `json:"budget_blocks,omitempty"`
+	Mult           float64 `json:"mult,omitempty"`
+	CXLP99Ns       int64   `json:"cxl_p99_ns,omitempty"`
+	HBMP99Ns       int64   `json:"hbm_p99_ns,omitempty"`
+	SSDP99Ns       int64   `json:"ssd_p99_ns,omitempty"`
+	// Controller fields: the measured QoS value against its metric name,
+	// and whether the tenant sat within its band.
+	// QoS is a pointer so a legitimately-zero measurement (e.g. a cold
+	// interval's hit ratio) still appears, while unmeasured records omit
+	// the key entirely.
+	QoSMetric string   `json:"qos_metric,omitempty"`
+	QoS       *float64 `json:"qos,omitempty"`
+	WithinQoS *bool    `json:"within_qos,omitempty"`
 }
 
 // metricsWriter serializes metric records as JSONL. A nil writer turns every
@@ -206,11 +322,35 @@ func (s *Service) emitInterval(batchHitRatio float64) error {
 		OpsPerSec:     throughput,
 		Refreshes:     s.refresher.installed,
 	})
+	// Explicit multi-tenant runs also get one cumulative per-tenant line —
+	// O(partitions) counter sums, no percentile sorting.
+	if len(s.cfg.Tenants) > 0 {
+		for ti, t := range s.tenants {
+			tOps, tHits, tBytes, tResident := s.tenantCounters(ti)
+			hr := 0.0
+			if tOps > 0 {
+				hr = float64(tHits) / float64(tOps)
+			}
+			s.metrics.write(metricRecord{
+				Kind:           "tenant-interval",
+				Batch:          s.batches,
+				Tenant:         t.spec.Name,
+				Ops:            tOps,
+				HitRatio:       hr,
+				BytesAdmitted:  tBytes,
+				ResidentBlocks: tResident,
+				Threshold:      t.threshold,
+				Mult:           t.mult,
+			})
+		}
+	}
 	return s.metrics.err
 }
 
-// writeFinal emits the per-partition and aggregate summary records.
-func (m *metricsWriter) writeFinal(snap *Snapshot) error {
+// writeFinal emits the per-partition, per-tenant and aggregate summary
+// records. Tenant records appear only for explicit multi-tenant runs, so
+// single-tenant metric streams are unchanged.
+func (m *metricsWriter) writeFinal(snap *Snapshot, emitTenants bool) error {
 	for i := range snap.Partitions {
 		ps := &snap.Partitions[i]
 		idx := ps.Partition
@@ -232,6 +372,36 @@ func (m *metricsWriter) writeFinal(snap *Snapshot) error {
 			SSDReads:  ps.SSD.Reads,
 			SSDWrites: ps.SSD.Writes,
 		})
+	}
+	if emitTenants {
+		for i := range snap.Tenants {
+			ts := &snap.Tenants[i]
+			rec := metricRecord{
+				Kind:           "tenant",
+				Tenant:         ts.Tenant,
+				Ops:            ts.Ops,
+				HitRatio:       ts.HitRatio(),
+				BytesAdmitted:  ts.BytesAdmitted,
+				ResidentBlocks: ts.ResidentBlocks,
+				BudgetBlocks:   ts.BudgetBlocks,
+				MeanNs:         int64(ts.Latency.Mean),
+				P50Ns:          int64(ts.Latency.P50),
+				P99Ns:          int64(ts.Latency.P99),
+				MaxNs:          int64(ts.Latency.Max),
+				CXLP99Ns:       int64(ts.CXL.P99),
+				HBMP99Ns:       int64(ts.HBM.P99),
+				SSDP99Ns:       int64(ts.SSD.P99),
+				Threshold:      ts.Threshold,
+				Mult:           ts.Mult,
+			}
+			if ts.QoS != nil && ts.QoSValid {
+				within, v := ts.WithinQoS, ts.QoSValue
+				rec.QoSMetric = ts.QoS.Metric
+				rec.QoS = &v
+				rec.WithinQoS = &within
+			}
+			m.write(rec)
+		}
 	}
 	m.write(metricRecord{
 		Kind:            "summary",

@@ -362,13 +362,14 @@ func (r *refresher) installPending() {
 	}
 }
 
-// install publishes the bundle and pushes its threshold into every
-// partition's policy engine.
+// install publishes the bundle, rebases every tenant's effective threshold
+// (new calibrated base x preserved controller multiplier) into every
+// partition's policy engine, and rescores resident blocks onto the new
+// model's density scale so eviction never compares scores across models.
 func (r *refresher) install(nb *Bundle) {
 	r.bundle.Store(nb)
-	for _, p := range r.svc.parts {
-		p.pol.SetThreshold(nb.Threshold)
-	}
+	r.svc.applyThresholds()
+	r.svc.rescoreResident(nb)
 	r.installed++
 	r.svc.metrics.writeRefresh(r.svc.batches, r.installed, nb.Threshold)
 }

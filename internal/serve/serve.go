@@ -50,6 +50,9 @@ type Request struct {
 	ArrivalNs int64
 	// Seq is the global arrival index; the service assigns it at ingest.
 	Seq uint64
+	// Tenant indexes Config.Tenants (0 for single-tenant sources); the
+	// service accounts and capacity-shares the request under it.
+	Tenant int
 }
 
 // Config assembles the serving subsystem.
@@ -98,6 +101,14 @@ type Config struct {
 	BatchSize int
 	// Refresh configures online model refresh (off by default).
 	Refresh RefreshConfig
+	// Tenants, when non-empty, turns on multi-tenant serving: requests are
+	// accounted under Request.Tenant (an index into this slice) and each
+	// tenant's HBM capacity share is enforced at admission. Empty means one
+	// anonymous tenant owning the whole cache.
+	Tenants []TenantSpec
+	// Control parameterizes the adaptive per-tenant threshold controller;
+	// it activates only for tenants that declare a QoS target.
+	Control ControlConfig
 	// Metrics, when non-nil, receives JSONL metric records: one "interval"
 	// record every ReportEvery batches, one "refresh" record per installed
 	// model, and "partition" + "summary" records when the run ends.
@@ -125,6 +136,7 @@ func DefaultConfig() Config {
 		ThresholdPct: 0.02,
 		BatchSize:    8192,
 		Refresh:      DefaultRefreshConfig(),
+		Control:      DefaultControlConfig(),
 		ReportEvery:  16,
 	}
 }
@@ -155,7 +167,17 @@ func (c Config) Validate() error {
 	if err := c.Refresh.Validate(); err != nil {
 		return err
 	}
-	if _, err := c.partitionCache(); err != nil {
+	if err := ValidateTenants(c.Tenants); err != nil {
+		return err
+	}
+	if err := c.Control.Validate(); err != nil {
+		return err
+	}
+	pc, err := c.partitionCache()
+	if err != nil {
+		return err
+	}
+	if _, err := tenantBudgets(c.Tenants, pc); err != nil {
 		return err
 	}
 	return nil
@@ -223,6 +245,23 @@ func timestampFor(seq uint64, lenWindow, lenAccessShot int) int {
 	return int((seq / uint64(lenWindow)) % uint64(lenAccessShot))
 }
 
+// partitionOf routes a page to its partition through a fixed bit-mixing hash
+// (the splitmix64 finalizer). Routing by page%nParts instead would correlate
+// with the partition cache's own set indexing (page%numSets): when nParts
+// divides numSets — every power-of-two geometry — each partition's pages
+// alias into only numSets/nParts of its sets, silently wasting most of the
+// cache. The hash decorrelates the two mappings; it is a pure function of
+// the page, so routing stays deterministic at any shard count.
+func partitionOf(page, nParts uint64) uint64 {
+	x := page
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x % nParts
+}
+
 // scoredReq is one routed request with its Algorithm 1 timestamp.
 // Normalization and scoring happen partition-side, on the shard pool.
 type scoredReq struct {
@@ -235,12 +274,11 @@ type scoredReq struct {
 // the ingest loop (between batches), so no locking is needed.
 type partition struct {
 	cache *cache.Cache
-	pol   *policy.GMM
+	pol   *tenantGMM
 	mem   *hbm.Memory
 	dev   *ssd.Device
 	link  *cxl.Link
 
-	hitNs      int64
 	overheadNs int64
 	overlap    bool
 
@@ -248,6 +286,7 @@ type partition struct {
 	engineBusy int64
 	ops        uint64
 	hist       *stats.Histogram
+	ten        []tenantPartStats // per-tenant accounting cells
 
 	batchOps, batchHits uint64
 
@@ -263,10 +302,12 @@ type Service struct {
 	tcfg    trace.TransformConfig
 	runner  *engine.Runner
 	parts   []*partition
+	tenants []*tenantState
 	seq     uint64
 	batches uint64
 
 	refresher *refresher
+	ctrl      *controller
 	window    *sampleWindow
 	metrics   *metricsWriter
 
@@ -288,18 +329,32 @@ func New(cfg Config, b *Bundle) (*Service, error) {
 		return nil, err
 	}
 	tcfg := cfg.Transform.Sanitized()
+	// The tenant list always has at least one entry: an anonymous default
+	// tenant owning the whole cache when Config.Tenants is empty.
+	specs := cfg.Tenants
+	if len(specs) == 0 {
+		specs = []TenantSpec{{Name: "default", Share: 1}}
+	}
+	tenants := make([]*tenantState, len(specs))
+	for i, ts := range specs {
+		tenants[i] = &tenantState{spec: ts, mult: 1, threshold: b.Threshold, ctrlDir: -1}
+	}
+	budgets, err := tenantBudgets(cfg.Tenants, pc)
+	if err != nil {
+		return nil, err
+	}
+	hasQoS := false
+	for _, ts := range specs {
+		if ts.QoS != nil {
+			hasQoS = true
+		}
+	}
 	parts := make([]*partition, cfg.Partitions)
 	for i := range parts {
-		pol := policy.NewGMM(policy.GMMConfig{
-			// The scorer/normalizer stay nil-free but unused: every score
-			// reaches the policy through ProvideScore, fed from the batched
-			// admission pass. Threshold swaps arrive via SetThreshold.
-			Scorer:     b.Scorer,
-			Normalizer: b.Norm,
-			Transform:  tcfg,
-			Threshold:  b.Threshold,
-			Mode:       cfg.Mode,
-		})
+		// Every admission score reaches the policy through Begin, fed from
+		// the batched inference pass; threshold updates arrive via
+		// SetThresholds at batch boundaries.
+		pol := newTenantGMM(cfg.Mode, budgets, b.Threshold)
 		c, err := cache.New(pc, pol)
 		if err != nil {
 			return nil, err
@@ -316,6 +371,10 @@ func New(cfg Config, b *Bundle) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		ten := make([]tenantPartStats, len(specs))
+		for t := range ten {
+			ten[t] = newTenantPartStats(hasQoS)
+		}
 		parts[i] = &partition{
 			cache:      c,
 			pol:        pol,
@@ -325,6 +384,7 @@ func New(cfg Config, b *Bundle) (*Service, error) {
 			overheadNs: cfg.GMMInference.Nanoseconds(),
 			overlap:    cfg.Overlap,
 			hist:       stats.DefaultLatencyHistogram(),
+			ten:        ten,
 		}
 	}
 	s := &Service{
@@ -332,11 +392,67 @@ func New(cfg Config, b *Bundle) (*Service, error) {
 		tcfg:    tcfg,
 		runner:  engine.NewRunner(cfg.Shards),
 		parts:   parts,
+		tenants: tenants,
 		window:  newSampleWindow(cfg.Refresh.WindowSamples),
 		metrics: newMetricsWriter(cfg.Metrics),
 	}
 	s.refresher = newRefresher(s, b)
+	s.ctrl = newController(s, cfg.Control)
 	return s, nil
+}
+
+// applyThresholds recomputes every tenant's effective admission threshold
+// (active bundle base x controller multiplier) and publishes the result to
+// every partition's policy engine. Called only at batch boundaries.
+func (s *Service) applyThresholds() {
+	base := s.refresher.bundle.Load().Threshold
+	ths := make([]float64, len(s.tenants))
+	for i, t := range s.tenants {
+		t.threshold = base * t.mult
+		ths[i] = t.threshold
+	}
+	for _, p := range s.parts {
+		p.pol.SetThresholds(ths)
+	}
+}
+
+// rescoreResident re-derives every resident block's stored eviction score
+// under the given bundle, at the install-time Algorithm 1 timestamp. GMM
+// densities are only comparable within one model: after a refresh, scores
+// stored by the previous model sit on an arbitrarily different scale, and
+// min-score eviction comparing across scales can make stale blocks immortal
+// (observed as a tenant never re-warming its share after a working-set
+// shift). Runs at batch boundaries on the shard pool; block order within a
+// partition is fixed (set, then way), so results are deterministic at any
+// shard count.
+func (s *Service) rescoreResident(b *Bundle) {
+	ts := timestampFor(s.seq, s.tcfg.LenWindow, s.tcfg.LenAccessShot)
+	_ = engine.ForEach(s.runner, s.parts, func(_ int, p *partition) error {
+		type loc struct{ set, way int }
+		var locs []loc
+		var pages, times []float64
+		p.cache.Scan(func(set, way int, page uint64, _ bool) {
+			np, nt := b.Norm.ApplyPageTime(page, ts)
+			locs = append(locs, loc{set, way})
+			pages = append(pages, np)
+			times = append(times, nt)
+		})
+		if len(locs) == 0 {
+			return nil
+		}
+		scores := make([]float64, len(locs))
+		if bs, ok := b.Scorer.(policy.BatchScorer); ok {
+			bs.ScorePageTimeBatch(pages, times, scores)
+		} else {
+			for i := range scores {
+				scores[i] = b.Scorer.ScorePageTime(pages[i], times[i])
+			}
+		}
+		for i, l := range locs {
+			p.pol.setScore(l.set, l.way, scores[i])
+		}
+		return nil
+	})
 }
 
 // Bundle returns the currently active scoring bundle.
@@ -361,7 +477,7 @@ func (s *Service) Run(src Source) (*Snapshot, error) {
 	}
 	s.refresher.wait()
 	snap := s.Snapshot()
-	if err := s.metrics.writeFinal(snap); err != nil {
+	if err := s.metrics.writeFinal(snap, len(s.cfg.Tenants) > 0); err != nil {
 		return nil, err
 	}
 	return snap, nil
@@ -381,12 +497,15 @@ func (s *Service) processBatch(batch []Request) error {
 	// routing, and — only when refresh can ever read it — the refit window.
 	windowOn := s.cfg.Refresh.Mode != RefreshOff
 	for i := range batch {
+		if t := batch[i].Tenant; t < 0 || t >= len(s.tenants) {
+			return fmt.Errorf("serve: request tenant %d outside configured tenants [0,%d)", t, len(s.tenants))
+		}
 		batch[i].Seq = s.seq
 		ts := timestampFor(s.seq, s.tcfg.LenWindow, s.tcfg.LenAccessShot)
 		if windowOn {
 			s.window.push(float64(batch[i].Page), float64(ts))
 		}
-		p := s.parts[batch[i].Page%nParts]
+		p := s.parts[partitionOf(batch[i].Page, nParts)]
 		p.queue = append(p.queue, scoredReq{req: batch[i], ts: ts})
 		s.seq++
 	}
@@ -410,6 +529,9 @@ func (s *Service) processBatch(batch []Request) error {
 	}
 	s.refresher.observe(hitRatio)
 
+	if s.ctrl != nil && s.batches%uint64(s.ctrl.cfg.Every) == 0 {
+		s.ctrl.step()
+	}
 	if s.cfg.ReportEvery > 0 && s.batches%uint64(s.cfg.ReportEvery) == 0 {
 		if err := s.emitInterval(hitRatio); err != nil {
 			return err
@@ -457,7 +579,7 @@ func (p *partition) serveOne(req Request, score float64) {
 	if p.now > start {
 		start = p.now
 	}
-	p.pol.ProvideScore(score)
+	p.pol.Begin(req.Tenant, score)
 	res := p.cache.Access(req.Page, req.Write)
 
 	// Device-internal service time, mirroring core.System's device path.
@@ -495,10 +617,32 @@ func (p *partition) serveOne(req Request, score float64) {
 	rt := p.link.RoundTrip(!req.Write, trace.PageSize, start) - start
 	done := start + rt + dev
 	p.now = done
-	p.hist.Observe(done - req.ArrivalNs)
+	sojourn := done - req.ArrivalNs
+	p.hist.Observe(sojourn)
 	p.ops++
 	p.batchOps++
 	if res.Hit {
 		p.batchHits++
+	}
+
+	// Per-tenant accounting: sojourn plus the cxl/hbm/ssd components, split
+	// by where the device time was spent.
+	ts := &p.ten[req.Tenant]
+	ts.ops++
+	ts.ctrlOps++
+	ts.hist.Observe(sojourn)
+	ts.cxlHist.Observe(rt)
+	if res.Hit {
+		ts.hits++
+		ts.ctrlHits++
+		ts.hbmHist.Observe(dev)
+	} else {
+		ts.ssdHist.Observe(dev)
+	}
+	if res.Admitted {
+		ts.bytesAdmitted += trace.PageSize
+	}
+	if ts.ctrlHist != nil {
+		ts.ctrlHist.Observe(sojourn)
 	}
 }

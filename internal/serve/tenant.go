@@ -1,0 +1,536 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TenantSpec describes one named workload stream of a multi-tenant serving
+// run: its traffic shape, its slice of the device HBM cache, and (optionally)
+// the QoS target the adaptive controller holds it to. The JSON form is the
+// cmd/icgmm-serve -tenants wire format.
+type TenantSpec struct {
+	// Name labels the tenant in metrics and reports. Required, unique.
+	Name string `json:"name"`
+	// Workload names a registry generator (see workload.ByName); Custom,
+	// when set, takes precedence and composes a bespoke working set.
+	Workload string                 `json:"workload,omitempty"`
+	Custom   *workload.CustomConfig `json:"custom,omitempty"`
+	// Seed drives the tenant's private request stream.
+	Seed int64 `json:"seed"`
+	// RatePerSec is the tenant's open-loop arrival rate (must be > 0: the
+	// mux merges streams by arrival time).
+	RatePerSec float64 `json:"rate"`
+	// BurstAmp/BurstPeriod sinusoidally modulate the rate (see
+	// workload.OpenLoopConfig).
+	BurstAmp    float64 `json:"burst,omitempty"`
+	BurstPeriod int     `json:"burst_period,omitempty"`
+	// OffsetPages relocates the tenant's working set so tenants occupy
+	// disjoint address regions.
+	OffsetPages uint64 `json:"offset_pages,omitempty"`
+	// ShiftAfter/ShiftOffsetPages give the tenant a working-set drift (see
+	// workload.OpenLoopConfig), exercising refresh under multi-tenancy.
+	ShiftAfter       uint64 `json:"shift_after,omitempty"`
+	ShiftOffsetPages uint64 `json:"shift_offset_pages,omitempty"`
+	// Share is the tenant's fraction of every partition's HBM cache blocks,
+	// enforced at admission: once the tenant holds floor(Share*blocks)
+	// blocks of a partition it can only replace its own blocks, never grow.
+	// Shares must each be in (0, 1] and sum to at most 1.
+	Share float64 `json:"share"`
+	// QoS, when set, puts the tenant under the adaptive threshold
+	// controller.
+	QoS *QoSSpec `json:"qos,omitempty"`
+}
+
+// QoSSpec is one tenant's service-level objective. Metric selects what the
+// controller measures over each control interval:
+//
+//   - "hit_ratio": Target is a floor on the tenant's interval hit ratio.
+//   - "p99_ns":    Target is a ceiling on the tenant's interval p99 sojourn
+//     time in nanoseconds.
+//   - "mean_ns":   Target is a ceiling on the interval mean sojourn time.
+//
+// Band is the relative hold region around Target (default 0.10): inside it
+// the controller leaves the tenant's admission threshold alone, beyond it on
+// the violating side the threshold loosens (admit more), and beyond it on the
+// comfortable side the threshold tightens (admit less, freeing device
+// bandwidth for tenants that need it).
+type QoSSpec struct {
+	Metric string  `json:"metric"`
+	Target float64 `json:"target"`
+	Band   float64 `json:"band,omitempty"`
+}
+
+// QoS metric names.
+const (
+	QoSHitRatio = "hit_ratio"
+	QoSP99Ns    = "p99_ns"
+	QoSMeanNs   = "mean_ns"
+)
+
+// Validate checks the objective.
+func (q QoSSpec) Validate() error {
+	switch q.Metric {
+	case QoSHitRatio:
+		if q.Target <= 0 || q.Target > 1 {
+			return fmt.Errorf("serve: hit_ratio QoS target %v outside (0,1]", q.Target)
+		}
+	case QoSP99Ns, QoSMeanNs:
+		if q.Target <= 0 {
+			return fmt.Errorf("serve: latency QoS target %v not positive", q.Target)
+		}
+	default:
+		return fmt.Errorf("serve: unknown QoS metric %q (valid: hit_ratio|p99_ns|mean_ns)", q.Metric)
+	}
+	if q.Band < 0 || q.Band >= 1 {
+		return fmt.Errorf("serve: QoS band %v outside [0,1)", q.Band)
+	}
+	return nil
+}
+
+// band returns the hold-region width with the default applied.
+func (q QoSSpec) band() float64 {
+	if q.Band > 0 {
+		return q.Band
+	}
+	return 0.10
+}
+
+// higherIsBetter reports the metric's direction: hit ratio is a floor,
+// latency metrics are ceilings.
+func (q QoSSpec) higherIsBetter() bool { return q.Metric == QoSHitRatio }
+
+// classify places a measured value relative to the target band: violated
+// (beyond the band on the bad side), comfortable (beyond it on the good
+// side), or holding.
+func (q QoSSpec) classify(v float64) (violated, comfortable bool) {
+	b := q.band()
+	if q.higherIsBetter() {
+		return v < q.Target*(1-b), v > q.Target*(1+b)
+	}
+	return v > q.Target*(1+b), v < q.Target*(1-b)
+}
+
+// improved reports whether v moved toward the target relative to prev by
+// more than 2% of the target — the controller's progress test for keeping
+// its hill-climb direction.
+func (q QoSSpec) improved(v, prev float64) bool {
+	eps := 0.02 * q.Target
+	if q.higherIsBetter() {
+		return v > prev+eps
+	}
+	return v < prev-eps
+}
+
+// ParseTenantSpecs decodes the -tenants JSON wire format (an array of
+// TenantSpec objects) and validates it. Unknown fields are rejected so typos
+// in a spec fail loudly instead of silently configuring defaults.
+func ParseTenantSpecs(data []byte) ([]TenantSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var specs []TenantSpec
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("serve: parsing tenant spec: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("serve: trailing data after tenant spec array")
+	}
+	if err := ValidateTenants(specs); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// ValidateTenants checks a tenant list: unique non-empty names, resolvable
+// workloads, positive rates, and capacity shares that never over-commit the
+// cache.
+func ValidateTenants(specs []TenantSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(specs))
+	var shareSum float64
+	for i, ts := range specs {
+		if ts.Name == "" {
+			return fmt.Errorf("serve: tenant %d has no name", i)
+		}
+		if seen[ts.Name] {
+			return fmt.Errorf("serve: duplicate tenant name %q", ts.Name)
+		}
+		seen[ts.Name] = true
+		if _, err := ts.generator(); err != nil {
+			return fmt.Errorf("serve: tenant %q: %w", ts.Name, err)
+		}
+		if ts.RatePerSec <= 0 {
+			return fmt.Errorf("serve: tenant %q has non-positive rate", ts.Name)
+		}
+		if ts.BurstAmp < 0 || ts.BurstAmp >= 1 {
+			return fmt.Errorf("serve: tenant %q burst amplitude outside [0,1)", ts.Name)
+		}
+		if ts.Share <= 0 || ts.Share > 1 {
+			return fmt.Errorf("serve: tenant %q share %v outside (0,1]", ts.Name, ts.Share)
+		}
+		shareSum += ts.Share
+		if ts.QoS != nil {
+			if err := ts.QoS.Validate(); err != nil {
+				return fmt.Errorf("serve: tenant %q: %w", ts.Name, err)
+			}
+		}
+	}
+	if shareSum > 1+1e-9 {
+		return fmt.Errorf("serve: tenant shares sum to %.4f > 1 (would over-commit the HBM cache)", shareSum)
+	}
+	return nil
+}
+
+// generator resolves the tenant's workload generator.
+func (ts TenantSpec) generator() (workload.Generator, error) {
+	if ts.Custom != nil {
+		return workload.NewCustom(*ts.Custom)
+	}
+	if ts.Workload == "" {
+		return nil, errors.New("no workload or custom spec")
+	}
+	return workload.ByName(ts.Workload)
+}
+
+// openLoop builds the tenant's private open-loop stream.
+func (ts TenantSpec) openLoop() (*workload.OpenLoop, error) {
+	gen, err := ts.generator()
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewOpenLoop(gen, workload.OpenLoopConfig{
+		RatePerSec:       ts.RatePerSec,
+		BurstAmp:         ts.BurstAmp,
+		BurstPeriod:      ts.BurstPeriod,
+		Seed:             ts.Seed,
+		ShiftAfter:       ts.ShiftAfter,
+		ShiftOffsetPages: ts.ShiftOffsetPages,
+	})
+}
+
+// NewTenantMux builds the deterministic multi-tenant request mux for the
+// specs: one open-loop stream per tenant, merged by arrival time. Stream
+// index i corresponds to specs[i], and Request.Tenant carries that index
+// through the pipeline. Build one mux for warm-up and a fresh one for
+// serving: a mux is consumed as it is read.
+func NewTenantMux(specs []TenantSpec) (*workload.Mux, error) {
+	if err := ValidateTenants(specs); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("serve: no tenants")
+	}
+	streams := make([]workload.MuxStream, len(specs))
+	for i, ts := range specs {
+		ol, err := ts.openLoop()
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %q: %w", ts.Name, err)
+		}
+		streams[i] = workload.MuxStream{Stream: ol, OffsetPages: ts.OffsetPages}
+	}
+	return workload.NewMux(streams)
+}
+
+// ValidateWarmup checks that a warm-up trace of warmupLen requests lets the
+// initial GMM see every Algorithm 1 timestamp — globally and for every
+// tenant. After trimming (TransformConfig.WarmupFrac/TailFrac), the retained
+// trace must cover one full access shot (LenWindow*LenAccessShot requests);
+// otherwise serving reaches timestamp ranges the model never trained on,
+// scores them as out-of-distribution and bypasses structurally hot pages.
+// Per tenant, the tenant's arrival-rate share of one access shot must still
+// average at least one sample per timestamp value (share*LenWindow >= 1):
+// below that the tenant's (page, time) plane has unseen stripes even when
+// the global trace is long enough. A nil spec list means a single tenant
+// owning the whole stream.
+func ValidateWarmup(warmupLen int, tcfg trace.TransformConfig, specs []TenantSpec) error {
+	tcfg = tcfg.Sanitized()
+	lo := int(float64(warmupLen) * tcfg.WarmupFrac)
+	hi := warmupLen - int(float64(warmupLen)*tcfg.TailFrac)
+	trimmed := hi - lo
+	span := tcfg.LenWindow * tcfg.LenAccessShot
+	if trimmed < span {
+		return fmt.Errorf(
+			"serve: trimmed warm-up (%d of %d requests) does not cover one access shot (len_window %d * len_access_shot %d = %d requests); the model would see unseen timestamp ranges — raise -warmup or lower -shot",
+			trimmed, warmupLen, tcfg.LenWindow, tcfg.LenAccessShot, span)
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	var total float64
+	for _, ts := range specs {
+		total += ts.RatePerSec
+	}
+	if total <= 0 {
+		return errors.New("serve: tenant rates sum to zero")
+	}
+	for _, ts := range specs {
+		share := ts.RatePerSec / total
+		perShot := share * float64(span)
+		if perShot < float64(tcfg.LenAccessShot) {
+			return fmt.Errorf(
+				"serve: tenant %q contributes ~%.0f warm-up samples per access shot, fewer than one per timestamp value (len_access_shot %d); its pages would be scored at timestamps the model never saw for them — raise its rate share above 1/len_window (%.4f) or shrink len_window",
+				ts.Name, perShot, tcfg.LenAccessShot, 1/float64(tcfg.LenWindow))
+		}
+	}
+	return nil
+}
+
+// tenantBudgets derives each tenant's per-partition block budget from its
+// share: floor(share*blocks), so the sum never exceeds the partition.
+func tenantBudgets(specs []TenantSpec, pc cache.Config) ([]int, error) {
+	blocks := int(pc.NumBlocks())
+	if len(specs) == 0 {
+		return []int{blocks}, nil
+	}
+	budgets := make([]int, len(specs))
+	for i, ts := range specs {
+		budgets[i] = int(ts.Share * float64(blocks))
+		if budgets[i] < 1 {
+			return nil, fmt.Errorf(
+				"serve: tenant %q share %.3f yields zero blocks of the %d-block partition cache; grow the cache or the share",
+				ts.Name, ts.Share, blocks)
+		}
+	}
+	return budgets, nil
+}
+
+// tenantGMM is the partition policy engine of the tenant layer: GMM-scored
+// admission and eviction (scores always arrive via Begin from the batched
+// inference pass) with per-tenant admission thresholds and per-tenant
+// capacity budgets. A tenant at its block budget can only replace its own
+// blocks — an admission that would need to grow its footprint bypasses the
+// cache instead — so shares are enforced exactly and tenants can never
+// over-commit the partition.
+type tenantGMM struct {
+	mode  policy.GMMMode
+	nSets int
+	ways  int
+
+	scores  [][]float64 // per-way GMM score, the smart-eviction key
+	lastUse [][]uint64  // per-way LRU stamp, the caching-only fallback key
+	owner   [][]int16   // per-way owning tenant; -1 while invalid
+
+	thresholds []float64 // per-tenant admission cutoff
+	budget     []int     // per-tenant block budget
+	resident   []int     // per-tenant valid block count
+
+	curTenant      int
+	curScore       float64
+	restrictVictim bool // the pending Victim call must stay within curTenant
+}
+
+// newTenantGMM builds the policy for nTenants tenants with the given block
+// budgets and a uniform initial threshold.
+func newTenantGMM(mode policy.GMMMode, budgets []int, threshold float64) *tenantGMM {
+	n := len(budgets)
+	p := &tenantGMM{
+		mode:       mode,
+		thresholds: make([]float64, n),
+		budget:     budgets,
+		resident:   make([]int, n),
+	}
+	for i := range p.thresholds {
+		p.thresholds[i] = threshold
+	}
+	return p
+}
+
+// Begin stages the tenant and batched GMM score of the next access. The
+// serving pipeline calls it immediately before Cache.Access, so the policy
+// never runs its own (shard-local, hence wrong) Algorithm 1 clock.
+func (p *tenantGMM) Begin(tenant int, score float64) {
+	p.curTenant = tenant
+	p.curScore = score
+}
+
+// SetThresholds replaces every tenant's admission cutoff. Called only at
+// batch boundaries (refresh install, controller step) when no shard is
+// draining the partition.
+func (p *tenantGMM) SetThresholds(ths []float64) { copy(p.thresholds, ths) }
+
+// Resident returns tenant t's valid block count in this partition.
+func (p *tenantGMM) Resident(t int) int { return p.resident[t] }
+
+// Name implements cache.Policy.
+func (p *tenantGMM) Name() string { return "tenant-" + p.mode.String() }
+
+// Attach implements cache.Policy.
+func (p *tenantGMM) Attach(numSets, ways int) {
+	p.nSets, p.ways = numSets, ways
+	p.scores = make([][]float64, numSets)
+	p.lastUse = make([][]uint64, numSets)
+	p.owner = make([][]int16, numSets)
+	for i := 0; i < numSets; i++ {
+		p.scores[i] = make([]float64, ways)
+		p.lastUse[i] = make([]uint64, ways)
+		p.owner[i] = make([]int16, ways)
+		for w := range p.owner[i] {
+			p.owner[i][w] = -1
+		}
+	}
+}
+
+// OnAccess implements cache.Policy. Timestamps derive from the global
+// arrival index upstream, so there is no per-access clock to advance here.
+func (p *tenantGMM) OnAccess(cache.Request) {}
+
+// OnHit implements cache.Policy.
+func (p *tenantGMM) OnHit(setIdx, way int, req cache.Request) {
+	p.lastUse[setIdx][way] = req.Seq
+}
+
+// Admit implements cache.Policy: the staged score must clear the tenant's
+// threshold, and the tenant's capacity budget must allow the insert. At
+// budget, admission is only possible when the target set is full and holds
+// one of the tenant's own blocks (the insert then replaces it, keeping the
+// footprint flat); any admission that would grow the footprint bypasses.
+func (p *tenantGMM) Admit(req cache.Request) bool {
+	t := p.curTenant
+	p.restrictVictim = false
+	if p.mode != policy.GMMEvictionOnly && p.curScore < p.thresholds[t] {
+		return false
+	}
+	if p.resident[t] < p.budget[t] {
+		return true
+	}
+	si := int(req.Page % uint64(p.nSets))
+	ownHere := false
+	for w := 0; w < p.ways; w++ {
+		if p.owner[si][w] == -1 {
+			// The cache would fill this free way, growing the footprint.
+			return false
+		}
+		if int(p.owner[si][w]) == t {
+			ownHere = true
+		}
+	}
+	if !ownHere {
+		return false
+	}
+	p.restrictVictim = true
+	return true
+}
+
+// Victim implements cache.Policy: the lowest-scored way (or least recently
+// used in caching-only mode), restricted to the current tenant's own blocks
+// when its budget forced a self-replacement.
+func (p *tenantGMM) Victim(setIdx int, blocks []cache.BlockView) int {
+	restrict := p.restrictVictim
+	p.restrictVictim = false
+	best := -1
+	for w := range blocks {
+		if restrict && int(p.owner[setIdx][w]) != p.curTenant {
+			continue
+		}
+		if best == -1 {
+			best = w
+			continue
+		}
+		if p.mode == policy.GMMCachingOnly {
+			if p.lastUse[setIdx][w] < p.lastUse[setIdx][best] {
+				best = w
+			}
+		} else if p.scores[setIdx][w] < p.scores[setIdx][best] {
+			best = w
+		}
+	}
+	if best == -1 {
+		// Unreachable when Admit and the owner map agree; stay safe anyway.
+		best = 0
+	}
+	return best
+}
+
+// OnEvict implements cache.Policy.
+func (p *tenantGMM) OnEvict(setIdx, way int, _ uint64) {
+	if o := p.owner[setIdx][way]; o >= 0 {
+		p.resident[o]--
+		p.owner[setIdx][way] = -1
+	}
+}
+
+// OnInsert implements cache.Policy: the staged score is stored alongside the
+// tag and the block is charged to the inserting tenant.
+func (p *tenantGMM) OnInsert(setIdx, way int, req cache.Request) {
+	p.scores[setIdx][way] = p.curScore
+	p.lastUse[setIdx][way] = req.Seq
+	p.owner[setIdx][way] = int16(p.curTenant)
+	p.resident[p.curTenant]++
+}
+
+// setScore replaces the stored eviction score of one way. Used by the
+// refresh path to rebase resident blocks onto a new model's density scale.
+func (p *tenantGMM) setScore(setIdx, way int, score float64) {
+	p.scores[setIdx][way] = score
+}
+
+// checkShares verifies the policy's capacity invariants against the ground
+// truth owner map: per-tenant residency counters match, no tenant exceeds
+// its budget, and the total never exceeds the partition. The property tests
+// call it after random traffic; it is not on the hot path.
+func (p *tenantGMM) checkShares() error {
+	counts := make([]int, len(p.budget))
+	total := 0
+	for si := range p.owner {
+		for _, o := range p.owner[si] {
+			if o >= 0 {
+				counts[o]++
+				total++
+			}
+		}
+	}
+	for t, c := range counts {
+		if c != p.resident[t] {
+			return fmt.Errorf("tenant %d residency counter %d != owner-map count %d", t, p.resident[t], c)
+		}
+		if c > p.budget[t] {
+			return fmt.Errorf("tenant %d holds %d blocks over budget %d", t, c, p.budget[t])
+		}
+	}
+	if capacity := p.nSets * p.ways; total > capacity {
+		return fmt.Errorf("total residency %d exceeds partition capacity %d", total, capacity)
+	}
+	return nil
+}
+
+// tenantPartStats is one (partition, tenant) accounting cell. Touched only
+// by the shard draining the partition, merged in partition order at
+// reporting boundaries — the same determinism decomposition as the partition
+// itself.
+type tenantPartStats struct {
+	ops           uint64
+	hits          uint64
+	bytesAdmitted uint64
+	hist          *stats.Histogram // sojourn time
+	cxlHist       *stats.Histogram // link round trip
+	hbmHist       *stats.Histogram // device time of hits
+	ssdHist       *stats.Histogram // device time of misses
+
+	// Control-interval state, reset by the controller after each step.
+	ctrlOps  uint64
+	ctrlHits uint64
+	ctrlHist *stats.Histogram // sojourn, only allocated under a controller
+}
+
+func newTenantPartStats(withCtrlHist bool) tenantPartStats {
+	ts := tenantPartStats{
+		hist:    stats.DefaultLatencyHistogram(),
+		cxlHist: stats.DefaultLatencyHistogram(),
+		hbmHist: stats.DefaultLatencyHistogram(),
+		ssdHist: stats.DefaultLatencyHistogram(),
+	}
+	if withCtrlHist {
+		ts.ctrlHist = stats.DefaultLatencyHistogram()
+	}
+	return ts
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// TestTenantSharesNeverOvercommitRandom is the capacity-share property test:
+// over 1000 randomized (geometry, budgets, traffic) episodes, no admission
+// sequence may push a tenant past its block budget or the partition past its
+// capacity, and the policy's residency counters must stay consistent with
+// the ground-truth owner map. Random scores around the per-tenant thresholds
+// exercise the bypass, grow, self-replace and cross-tenant-evict paths.
+func TestTenantSharesNeverOvercommitRandom(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(99))
+	modes := []policy.GMMMode{policy.GMMCachingOnly, policy.GMMEvictionOnly, policy.GMMCachingEviction}
+	for iter := 0; iter < 1000; iter++ {
+		ways := []int{2, 4, 8}[rng.Intn(3)]
+		sets := 1 << uint(rng.Intn(4)) // 1..8 sets
+		blocks := sets * ways
+		nTenants := 1 + rng.Intn(4)
+
+		// Random budgets: a mix of tight, generous and unconstrained, with
+		// the sum capped at the partition (the tenantBudgets contract).
+		budgets := make([]int, nTenants)
+		remaining := blocks
+		for i := range budgets {
+			b := 1 + rng.Intn(blocks/nTenants+1)
+			if b > remaining {
+				b = remaining
+			}
+			budgets[i] = b
+			remaining -= b
+		}
+
+		mode := modes[rng.Intn(len(modes))]
+		pol := newTenantGMM(mode, budgets, 0.5)
+		cfg := cache.Config{
+			SizeBytes:  uint64(blocks) * trace.PageSize,
+			BlockBytes: trace.PageSize,
+			Ways:       ways,
+		}
+		c, err := cache.New(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random per-tenant thresholds so bypass and admit interleave.
+		ths := make([]float64, nTenants)
+		for i := range ths {
+			ths[i] = rng.Float64()
+		}
+		pol.SetThresholds(ths)
+
+		pageSpan := uint64(blocks * (1 + rng.Intn(4))) // contention: up to 4x capacity
+		steps := 200 + rng.Intn(400)
+		for s := 0; s < steps; s++ {
+			tenant := rng.Intn(nTenants)
+			pol.Begin(tenant, rng.Float64())
+			c.Access(rng.Uint64()%pageSpan, rng.Intn(4) == 0)
+
+			if s%64 == 0 {
+				if err := pol.checkShares(); err != nil {
+					t.Fatalf("iter %d mode %v step %d: %v", iter, mode, s, err)
+				}
+			}
+		}
+		if err := pol.checkShares(); err != nil {
+			t.Fatalf("iter %d mode %v end: %v", iter, mode, err)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("iter %d mode %v: %v", iter, mode, err)
+		}
+		// The policy's total residency must equal the cache's occupancy —
+		// the two structures may never drift apart.
+		var total uint64
+		for ti := range budgets {
+			total += uint64(pol.Resident(ti))
+		}
+		if total != c.Occupancy() {
+			t.Fatalf("iter %d: residency sum %d != cache occupancy %d", iter, total, c.Occupancy())
+		}
+	}
+}
+
+// TestTenantBudgetSelfReplacement pins the at-budget semantics exactly: a
+// tenant at its budget can admit only by replacing one of its own blocks in
+// the same set, and admissions that would grow its footprint bypass.
+func TestTenantBudgetSelfReplacement(t *testing.T) {
+	t.Parallel()
+	// One set of 4 ways, tenant 0 budgeted 2 blocks, tenant 1 budgeted 2.
+	pol := newTenantGMM(policy.GMMCachingEviction, []int{2, 2}, 0)
+	cfg := cache.Config{SizeBytes: 4 * trace.PageSize, BlockBytes: trace.PageSize, Ways: 4}
+	c, err := cache.New(cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	access := func(tenant int, page uint64, score float64) cache.AccessResult {
+		pol.Begin(tenant, score)
+		return c.Access(page, false)
+	}
+	// Tenant 0 fills its budget.
+	access(0, 0, 1.0)
+	access(0, 1, 2.0)
+	if pol.Resident(0) != 2 {
+		t.Fatalf("resident = %d", pol.Resident(0))
+	}
+	// At budget with free ways in the set: must bypass, not grow.
+	res := access(0, 2, 9.0)
+	if res.Admitted || pol.Resident(0) != 2 {
+		t.Fatalf("at-budget admission grew the footprint: %+v resident=%d", res, pol.Resident(0))
+	}
+	// Tenant 1 takes the remaining ways.
+	access(1, 2, 5.0)
+	access(1, 3, 6.0)
+	// Set now full. Tenant 0 at budget must self-replace its lowest-scored
+	// block (page 0, score 1.0), never tenant 1's.
+	res = access(0, 4, 9.0)
+	if !res.Admitted || !res.Evicted || res.VictimPage != 0 {
+		t.Fatalf("self-replacement picked wrong victim: %+v", res)
+	}
+	if pol.Resident(0) != 2 || pol.Resident(1) != 2 {
+		t.Fatalf("residency after self-replace: %d/%d", pol.Resident(0), pol.Resident(1))
+	}
+	if !c.Contains(1) || !c.Contains(4) || !c.Contains(2) || !c.Contains(3) {
+		t.Fatal("unexpected resident set after self-replacement")
+	}
+	if err := pol.checkShares(); err != nil {
+		t.Fatal(err)
+	}
+}

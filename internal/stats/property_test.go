@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramMergePropertyRandom is the randomized merge contract: over
+// 1000 random partitionings and merge orders, folding per-shard histograms
+// into an aggregate is order-independent and exactly Sum/Count-preserving —
+// the property the serving subsystem's deterministic partition-order merges
+// and the controller's interval measurements both lean on. (Retention is
+// sized to hold every sample, so percentile queries — which sort internally
+// — must also be permutation-invariant.)
+func TestHistogramMergePropertyRandom(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 1000; iter++ {
+		nParts := 1 + rng.Intn(6)
+		samples := make([][]int64, nParts)
+		var all []int64
+		var wantSum int64
+		total := 0
+		for p := range samples {
+			n := rng.Intn(200)
+			samples[p] = make([]int64, n)
+			for i := range samples[p] {
+				// Cover the under-base bucket (base 100) through the
+				// overflow bucket.
+				v := int64(rng.Intn(1 << uint(2+rng.Intn(30))))
+				samples[p][i] = v
+				all = append(all, v)
+				wantSum += v
+			}
+			total += n
+		}
+
+		build := func(order []int) *Histogram {
+			agg := DefaultLatencyHistogram()
+			agg.SetRetention(total + 1)
+			for _, p := range order {
+				h := DefaultLatencyHistogram()
+				for _, v := range samples[p] {
+					h.Observe(v)
+				}
+				agg.Merge(h)
+			}
+			return agg
+		}
+
+		fwd := make([]int, nParts)
+		for i := range fwd {
+			fwd[i] = i
+		}
+		shuffled := append([]int(nil), fwd...)
+		rng.Shuffle(nParts, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		a, b := build(fwd), build(shuffled)
+		if a.Count() != int64(total) || b.Count() != int64(total) {
+			t.Fatalf("iter %d: count %d/%d, want %d", iter, a.Count(), b.Count(), total)
+		}
+		if a.Sum() != wantSum || b.Sum() != wantSum {
+			t.Fatalf("iter %d: sum %d/%d, want %d (merge must be exactly sum-preserving)", iter, a.Sum(), b.Sum(), wantSum)
+		}
+		if total > 0 {
+			if a.acc.Min() != b.acc.Min() || a.acc.Max() != b.acc.Max() {
+				t.Fatalf("iter %d: min/max differ across merge orders", iter)
+			}
+		}
+		if a.under != b.under {
+			t.Fatalf("iter %d: under-base counts differ: %d vs %d", iter, a.under, b.under)
+		}
+		for i := range a.buckets {
+			if a.buckets[i] != b.buckets[i] {
+				t.Fatalf("iter %d: bucket %d differs: %d vs %d", iter, i, a.buckets[i], b.buckets[i])
+			}
+		}
+		for _, p := range []float64{50, 90, 99, 100} {
+			if a.Percentile(p) != b.Percentile(p) {
+				t.Fatalf("iter %d: p%.0f differs across merge orders: %d vs %d",
+					iter, p, a.Percentile(p), b.Percentile(p))
+			}
+		}
+	}
+}
+
+// TestHistogramMergeMatchesDirectObserve: merging shards equals observing
+// the concatenated stream directly (counts, sums, buckets), for any split.
+func TestHistogramMergeMatchesDirectObserve(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 1000; iter++ {
+		n := rng.Intn(300)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1 << 28))
+		}
+		direct := DefaultLatencyHistogram()
+		direct.SetRetention(n + 1)
+		for _, v := range vals {
+			direct.Observe(v)
+		}
+		merged := DefaultLatencyHistogram()
+		merged.SetRetention(n + 1)
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(n-lo)
+			h := DefaultLatencyHistogram()
+			for _, v := range vals[lo:hi] {
+				h.Observe(v)
+			}
+			merged.Merge(h)
+			lo = hi
+		}
+		if direct.Count() != merged.Count() || direct.Sum() != merged.Sum() {
+			t.Fatalf("iter %d: merged (n=%d,sum=%d) != direct (n=%d,sum=%d)",
+				iter, merged.Count(), merged.Sum(), direct.Count(), direct.Sum())
+		}
+		for i := range direct.buckets {
+			if direct.buckets[i] != merged.buckets[i] {
+				t.Fatalf("iter %d: bucket %d differs", iter, i)
+			}
+		}
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	t.Parallel()
+	h := DefaultLatencyHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 100)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Percentile(99) != 0 {
+		t.Fatalf("reset left state: count=%d sum=%d", h.Count(), h.Sum())
+	}
+	for i, c := range h.buckets {
+		if c != 0 {
+			t.Fatalf("reset left bucket %d = %d", i, c)
+		}
+	}
+	h.Observe(500)
+	if h.Count() != 1 || h.Sum() != 500 {
+		t.Fatal("histogram unusable after reset")
+	}
+}

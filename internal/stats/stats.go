@@ -212,6 +212,19 @@ func (h *Histogram) SetRetention(n int) {
 	}
 }
 
+// Reset empties the histogram while keeping its geometry, retention cap and
+// retained-sample capacity, so interval accumulators (the adaptive
+// controller's per-control-window histograms) can be reused without
+// reallocating.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.under = 0
+	h.acc = LatencyAccumulator{}
+	h.samples = h.samples[:0]
+}
+
 // Count returns the number of observed samples.
 func (h *Histogram) Count() int64 { return h.acc.Count() }
 

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRecord fuzzes the CSV trace record parser: no input may panic,
+// and every accepted line must round-trip exactly through the canonical
+// "op,addr,time" rendering.
+func FuzzParseRecord(f *testing.F) {
+	f.Add("R,4096,17")
+	f.Add("W,18446744073709551615,0")
+	f.Add("r, 12 , 9")
+	f.Add("0,1,2")
+	f.Add("x,1,2")
+	f.Add("R,,")
+	f.Add("R,-1,2")
+	f.Add("R,1,2,3")
+	f.Add("R,0x10,2")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := parseCSVRecord(line)
+		if err != nil {
+			return
+		}
+		if rec.Op != Read && rec.Op != Write {
+			t.Fatalf("accepted record with invalid op %d from %q", rec.Op, line)
+		}
+		canon := fmt.Sprintf("%s,%d,%d", rec.Op, rec.Addr, rec.Time)
+		again, err := parseCSVRecord(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted line %q rejected: %v", canon, line, err)
+		}
+		if again != rec {
+			t.Fatalf("round trip changed record: %+v -> %+v (via %q)", rec, again, canon)
+		}
+	})
+}
+
+// FuzzReadCSV drives the whole-file CSV reader: arbitrary bytes must never
+// panic, and accepted traces must survive WriteCSV/ReadCSV unchanged.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("op,addr,time\nR,4096,0\nW,8192,1\n")
+	f.Add("R,1,1\n\n\nW,2,2")
+	f.Add("op,\xff\xfe")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := WriteCSV(&out, tr); err != nil {
+			t.Fatalf("writing accepted trace: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("re-reading written trace: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round trip changed length: %d -> %d", len(tr), len(back))
+		}
+		for i := range tr {
+			if tr[i] != back[i] {
+				t.Fatalf("round trip changed record %d: %+v -> %+v", i, tr[i], back[i])
+			}
+		}
+	})
+}

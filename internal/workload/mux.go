@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// MuxStream is one tenant-shaped input to a Mux: an open-loop stream plus a
+// static page offset that relocates the stream's working set, so co-located
+// tenants occupy disjoint regions of the device address space.
+type MuxStream struct {
+	// Stream produces the records; its OpenLoopConfig fixes the tenant's
+	// seed, rate, bursts and working-set drift.
+	Stream *OpenLoop
+	// OffsetPages is added to every record's page index.
+	OffsetPages uint64
+}
+
+// MuxRecord is one merged record tagged with the stream it came from.
+type MuxRecord struct {
+	Rec trace.Record
+	// Stream is the index of the originating MuxStream.
+	Stream int
+}
+
+// Mux deterministically interleaves several open-loop streams into one
+// arrival-ordered request stream: the next record is always the one with the
+// earliest arrival time, ties broken by stream index. The merge is a pure
+// function of the streams alone — never of how many records a caller pulls
+// per batch — so a multi-tenant serving run consumes the same global arrival
+// order at any batch size or shard count.
+type Mux struct {
+	streams []MuxStream
+	heads   []trace.Record // one-record lookahead per stream
+	emitted uint64
+	one     [1]trace.Record
+}
+
+// NewMux validates the streams and builds the mux. Every stream must have a
+// positive arrival rate: a saturating stream (all arrivals at time zero)
+// would win every tie-break and starve the rest.
+func NewMux(streams []MuxStream) (*Mux, error) {
+	if len(streams) == 0 {
+		return nil, errors.New("workload: mux needs at least one stream")
+	}
+	m := &Mux{
+		streams: make([]MuxStream, len(streams)),
+		heads:   make([]trace.Record, len(streams)),
+	}
+	for i, s := range streams {
+		if s.Stream == nil {
+			return nil, fmt.Errorf("workload: mux stream %d is nil", i)
+		}
+		if s.Stream.cfg.RatePerSec <= 0 {
+			return nil, fmt.Errorf("workload: mux stream %d has no arrival rate (a saturating stream would starve the others)", i)
+		}
+		m.streams[i] = s
+		m.heads[i] = m.pull(i)
+	}
+	return m, nil
+}
+
+// pull draws the next record from stream i with its page offset applied.
+func (m *Mux) pull(i int) trace.Record {
+	s := m.streams[i]
+	s.Stream.Next(m.one[:])
+	r := m.one[0]
+	r.Addr += s.OffsetPages << trace.PageShift
+	return r
+}
+
+// Streams returns the number of muxed streams.
+func (m *Mux) Streams() int { return len(m.streams) }
+
+// Emitted returns how many merged records have been produced.
+func (m *Mux) Emitted() uint64 { return m.emitted }
+
+// Next fills dst with the next len(dst) merged records and returns len(dst);
+// the merged stream never ends. Each record keeps the arrival time its own
+// stream assigned, so merged times are globally non-decreasing.
+func (m *Mux) Next(dst []MuxRecord) int {
+	for i := range dst {
+		best := 0
+		for s := 1; s < len(m.heads); s++ {
+			if m.heads[s].Time < m.heads[best].Time {
+				best = s
+			}
+		}
+		dst[i] = MuxRecord{Rec: m.heads[best], Stream: best}
+		m.heads[best] = m.pull(best)
+		m.emitted++
+	}
+	return len(dst)
+}
+
+// Trace materializes the next n merged records as a plain trace, dropping the
+// stream tags. The serving subsystem warms up its initial GMM on exactly this
+// merged view so the model trains on the same interleaving it will serve.
+func (m *Mux) Trace(n int) trace.Trace {
+	buf := make([]MuxRecord, n)
+	m.Next(buf)
+	out := make(trace.Trace, n)
+	for i, r := range buf {
+		out[i] = r.Rec
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func muxStreams(t *testing.T, rates []float64) []workload.MuxStream {
+	t.Helper()
+	streams := make([]workload.MuxStream, len(rates))
+	for i, r := range rates {
+		g, err := workload.NewCustom(workload.CustomConfig{
+			Name:       "mux-ws",
+			TotalPages: 2048,
+			Clusters:   []workload.ClusterSpec{{CenterPage: 512, Spread: 100}},
+			WriteFrac:  0.25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ol, err := workload.NewOpenLoop(g, workload.OpenLoopConfig{RatePerSec: r, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = workload.MuxStream{Stream: ol, OffsetPages: uint64(i) << 20}
+	}
+	return streams
+}
+
+// TestMuxDeterministicAcrossBatchSizes: the merged sequence must be a pure
+// function of the streams, never of how many records the caller pulls per
+// Next — the property multi-tenant serving's determinism contract rides on.
+func TestMuxDeterministicAcrossBatchSizes(t *testing.T) {
+	t.Parallel()
+	const total = 20_000
+	pull := func(batch int) []workload.MuxRecord {
+		m, err := workload.NewMux(muxStreams(t, []float64{5e6, 3e6, 2e6}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]workload.MuxRecord, 0, total)
+		buf := make([]workload.MuxRecord, batch)
+		for len(out) < total {
+			n := m.Next(buf)
+			out = append(out, buf[:n]...)
+		}
+		return out[:total]
+	}
+	want := pull(1)
+	for _, batch := range []int{7, 1024} {
+		got := pull(batch)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d: record %d = %+v, want %+v", batch, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMuxMergeOrder: merged arrival times are non-decreasing, every stream
+// appears in rate proportion, and per-stream subsequences match each
+// stream's own record order with the page offset applied.
+func TestMuxMergeOrder(t *testing.T) {
+	t.Parallel()
+	const total = 30_000
+	rates := []float64{6e6, 3e6, 1e6}
+	m, err := workload.NewMux(muxStreams(t, rates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Streams() != 3 {
+		t.Fatalf("streams = %d", m.Streams())
+	}
+	buf := make([]workload.MuxRecord, total)
+	m.Next(buf)
+	if m.Emitted() != total {
+		t.Fatalf("emitted = %d", m.Emitted())
+	}
+
+	var lastTime uint64
+	counts := make([]int, 3)
+	perStream := make([][]trace.Record, 3)
+	for i, r := range buf {
+		if r.Rec.Time < lastTime {
+			t.Fatalf("record %d: arrival %d before %d", i, r.Rec.Time, lastTime)
+		}
+		lastTime = r.Rec.Time
+		if r.Stream < 0 || r.Stream >= 3 {
+			t.Fatalf("record %d: stream %d out of range", i, r.Stream)
+		}
+		counts[r.Stream]++
+		perStream[r.Stream] = append(perStream[r.Stream], r.Rec)
+	}
+	// Rate proportions: stream 0 carries 60% of the traffic.
+	for s, want := range []float64{0.6, 0.3, 0.1} {
+		got := float64(counts[s]) / total
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("stream %d carried %.3f of traffic, want ~%.1f", s, got, want)
+		}
+	}
+	// Per-stream subsequences must be each stream's own records, with the
+	// static page offset applied and arrival times preserved.
+	for s := range perStream {
+		fresh := muxStreams(t, rates)[s]
+		refBuf := make([]trace.Record, len(perStream[s]))
+		fresh.Stream.Next(refBuf)
+		for i, got := range perStream[s] {
+			wantRec := refBuf[i]
+			wantRec.Addr += fresh.OffsetPages << trace.PageShift
+			if got != wantRec {
+				t.Fatalf("stream %d record %d = %+v, want %+v", s, i, got, wantRec)
+			}
+		}
+	}
+}
+
+// TestMuxTrace: the warm-up view drops tags but preserves the merge.
+func TestMuxTrace(t *testing.T) {
+	t.Parallel()
+	m1, err := workload.NewMux(muxStreams(t, []float64{4e6, 2e6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := workload.NewMux(muxStreams(t, []float64{4e6, 2e6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m1.Trace(5000)
+	buf := make([]workload.MuxRecord, 5000)
+	m2.Next(buf)
+	for i := range tr {
+		if tr[i] != buf[i].Rec {
+			t.Fatalf("trace record %d = %+v, want %+v", i, tr[i], buf[i].Rec)
+		}
+	}
+}
+
+func TestMuxValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := workload.NewMux(nil); err == nil {
+		t.Error("empty mux accepted")
+	}
+	if _, err := workload.NewMux([]workload.MuxStream{{}}); err == nil {
+		t.Error("nil stream accepted")
+	}
+	// A saturating (rate<=0) stream would win every tie-break.
+	g, err := workload.NewCustom(workload.CustomConfig{
+		Name: "sat", TotalPages: 64, Clusters: []workload.ClusterSpec{{CenterPage: 10, Spread: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol, err := workload.NewOpenLoop(g, workload.OpenLoopConfig{RatePerSec: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.NewMux([]workload.MuxStream{{Stream: ol}}); err == nil {
+		t.Error("saturating stream accepted")
+	}
+}
