@@ -43,37 +43,55 @@ import (
 
 func main() {
 	var (
-		shards       = flag.Int("shards", 0, "shard worker pool size (0 = one per core, 1 = sequential; results identical at any value)")
-		partitions   = flag.Int("partitions", 16, "fixed address partitions (part of the simulated configuration)")
-		ops          = flag.Uint64("ops", 2_000_000, "requests to serve")
-		duration     = flag.Duration("duration", 0, "wall-clock ingest bound; stops early even if -ops remain")
-		bench        = flag.String("workload", "dlrm", "workload generator (see cmd/tracegen for names)")
-		seed         = flag.Int64("seed", 1, "workload and training seed")
-		rate         = flag.Float64("rate", 1e6, "open-loop arrival rate in req/s (0 = saturating)")
-		burst        = flag.Float64("burst", 0, "sinusoidal rate modulation amplitude [0,1)")
-		drift        = flag.Bool("drift", false, "shift the working set halfway through -ops (exercises refresh)")
-		refresh      = flag.String("refresh", "off", "online model refresh: off|sync|async (sync keeps determinism, async never blocks serving)")
-		warmup       = flag.Int("warmup", 200_000, "warm-up trace length for initial training")
-		cacheMB      = flag.Int("cache-mb", 64, "total device cache size in MiB")
-		ways         = flag.Int("ways", 8, "cache associativity")
-		k            = flag.Int("k", 64, "GMM components")
-		window       = flag.Int("window", 32, "Algorithm 1 len_window")
-		shot         = flag.Int("shot", 2000, "Algorithm 1 len_access_shot (window*shot must fit in the trimmed warm-up)")
-		batch        = flag.Int("batch", 8192, "ingest batch size (batched GMM admission unit)")
-		report       = flag.Int("report", 16, "batches per interval metrics record")
-		out          = flag.String("out", "", "JSONL metrics file (default stdout)")
-		tenants      = flag.String("tenants", "", "multi-tenant spec: JSON array of tenants (inline if it starts with '[', else a file path); overrides -workload/-rate/-burst/-drift")
-		controlEvery = flag.Int("control-every", 16, "batches per adaptive-controller step (tenants with QoS targets)")
-		controlStep  = flag.Float64("control-step", 1.25, "multiplicative threshold step of the adaptive controller (> 1)")
+		shards        = flag.Int("shards", 0, "shard worker pool size (0 = one per core, 1 = sequential; results identical at any value)")
+		partitions    = flag.Int("partitions", 16, "fixed address partitions (part of the simulated configuration)")
+		ops           = flag.Uint64("ops", 2_000_000, "requests to serve")
+		duration      = flag.Duration("duration", 0, "wall-clock ingest bound; stops early even if -ops remain")
+		bench         = flag.String("workload", "dlrm", "workload generator (see cmd/tracegen for names)")
+		seed          = flag.Int64("seed", 1, "workload and training seed")
+		rate          = flag.Float64("rate", 1e6, "open-loop arrival rate in req/s (0 = saturating)")
+		burst         = flag.Float64("burst", 0, "sinusoidal rate modulation amplitude [0,1)")
+		drift         = flag.Bool("drift", false, "shift the working set halfway through -ops (exercises refresh)")
+		refresh       = flag.String("refresh", "off", "online model refresh: off|sync|async (sync keeps determinism, async never blocks serving)")
+		refreshWindow = flag.Int("refresh-window", 1<<16, "sample window a refit trains on (smaller = faster adaptation to a shifted working set)")
+		refreshMin    = flag.Int("refresh-min", 4096, "minimum window fill before a refit runs")
+		driftDelta    = flag.Float64("drift-delta", 0.10, "absolute hit-ratio drop below baseline that counts as drifting")
+		driftSustain  = flag.Int("drift-sustain", 3, "consecutive drifting batches before a refit fires")
+		driftWarmup   = flag.Int("drift-warmup", 8, "batches used to seed the drift baseline")
+		driftAlpha    = flag.Float64("drift-alpha", 0.05, "EWMA coefficient of the drift baseline tracker")
+		warmup        = flag.Int("warmup", 200_000, "warm-up trace length for initial training")
+		cacheMB       = flag.Int("cache-mb", 64, "total device cache size in MiB")
+		ways          = flag.Int("ways", 8, "cache associativity")
+		k             = flag.Int("k", 64, "GMM components")
+		window        = flag.Int("window", 32, "Algorithm 1 len_window")
+		shot          = flag.Int("shot", 2000, "Algorithm 1 len_access_shot (window*shot must fit in the trimmed warm-up)")
+		batch         = flag.Int("batch", 8192, "ingest batch size (batched GMM admission unit)")
+		report        = flag.Int("report", 16, "batches per interval metrics record")
+		out           = flag.String("out", "", "JSONL metrics file (default stdout)")
+		tenants       = flag.String("tenants", "", "multi-tenant spec: JSON array of tenants (inline if it starts with '[', else a file path); overrides -workload/-rate/-burst/-drift")
+		controlEvery  = flag.Int("control-every", 16, "batches per adaptive-controller step (tenants with QoS targets)")
+		controlStep   = flag.Float64("control-step", 1.25, "multiplicative threshold step of the adaptive controller (> 1)")
+		controlMin    = flag.Float64("control-min-mult", 1.0/1024, "lower clamp on the controller's threshold multiplier")
+		controlMax    = flag.Float64("control-max-mult", 1024, "upper clamp on the threshold multiplier (tight clamps keep comfortable tenants identifiable as share donors)")
+		shareAdapt    = flag.Bool("share-adapt", false, "let the controller reallocate HBM capacity shares between QoS tenants (elastic shares)")
+		shareQuantum  = flag.Int("share-quantum", 8, "blocks per partition moved by one share transfer")
+		shareHold     = flag.Int("share-hold", 2, "violated intervals with a saturated threshold lever before a tenant bids for capacity")
+		shareCooldown = flag.Int("share-cooldown", 4, "control intervals the share lever pauses after a transfer (hysteresis)")
 	)
 	flag.Parse()
 
 	if err := run(config{
 		shards: *shards, partitions: *partitions, ops: *ops, duration: *duration,
 		bench: *bench, seed: *seed, rate: *rate, burst: *burst, drift: *drift,
-		refresh: *refresh, warmup: *warmup, cacheMB: *cacheMB, ways: *ways,
+		refresh: *refresh, refreshWindow: *refreshWindow, refreshMin: *refreshMin,
+		driftDelta: *driftDelta, driftSustain: *driftSustain,
+		driftWarmup: *driftWarmup, driftAlpha: *driftAlpha,
+		warmup: *warmup, cacheMB: *cacheMB, ways: *ways,
 		k: *k, window: *window, shot: *shot, batch: *batch, report: *report, out: *out,
 		tenants: *tenants, controlEvery: *controlEvery, controlStep: *controlStep,
+		controlMin: *controlMin, controlMax: *controlMax,
+		shareAdapt: *shareAdapt, shareQuantum: *shareQuantum,
+		shareHold: *shareHold, shareCooldown: *shareCooldown,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "icgmm-serve:", err)
 		os.Exit(1)
@@ -89,6 +107,11 @@ type config struct {
 	rate, burst            float64
 	drift                  bool
 	refresh                string
+	refreshWindow          int
+	refreshMin             int
+	driftDelta, driftAlpha float64
+	driftSustain           int
+	driftWarmup            int
 	warmup, cacheMB, ways  int
 	k, window, shot, batch int
 	report                 int
@@ -96,6 +119,11 @@ type config struct {
 	tenants                string
 	controlEvery           int
 	controlStep            float64
+	controlMin, controlMax float64
+	shareAdapt             bool
+	shareQuantum           int
+	shareHold              int
+	shareCooldown          int
 }
 
 // loadTenantSpecs resolves the -tenants argument: inline JSON when it starts
@@ -135,9 +163,21 @@ func run(c config) error {
 	cfg.BatchSize = c.batch
 	cfg.ReportEvery = c.report
 	cfg.Refresh.Mode = mode
+	cfg.Refresh.WindowSamples = c.refreshWindow
+	cfg.Refresh.MinSamples = c.refreshMin
+	cfg.Refresh.Drift = serve.DriftConfig{
+		Delta: c.driftDelta, Sustain: c.driftSustain,
+		Warmup: c.driftWarmup, Alpha: c.driftAlpha,
+	}
 	cfg.Tenants = specs
 	cfg.Control.Every = c.controlEvery
 	cfg.Control.Step = c.controlStep
+	cfg.Control.MinMult = c.controlMin
+	cfg.Control.MaxMult = c.controlMax
+	cfg.Control.ShareAdapt = c.shareAdapt
+	cfg.Control.ShareQuantum = c.shareQuantum
+	cfg.Control.ShareHold = c.shareHold
+	cfg.Control.ShareCooldown = c.shareCooldown
 	// Every tenant (or the single anonymous stream) must see the full
 	// Algorithm 1 timestamp range during warm-up; anything less trains a
 	// model that scores live traffic out-of-distribution.

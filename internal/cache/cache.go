@@ -88,7 +88,12 @@ type Policy interface {
 	// policies return true unconditionally; ICGMM's smart caching declines
 	// pages whose GMM score falls below the threshold.
 	Admit(req Request) bool
-	// Victim picks the way to evict from a full set.
+	// Victim picks the way to evict from a full set. Returning a negative
+	// way vetoes the insertion: the cache abandons the admission and counts
+	// the access as a bypass. Capacity-constrained policies use the veto
+	// when every candidate way is off-limits (e.g. a tenant restricted to
+	// replacing its own blocks finds none), so a policy/accounting mismatch
+	// can never force an eviction that breaks a capacity invariant.
 	Victim(setIdx int, blocks []BlockView) int
 	// OnEvict reports that the page at set/way is being evicted.
 	OnEvict(setIdx, way int, page uint64)
@@ -234,7 +239,13 @@ func (c *Cache) Access(page uint64, write bool) AccessResult {
 			c.views[w] = BlockView{Page: set[w].page, Valid: set[w].valid, Dirty: set[w].dirty}
 		}
 		way = c.policy.Victim(si, c.views)
-		if way < 0 || way >= c.cfg.Ways {
+		if way < 0 {
+			// The policy vetoed every candidate: abandon the admission and
+			// count the miss as a bypass (see Policy.Victim).
+			c.stats.Bypasses++
+			return AccessResult{}
+		}
+		if way >= c.cfg.Ways {
 			// A broken policy must not corrupt the cache; fall back to way 0.
 			way = 0
 		}
@@ -252,6 +263,35 @@ func (c *Cache) Access(page uint64, write bool) AccessResult {
 	c.stats.Inserts++
 	c.policy.OnInsert(si, way, req)
 	return res
+}
+
+// EvictAt invalidates the valid block at (setIdx, way), notifying the policy
+// through OnEvict and counting the eviction (plus a write-back when the block
+// was dirty). It returns the evicted page and dirty bit; ok is false — and
+// nothing changes — when the coordinates are out of range or the slot is
+// already invalid. This is the policy-initiated eviction primitive behind the
+// serving subsystem's elastic capacity shares: a tenant whose share shrank at
+// a batch boundary has its overflow blocks evicted here, and an at-budget
+// tenant releases its coldest block before admitting into a set where it owns
+// nothing. It is safe to call from inside Policy.Admit on a set other than
+// the one being accessed, and on the accessed set itself as long as the
+// policy accounts for the freed way.
+func (c *Cache) EvictAt(setIdx, way int) (page uint64, dirty, ok bool) {
+	if setIdx < 0 || setIdx >= len(c.sets) || way < 0 || way >= c.cfg.Ways {
+		return 0, false, false
+	}
+	b := &c.sets[setIdx][way]
+	if !b.valid {
+		return 0, false, false
+	}
+	page, dirty = b.page, b.dirty
+	c.stats.Evictions++
+	if dirty {
+		c.stats.WriteBacks++
+	}
+	c.policy.OnEvict(setIdx, way, page)
+	*b = block{}
+	return page, dirty, true
 }
 
 // Scan calls fn for every valid block in set order, ways within a set in way

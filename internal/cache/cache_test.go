@@ -302,3 +302,97 @@ func TestScanVisitsEveryValidBlock(t *testing.T) {
 		t.Fatalf("scan visited %d blocks, occupancy %d", len(seen), c.Occupancy())
 	}
 }
+
+// vetoPolicy admits everything but vetoes every eviction — the
+// Victim-returns-negative contract for capacity-restricted policies.
+type vetoPolicy struct{ lruStub }
+
+func (p *vetoPolicy) Admit(Request) bool          { return true }
+func (p *vetoPolicy) Victim(int, []BlockView) int { return -1 }
+
+// TestVictimVetoBecomesBypass: a negative Victim return abandons the
+// admission — the access counts as a bypass, nothing is evicted, and the
+// cache stays intact.
+func TestVictimVetoBecomesBypass(t *testing.T) {
+	p := &vetoPolicy{}
+	c, err := New(Config{SizeBytes: 2 * 4096, BlockBytes: 4096, Ways: 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, false)
+	c.Access(1, false)
+	// Single set is full; the veto must deny the third page.
+	res := c.Access(2, false)
+	if res.Admitted || res.Evicted {
+		t.Fatalf("vetoed insertion still happened: %+v", res)
+	}
+	st := c.Stats()
+	if st.Bypasses != 1 || st.Evictions != 0 || st.Inserts != 2 {
+		t.Fatalf("stats after veto = %+v", st)
+	}
+	if !c.Contains(0) || !c.Contains(1) || c.Contains(2) {
+		t.Fatal("veto changed the resident set")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// evictRecorder counts OnEvict callbacks so EvictAt's policy notification is
+// observable.
+type evictRecorder struct {
+	lruStub
+	evicted []uint64
+}
+
+func (p *evictRecorder) OnEvict(_, _ int, page uint64) { p.evicted = append(p.evicted, page) }
+
+// TestEvictAt: the policy-initiated eviction primitive invalidates exactly
+// the addressed block, notifies the policy, counts the eviction (and the
+// write-back for dirty blocks), and rejects invalid coordinates or empty
+// slots without side effects.
+func TestEvictAt(t *testing.T) {
+	p := &evictRecorder{lruStub: *newLRUStub()}
+	c, err := New(Config{SizeBytes: 8 * 4096, BlockBytes: 4096, Ways: 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, false) // set 0 way 0, clean
+	c.Access(4, true)  // set 0 way 1, dirty
+	page, dirty, ok := c.EvictAt(0, 1)
+	if !ok || page != 4 || !dirty {
+		t.Fatalf("EvictAt(0,1) = (%d,%v,%v), want (4,true,true)", page, dirty, ok)
+	}
+	if c.Contains(4) || !c.Contains(0) {
+		t.Fatal("EvictAt removed the wrong block")
+	}
+	if len(p.evicted) != 1 || p.evicted[0] != 4 {
+		t.Fatalf("policy saw evictions %v, want [4]", p.evicted)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.WriteBacks != 1 {
+		t.Fatalf("stats after dirty EvictAt = %+v", st)
+	}
+	// Clean eviction: no write-back.
+	if _, dirty, ok := c.EvictAt(0, 0); !ok || dirty {
+		t.Fatal("clean EvictAt misreported")
+	}
+	if st := c.Stats(); st.Evictions != 2 || st.WriteBacks != 1 {
+		t.Fatalf("stats after clean EvictAt = %+v", st)
+	}
+	// Empty slot and out-of-range coordinates: no-ops.
+	for _, co := range [][2]int{{0, 0}, {-1, 0}, {0, -1}, {99, 0}, {0, 99}} {
+		if _, _, ok := c.EvictAt(co[0], co[1]); ok {
+			t.Errorf("EvictAt(%d,%d) succeeded on an invalid target", co[0], co[1])
+		}
+	}
+	if st := c.Stats(); st.Evictions != 2 {
+		t.Fatalf("no-op EvictAt mutated stats: %+v", st)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatalf("occupancy = %d after evicting both blocks", c.Occupancy())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -32,6 +32,29 @@ import (
 // virtual-time interval metrics, which in sync-refresh mode are themselves
 // bit-identical at any shard count, so controlled runs keep the serving
 // subsystem's determinism contract.
+//
+// # Elastic capacity shares (the second lever)
+//
+// With ShareAdapt set, the controller also reallocates HBM capacity between
+// tenants: a violated tenant whose threshold lever has *saturated* — its
+// multiplier pinned at MinMult/MaxMult, or its violated steps no longer
+// improving the metric — for ShareHold consecutive violated intervals bids
+// for capacity from the most comfortable tenant. A transfer moves a fixed
+// ShareQuantum of blocks per partition from donor to receiver at the batch
+// boundary (never mid-batch): budgets shift in every partition and the
+// donor's overflow blocks are evicted coldest-first immediately, so the
+// no-overcommit invariant holds through every resize. Hysteresis keeps
+// shares from thrashing: the receiver must be violated beyond its band AND
+// resident within one quantum of its current budget (capacity, not the
+// threshold or a stale model, is provably its binding constraint), the
+// donor must be comfortable beyond its band (tenants merely holding neither
+// give nor take), a donor never shrinks below ShareFloor blocks per
+// partition, and after any transfer the share lever pauses for ShareCooldown
+// control intervals. Donor and receiver selection is deterministic (worst
+// relative violation takes, widest relative headroom gives, ties to the
+// lowest tenant index), so share-adapted runs keep the bit-identical-at-any-
+// shard-count contract. Tenants without a QoS target are never measured and
+// therefore neither bid nor donate: their static share is untouched.
 type ControlConfig struct {
 	// Every is the control period in ingest batches (default 16).
 	Every int
@@ -42,11 +65,30 @@ type ControlConfig struct {
 	// the calibrated threshold.
 	MinMult float64
 	MaxMult float64
+	// ShareAdapt enables the capacity-share lever described above.
+	ShareAdapt bool
+	// ShareQuantum is the number of blocks per partition one transfer moves
+	// (default 8).
+	ShareQuantum int
+	// ShareHold is how many consecutive violated control intervals a
+	// tenant's threshold lever must sit saturated before it may bid for
+	// capacity (default 2).
+	ShareHold int
+	// ShareCooldown is how many control intervals the share lever pauses
+	// after a transfer. Zero means no pause; the packaged defaults
+	// (DefaultControlConfig, the CLI flag) use 4.
+	ShareCooldown int
+	// ShareFloor is the smallest per-partition block budget a donor may be
+	// left holding (default ShareQuantum).
+	ShareFloor int
 }
 
-// DefaultControlConfig returns the defaults above.
+// DefaultControlConfig returns the defaults above (share adaptation off).
 func DefaultControlConfig() ControlConfig {
-	return ControlConfig{Every: 16, Step: 1.25, MinMult: 1.0 / 1024, MaxMult: 1024}
+	return ControlConfig{
+		Every: 16, Step: 1.25, MinMult: 1.0 / 1024, MaxMult: 1024,
+		ShareQuantum: 8, ShareHold: 2, ShareCooldown: 4,
+	}
 }
 
 // sanitized fills zero-valued fields with defaults.
@@ -64,7 +106,29 @@ func (c ControlConfig) sanitized() ControlConfig {
 	if c.MaxMult == 0 {
 		c.MaxMult = d.MaxMult
 	}
+	if c.ShareQuantum == 0 {
+		c.ShareQuantum = d.ShareQuantum
+	}
+	if c.ShareHold == 0 {
+		c.ShareHold = d.ShareHold
+	}
+	// ShareCooldown is NOT zero-filled: 0 is a legal "no pause" setting,
+	// and DefaultControlConfig/the CLI flag already carry the default 4.
+	if c.ShareFloor == 0 {
+		c.ShareFloor = c.ShareQuantum
+	}
 	return c
+}
+
+// clampMult bounds a threshold multiplier to [MinMult, MaxMult].
+func (c ControlConfig) clampMult(m float64) float64 {
+	if m < c.MinMult {
+		return c.MinMult
+	}
+	if m > c.MaxMult {
+		return c.MaxMult
+	}
+	return m
 }
 
 // Validate checks the configuration (after sanitizing defaults).
@@ -78,6 +142,20 @@ func (c ControlConfig) Validate() error {
 	}
 	if c.MinMult <= 0 || c.MinMult > 1 || c.MaxMult < 1 {
 		return errors.New("serve: control multiplier clamp must satisfy 0 < MinMult <= 1 <= MaxMult")
+	}
+	if c.ShareAdapt {
+		if c.ShareQuantum < 1 {
+			return errors.New("serve: share quantum below one block")
+		}
+		if c.ShareHold < 1 {
+			return errors.New("serve: share hold below one interval")
+		}
+		if c.ShareCooldown < 0 {
+			return errors.New("serve: negative share cooldown would disable the anti-thrash hysteresis")
+		}
+		if c.ShareFloor < 1 {
+			return errors.New("serve: share floor below one block (a zero-budget tenant could never serve a hit)")
+		}
 	}
 	return nil
 }
@@ -102,14 +180,31 @@ type tenantState struct {
 	// (enabling the no-improvement reversal against lastMetric).
 	ctrlDir         float64
 	ctrlPrevViolate bool
+	// satHold counts consecutive violated intervals in which the threshold
+	// lever was saturated (multiplier clamped, or a violated step that made
+	// no progress) — the elastic-share controller's bid condition.
+	satHold int
 }
 
-// controller drives the per-tenant threshold adaptation. It runs on the
-// ingest goroutine at batch boundaries only, so it may touch partition state
+// controller drives the per-tenant threshold adaptation and, with
+// ShareAdapt, the capacity-share reallocation. It runs on the ingest
+// goroutine at batch boundaries only, so it may touch partition state
 // freely.
 type controller struct {
 	cfg ControlConfig
 	svc *Service
+	// cooldown is the number of control intervals the share lever still has
+	// to sit out after the last transfer.
+	cooldown int
+}
+
+// ctrlObs is one tenant's classification for the current control interval,
+// shared between the threshold loop and the share lever.
+type ctrlObs struct {
+	measured    bool
+	v           float64
+	violated    bool
+	comfortable bool
 }
 
 // newController returns nil when no tenant carries a QoS target — untargeted
@@ -129,30 +224,38 @@ func newController(svc *Service, cfg ControlConfig) *controller {
 }
 
 // step runs one control interval: measure each QoS tenant, classify against
-// its band, apply the threshold step rule, publish the new thresholds, emit
-// one "control" metric record per measured tenant, and reset the interval
-// accumulators.
+// its band, apply the threshold step rule, publish the new thresholds, run
+// the share lever, emit one "control" metric record per measured tenant (and
+// one "share" record per transfer), and reset the interval accumulators.
 func (c *controller) step() {
 	s := c.svc
 	changed := false
-	measured := make([]bool, len(s.tenants))
+	obs := make([]ctrlObs, len(s.tenants))
 	for ti, t := range s.tenants {
 		if t.spec.QoS == nil {
 			continue
 		}
 		v, ok := c.measure(ti, *t.spec.QoS)
 		if !ok {
-			continue // idle tenant this interval: hold
+			// Idle tenant this interval: no ops means no hit ratio and no
+			// sojourn samples, so there is nothing to classify. Hold the
+			// multiplier, threshold and saturation state — but break the
+			// violated-step chain, otherwise the next violated interval
+			// would judge "improvement" against a metric from before the
+			// gap and could reverse the search direction spuriously.
+			t.ctrlPrevViolate = false
+			continue
 		}
-		measured[ti] = true
 		violated, comfortable := t.spec.QoS.classify(v)
+		obs[ti] = ctrlObs{measured: true, v: v, violated: violated, comfortable: comfortable}
 		switch {
 		case violated:
 			// Reverse the search direction when the previous violated step
 			// failed to move the metric toward the target by at least 2% of
 			// it — the deterministic hill-climb that escapes the wrong side
 			// of a non-monotone response curve.
-			if t.ctrlPrevViolate && !t.spec.QoS.improved(v, t.lastMetric) {
+			stalled := t.ctrlPrevViolate && !t.spec.QoS.improved(v, t.lastMetric)
+			if stalled {
 				t.ctrlDir = -t.ctrlDir
 			}
 			if t.ctrlDir > 0 {
@@ -162,19 +265,23 @@ func (c *controller) step() {
 			}
 			t.ctrlPrevViolate = true
 			changed = true
+			t.mult = c.cfg.clampMult(t.mult)
+			// Saturation: the threshold lever has nothing left to give —
+			// pinned at a clamp, or stepping without progress.
+			if stalled || t.mult <= c.cfg.MinMult || t.mult >= c.cfg.MaxMult {
+				t.satHold++
+			} else {
+				t.satHold = 0
+			}
 		case comfortable:
-			t.mult *= c.cfg.Step
+			t.mult = c.cfg.clampMult(t.mult * c.cfg.Step)
 			t.ctrlDir = -1 // an overshoot into violation loosens first
 			t.ctrlPrevViolate = false
+			t.satHold = 0
 			changed = true
 		default:
 			t.ctrlPrevViolate = false
-		}
-		if t.mult < c.cfg.MinMult {
-			t.mult = c.cfg.MinMult
-		}
-		if t.mult > c.cfg.MaxMult {
-			t.mult = c.cfg.MaxMult
+			t.satHold = 0
 		}
 		t.lastMetric = v
 		t.lastWithin = !violated
@@ -187,7 +294,7 @@ func (c *controller) step() {
 		// Emit only for tenants measured this interval: a record with a
 		// stale carried-over value would claim a measurement that never
 		// happened.
-		if !measured[ti] {
+		if !obs[ti].measured {
 			continue
 		}
 		within, v := t.lastWithin, t.lastMetric
@@ -202,7 +309,72 @@ func (c *controller) step() {
 			Mult:      t.mult,
 		})
 	}
+	if c.cfg.ShareAdapt {
+		c.adaptShares(obs)
+	}
 	c.reset()
+}
+
+// adaptShares runs the capacity-share lever for one control interval: pick
+// the most-violated saturated tenant as the receiver, the comfortable tenant
+// with the widest relative headroom (that can spare a quantum above the
+// floor) as the donor, and move one ShareQuantum between them. At most one
+// transfer happens per interval, followed by ShareCooldown quiet intervals —
+// the hysteresis that keeps shares from thrashing.
+func (c *controller) adaptShares(obs []ctrlObs) {
+	if c.cooldown > 0 {
+		c.cooldown--
+		return
+	}
+	s := c.svc
+	recv, worst := -1, 0.0
+	for ti, t := range s.tenants {
+		o := obs[ti]
+		if !o.measured || !o.violated || t.satHold < c.cfg.ShareHold {
+			continue
+		}
+		// Capacity must be the binding constraint: a tenant that cannot
+		// even fill its current budget (its threshold or a stale model is
+		// the limiter, not block count) gains nothing from more blocks, and
+		// draining a donor for it is pure waste. Require the receiver to be
+		// pressing its cap, within one quantum of slack.
+		var res, bud int
+		for _, p := range s.parts {
+			res += p.pol.Resident(ti)
+			bud += p.pol.Budget(ti)
+		}
+		if res+c.cfg.ShareQuantum*len(s.parts) < bud {
+			continue
+		}
+		if d := -t.spec.QoS.headroom(o.v); recv == -1 || d > worst {
+			recv, worst = ti, d
+		}
+	}
+	if recv == -1 {
+		return
+	}
+	donor, best := -1, 0.0
+	for ti, t := range s.tenants {
+		o := obs[ti]
+		if ti == recv || !o.measured || !o.comfortable {
+			continue
+		}
+		// Every partition carries the same budgets, so partition 0 speaks
+		// for all: the donor must stay at or above the floor after giving.
+		if s.parts[0].pol.Budget(ti)-c.cfg.ShareQuantum < c.cfg.ShareFloor {
+			continue
+		}
+		if h := t.spec.QoS.headroom(o.v); donor == -1 || h > best {
+			donor, best = ti, h
+		}
+	}
+	if donor == -1 {
+		return
+	}
+	s.transferShare(donor, recv, c.cfg.ShareQuantum)
+	s.tenants[donor].satHold = 0
+	s.tenants[recv].satHold = 0
+	c.cooldown = c.cfg.ShareCooldown
 }
 
 // measure merges tenant ti's control-interval accumulators across partitions

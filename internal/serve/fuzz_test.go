@@ -18,6 +18,10 @@ func FuzzTenantSpec(f *testing.F) {
 	  "qos":{"metric":"hit_ratio","target":0.7,"band":0.2}},
 	 {"name":"b","custom":{"Name":"c","TotalPages":64,"Clusters":[{"CenterPage":8,"Spread":2}]},
 	  "rate":2,"share":0.7,"burst":0.5,"offset_pages":1048576,"shift_after":100,"shift_offset_pages":4096}]`))
+	f.Add([]byte(`[{"name":"g","workload":"dlrm","rate":1,"share":0.2,"shift_after":8192,
+	  "shift_custom":{"Name":"grown","TotalPages":480,"Clusters":[{"CenterPage":120,"Spread":55}]}}]`))
+	f.Add([]byte(`[{"name":"g","workload":"dlrm","rate":1,"share":0.2,
+	  "shift_custom":{"Name":"grown","TotalPages":480,"Clusters":[{"CenterPage":120,"Spread":55}]}}]`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`[{"share":1e308},{"share":1e308}]`))
 	f.Add([]byte(`[{"name":"a","workload":"dlrm","rate":1,"share":"NaN"}]`))

@@ -185,7 +185,7 @@ func (s *Service) tenantSnapshots() []TenantSnapshot {
 		ts.Ops, ts.Hits, ts.BytesAdmitted, ts.ResidentBlocks = s.tenantCounters(ti)
 		for _, p := range s.parts {
 			cell := &p.ten[ti]
-			ts.BudgetBlocks += uint64(p.pol.budget[ti])
+			ts.BudgetBlocks += uint64(p.pol.Budget(ti))
 			hist.Merge(cell.hist)
 			cxlH.Merge(cell.cxlHist)
 			hbmH.Merge(cell.hbmHist)
@@ -202,11 +202,12 @@ func (s *Service) tenantSnapshots() []TenantSnapshot {
 
 // metricRecord is one JSONL line. Kind distinguishes the record types:
 // "interval" (periodic aggregate), "tenant-interval" (periodic per-tenant),
-// "control" (one adaptive-controller step for one tenant), "refresh" (a
-// model install), "partition" (final per-partition summary), "tenant" (final
-// per-tenant summary) and "summary" (final aggregate). All values are
-// virtual-time quantities, so sync-refresh runs emit byte-identical metric
-// streams at any shard count.
+// "control" (one adaptive-controller step for one tenant), "share" (one
+// capacity-share transfer between tenants, Tenant receiving from Donor),
+// "refresh" (a model install), "partition" (final per-partition summary),
+// "tenant" (final per-tenant summary) and "summary" (final aggregate). All
+// values are virtual-time quantities, so sync-refresh runs emit
+// byte-identical metric streams at any shard count.
 type metricRecord struct {
 	Kind      string `json:"kind"`
 	Batch     uint64 `json:"batch,omitempty"`
@@ -238,6 +239,16 @@ type metricRecord struct {
 	CXLP99Ns       int64   `json:"cxl_p99_ns,omitempty"`
 	HBMP99Ns       int64   `json:"hbm_p99_ns,omitempty"`
 	SSDP99Ns       int64   `json:"ssd_p99_ns,omitempty"`
+	// Share-record fields: the donor tenant, how many blocks the transfer
+	// moved (summed over partitions), both tenants' new total budgets, and
+	// how many of the donor's resident blocks the shrink evicted.
+	// EvictedBlocks is a pointer so share records always carry the key —
+	// zero is the meaningful "donor was not resident-full" case — while
+	// every other record kind omits it.
+	Donor             string  `json:"donor,omitempty"`
+	QuantumBlocks     uint64  `json:"quantum_blocks,omitempty"`
+	DonorBudgetBlocks uint64  `json:"donor_budget_blocks,omitempty"`
+	EvictedBlocks     *uint64 `json:"evicted_blocks,omitempty"`
 	// Controller fields: the measured QoS value against its metric name,
 	// and whether the tenant sat within its band.
 	// QoS is a pointer so a legitimately-zero measurement (e.g. a cold
@@ -331,6 +342,10 @@ func (s *Service) emitInterval(batchHitRatio float64) error {
 			if tOps > 0 {
 				hr = float64(tHits) / float64(tOps)
 			}
+			var tBudget uint64
+			for _, p := range s.parts {
+				tBudget += uint64(p.pol.Budget(ti))
+			}
 			s.metrics.write(metricRecord{
 				Kind:           "tenant-interval",
 				Batch:          s.batches,
@@ -339,6 +354,7 @@ func (s *Service) emitInterval(batchHitRatio float64) error {
 				HitRatio:       hr,
 				BytesAdmitted:  tBytes,
 				ResidentBlocks: tResident,
+				BudgetBlocks:   tBudget,
 				Threshold:      t.threshold,
 				Mult:           t.mult,
 			})

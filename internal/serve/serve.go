@@ -359,6 +359,7 @@ func New(cfg Config, b *Bundle) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		pol.bindCache(c)
 		mem, err := hbm.New(cfg.HBM)
 		if err != nil {
 			return nil, err
@@ -414,6 +415,39 @@ func (s *Service) applyThresholds() {
 	for _, p := range s.parts {
 		p.pol.SetThresholds(ths)
 	}
+}
+
+// transferShare moves q blocks per partition of HBM capacity from tenant
+// donor to tenant recv: every partition's budgets shift identically and the
+// donor's overflow blocks are evicted coldest-first, all at the current batch
+// boundary — never mid-batch — so the no-overcommit invariant holds through
+// the resize. The per-partition work is partition-local and fans out over
+// the shard pool; one "share" metric record documents the move. The evicted
+// blocks' write-backs land in the cache statistics (like any eviction);
+// their device time is not charged to the serving clock, modeling a
+// background migration drained off the critical path between batches.
+func (s *Service) transferShare(donor, recv, q int) {
+	evicted := make([]int, len(s.parts))
+	_ = engine.ForEach(s.runner, s.parts, func(i int, p *partition) error {
+		evicted[i] = p.pol.shiftBudget(donor, recv, q)
+		return nil
+	})
+	var freed, donorBudget, recvBudget uint64
+	for i, p := range s.parts {
+		freed += uint64(evicted[i])
+		donorBudget += uint64(p.pol.Budget(donor))
+		recvBudget += uint64(p.pol.Budget(recv))
+	}
+	s.metrics.write(metricRecord{
+		Kind:              "share",
+		Batch:             s.batches,
+		Tenant:            s.tenants[recv].spec.Name,
+		Donor:             s.tenants[donor].spec.Name,
+		QuantumBlocks:     uint64(q * len(s.parts)),
+		BudgetBlocks:      recvBudget,
+		DonorBudgetBlocks: donorBudget,
+		EvictedBlocks:     &freed,
+	})
 }
 
 // rescoreResident re-derives every resident block's stored eviction score

@@ -40,6 +40,12 @@ type TenantSpec struct {
 	// workload.OpenLoopConfig), exercising refresh under multi-tenancy.
 	ShiftAfter       uint64 `json:"shift_after,omitempty"`
 	ShiftOffsetPages uint64 `json:"shift_offset_pages,omitempty"`
+	// ShiftCustom, when set, swaps the tenant's stream to this working set
+	// at the shift point (workload.OpenLoopConfig.ShiftTo), so a drift can
+	// also grow or reshape the working set — the capacity-starvation
+	// scenario the elastic-share controller reallocates HBM for. Requires
+	// ShiftAfter > 0.
+	ShiftCustom *workload.CustomConfig `json:"shift_custom,omitempty"`
 	// Share is the tenant's fraction of every partition's HBM cache blocks,
 	// enforced at admission: once the tenant holds floor(Share*blocks)
 	// blocks of a partition it can only replace its own blocks, never grow.
@@ -119,6 +125,18 @@ func (q QoSSpec) classify(v float64) (violated, comfortable bool) {
 	return v > q.Target*(1+b), v < q.Target*(1-b)
 }
 
+// headroom returns how far v sits on the good side of the target, as a
+// signed fraction of the target: positive means better than the target,
+// negative means violating it. The share lever ranks donors by headroom and
+// receivers by its negation, so both comparisons are target-relative and
+// commensurable across hit-ratio and latency objectives.
+func (q QoSSpec) headroom(v float64) float64 {
+	if q.higherIsBetter() {
+		return (v - q.Target) / q.Target
+	}
+	return (q.Target - v) / q.Target
+}
+
 // improved reports whether v moved toward the target relative to prev by
 // more than 2% of the target — the controller's progress test for keeping
 // its hill-climb direction.
@@ -178,6 +196,14 @@ func ValidateTenants(specs []TenantSpec) error {
 		if ts.Share <= 0 || ts.Share > 1 {
 			return fmt.Errorf("serve: tenant %q share %v outside (0,1]", ts.Name, ts.Share)
 		}
+		if ts.ShiftCustom != nil {
+			if ts.ShiftAfter == 0 {
+				return fmt.Errorf("serve: tenant %q has shift_custom without shift_after", ts.Name)
+			}
+			if _, err := workload.NewCustom(*ts.ShiftCustom); err != nil {
+				return fmt.Errorf("serve: tenant %q shift_custom: %w", ts.Name, err)
+			}
+		}
 		shareSum += ts.Share
 		if ts.QoS != nil {
 			if err := ts.QoS.Validate(); err != nil {
@@ -208,6 +234,12 @@ func (ts TenantSpec) openLoop() (*workload.OpenLoop, error) {
 	if err != nil {
 		return nil, err
 	}
+	var shiftTo workload.Generator
+	if ts.ShiftCustom != nil {
+		if shiftTo, err = workload.NewCustom(*ts.ShiftCustom); err != nil {
+			return nil, fmt.Errorf("shift_custom: %w", err)
+		}
+	}
 	return workload.NewOpenLoop(gen, workload.OpenLoopConfig{
 		RatePerSec:       ts.RatePerSec,
 		BurstAmp:         ts.BurstAmp,
@@ -215,6 +247,7 @@ func (ts TenantSpec) openLoop() (*workload.OpenLoop, error) {
 		Seed:             ts.Seed,
 		ShiftAfter:       ts.ShiftAfter,
 		ShiftOffsetPages: ts.ShiftOffsetPages,
+		ShiftTo:          shiftTo,
 	})
 }
 
@@ -307,14 +340,18 @@ func tenantBudgets(specs []TenantSpec, pc cache.Config) ([]int, error) {
 // tenantGMM is the partition policy engine of the tenant layer: GMM-scored
 // admission and eviction (scores always arrive via Begin from the batched
 // inference pass) with per-tenant admission thresholds and per-tenant
-// capacity budgets. A tenant at its block budget can only replace its own
-// blocks — an admission that would need to grow its footprint bypasses the
-// cache instead — so shares are enforced exactly and tenants can never
-// over-commit the partition.
+// capacity budgets. Budgets are hard ceilings: an admission never grows a
+// tenant past its budget, so shares can never over-commit the partition. A
+// tenant at its budget admits only by keeping its footprint exactly flat,
+// trading one of its own blocks for the new page (see Admit's swap-up
+// rule), so a tenant can never be permanently locked out of a hot set its
+// budget happens to have no blocks in. Budgets themselves move at batch
+// boundaries via shiftBudget, the elastic-share controller's lever.
 type tenantGMM struct {
 	mode  policy.GMMMode
 	nSets int
 	ways  int
+	cache *cache.Cache // bound after construction; used for block release
 
 	scores  [][]float64 // per-way GMM score, the smart-eviction key
 	lastUse [][]uint64  // per-way LRU stamp, the caching-only fallback key
@@ -330,13 +367,16 @@ type tenantGMM struct {
 }
 
 // newTenantGMM builds the policy for nTenants tenants with the given block
-// budgets and a uniform initial threshold.
+// budgets and a uniform initial threshold. The budget slice is copied:
+// budgets are per-partition state (the share controller resizes them
+// independently-but-identically across partitions), so policies must never
+// alias a caller's slice.
 func newTenantGMM(mode policy.GMMMode, budgets []int, threshold float64) *tenantGMM {
 	n := len(budgets)
 	p := &tenantGMM{
 		mode:       mode,
 		thresholds: make([]float64, n),
-		budget:     budgets,
+		budget:     append([]int(nil), budgets...),
 		resident:   make([]int, n),
 	}
 	for i := range p.thresholds {
@@ -344,6 +384,12 @@ func newTenantGMM(mode policy.GMMMode, budgets []int, threshold float64) *tenant
 	}
 	return p
 }
+
+// bindCache hands the policy the cache it is attached to. The tenant layer
+// needs the back-reference for policy-initiated evictions (cross-set release,
+// share-shrink overflow); it is set once, right after cache.New, before any
+// traffic.
+func (p *tenantGMM) bindCache(c *cache.Cache) { p.cache = c }
 
 // Begin stages the tenant and batched GMM score of the next access. The
 // serving pipeline calls it immediately before Cache.Access, so the policy
@@ -391,9 +437,14 @@ func (p *tenantGMM) OnHit(setIdx, way int, req cache.Request) {
 
 // Admit implements cache.Policy: the staged score must clear the tenant's
 // threshold, and the tenant's capacity budget must allow the insert. At
-// budget, admission is only possible when the target set is full and holds
-// one of the tenant's own blocks (the insert then replaces it, keeping the
-// footprint flat); any admission that would grow the footprint bypasses.
+// budget the footprint must stay exactly flat, and admission trades against
+// one of the tenant's own blocks under a swap-up rule: the page must beat
+// the block it displaces — its own in-set minimum when the full target set
+// holds its blocks, its globally-coldest block otherwise (released first,
+// cross-set accounting). Hot pages in sets the tenant has no blocks in are
+// therefore admittable instead of permanently bypassed. Only a tenant with
+// no resident blocks at all (a zero-budget corner) still bypasses at
+// budget.
 func (p *tenantGMM) Admit(req cache.Request) bool {
 	t := p.curTenant
 	p.restrictVictim = false
@@ -404,22 +455,121 @@ func (p *tenantGMM) Admit(req cache.Request) bool {
 		return true
 	}
 	si := int(req.Page % uint64(p.nSets))
-	ownHere := false
+	full, ownMin, ownMinWay := true, 0.0, -1
 	for w := 0; w < p.ways; w++ {
-		if p.owner[si][w] == -1 {
-			// The cache would fill this free way, growing the footprint.
+		switch {
+		case p.owner[si][w] == -1:
+			full = false
+		case int(p.owner[si][w]) == t:
+			if ownMinWay == -1 || p.scores[si][w] < ownMin {
+				ownMin, ownMinWay = p.scores[si][w], w
+			}
+		}
+	}
+	// Swap-up rule: the bar for an at-budget admission is the block it
+	// displaces (or releases) — in scored modes the staged score must beat
+	// that block's eviction key, or any barely-above-threshold one-hit page
+	// would churn the resident working set. The bar therefore legitimately
+	// depends on WHERE the page lands: entering a full set where the tenant
+	// holds blocks costs its own in-set minimum; entering anywhere else
+	// costs its globally-coldest block. (A single global bar was tried and
+	// reverted: it makes displacing *other* tenants' set-minimum blocks the
+	// common case, and the resulting cross-tenant eviction cascade collapses
+	// everyone's hit ratio.) In caching-only mode recency is the key and a
+	// fresh insert is always the most recent.
+	if full && ownMinWay >= 0 {
+		// In-set self-replacement: replace the tenant's own lowest-valued
+		// block here. The restricted Victim reports the eviction through
+		// AccessResult, so its write-back is charged to the device path.
+		if p.mode != policy.GMMCachingOnly && p.curScore <= ownMin {
 			return false
 		}
-		if int(p.owner[si][w]) == t {
-			ownHere = true
-		}
+		p.restrictVictim = true
+		return true
 	}
-	if !ownHere {
+	// Cross-set accounting: release the tenant's coldest block — wherever
+	// it lives — then let the insert land in a free way (or displace the
+	// target set's lowest-scored block, shrinking that tenant below its
+	// ceiling; ceilings are caps, not guarantees). The release keeps this
+	// tenant's footprint flat, so the no-overcommit invariant holds through
+	// the whole access.
+	if p.cache == nil {
+		return false // unbound policy (tests): fall back to deny-at-Admit
+	}
+	rs, rw := p.coldestOwned(t)
+	if rs < 0 {
+		return false // no resident block to trade (zero-budget corner)
+	}
+	if p.mode != policy.GMMCachingOnly && p.curScore <= p.scores[rs][rw] {
 		return false
 	}
-	p.restrictVictim = true
+	p.cache.EvictAt(rs, rw)
 	return true
 }
+
+// coldestOwned returns the (set, way) of tenant t's lowest-valued resident
+// block — GMM score in scored modes, LRU stamp in caching-only mode — or
+// (-1, -1) when the tenant holds nothing. Ties break to the lowest set, then
+// the lowest way, keeping the scan deterministic. The scan is O(sets*ways)
+// over the partition (~1k blocks at the paper's geometry) and runs only on
+// at-budget misses that cleared the threshold without an in-set
+// self-replacement — an accepted simulator cost; a per-tenant heap would
+// remove it if admission ever dominates profiles.
+func (p *tenantGMM) coldestOwned(t int) (int, int) {
+	bs, bw := -1, -1
+	for si := range p.owner {
+		for w, o := range p.owner[si] {
+			if int(o) != t {
+				continue
+			}
+			switch {
+			case bs == -1:
+				bs, bw = si, w
+			case p.mode == policy.GMMCachingOnly:
+				if p.lastUse[si][w] < p.lastUse[bs][bw] {
+					bs, bw = si, w
+				}
+			default:
+				if p.scores[si][w] < p.scores[bs][bw] {
+					bs, bw = si, w
+				}
+			}
+		}
+	}
+	return bs, bw
+}
+
+// shiftBudget moves q blocks of capacity from tenant donor to tenant recv and
+// immediately evicts the donor's overflow (coldest blocks first), so the
+// no-overcommit invariant is already true again when the call returns. The
+// elastic-share controller calls it at batch boundaries only — never while a
+// shard is draining the partition. It returns how many blocks were evicted.
+func (p *tenantGMM) shiftBudget(donor, recv, q int) int {
+	p.budget[donor] -= q
+	p.budget[recv] += q
+	return p.evictOverflow(donor)
+}
+
+// evictOverflow evicts tenant t's coldest blocks until it fits its budget,
+// returning the number of evictions.
+func (p *tenantGMM) evictOverflow(t int) int {
+	if p.cache == nil {
+		return 0 // unbound policy (tests): nothing to evict from
+	}
+	n := 0
+	for p.resident[t] > p.budget[t] {
+		si, w := p.coldestOwned(t)
+		if si < 0 {
+			break // residency counter drifted; checkShares will report it
+		}
+		p.cache.EvictAt(si, w)
+		n++
+	}
+	return n
+}
+
+// Budget returns tenant t's current block budget in this partition.
+func (p *tenantGMM) Budget(t int) int { return p.budget[t] }
 
 // Victim implements cache.Policy: the lowest-scored way (or least recently
 // used in caching-only mode), restricted to the current tenant's own blocks
@@ -444,10 +594,10 @@ func (p *tenantGMM) Victim(setIdx int, blocks []cache.BlockView) int {
 			best = w
 		}
 	}
-	if best == -1 {
-		// Unreachable when Admit and the owner map agree; stay safe anyway.
-		best = 0
-	}
+	// best == -1 means the restricted scan found none of the tenant's blocks
+	// — Admit and the owner map disagree. Veto the insertion (the cache
+	// counts a bypass) rather than evict a foreign block and grow the tenant
+	// past its budget.
 	return best
 }
 

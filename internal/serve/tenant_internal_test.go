@@ -49,6 +49,7 @@ func TestTenantSharesNeverOvercommitRandom(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		pol.bindCache(c)
 
 		// Random per-tenant thresholds so bypass and admit interleave.
 		ths := make([]float64, nTenants)
@@ -63,6 +64,20 @@ func TestTenantSharesNeverOvercommitRandom(t *testing.T) {
 			tenant := rng.Intn(nTenants)
 			pol.Begin(tenant, rng.Float64())
 			c.Access(rng.Uint64()%pageSpan, rng.Intn(4) == 0)
+
+			// Occasionally resize shares mid-traffic (the elastic-share
+			// lever, at what would be a batch boundary): any legal transfer
+			// must leave the invariants intact immediately.
+			if s%71 == 70 && nTenants > 1 {
+				donor, recv := rng.Intn(nTenants), rng.Intn(nTenants)
+				if donor != recv && pol.budget[donor] > 1 {
+					q := 1 + rng.Intn(pol.budget[donor]-1)
+					pol.shiftBudget(donor, recv, q)
+					if err := pol.checkShares(); err != nil {
+						t.Fatalf("iter %d mode %v resize at step %d: %v", iter, mode, s, err)
+					}
+				}
+			}
 
 			if s%64 == 0 {
 				if err := pol.checkShares(); err != nil {
@@ -88,49 +103,180 @@ func TestTenantSharesNeverOvercommitRandom(t *testing.T) {
 	}
 }
 
-// TestTenantBudgetSelfReplacement pins the at-budget semantics exactly: a
-// tenant at its budget can admit only by replacing one of its own blocks in
-// the same set, and admissions that would grow its footprint bypass.
-func TestTenantBudgetSelfReplacement(t *testing.T) {
-	t.Parallel()
-	// One set of 4 ways, tenant 0 budgeted 2 blocks, tenant 1 budgeted 2.
-	pol := newTenantGMM(policy.GMMCachingEviction, []int{2, 2}, 0)
-	cfg := cache.Config{SizeBytes: 4 * trace.PageSize, BlockBytes: trace.PageSize, Ways: 4}
+// tenantHarness builds a bound (cache, policy) pair plus an access helper
+// for the pinned-semantics tests below.
+func tenantHarness(t *testing.T, mode policy.GMMMode, budgets []int, blocks, ways int) (*cache.Cache, *tenantGMM, func(tenant int, page uint64, score float64) cache.AccessResult) {
+	t.Helper()
+	pol := newTenantGMM(mode, budgets, 0)
+	cfg := cache.Config{SizeBytes: uint64(blocks) * trace.PageSize, BlockBytes: trace.PageSize, Ways: ways}
 	c, err := cache.New(cfg, pol)
 	if err != nil {
 		t.Fatal(err)
 	}
-	access := func(tenant int, page uint64, score float64) cache.AccessResult {
+	pol.bindCache(c)
+	return c, pol, func(tenant int, page uint64, score float64) cache.AccessResult {
 		pol.Begin(tenant, score)
 		return c.Access(page, false)
 	}
+}
+
+// TestTenantBudgetSelfReplacement pins the at-budget semantics exactly: a
+// tenant at its budget admits only with a flat footprint — replacing its own
+// lowest-scored block when the full target set holds one, or releasing its
+// coldest block first otherwise — and never exceeds its budget.
+func TestTenantBudgetSelfReplacement(t *testing.T) {
+	t.Parallel()
+	// One set of 4 ways, tenant 0 budgeted 2 blocks, tenant 1 budgeted 2.
+	c, pol, access := tenantHarness(t, policy.GMMCachingEviction, []int{2, 2}, 4, 4)
 	// Tenant 0 fills its budget.
 	access(0, 0, 1.0)
 	access(0, 1, 2.0)
 	if pol.Resident(0) != 2 {
 		t.Fatalf("resident = %d", pol.Resident(0))
 	}
-	// At budget with free ways in the set: must bypass, not grow.
+	// At budget, a page colder than the tenant's coldest resident block must
+	// bypass: releasing a warmer block for it would churn the working set.
+	if res := access(0, 5, 0.5); res.Admitted {
+		t.Fatalf("colder-than-coldest page admitted at budget: %+v", res)
+	}
+	// At budget with free ways in the set: admit by releasing the tenant's
+	// coldest block (page 0, score 1.0) — footprint stays flat, the hot new
+	// page is not locked out.
 	res := access(0, 2, 9.0)
-	if res.Admitted || pol.Resident(0) != 2 {
-		t.Fatalf("at-budget admission grew the footprint: %+v resident=%d", res, pol.Resident(0))
+	if !res.Admitted || res.Evicted || pol.Resident(0) != 2 {
+		t.Fatalf("at-budget admission with free ways: %+v resident=%d", res, pol.Resident(0))
+	}
+	if c.Contains(0) || !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("release picked the wrong block")
 	}
 	// Tenant 1 takes the remaining ways.
-	access(1, 2, 5.0)
-	access(1, 3, 6.0)
-	// Set now full. Tenant 0 at budget must self-replace its lowest-scored
-	// block (page 0, score 1.0), never tenant 1's.
-	res = access(0, 4, 9.0)
-	if !res.Admitted || !res.Evicted || res.VictimPage != 0 {
+	access(1, 3, 5.0)
+	access(1, 7, 6.0)
+	// Set now full. The swap-up rule applies in-set too: a page that cannot
+	// beat tenant 0's own lowest-scored block (page 1, score 2.0) bypasses.
+	if res := access(0, 6, 1.5); res.Admitted {
+		t.Fatalf("in-set self-replacement admitted a colder page: %+v", res)
+	}
+	// Tenant 0 at budget must self-replace its lowest-scored block (page 1,
+	// score 2.0), never tenant 1's.
+	res = access(0, 4, 9.5)
+	if !res.Admitted || !res.Evicted || res.VictimPage != 1 {
 		t.Fatalf("self-replacement picked wrong victim: %+v", res)
 	}
 	if pol.Resident(0) != 2 || pol.Resident(1) != 2 {
 		t.Fatalf("residency after self-replace: %d/%d", pol.Resident(0), pol.Resident(1))
 	}
-	if !c.Contains(1) || !c.Contains(4) || !c.Contains(2) || !c.Contains(3) {
+	if !c.Contains(2) || !c.Contains(4) || !c.Contains(3) || !c.Contains(7) {
 		t.Fatal("unexpected resident set after self-replacement")
 	}
 	if err := pol.checkShares(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantCrossSetAccounting is the lockout regression test: a tenant at
+// budget whose blocks all live in other sets must still be able to admit
+// into a hot set, by releasing its coldest block elsewhere — before the fix
+// it bypassed forever ("admission granted but no victim available" could
+// never resolve). The no-overcommit invariant must hold throughout.
+func TestTenantCrossSetAccounting(t *testing.T) {
+	t.Parallel()
+	// Two sets of 2 ways. Tenant 0 fills set 0 (pages 0, 2); tenant 1 fills
+	// set 1 (pages 1, 3). Both are at budget.
+	c, pol, access := tenantHarness(t, policy.GMMCachingEviction, []int{2, 2}, 4, 2)
+	access(0, 0, 1.0)
+	access(0, 2, 2.0)
+	access(1, 1, 3.0)
+	access(1, 3, 4.0)
+	// Tenant 0 now needs page 5 (set 1), where it owns nothing: it must
+	// release its own coldest block (page 0) and displace set 1's lowest-
+	// scored block (tenant 1's page 1) — tenant 0 stays exactly at budget,
+	// tenant 1 shrinks below its ceiling (a cap, not a guarantee).
+	res := access(0, 5, 9.0)
+	if !res.Admitted || !res.Evicted || res.VictimPage != 1 {
+		t.Fatalf("cross-set admission = %+v, want admit evicting page 1", res)
+	}
+	if pol.Resident(0) != 2 || pol.Resident(1) != 1 {
+		t.Fatalf("residency after cross-set admit: %d/%d, want 2/1", pol.Resident(0), pol.Resident(1))
+	}
+	if c.Contains(0) || !c.Contains(2) || !c.Contains(5) || !c.Contains(3) {
+		t.Fatal("unexpected resident set after cross-set admission")
+	}
+	if err := pol.checkShares(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A tenant with no resident blocks and a zero budget still bypasses —
+	// there is nothing to release, and growth is forbidden.
+	pol.budget[0] = 0
+	c.EvictAt(0, ownerWay(pol, 0, 0)) // drop tenant 0's remaining set-0 block
+	c.EvictAt(1, ownerWay(pol, 1, 0)) // and its set-1 block
+	if pol.Resident(0) != 0 {
+		t.Fatalf("resident = %d after dropping all of tenant 0", pol.Resident(0))
+	}
+	pol.Begin(0, 9.9)
+	if res := c.Access(6, false); res.Admitted {
+		t.Fatalf("zero-budget tenant admitted: %+v", res)
+	}
+	if err := pol.checkShares(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ownerWay returns the first way of set si owned by tenant t, or -1.
+func ownerWay(p *tenantGMM, si, t int) int {
+	for w, o := range p.owner[si] {
+		if int(o) == t {
+			return w
+		}
+	}
+	return -1
+}
+
+// TestTenantShiftBudget pins the share-resize primitive: budgets move in
+// fixed quanta, the donor's overflow is evicted coldest-first immediately,
+// and the invariants hold the moment shiftBudget returns.
+func TestTenantShiftBudget(t *testing.T) {
+	t.Parallel()
+	// Two sets of 2 ways; tenant 0 holds 3 blocks, tenant 1 one block.
+	c, pol, access := tenantHarness(t, policy.GMMCachingEviction, []int{3, 1}, 4, 2)
+	access(0, 0, 5.0) // set 0
+	access(0, 2, 1.0) // set 0 — tenant 0's coldest
+	access(0, 1, 4.0) // set 1
+	access(1, 3, 2.0) // set 1
+	if pol.Resident(0) != 3 || pol.Resident(1) != 1 {
+		t.Fatalf("setup residency %d/%d", pol.Resident(0), pol.Resident(1))
+	}
+	// Move two blocks of capacity from tenant 0 to tenant 1: tenant 0's two
+	// coldest blocks (pages 2 then 1) are evicted right away.
+	if n := pol.shiftBudget(0, 1, 2); n != 2 {
+		t.Fatalf("shiftBudget evicted %d blocks, want 2", n)
+	}
+	if pol.Budget(0) != 1 || pol.Budget(1) != 3 {
+		t.Fatalf("budgets after shift = %d/%d, want 1/3", pol.Budget(0), pol.Budget(1))
+	}
+	if pol.Resident(0) != 1 || !c.Contains(0) || c.Contains(2) || c.Contains(1) {
+		t.Fatalf("overflow eviction kept the wrong blocks (resident=%d)", pol.Resident(0))
+	}
+	if err := pol.checkShares(); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver can now grow into the freed capacity.
+	access(1, 5, 3.0) // set 1, the way freed by the overflow eviction
+	access(1, 4, 3.5) // set 0, the other freed way
+	if pol.Resident(1) != 3 {
+		t.Fatalf("receiver resident = %d, want 3", pol.Resident(1))
+	}
+	// A shift with no overflow evicts nothing.
+	if n := pol.shiftBudget(1, 0, 0); n != 0 {
+		t.Fatalf("zero-quantum shift evicted %d blocks", n)
+	}
+	if err := pol.checkShares(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }

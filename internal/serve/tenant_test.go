@@ -22,10 +22,13 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
 
 // tenantSpecs is the pinned 3-tenant QoS scenario: distinct rates, working
-// sets and QoS targets. alpha fits its share entirely (hit-ratio floor),
-// beta only partially (latency ceiling the controller must trade admissions
-// against), and gamma drifts its working set halfway through the run so the
-// sync-refresh path stays inside the determinism surface.
+// sets and QoS targets. alpha fits its share entirely (hit-ratio floor) and
+// runs comfortable — the natural capacity donor. beta only partially fits
+// (latency ceiling the controller must trade admissions against) and holds
+// near its band edge. gamma starts inside its share, then a mid-run drift
+// both relocates its working set (invalidating the model: sync-refresh
+// coverage) and grows it well past gamma's fixed HBM share — the capacity
+// starvation only an elastic share transfer can cure.
 func tenantSpecs() []serve.TenantSpec {
 	return []serve.TenantSpec{
 		{
@@ -57,8 +60,17 @@ func tenantSpecs() []serve.TenantSpec {
 				WriteFrac: 0.3,
 			},
 			Seed: 3, RatePerSec: 6e3, OffsetPages: 1 << 17, Share: 0.2,
-			ShiftAfter: 12 * 1024, ShiftOffsetPages: 1 << 18,
-			QoS: &serve.QoSSpec{Metric: serve.QoSHitRatio, Target: 0.40, Band: 0.15},
+			ShiftAfter: 8 * 1024, ShiftOffsetPages: 1 << 18,
+			// The post-shift working set (~480 hot pages) far exceeds
+			// gamma's 200-block share: no admission threshold can hold the
+			// hit-ratio floor inside it, so the threshold lever saturates
+			// and the controller must move capacity.
+			ShiftCustom: &workload.CustomConfig{
+				Name: "gamma-ws-grown", TotalPages: 480,
+				Clusters:  []workload.ClusterSpec{{CenterPage: 120, Spread: 55}, {CenterPage: 360, Spread: 55}},
+				WriteFrac: 0.3,
+			},
+			QoS: &serve.QoSSpec{Metric: serve.QoSHitRatio, Target: 0.60, Band: 0.15},
 		},
 	}
 }
@@ -76,6 +88,17 @@ func tenantConfig(shards int) serve.Config {
 	cfg.Tenants = tenantSpecs()
 	cfg.Control.Every = 8
 	cfg.Control.Step = 1.6
+	// Elastic shares: a tight multiplier clamp saturates the threshold lever
+	// quickly, so a capacity-starved tenant escalates to a share bid within
+	// a few control intervals; quantum/cooldown keep transfers slow and
+	// deterministic.
+	cfg.Control.MinMult = 1.0 / 16
+	cfg.Control.MaxMult = 16
+	cfg.Control.ShareAdapt = true
+	cfg.Control.ShareQuantum = 8
+	cfg.Control.ShareHold = 2
+	cfg.Control.ShareCooldown = 1
+	cfg.Control.ShareFloor = 8
 	cfg.Refresh.Mode = serve.RefreshSync
 	cfg.Refresh.Drift = serve.DriftConfig{Delta: 0.08, Sustain: 8, Warmup: 8, Alpha: 0.2}
 	cfg.Refresh.WindowSamples = 8192
@@ -158,6 +181,17 @@ func TestServeTenantGoldenDeterminism(t *testing.T) {
 	}
 	if snap1.Ops != ops {
 		t.Errorf("ops = %d, want %d", snap1.Ops, ops)
+	}
+	// The elastic-share lever must have fired: gamma's grown working set is
+	// unservable inside its static 200-block share, so the run needs at
+	// least one deterministic transfer, visible both as a "share" record and
+	// as final budgets away from the static split (alpha 512/beta 304/gamma
+	// 200 blocks).
+	if n := bytes.Count(out1, []byte(`"kind":"share"`)); n == 0 {
+		t.Error("no share transfer in the golden run; the scenario lost its elastic-share coverage")
+	}
+	if a, g := snap1.Tenants[0].BudgetBlocks, snap1.Tenants[2].BudgetBlocks; a >= 512 || g <= 200 {
+		t.Errorf("final budgets alpha=%d gamma=%d; expected capacity to have moved alpha→gamma", a, g)
 	}
 	for i := range snap1.Tenants {
 		ts := &snap1.Tenants[i]

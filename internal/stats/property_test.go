@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -75,11 +76,19 @@ func TestHistogramMergePropertyRandom(t *testing.T) {
 				t.Fatalf("iter %d: bucket %d differs: %d vs %d", iter, i, a.buckets[i], b.buckets[i])
 			}
 		}
-		for _, p := range []float64{50, 90, 99, 100} {
+		// Percentile queries cover the full edge surface: the p<=0 and
+		// p>=100 pins, interpolated interior quantiles, and out-of-range
+		// values — all must be permutation-invariant, including on the
+		// iterations where some (or all) partitions are empty and the merge
+		// degenerates to empty+nonempty or empty+empty.
+		for _, p := range []float64{0, -1, 1, 50, 90, 99, 100, 101} {
 			if a.Percentile(p) != b.Percentile(p) {
-				t.Fatalf("iter %d: p%.0f differs across merge orders: %d vs %d",
+				t.Fatalf("iter %d: p%v differs across merge orders: %d vs %d",
 					iter, p, a.Percentile(p), b.Percentile(p))
 			}
+		}
+		if a.Percentile(math.NaN()) != 0 || b.Percentile(math.NaN()) != 0 {
+			t.Fatalf("iter %d: Percentile(NaN) must be 0", iter)
 		}
 	}
 }

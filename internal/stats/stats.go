@@ -236,11 +236,16 @@ func (h *Histogram) Sum() int64 { return h.acc.Sum() }
 // Mean returns the mean of observed samples in nanoseconds.
 func (h *Histogram) Mean() float64 { return h.acc.Mean() }
 
-// Percentile returns the p-th percentile (0 < p <= 100) of the retained raw
-// samples. It is exact while the number of samples is below the retention cap
-// and an approximation from the same reservoir beyond it.
+// Percentile returns the p-th percentile of the retained raw samples, with
+// linear interpolation between ranks. The edges are pinned: an empty
+// histogram returns 0, p <= 0 returns the minimum retained sample, p >= 100
+// the maximum, and a NaN p returns 0 (it is a caller bug, but an
+// unanswerable query must not panic the metrics path). Percentiles are exact
+// while the sample count is at or below the retention cap and an
+// approximation from the retained prefix beyond it (Count keeps the true
+// total either way).
 func (h *Histogram) Percentile(p float64) int64 {
-	if len(h.samples) == 0 {
+	if len(h.samples) == 0 || math.IsNaN(p) {
 		return 0
 	}
 	s := make([]int64, len(h.samples))

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -309,4 +310,126 @@ func TestHistogramMergeGeometryMismatchPanics(t *testing.T) {
 	b := NewHistogram(10, 2, 16)
 	b.Observe(500)
 	a.Merge(b)
+}
+
+// TestHistogramPercentileEdgeCases pins the percentile contract at and
+// around its edges: empty histograms, a single sample, the q=1.0 boundary
+// and beyond, non-finite quantiles (a NaN p used to panic with an index
+// derived from int(NaN)), and merges where one side is empty.
+func TestHistogramPercentileEdgeCases(t *testing.T) {
+	t.Parallel()
+	t.Run("empty", func(t *testing.T) {
+		h := DefaultLatencyHistogram()
+		for _, p := range []float64{0, 50, 99, 100, 101, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+			if got := h.Percentile(p); got != 0 {
+				t.Errorf("empty Percentile(%v) = %d, want 0", p, got)
+			}
+		}
+	})
+	t.Run("single sample", func(t *testing.T) {
+		h := DefaultLatencyHistogram()
+		h.Observe(777)
+		for _, p := range []float64{0, 1, 50, 99, 100, 250, -5, math.Inf(1)} {
+			if got := h.Percentile(p); got != 777 {
+				t.Errorf("single-sample Percentile(%v) = %d, want 777", p, got)
+			}
+		}
+		if got := h.Percentile(math.NaN()); got != 0 {
+			t.Errorf("Percentile(NaN) = %d, want 0 (defined, not a panic)", got)
+		}
+	})
+	t.Run("quantile boundaries", func(t *testing.T) {
+		h := DefaultLatencyHistogram()
+		for i := int64(1); i <= 100; i++ {
+			h.Observe(i * 10)
+		}
+		cases := []struct {
+			p    float64
+			want int64
+		}{
+			{0, 10},      // p <= 0 is the minimum
+			{-10, 10},    // clamped below
+			{100, 1000},  // q = 1.0 is the maximum
+			{1000, 1000}, // clamped above
+			{math.Inf(1), 1000},
+			{math.Inf(-1), 10},
+			{50, 505}, // interpolated between ranks 49 and 50 (500, 510)
+		}
+		for _, c := range cases {
+			if got := h.Percentile(c.p); got != c.want {
+				t.Errorf("Percentile(%v) = %d, want %d", c.p, got, c.want)
+			}
+		}
+		if got := h.Percentile(math.NaN()); got != 0 {
+			t.Errorf("Percentile(NaN) = %d, want 0", got)
+		}
+	})
+	t.Run("merge empty and nonempty", func(t *testing.T) {
+		full := DefaultLatencyHistogram()
+		for i := int64(1); i <= 10; i++ {
+			full.Observe(i * 100)
+		}
+		// Empty into nonempty: a no-op.
+		a := DefaultLatencyHistogram()
+		for i := int64(1); i <= 10; i++ {
+			a.Observe(i * 100)
+		}
+		a.Merge(DefaultLatencyHistogram())
+		// Nonempty into empty: adopts the source exactly (including min).
+		b := DefaultLatencyHistogram()
+		b.Merge(full)
+		for _, h := range []*Histogram{a, b} {
+			if h.Count() != 10 || h.Sum() != 5500 {
+				t.Fatalf("count/sum = %d/%d, want 10/5500", h.Count(), h.Sum())
+			}
+			if h.acc.Min() != 100 || h.acc.Max() != 1000 {
+				t.Fatalf("min/max = %d/%d, want 100/1000", h.acc.Min(), h.acc.Max())
+			}
+			for _, p := range []float64{0, 50, 100} {
+				if h.Percentile(p) != full.Percentile(p) {
+					t.Fatalf("Percentile(%v) = %d, want %d", p, h.Percentile(p), full.Percentile(p))
+				}
+			}
+		}
+		// Empty into empty stays empty.
+		c := DefaultLatencyHistogram()
+		c.Merge(DefaultLatencyHistogram())
+		if c.Count() != 0 || c.Percentile(50) != 0 {
+			t.Fatal("empty+empty merge produced samples")
+		}
+	})
+}
+
+// TestHistogramRetentionBoundary pins behavior at and beyond the exact-
+// retention cap: percentiles are exact up to maxKeep samples, the cap is hit
+// without an off-by-one, and past it Count keeps the true total while
+// percentiles answer from the retained prefix.
+func TestHistogramRetentionBoundary(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram(100, 1.07, 240)
+	h.maxKeep = 16 // shrink the cap; SetRetention can only raise it
+	for i := int64(1); i <= 16; i++ {
+		h.Observe(i * 100)
+	}
+	if len(h.samples) != 16 {
+		t.Fatalf("retained %d of 16 samples at the boundary", len(h.samples))
+	}
+	if got := h.Percentile(100); got != 1600 {
+		t.Fatalf("exact p100 at the boundary = %d, want 1600", got)
+	}
+	// Beyond the cap: counts stay true, retained samples freeze.
+	h.Observe(5000)
+	h.Observe(6000)
+	if h.Count() != 18 || h.acc.Max() != 6000 {
+		t.Fatalf("count/max = %d/%d, want 18/6000", h.Count(), h.acc.Max())
+	}
+	if len(h.samples) != 16 {
+		t.Fatalf("retention cap overflowed to %d samples", len(h.samples))
+	}
+	if got := h.Percentile(100); got != 1600 {
+		t.Fatalf("p100 beyond the cap = %d, want 1600 (answered from the retained prefix)", got)
+	}
+	if got := h.Summarize().Max; got != 6000*time.Nanosecond {
+		t.Fatalf("Summary.Max = %v, want 6us (accumulator, not reservoir)", got)
+	}
 }

@@ -39,6 +39,14 @@ type OpenLoopConfig struct {
 	ShiftAfter uint64
 	// ShiftOffsetPages is the page offset applied after the shift point.
 	ShiftOffsetPages uint64
+	// ShiftTo, when set, also swaps the stream's generator at the shift
+	// point, so the working set does not merely relocate but changes shape
+	// or size — e.g. a tenant whose post-shift working set outgrows its HBM
+	// capacity share, the scenario the elastic-share controller exists for.
+	// The swap is exact: the rest of the in-flight segment is discarded and
+	// the next segment is drawn from ShiftTo, continuing the same derived
+	// seed sequence, so streams stay reproducible bit for bit.
+	ShiftTo Generator
 }
 
 // OpenLoop is a deterministic open-loop request stream: workload records from
@@ -54,6 +62,7 @@ type OpenLoop struct {
 	seg     uint64
 	emitted uint64
 	clockNs float64
+	shifted bool
 }
 
 // NewOpenLoop validates the config and builds the stream.
@@ -63,6 +72,9 @@ func NewOpenLoop(g Generator, cfg OpenLoopConfig) (*OpenLoop, error) {
 	}
 	if cfg.BurstAmp < 0 || cfg.BurstAmp >= 1 {
 		return nil, errors.New("workload: burst amplitude outside [0, 1)")
+	}
+	if cfg.ShiftTo != nil && cfg.ShiftAfter == 0 {
+		return nil, errors.New("workload: ShiftTo configured without ShiftAfter — the swap would never happen")
 	}
 	if cfg.BurstPeriod <= 0 {
 		cfg.BurstPeriod = 100_000
@@ -84,14 +96,24 @@ func (ol *OpenLoop) Emitted() uint64 { return ol.emitted }
 // record's Time field carries the arrival time in nanoseconds.
 func (ol *OpenLoop) Next(dst []trace.Record) int {
 	for i := range dst {
+		if ol.cfg.ShiftAfter > 0 && !ol.shifted && ol.emitted >= ol.cfg.ShiftAfter {
+			ol.shifted = true
+			if ol.cfg.ShiftTo != nil {
+				ol.pos = len(ol.buf) // discard the pre-shift remainder
+			}
+		}
 		if ol.pos >= len(ol.buf) {
-			ol.buf = ol.g.Generate(ol.cfg.SegmentLen, engine.DeriveSeed(ol.cfg.Seed, ol.seg))
+			g := ol.g
+			if ol.shifted && ol.cfg.ShiftTo != nil {
+				g = ol.cfg.ShiftTo
+			}
+			ol.buf = g.Generate(ol.cfg.SegmentLen, engine.DeriveSeed(ol.cfg.Seed, ol.seg))
 			ol.pos = 0
 			ol.seg++
 		}
 		r := ol.buf[ol.pos]
 		ol.pos++
-		if ol.cfg.ShiftAfter > 0 && ol.emitted >= ol.cfg.ShiftAfter {
+		if ol.shifted {
 			r.Addr += ol.cfg.ShiftOffsetPages << trace.PageShift
 		}
 		r.Time = uint64(ol.clockNs)

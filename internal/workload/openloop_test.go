@@ -114,3 +114,85 @@ func TestOpenLoopConfigValidation(t *testing.T) {
 		t.Error("negative burst amplitude accepted")
 	}
 }
+
+// TestOpenLoopShiftTo: with a second generator configured, the shift point
+// swaps working sets exactly (plus the page offset), and the stream stays
+// deterministic — the elastic-share scenarios lean on a drift that grows the
+// working set beyond a tenant's capacity share.
+func TestOpenLoopShiftTo(t *testing.T) {
+	t.Parallel()
+	small, err := NewCustom(CustomConfig{Name: "small", TotalPages: 64, TailFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewCustom(CustomConfig{Name: "big", TotalPages: 4096, TailFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		shiftAt = 100
+		offset  = 1 << 20
+	)
+	build := func() *OpenLoop {
+		ol, err := NewOpenLoop(small, OpenLoopConfig{
+			RatePerSec: 1e6, Seed: 5, SegmentLen: 64,
+			ShiftAfter: shiftAt, ShiftOffsetPages: offset, ShiftTo: big,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ol
+	}
+	ol := build()
+	buf := make([]trace.Record, 300)
+	ol.Next(buf)
+	sawBigOnly := false
+	for i, r := range buf {
+		page := r.Page()
+		if i < shiftAt {
+			if page >= 64 {
+				t.Fatalf("record %d: pre-shift page %d outside the small working set", i, page)
+			}
+			continue
+		}
+		if page < offset {
+			t.Fatalf("record %d: post-shift page %d missing the shift offset", i, page)
+		}
+		if page-offset >= 4096 {
+			t.Fatalf("record %d: post-shift page %d outside the big working set", i, page)
+		}
+		if page-offset >= 64 {
+			sawBigOnly = true
+		}
+	}
+	if !sawBigOnly {
+		t.Error("post-shift stream never left the small working set; ShiftTo did not take over")
+	}
+	// Bit-identical replay: the swap must not depend on read batch sizes.
+	ol2 := build()
+	buf2 := make([]trace.Record, 300)
+	for lo := 0; lo < len(buf2); {
+		n := 7
+		if lo+n > len(buf2) {
+			n = len(buf2) - lo
+		}
+		ol2.Next(buf2[lo : lo+n])
+		lo += n
+	}
+	for i := range buf {
+		if buf[i] != buf2[i] {
+			t.Fatalf("record %d differs across batch sizes: %+v vs %+v", i, buf[i], buf2[i])
+		}
+	}
+}
+
+func TestOpenLoopShiftToRequiresShiftAfter(t *testing.T) {
+	t.Parallel()
+	g, err := NewCustom(CustomConfig{Name: "g", TotalPages: 64, TailFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOpenLoop(g, OpenLoopConfig{RatePerSec: 1, ShiftTo: g}); err == nil {
+		t.Fatal("ShiftTo without ShiftAfter accepted: the swap would silently never happen")
+	}
+}
