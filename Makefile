@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench serve-smoke test-tenants test-shares cover fuzz-smoke fmt vet fmt-check ci
+.PHONY: build test race bench serve-smoke test-tenants test-shares test-spec cover fuzz-smoke fmt vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -53,9 +53,21 @@ test-shares:
 		-share-adapt -share-quantum 8 -share-hold 2 -share-cooldown 1 \
 		-tenants cmd/icgmm-serve/testdata/tenants-elastic.json
 
+# Spec & Session suite: declarative-spec validation, round-trip and
+# field-path strictness tests, the checkpoint/resume golden (byte-identical
+# across a pause at shards 1/2/8) and every-batch-boundary property tests,
+# workload stream-state round trips — all under the race detector — plus an
+# icgmm-serve run driven entirely by the committed spec file.
+test-spec:
+	$(GO) test ./internal/serve -run 'Spec|Session|Checkpoint|Resume|RateDerived|RateFloor' -race
+	$(GO) test ./internal/workload -run 'State' -race
+	$(GO) test ./cmd/icgmm-serve -race
+	$(GO) run -race ./cmd/icgmm-serve -spec cmd/icgmm-serve/testdata/spec-elastic.json \
+		-shards 4 -out /dev/null
+
 # Ratcheted coverage floors for the packages the test subsystem hardens.
 # Raise a floor when coverage grows; never lower one.
-COVER_FLOORS := ./internal/serve:90 ./internal/workload:95
+COVER_FLOORS := ./internal/serve:91 ./internal/workload:95
 cover:
 	@fail=0; \
 	for spec in $(COVER_FLOORS); do \
@@ -71,12 +83,14 @@ cover:
 	done; \
 	rm -f cover.tmp.out cover.tmp.log; exit $$fail
 
-# Fuzz smoke: 20 seconds per target against the trace CSV parser and the
-# -tenants JSON spec parser. -run='^$$' skips the unit tests so the time
-# budget goes entirely to fuzzing.
+# Fuzz smoke: 20 seconds per target against the trace CSV parser, the
+# -tenants JSON spec parser, and the declarative run-spec wire format.
+# -run='^$$' skips the unit tests so the time budget goes entirely to
+# fuzzing.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzParseRecord -fuzztime=20s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzTenantSpec -fuzztime=20s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzServeSpec -fuzztime=20s
 
 fmt:
 	gofmt -w .
@@ -90,4 +104,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares fuzz-smoke
+ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares test-spec fuzz-smoke

@@ -5,26 +5,34 @@
 //
 // Usage:
 //
+//	icgmm-serve -spec run.json
+//	icgmm-serve -spec run.json -shards 8 -out metrics.jsonl
 //	icgmm-serve -workload dlrm -ops 2000000 -shards 8 -out metrics.jsonl
 //	icgmm-serve -workload memtier -duration 10s -refresh async
-//	icgmm-serve -workload dlrm -ops 1000000 -drift -refresh sync
 //	icgmm-serve -tenants tenants.json -ops 1000000 -shards 8
 //
+// The preferred interface is -spec: one versioned JSON document (see
+// serve.Spec) that fully describes the run — training, partitions, tenants,
+// controller, refresh, workloads and the metrics sink — and doubles as the
+// wire format for shipping runs between machines. Every legacy flag maps to
+// a spec field (the README carries the full migration table) and remains
+// usable as an override on top of -spec for one release: flags given
+// explicitly on the command line replace the corresponding spec fields.
+//
 // The service first trains an initial GMM on a warm-up trace from the same
-// generator, then serves -ops requests (or ingests until -duration of wall
-// time passes). Metrics stream as JSONL to -out (default stdout): "interval"
-// records while serving, then "partition" and "summary" records. For a fixed
-// seed and -refresh off|sync, every metric is bit-identical at any -shards
-// value; a closing "wall" line on stderr reports (non-deterministic)
-// wall-clock throughput.
+// generator, then serves the configured requests (or ingests until -duration
+// of wall time passes). Metrics stream as JSONL to -out (default stdout):
+// "interval" records while serving, then "partition" and "summary" records.
+// For a fixed seed and -refresh off|sync, every metric is bit-identical at
+// any -shards value; a closing "wall" line on stderr reports
+// (non-deterministic) wall-clock throughput.
 //
 // -tenants switches to multi-tenant serving: the argument is a JSON array of
 // tenant specs (inline if it starts with '[', otherwise a file path), each
 // naming a workload stream with its own seed, rate, HBM capacity share and
 // optional QoS target for the adaptive threshold controller. The stream
 // gains "tenant-interval", "control" and final "tenant" records, and a
-// per-tenant table prints to stderr. -workload/-rate/-burst/-drift describe
-// the single anonymous stream and are ignored under -tenants.
+// per-tenant table prints to stderr.
 package main
 
 import (
@@ -34,15 +42,13 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/cache"
 	"repro/internal/serve"
 	"repro/internal/stats"
-	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
 	var (
+		spec          = flag.String("spec", "", "declarative run spec (JSON file, see serve.Spec); explicitly-set legacy flags override its fields")
 		shards        = flag.Int("shards", 0, "shard worker pool size (0 = one per core, 1 = sequential; results identical at any value)")
 		partitions    = flag.Int("partitions", 16, "fixed address partitions (part of the simulated configuration)")
 		ops           = flag.Uint64("ops", 2_000_000, "requests to serve")
@@ -79,8 +85,11 @@ func main() {
 		shareCooldown = flag.Int("share-cooldown", 4, "control intervals the share lever pauses after a transfer (hysteresis)")
 	)
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if err := run(config{
+		spec: *spec, set: set,
 		shards: *shards, partitions: *partitions, ops: *ops, duration: *duration,
 		bench: *bench, seed: *seed, rate: *rate, burst: *burst, drift: *drift,
 		refresh: *refresh, refreshWindow: *refreshWindow, refreshMin: *refreshMin,
@@ -99,6 +108,12 @@ func main() {
 }
 
 type config struct {
+	// spec is the -spec file path; set records which flags were given
+	// explicitly (nil means "treat every flag as explicit", the pure-flag
+	// legacy path).
+	spec string
+	set  map[string]bool
+
 	shards, partitions     int
 	ops                    uint64
 	duration               time.Duration
@@ -126,6 +141,15 @@ type config struct {
 	shareCooldown          int
 }
 
+// isSet reports whether a flag was given explicitly. Without a set map
+// (tests building config directly, or the no-spec path) every flag counts.
+func (c config) isSet(name string) bool {
+	if c.set == nil {
+		return true
+	}
+	return c.set[name]
+}
+
 // loadTenantSpecs resolves the -tenants argument: inline JSON when it starts
 // with '[', otherwise a file path.
 func loadTenantSpecs(arg string) ([]serve.TenantSpec, error) {
@@ -140,126 +164,259 @@ func loadTenantSpecs(arg string) ([]serve.TenantSpec, error) {
 	return serve.ParseTenantSpecs(data)
 }
 
+// buildSpec resolves the run's declarative spec: the -spec document when
+// given, with every explicitly-set legacy flag applied on top as an
+// override; or a spec synthesized from the flags alone (the legacy path,
+// where every flag applies).
+func (c config) buildSpec() (serve.Spec, error) {
+	spec := serve.Spec{Version: serve.SpecVersion}
+	if c.spec != "" {
+		data, err := os.ReadFile(c.spec)
+		if err != nil {
+			return serve.Spec{}, fmt.Errorf("reading -spec file: %w", err)
+		}
+		if spec, err = serve.ParseSpec(data); err != nil {
+			return serve.Spec{}, err
+		}
+	}
+	if err := c.applyFlags(&spec); err != nil {
+		return serve.Spec{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return serve.Spec{}, err
+	}
+	return spec, nil
+}
+
+// applyFlags folds the explicitly-set legacy flags into the spec — the
+// documented flag→field migration mapping, applied in one place.
+func (c config) applyFlags(s *serve.Spec) error {
+	ensureCache := func() *serve.CacheSpec {
+		if s.Cache == nil {
+			s.Cache = &serve.CacheSpec{}
+		}
+		return s.Cache
+	}
+	ensureTrain := func() *serve.TrainSpec {
+		if s.Train == nil {
+			s.Train = &serve.TrainSpec{}
+		}
+		return s.Train
+	}
+	ensureWorkload := func() *serve.WorkloadSpec {
+		if s.Workload == nil {
+			s.Workload = &serve.WorkloadSpec{}
+		}
+		return s.Workload
+	}
+	ensureRefresh := func() *serve.RefreshSpec {
+		if s.Refresh == nil {
+			s.Refresh = &serve.RefreshSpec{}
+		}
+		return s.Refresh
+	}
+	ensureControl := func() *serve.ControlSpec {
+		if s.Control == nil {
+			s.Control = &serve.ControlSpec{}
+		}
+		return s.Control
+	}
+	if c.isSet("shards") {
+		s.Shards = c.shards
+	}
+	if c.isSet("partitions") {
+		s.Partitions = c.partitions
+	}
+	if c.isSet("ops") {
+		s.Ops = c.ops
+	}
+	if c.isSet("duration") && c.duration > 0 {
+		s.Duration = c.duration.String()
+	}
+	if c.isSet("warmup") {
+		s.Warmup = c.warmup
+	}
+	if c.isSet("batch") {
+		s.Batch = c.batch
+	}
+	if c.isSet("report") {
+		s.Report = c.report
+		if c.report <= 0 {
+			s.Report = -1 // legacy: 0 disabled interval records
+		}
+	}
+	if c.isSet("out") {
+		s.Output = c.out
+	}
+	if c.isSet("cache-mb") {
+		ensureCache().SizeMB = c.cacheMB
+	}
+	if c.isSet("ways") {
+		ensureCache().Ways = c.ways
+	}
+	if c.isSet("k") {
+		ensureTrain().K = c.k
+	}
+	if c.isSet("seed") {
+		ensureTrain().Seed = c.seed
+	}
+	if c.isSet("window") {
+		ensureTrain().Window = c.window
+	}
+	if c.isSet("shot") {
+		ensureTrain().Shot = c.shot
+	}
+	if c.isSet("refresh") {
+		ensureRefresh().Mode = c.refresh
+	}
+	if c.isSet("refresh-window") {
+		ensureRefresh().Window = c.refreshWindow
+	}
+	if c.isSet("refresh-min") {
+		ensureRefresh().Min = c.refreshMin
+	}
+	if c.isSet("drift-delta") {
+		ensureRefresh().DriftDelta = c.driftDelta
+	}
+	if c.isSet("drift-sustain") {
+		ensureRefresh().DriftSustain = c.driftSustain
+	}
+	if c.isSet("drift-warmup") {
+		ensureRefresh().DriftWarmup = c.driftWarmup
+	}
+	if c.isSet("drift-alpha") {
+		ensureRefresh().DriftAlpha = c.driftAlpha
+	}
+	if c.isSet("control-every") {
+		ensureControl().Every = c.controlEvery
+	}
+	if c.isSet("control-step") {
+		ensureControl().Step = c.controlStep
+	}
+	if c.isSet("control-min-mult") {
+		ensureControl().MinMult = c.controlMin
+	}
+	if c.isSet("control-max-mult") {
+		ensureControl().MaxMult = c.controlMax
+	}
+	if c.isSet("share-adapt") {
+		ensureControl().ShareAdapt = c.shareAdapt
+	}
+	if c.isSet("share-quantum") {
+		ensureControl().ShareQuantum = c.shareQuantum
+	}
+	if c.isSet("share-hold") {
+		ensureControl().ShareHold = c.shareHold
+	}
+	if c.isSet("share-cooldown") {
+		cd := c.shareCooldown
+		ensureControl().ShareCooldown = &cd
+	}
+	if c.tenants != "" && c.isSet("tenants") {
+		specs, err := loadTenantSpecs(c.tenants)
+		if err != nil {
+			return err
+		}
+		s.Tenants = specs
+		s.Workload = nil
+	}
+	// Workload flags describe the single anonymous stream; under a tenant
+	// population they are ignored, exactly as before.
+	if len(s.Tenants) == 0 {
+		if c.isSet("workload") {
+			ensureWorkload().Name = c.bench
+		}
+		if c.isSet("seed") {
+			ensureWorkload().Seed = c.seed
+		}
+		if c.isSet("rate") {
+			r := c.rate
+			if r <= 0 {
+				r = -1 // legacy: -rate 0 meant a saturating source
+			}
+			ensureWorkload().Rate = r
+		}
+		if c.isSet("burst") {
+			ensureWorkload().Burst = c.burst
+		}
+		if c.isSet("drift") {
+			ensureWorkload().Drift = c.drift
+		}
+	}
+	return nil
+}
+
 func run(c config) error {
-	mode, err := serve.ParseRefreshMode(c.refresh)
+	spec, err := c.buildSpec()
 	if err != nil {
 		return err
 	}
-	var specs []serve.TenantSpec
-	if c.tenants != "" {
-		if specs, err = loadTenantSpecs(c.tenants); err != nil {
-			return err
-		}
-	}
+	return runSpec(spec)
+}
 
-	cfg := serve.DefaultConfig()
-	cfg.Shards = c.shards
-	cfg.Partitions = c.partitions
-	cfg.Cache = cache.Config{SizeBytes: uint64(c.cacheMB) << 20, BlockBytes: trace.PageSize, Ways: c.ways}
-	cfg.Train.K = c.k
-	cfg.Train.Seed = c.seed
-	cfg.Transform.LenWindow = c.window
-	cfg.Transform.LenAccessShot = c.shot
-	cfg.BatchSize = c.batch
-	cfg.ReportEvery = c.report
-	cfg.Refresh.Mode = mode
-	cfg.Refresh.WindowSamples = c.refreshWindow
-	cfg.Refresh.MinSamples = c.refreshMin
-	cfg.Refresh.Drift = serve.DriftConfig{
-		Delta: c.driftDelta, Sustain: c.driftSustain,
-		Warmup: c.driftWarmup, Alpha: c.driftAlpha,
-	}
-	cfg.Tenants = specs
-	cfg.Control.Every = c.controlEvery
-	cfg.Control.Step = c.controlStep
-	cfg.Control.MinMult = c.controlMin
-	cfg.Control.MaxMult = c.controlMax
-	cfg.Control.ShareAdapt = c.shareAdapt
-	cfg.Control.ShareQuantum = c.shareQuantum
-	cfg.Control.ShareHold = c.shareHold
-	cfg.Control.ShareCooldown = c.shareCooldown
-	// Every tenant (or the single anonymous stream) must see the full
-	// Algorithm 1 timestamp range during warm-up; anything less trains a
-	// model that scores live traffic out-of-distribution.
-	if err := serve.ValidateWarmup(c.warmup, cfg.Transform, specs); err != nil {
+// runSpec drives one serving run through the Session lifecycle: resolve the
+// sink, train, step batches (honouring the wall-clock bound), close, report.
+func runSpec(spec serve.Spec) error {
+	cfg, err := spec.Config()
+	if err != nil {
 		return err
 	}
-
 	w := os.Stdout
-	if c.out != "" {
-		f, err := os.Create(c.out)
+	if spec.Output != "" && spec.Output != "-" {
+		f, err := os.Create(spec.Output)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	cfg.Metrics = w
 
-	var warm trace.Trace
-	var src serve.Source
-	var label string
-	if len(specs) > 0 {
-		label = fmt.Sprintf("%d tenants", len(specs))
-		warmMux, err := serve.NewTenantMux(specs)
-		if err != nil {
-			return err
+	label := fmt.Sprintf("%d tenants", len(spec.Tenants))
+	if len(spec.Tenants) == 0 {
+		label = "dlrm"
+		switch {
+		case spec.Workload != nil && spec.Workload.Custom != nil:
+			label = spec.Workload.Custom.Name
+		case spec.Workload != nil && spec.Workload.Name != "":
+			label = spec.Workload.Name
 		}
-		warm = warmMux.Trace(c.warmup)
-		srvMux, err := serve.NewTenantMux(specs)
-		if err != nil {
-			return err
-		}
-		src = serve.NewMuxSource(srvMux, c.ops)
-	} else {
-		gen, err := workload.ByName(c.bench)
-		if err != nil {
-			return err
-		}
-		label = gen.Name()
-		warm = gen.Generate(c.warmup, c.seed)
-		olCfg := workload.OpenLoopConfig{
-			RatePerSec: c.rate,
-			BurstAmp:   c.burst,
-			Seed:       c.seed,
-		}
-		if c.drift {
-			olCfg.ShiftAfter = c.ops / 2
-			olCfg.ShiftOffsetPages = 1 << 30
-		}
-		ol, err := workload.NewOpenLoop(gen, olCfg)
-		if err != nil {
-			return err
-		}
-		src = serve.NewOpenLoopSource(ol, c.ops)
 	}
-
-	fmt.Fprintf(os.Stderr, "training initial GMM (K=%d) on %d warm-up requests of %s...\n", c.k, c.warmup, label)
-	bundle, err := serve.TrainBundle(warm, cfg)
+	fmt.Fprintf(os.Stderr, "training initial GMM (K=%d) on %d warm-up requests of %s...\n",
+		cfg.Train.K, spec.EffectiveWarmup(), label)
+	sess, err := serve.Open(spec, w)
 	if err != nil {
 		return err
 	}
-	svc, err := serve.New(cfg, bundle)
-	if err != nil {
-		return err
-	}
-	if c.duration > 0 {
-		src = &deadlineSource{inner: src, deadline: time.Now().Add(c.duration)}
-	}
-
 	fmt.Fprintf(os.Stderr, "serving %s: shards=%d partitions=%d batch=%d refresh=%s\n",
-		label, c.shards, c.partitions, c.batch, mode)
+		label, cfg.Shards, cfg.Partitions, cfg.BatchSize, cfg.Refresh.Mode)
+
 	start := time.Now()
-	snap, err := svc.Run(src)
-	if err != nil {
+	var deadline time.Time
+	if spec.Duration != "" {
+		d, err := time.ParseDuration(spec.Duration)
+		if err != nil {
+			return err
+		}
+		deadline = start.Add(d)
+	}
+	for !sess.Done() {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		if _, err := sess.Step(1); err != nil {
+			return err
+		}
+	}
+	if err := sess.Close(); err != nil {
 		return err
 	}
+	snap := sess.Metrics()
 	wall := time.Since(start)
 	fmt.Fprintf(os.Stderr,
 		"wall: served %d ops in %v (%.0f ops/s wall, %.0f ops/s virtual), hit ratio %.4f, refreshes %d\n",
 		snap.Ops, wall.Round(time.Millisecond), float64(snap.Ops)/wall.Seconds(),
 		snap.Throughput, snap.HitRatio(), snap.Refreshes)
-	if len(specs) > 0 {
+	if len(spec.Tenants) > 0 {
 		fmt.Fprint(os.Stderr, tenantTable(snap))
 	}
 	return nil
@@ -290,19 +447,4 @@ func tenantTable(snap *serve.Snapshot) string {
 			ts.Threshold, qos, inBand)
 	}
 	return tbl.String()
-}
-
-// deadlineSource stops the stream once a wall-clock deadline passes — the
-// -duration bound. Wall time makes runs non-reproducible by construction, so
-// it wraps the deterministic source rather than living inside the service.
-type deadlineSource struct {
-	inner    serve.Source
-	deadline time.Time
-}
-
-func (d *deadlineSource) Next(dst []serve.Request) int {
-	if !time.Now().Before(d.deadline) {
-		return 0
-	}
-	return d.inner.Next(dst)
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -76,5 +79,68 @@ func TestLoadTenantSpecsInline(t *testing.T) {
 	}
 	if _, err := loadTenantSpecs("/nonexistent/tenants.json"); err == nil {
 		t.Fatal("missing spec file accepted")
+	}
+}
+
+// TestSpecFlagOverrides: with -spec, only explicitly-set legacy flags
+// override the document — unset flags leave the spec's values alone.
+func TestSpecFlagOverrides(t *testing.T) {
+	c := baseConfig()
+	c.spec = "testdata/spec-elastic.json"
+	c.set = map[string]bool{"shards": true, "out": true, "control-step": true}
+	c.shards = 8
+	c.out = "override.jsonl"
+	c.controlStep = 2.5
+	spec, err := c.buildSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Shards != 8 || spec.Output != "override.jsonl" || spec.Control.Step != 2.5 {
+		t.Errorf("overrides not applied: shards=%d output=%q step=%v", spec.Shards, spec.Output, spec.Control.Step)
+	}
+	// Everything the flags did not touch keeps the document's values.
+	if spec.Ops != 163840 || spec.Partitions != 8 || spec.Train.K != 8 || len(spec.Tenants) != 3 {
+		t.Errorf("spec fields lost: %+v", spec)
+	}
+	if spec.Control.ShareQuantum != 8 || !spec.Control.ShareAdapt {
+		t.Errorf("control section lost: %+v", spec.Control)
+	}
+}
+
+// TestSpecFlagOverrideTenants: -tenants on top of -spec replaces the tenant
+// population (and clears any single-stream workload).
+func TestSpecFlagOverrideTenants(t *testing.T) {
+	c := baseConfig()
+	c.spec = "testdata/spec-elastic.json"
+	c.set = map[string]bool{"tenants": true}
+	c.tenants = `[{"name":"solo","workload":"dlrm","seed":1,"rate":1e6,"share":0.5}]`
+	spec, err := c.buildSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Tenants) != 1 || spec.Tenants[0].Name != "solo" {
+		t.Fatalf("tenants not overridden: %+v", spec.Tenants)
+	}
+}
+
+// TestSpecReproducesGoldenRun is the CLI-level acceptance check: running the
+// committed spec-elastic.json through the real run path must reproduce the
+// PR-4 golden JSONL byte for byte.
+func TestSpecReproducesGoldenRun(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "metrics.jsonl")
+	c := config{spec: "testdata/spec-elastic.json", set: map[string]bool{"out": true}, out: outPath}
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "internal", "serve", "testdata", "tenant_golden.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-spec run diverges from the golden JSONL (%d vs %d bytes)", len(got), len(want))
 	}
 }

@@ -358,6 +358,74 @@ func (c *Cache) Flush() uint64 {
 	return dirty
 }
 
+// BlockState is the exported state of one way, as Dump reports it.
+type BlockState struct {
+	Page  uint64 `json:"page,omitempty"`
+	Valid bool   `json:"valid,omitempty"`
+	Dirty bool   `json:"dirty,omitempty"`
+}
+
+// State is a complete dump of the cache's mutable contents: every way of
+// every set, the policy clock, and the accumulated statistics. The serving
+// subsystem's checkpoint carries one per partition; the attached policy's
+// own state (scores, owners) is serialized by its owner, not here.
+type State struct {
+	Sets  [][]BlockState `json:"sets"`
+	Seq   uint64         `json:"seq"`
+	Stats Stats          `json:"stats"`
+}
+
+// Dump exports the cache contents (set order, ways within a set in way
+// order). No policy callbacks fire.
+func (c *Cache) Dump() State {
+	st := State{Sets: make([][]BlockState, len(c.sets)), Seq: c.seq, Stats: c.stats}
+	for si, set := range c.sets {
+		row := make([]BlockState, len(set))
+		for w, b := range set {
+			row[w] = BlockState{Page: b.page, Valid: b.valid, Dirty: b.dirty}
+		}
+		st.Sets[si] = row
+	}
+	return st
+}
+
+// LoadDump replaces the cache's mutable contents with a previously Dumped
+// state. The geometry must match, and every valid page must map to the set
+// it is stored in (so a corrupted or mismatched dump cannot produce a cache
+// that violates its own indexing). No policy callbacks fire: the caller is
+// responsible for restoring the policy's state to match, exactly as Dump
+// left the two out of each other's way.
+func (c *Cache) LoadDump(st State) error {
+	if len(st.Sets) != len(c.sets) {
+		return fmt.Errorf("cache: dump has %d sets, cache has %d", len(st.Sets), len(c.sets))
+	}
+	for si, row := range st.Sets {
+		if len(row) != c.cfg.Ways {
+			return fmt.Errorf("cache: dump set %d has %d ways, cache has %d", si, len(row), c.cfg.Ways)
+		}
+		for _, b := range row {
+			if b.Valid && c.setIndex(b.Page) != si {
+				return fmt.Errorf("cache: dump stores page %d in set %d, it belongs to set %d", b.Page, si, c.setIndex(b.Page))
+			}
+		}
+	}
+	for si, row := range st.Sets {
+		for w, b := range row {
+			c.sets[si][w] = block{page: b.Page, valid: b.Valid, dirty: b.Dirty}
+		}
+	}
+	// The per-block checks above cannot see cross-block corruption (the same
+	// valid page in two ways of one set); run the full structural audit so a
+	// tampered dump fails the load instead of resuming silently wrong. The
+	// caller abandons the cache on error, so the partial mutation is moot.
+	if err := c.CheckInvariants(); err != nil {
+		return err
+	}
+	c.seq = st.Seq
+	c.stats = st.Stats
+	return nil
+}
+
 // CheckInvariants verifies structural invariants: no duplicate valid pages
 // within a set and every valid page mapping to its own set. Tests call it
 // after traffic; it is not on the hot path.

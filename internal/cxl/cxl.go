@@ -210,3 +210,15 @@ type Stats struct {
 func (l *Link) Stats() Stats {
 	return Stats{Messages: l.messages.Value(), Flits: l.flits.Value(), Bytes: l.bytes.Value()}
 }
+
+// RestoreStats replaces the link's accumulated counters — its only mutable
+// state (the transfer model itself is a pure function of its config). Part
+// of the serving subsystem's checkpoint surface.
+func (l *Link) RestoreStats(s Stats) {
+	l.messages.Reset()
+	l.messages.Add(s.Messages)
+	l.flits.Reset()
+	l.flits.Add(s.Flits)
+	l.bytes.Reset()
+	l.bytes.Add(s.Bytes)
+}

@@ -2,6 +2,7 @@ package gmm
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -59,6 +60,32 @@ func Save(w io.Writer, m *Model, norm trace.Normalizer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// RestoreModel rebuilds a model from components exactly as they sit in an
+// existing Model — without the weight renormalization New applies. New
+// divides every weight by their sum, and for weights that already sum to
+// ~1.0 that division perturbs the low-order bits, so a Save/Load/New round
+// trip scores within 1e-9 but not bit-identically. Checkpoint/resume of the
+// serving subsystem needs the stronger guarantee: serialize m.Components
+// verbatim (float64s survive JSON exactly) and RestoreModel re-derives the
+// cached per-component quantities from those identical bits, giving a model
+// whose every score matches the original to the last bit.
+func RestoreModel(components []Component) (*Model, error) {
+	if len(components) == 0 {
+		return nil, errors.New("gmm: model needs at least one component")
+	}
+	m := &Model{Components: make([]Component, len(components))}
+	copy(m.Components, components)
+	for i := range m.Components {
+		if m.Components[i].Weight < 0 {
+			return nil, fmt.Errorf("gmm: component %d has negative weight", i)
+		}
+		if err := m.Components[i].prepare(); err != nil {
+			return nil, fmt.Errorf("component %d: %w", i, err)
+		}
+	}
+	return m, nil
 }
 
 // Load reads a model and normalizer written by Save.

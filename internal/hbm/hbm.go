@@ -71,6 +71,37 @@ func (m *Memory) Access(page uint64, nowNs int64) int64 {
 	return done
 }
 
+// State is the memory model's full mutable state: per-bank busy horizons on
+// the virtual clock plus the access accounting. Part of the serving
+// subsystem's checkpoint surface.
+type State struct {
+	Busy     []int64                `json:"busy"`
+	Accesses uint64                 `json:"accesses"`
+	Lat      stats.AccumulatorState `json:"lat"`
+}
+
+// State exports the model's mutable state.
+func (m *Memory) State() State {
+	return State{
+		Busy:     append([]int64(nil), m.busy...),
+		Accesses: m.accesses.Value(),
+		Lat:      m.lat.State(),
+	}
+}
+
+// RestoreState replaces the model's mutable state. The bank count must
+// match the configuration.
+func (m *Memory) RestoreState(s State) error {
+	if len(s.Busy) != len(m.busy) {
+		return fmt.Errorf("hbm: state has %d banks, memory has %d", len(s.Busy), len(m.busy))
+	}
+	copy(m.busy, s.Busy)
+	m.accesses.Reset()
+	m.accesses.Add(s.Accesses)
+	m.lat.RestoreState(s.Lat)
+	return nil
+}
+
 // HitLatency returns the nominal service latency in nanoseconds.
 func (m *Memory) HitLatency() int64 { return m.cfg.AccessLatency.Nanoseconds() }
 

@@ -79,8 +79,17 @@ type ControlConfig struct {
 	// (DefaultControlConfig, the CLI flag) use 4.
 	ShareCooldown int
 	// ShareFloor is the smallest per-partition block budget a donor may be
-	// left holding (default ShareQuantum).
+	// left holding (default ShareQuantum). It is the fallback when
+	// ShareFloorRateFrac is zero.
 	ShareFloor int
+	// ShareFloorRateFrac, in (0,1], derives each donor's floor from its
+	// arrival-rate share instead of the constant ShareFloor: floor_t =
+	// max(1, ShareFloorRateFrac * rateShare_t * blocksPerPartition). A
+	// tenant carrying half the traffic then keeps a proportionally larger
+	// guaranteed footprint than one trickling requests — the constant floor
+	// treated both alike, so a high-rate donor could be drained to the same
+	// handful of blocks as an idle one. Zero keeps the constant behaviour.
+	ShareFloorRateFrac float64
 }
 
 // DefaultControlConfig returns the defaults above (share adaptation off).
@@ -157,6 +166,9 @@ func (c ControlConfig) Validate() error {
 			return errors.New("serve: share floor below one block (a zero-budget tenant could never serve a hit)")
 		}
 	}
+	if c.ShareFloorRateFrac < 0 || c.ShareFloorRateFrac > 1 {
+		return errors.New("serve: share floor rate fraction outside [0,1]")
+	}
 	return nil
 }
 
@@ -196,6 +208,11 @@ type controller struct {
 	// cooldown is the number of control intervals the share lever still has
 	// to sit out after the last transfer.
 	cooldown int
+	// floors holds each tenant's per-partition donor floor when
+	// ShareFloorRateFrac derives floors from arrival-rate shares; nil under
+	// the constant-ShareFloor fallback. Derived once at construction — rates
+	// are spec constants — so checkpoints need not carry it.
+	floors []int
 }
 
 // ctrlObs is one tenant's classification for the current control interval,
@@ -220,7 +237,46 @@ func newController(svc *Service, cfg ControlConfig) *controller {
 	if !hasQoS {
 		return nil
 	}
-	return &controller{cfg: cfg.sanitized(), svc: svc}
+	c := &controller{cfg: cfg.sanitized(), svc: svc}
+	if c.cfg.ShareFloorRateFrac > 0 {
+		c.floors = rateFloors(svc, c.cfg)
+	}
+	return c
+}
+
+// rateFloors derives each tenant's per-partition donor floor from its
+// arrival-rate share: max(1, frac * rateShare * blocksPerPartition).
+func rateFloors(svc *Service, cfg ControlConfig) []int {
+	pc, err := svc.cfg.partitionCache()
+	if err != nil {
+		return nil // cfg was validated at New; unreachable in practice
+	}
+	blocks := float64(pc.NumBlocks())
+	var total float64
+	for _, t := range svc.tenants {
+		total += t.spec.RatePerSec
+	}
+	floors := make([]int, len(svc.tenants))
+	for i, t := range svc.tenants {
+		f := 1
+		if total > 0 {
+			f = int(cfg.ShareFloorRateFrac * (t.spec.RatePerSec / total) * blocks)
+			if f < 1 {
+				f = 1
+			}
+		}
+		floors[i] = f
+	}
+	return floors
+}
+
+// donorFloor returns tenant ti's per-partition floor: rate-derived when
+// ShareFloorRateFrac is set, the constant ShareFloor otherwise.
+func (c *controller) donorFloor(ti int) int {
+	if c.floors != nil {
+		return c.floors[ti]
+	}
+	return c.cfg.ShareFloor
 }
 
 // step runs one control interval: measure each QoS tenant, classify against
@@ -360,8 +416,8 @@ func (c *controller) adaptShares(obs []ctrlObs) {
 			continue
 		}
 		// Every partition carries the same budgets, so partition 0 speaks
-		// for all: the donor must stay at or above the floor after giving.
-		if s.parts[0].pol.Budget(ti)-c.cfg.ShareQuantum < c.cfg.ShareFloor {
+		// for all: the donor must stay at or above its floor after giving.
+		if s.parts[0].pol.Budget(ti)-c.cfg.ShareQuantum < c.donorFloor(ti) {
 			continue
 		}
 		if h := t.spec.QoS.headroom(o.v); donor == -1 || h > best {

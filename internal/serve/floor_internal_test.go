@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// TestRateDerivedShareFloors: with ShareFloorRateFrac set, each donor's
+// per-partition floor scales with its arrival-rate share of the traffic;
+// with it unset, every donor falls back to the constant ShareFloor.
+func TestRateDerivedShareFloors(t *testing.T) {
+	t.Parallel()
+	specs := []TenantSpec{
+		{Name: "whale", RatePerSec: 3e5, Share: 0.5, QoS: hitQoS(0.8)},
+		{Name: "minnow", RatePerSec: 1e5, Share: 0.5, QoS: hitQoS(0.8)},
+	}
+	svc := &Service{
+		cfg: Config{
+			Partitions: 2,
+			Cache:      cache.Config{SizeBytes: 256 * trace.PageSize, BlockBytes: trace.PageSize, Ways: 8},
+			Tenants:    specs,
+		},
+		runner: engine.NewRunner(1),
+		tenants: []*tenantState{
+			{spec: specs[0], mult: 1, ctrlDir: -1},
+			{spec: specs[1], mult: 1, ctrlDir: -1},
+		},
+	}
+	base := ControlConfig{Every: 1, Step: 2, ShareAdapt: true, ShareQuantum: 4, ShareFloor: 6}
+
+	// 128 blocks per partition: whale carries 3/4 of the traffic -> floor
+	// 0.5*0.75*128 = 48; minnow 0.5*0.25*128 = 16.
+	cfg := base
+	cfg.ShareFloorRateFrac = 0.5
+	c := newController(svc, cfg)
+	if c == nil {
+		t.Fatal("controller did not activate")
+	}
+	if got := c.donorFloor(0); got != 48 {
+		t.Errorf("whale floor = %d, want 48", got)
+	}
+	if got := c.donorFloor(1); got != 16 {
+		t.Errorf("minnow floor = %d, want 16", got)
+	}
+
+	// Fallback: no rate fraction -> the constant floor for everyone.
+	c = newController(svc, base)
+	if c.floors != nil {
+		t.Error("constant-floor controller derived rate floors")
+	}
+	for ti := range specs {
+		if got := c.donorFloor(ti); got != 6 {
+			t.Errorf("tenant %d constant floor = %d, want 6", ti, got)
+		}
+	}
+
+	// A vanishing rate share still floors at one block.
+	cfg.ShareFloorRateFrac = 0.001
+	c = newController(svc, cfg)
+	if got := c.donorFloor(1); got != 1 {
+		t.Errorf("tiny-share floor = %d, want 1", got)
+	}
+}
+
+// TestRateFloorGatesDonor: the share lever must refuse a donor whose
+// rate-derived floor the transfer would breach, even though the constant
+// floor would have allowed it.
+func TestRateFloorGatesDonor(t *testing.T) {
+	t.Parallel()
+	specs := []TenantSpec{
+		{Name: "starved", RatePerSec: 1e5, Share: 0.5, QoS: hitQoS(0.8)},
+		{Name: "cozy", RatePerSec: 3e5, Share: 0.5, QoS: hitQoS(0.4)},
+	}
+	cfg := ControlConfig{
+		Every: 1, Step: 2, MinMult: 0.5, MaxMult: 2,
+		ShareAdapt: true, ShareQuantum: 1, ShareHold: 1, ShareCooldown: 0, ShareFloor: 1,
+	}
+	run := func(frac float64) (transferred bool) {
+		h := newCtrlHarness(t, specs, []int{4, 4}, cfg)
+		s := h.svc
+		// The harness carries no real cache geometry; install the derived
+		// floors directly against its 8-block partitions.
+		s.cfg.Partitions = len(s.parts)
+		s.cfg.Cache = cache.Config{SizeBytes: 16 * trace.PageSize, BlockBytes: trace.PageSize, Ways: 8}
+		fcfg := cfg
+		fcfg.ShareFloorRateFrac = frac
+		s.ctrl = newController(s, fcfg)
+		h.fill(t, 0, 4)
+		h.fill(t, 1, 4)
+		for i := 0; i < 3; i++ {
+			h.observe(0, 100, 10) // starved: violated, saturating its lever
+			h.observe(1, 100, 90) // cozy: comfortable
+			s.ctrl.step()
+		}
+		return s.parts[0].pol.Budget(0) > 4
+	}
+	// Constant floor 1: cozy may donate (budget 4 -> transfer allowed).
+	if !run(0) {
+		t.Error("constant floor blocked a legal transfer")
+	}
+	// Rate floors: cozy carries 3/4 of traffic -> floor 0.75*8*0.75 = 4
+	// blocks (using frac 0.75); giving even one block would breach it.
+	if run(0.75) {
+		t.Error("rate-derived floor did not gate the donor")
+	}
+}

@@ -8,6 +8,56 @@ import (
 	"repro/internal/serve"
 )
 
+// FuzzServeSpec fuzzes the declarative run-spec wire format: arbitrary bytes
+// must never panic, and every accepted document must satisfy the Spec
+// invariants (supported version, workload/tenants exclusion, a buildable
+// configuration) and survive a Marshal/ParseSpec round trip unchanged — the
+// lossless-wire-format guarantee the distributed-run story leans on.
+func FuzzServeSpec(f *testing.F) {
+	f.Add([]byte(`{"version":1,"ops":4096,"warmup":16000,"train":{"k":4,"shot":128}}`))
+	f.Add([]byte(`{"version":1,"warmup":16000,"train":{"shot":128},
+	 "workload":{"name":"parsec","rate":-1,"burst":0.5,"drift":true}}`))
+	f.Add([]byte(`{"version":1,"warmup":16000,"shards":4,"partitions":8,"batch":1024,"report":-1,
+	 "mode":"gmm-eviction-only","cache":{"size_mb":4,"ways":8,"ssd":"slc","ssd_channels":4},
+	 "train":{"k":8,"seed":3,"max_iters":10,"max_samples":-1,"lloyd_iters":2,"shot":128,"threshold_pct":0.05},
+	 "refresh":{"mode":"sync","window":8192,"min":2048,"drift_delta":0.08,"drift_sustain":8,"drift_warmup":8,"drift_alpha":0.2},
+	 "control":{"every":8,"step":1.6,"min_mult":0.0625,"max_mult":16,"share_adapt":true,
+	  "share_quantum":8,"share_hold":2,"share_cooldown":0,"share_floor":8,"share_floor_rate_frac":0.5},
+	 "tenants":[{"name":"a","workload":"dlrm","seed":1,"rate":15000,"share":0.5,
+	  "qos":{"metric":"hit_ratio","target":0.75,"band":0.1}}]}`))
+	f.Add([]byte(`{"version":1,"duration":"10s","output":"m.jsonl","warmup":16000,"train":{"shot":128}}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"shrads":4}`))
+	f.Add([]byte(`{"version":1,"warmup":16000,"train":{"shot":128},"workload":{"name":"dlrm"},
+	 "tenants":[{"name":"a","workload":"dlrm","rate":1,"share":0.5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := serve.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if spec.Version != serve.SpecVersion {
+			t.Fatalf("accepted unsupported version %d", spec.Version)
+		}
+		if spec.Workload != nil && len(spec.Tenants) > 0 {
+			t.Fatalf("accepted spec with both workload and tenants: %s", data)
+		}
+		if _, err := spec.Config(); err != nil {
+			t.Fatalf("accepted spec does not build a config: %v", err)
+		}
+		out, err := spec.Marshal()
+		if err != nil {
+			t.Fatalf("marshalling accepted spec: %v", err)
+		}
+		again, err := serve.ParseSpec(out)
+		if err != nil {
+			t.Fatalf("re-parsing %s: %v", out, err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round trip changed the spec:\n%+v\n%+v", spec, again)
+		}
+	})
+}
+
 // FuzzTenantSpec fuzzes the -tenants JSON wire format: arbitrary bytes must
 // never panic, and every accepted spec list must satisfy the documented
 // invariants (unique names, positive rates, shares in (0,1] summing to at

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// Session is the resumable form of a serving run: where Service.Run goes to
+// completion or nothing, a Session exposes the run's lifecycle — open, step
+// a batch at a time, checkpoint the full mutable state to a writer, resume
+// from a reader in a fresh process, close. A resumed session is
+// byte-identical to the uninterrupted run: the JSONL metric stream it emits,
+// concatenated after the bytes emitted before the checkpoint, equals the
+// uninterrupted stream at any shard count — the golden determinism contract
+// extended across a pause/resume boundary.
+//
+//	sess, _ := serve.Open(spec, out)
+//	sess.Step(80)                  // serve 80 ingest batches
+//	sess.Checkpoint(ckptFile)      // full state: model, cache, budgets, RNG cursors
+//	...
+//	sess, _ = serve.Resume(ckptFile, out) // possibly another process
+//	sess.Run()                     // to completion, finals included
+//
+// Sessions are not safe for concurrent use; like the Service they wrap, all
+// calls must come from one goroutine.
+type Session struct {
+	spec Spec
+	cfg  Config
+	svc  *Service
+	src  Source
+	mux  *workload.Mux      // tenant runs; nil otherwise
+	ol   *workload.OpenLoop // single-stream runs; nil otherwise
+	buf  []Request
+
+	done   bool
+	closed bool
+}
+
+// Open validates the spec, runs initial training on the warm-up trace it
+// describes, and returns a session positioned at batch zero. JSONL metric
+// records stream to metrics (nil discards them; the spec's Output field is a
+// sink *name* for loaders to resolve, not resolved here).
+func Open(spec Spec, metrics io.Writer) (*Session, error) {
+	bundle, err := TrainBundleFromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return openWithBundle(spec, metrics, bundle)
+}
+
+// openWithBundle builds the session around an existing scoring bundle — the
+// shared tail of Open (freshly trained) and Resume (restored).
+func openWithBundle(spec Spec, metrics io.Writer, b *Bundle) (*Session, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Metrics = metrics
+	svc, err := New(cfg, b)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{spec: spec, cfg: cfg, svc: svc, buf: make([]Request, cfg.BatchSize)}
+	if len(spec.Tenants) > 0 {
+		mux, err := NewTenantMux(spec.Tenants)
+		if err != nil {
+			return nil, err
+		}
+		s.mux = mux
+		s.src = NewMuxSource(mux, spec.EffectiveOps())
+	} else {
+		gen, err := spec.generator()
+		if err != nil {
+			return nil, err
+		}
+		ol, err := workload.NewOpenLoop(gen, spec.openLoopConfig())
+		if err != nil {
+			return nil, err
+		}
+		s.ol = ol
+		s.src = NewOpenLoopSource(ol, spec.EffectiveOps())
+	}
+	return s, nil
+}
+
+// Step ingests and serves up to n batches, returning how many were
+// processed. Fewer than n (including zero) means the source is exhausted;
+// call Close to emit the final records.
+func (s *Session) Step(n int) (int, error) {
+	if s.closed {
+		return 0, errors.New("serve: session is closed")
+	}
+	steps := 0
+	for steps < n && !s.done {
+		k := s.src.Next(s.buf)
+		if k == 0 {
+			s.done = true
+			break
+		}
+		if err := s.svc.processBatch(s.buf[:k]); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// Done reports whether the source is exhausted.
+func (s *Session) Done() bool { return s.done }
+
+// Batches returns how many ingest batches the run has served so far
+// (counting those served before a checkpoint, for resumed sessions).
+func (s *Session) Batches() uint64 { return s.svc.batches }
+
+// Metrics merges the run's current state into an aggregate snapshot. Safe
+// between Steps; it does not write metric records.
+func (s *Session) Metrics() *Snapshot { return s.svc.Snapshot() }
+
+// Close finishes the run: it waits for any in-flight asynchronous refit and
+// emits the final partition/tenant/summary metric records, exactly as
+// Service.Run does at source exhaustion. Idempotent. A session that was
+// checkpointed to be resumed elsewhere should be abandoned, not closed —
+// closing writes final records into a stream the resumed half will continue.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.svc.refresher.wait()
+	return s.svc.metrics.writeFinal(s.svc.Snapshot(), len(s.cfg.Tenants) > 0)
+}
+
+// Run steps the session to source exhaustion, closes it, and returns the
+// final snapshot — Service.Run's contract on top of the session lifecycle.
+func (s *Session) Run() (*Snapshot, error) {
+	for !s.done {
+		if _, err := s.Step(1); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+	return s.svc.Snapshot(), nil
+}

@@ -1,0 +1,533 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SpecVersion is the wire-format version this package reads and writes.
+const SpecVersion = 1
+
+// Spec is the declarative description of one serving run: a single
+// versioned JSON document carrying everything cmd/icgmm-serve's flag set
+// used to spell — training and trace-transform parameters, the
+// partition/shard decomposition, the tenant population, the adaptive
+// controller's levers, refresh/drift detection, the workload generators and
+// the metrics sink. It is the wire format: ship the document to another
+// machine and the run it describes is the same run, bit for bit.
+//
+// Defaulting happens when a Spec is turned into a runnable configuration
+// (Config), never during decoding: a parsed Spec re-marshals to a document
+// that parses back to the identical Spec, so specs survive round trips
+// through tooling losslessly. Every omitted field takes the default of the
+// corresponding legacy CLI flag (documented in the README's migration
+// table).
+type Spec struct {
+	// Version must be SpecVersion; documents from a future format fail
+	// loudly instead of being half-understood.
+	Version int `json:"version"`
+	// Shards sizes the worker pool (0 = one per core). Results are
+	// bit-identical at any value.
+	Shards int `json:"shards,omitempty"`
+	// Partitions is the fixed address-space decomposition (default 16);
+	// unlike Shards it is part of the simulated configuration.
+	Partitions int `json:"partitions,omitempty"`
+	// Ops bounds the run (default 2,000,000 requests).
+	Ops uint64 `json:"ops,omitempty"`
+	// Warmup is the initial-training trace length (default 200,000).
+	Warmup int `json:"warmup,omitempty"`
+	// Batch is the ingest batch size, the unit of batched GMM admission
+	// (default 8192).
+	Batch int `json:"batch,omitempty"`
+	// Report is the interval-record period in batches (default 16; -1
+	// disables interval records).
+	Report int `json:"report,omitempty"`
+	// Mode picks the GMM strategy: "gmm-caching-only", "gmm-eviction-only"
+	// or "gmm-caching-eviction" (the default).
+	Mode string `json:"mode,omitempty"`
+	// Duration is an optional wall-clock ingest bound ("10s"); wall time is
+	// non-reproducible by construction, so a spec carrying it trades the
+	// determinism contract for a bounded run, exactly like the -duration
+	// flag it replaces.
+	Duration string `json:"duration,omitempty"`
+	// Output is the JSONL metrics sink: a file path, or ""/"-" for stdout.
+	// The loader (CLI, example harness) resolves it; the embedded Session
+	// API takes an io.Writer directly.
+	Output string `json:"output,omitempty"`
+
+	// Cache describes the device cache geometry and backing store.
+	Cache *CacheSpec `json:"cache,omitempty"`
+	// Train describes GMM training and the Algorithm 1 trace transform.
+	Train *TrainSpec `json:"train,omitempty"`
+	// Workload is the single anonymous stream; mutually exclusive with
+	// Tenants. Both omitted means the default dlrm stream.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Tenants switches to multi-tenant serving (the former -tenants file,
+	// absorbed into the spec).
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+	// Refresh configures online model refresh and its drift trigger.
+	Refresh *RefreshSpec `json:"refresh,omitempty"`
+	// Control parameterizes the adaptive threshold/share controller.
+	Control *ControlSpec `json:"control,omitempty"`
+}
+
+// CacheSpec sizes the device cache and its backing store.
+type CacheSpec struct {
+	// SizeMB is the total cache capacity in MiB (default 64).
+	SizeMB int `json:"size_mb,omitempty"`
+	// Ways is the set associativity (default 8).
+	Ways int `json:"ways,omitempty"`
+	// SSD picks the backing-store profile: "tlc" (default), "slc", "qlc".
+	SSD string `json:"ssd,omitempty"`
+	// SSDChannels is the channel count per partition (default 8).
+	SSDChannels int `json:"ssd_channels,omitempty"`
+}
+
+// TrainSpec describes initial training, refit behaviour and the trace
+// transform.
+type TrainSpec struct {
+	// K is the GMM component count (default 64, the -k flag default).
+	K int `json:"k,omitempty"`
+	// Seed drives training (and, for the single-workload path, doubles as
+	// the stream seed the way -seed did). Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxIters bounds EM iterations (default 50).
+	MaxIters int `json:"max_iters,omitempty"`
+	// Tol is the EM convergence threshold (default 1e-4).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxSamples caps the training set by uniform subsampling (default
+	// 20000; -1 means unlimited).
+	MaxSamples int `json:"max_samples,omitempty"`
+	// LloydIters is the k-means initialization sweep count (default 4).
+	LloydIters int `json:"lloyd_iters,omitempty"`
+	// DiagonalCov constrains covariances to be diagonal (the
+	// cheaper-datapath ablation).
+	DiagonalCov bool `json:"diagonal_cov,omitempty"`
+	// Window is Algorithm 1 len_window (default 32).
+	Window int `json:"window,omitempty"`
+	// Shot is Algorithm 1 len_access_shot (default 2000; window*shot must
+	// fit the trimmed warm-up).
+	Shot int `json:"shot,omitempty"`
+	// ThresholdPct is the admission-threshold quantile over training scores
+	// (default 0.02).
+	ThresholdPct float64 `json:"threshold_pct,omitempty"`
+}
+
+// WorkloadSpec is the single anonymous request stream (the non-tenant
+// path).
+type WorkloadSpec struct {
+	// Name picks a registry generator (default "dlrm"); Custom, when set,
+	// takes precedence and composes a bespoke working set.
+	Name   string                 `json:"name,omitempty"`
+	Custom *workload.CustomConfig `json:"custom,omitempty"`
+	// Seed drives the stream (default: the training seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Rate is the open-loop arrival rate in req/s (default 1e6; negative
+	// means a saturating source, the old -rate 0).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst/BurstPeriod sinusoidally modulate the rate.
+	Burst       float64 `json:"burst,omitempty"`
+	BurstPeriod int     `json:"burst_period,omitempty"`
+	// Drift shifts the working set halfway through Ops (the -drift flag).
+	Drift bool `json:"drift,omitempty"`
+}
+
+// RefreshSpec configures online model refresh.
+type RefreshSpec struct {
+	// Mode is "off" (default), "sync" or "async".
+	Mode string `json:"mode,omitempty"`
+	// Window/Min are the refit sample window and its minimum fill
+	// (defaults 65536 / 4096).
+	Window int `json:"window,omitempty"`
+	Min    int `json:"min,omitempty"`
+	// DriftDelta/DriftSustain/DriftWarmup/DriftAlpha parameterize the
+	// hit-ratio drift detector (defaults 0.10 / 3 / 8 / 0.05).
+	DriftDelta   float64 `json:"drift_delta,omitempty"`
+	DriftSustain int     `json:"drift_sustain,omitempty"`
+	DriftWarmup  int     `json:"drift_warmup,omitempty"`
+	DriftAlpha   float64 `json:"drift_alpha,omitempty"`
+}
+
+// ControlSpec parameterizes the adaptive per-tenant controller.
+type ControlSpec struct {
+	// Every is the control period in batches (default 16); Step the
+	// multiplicative threshold step (default 1.25).
+	Every int     `json:"every,omitempty"`
+	Step  float64 `json:"step,omitempty"`
+	// MinMult/MaxMult clamp the threshold multiplier (defaults 2^-10,
+	// 2^10).
+	MinMult float64 `json:"min_mult,omitempty"`
+	MaxMult float64 `json:"max_mult,omitempty"`
+	// ShareAdapt enables the elastic capacity-share lever.
+	ShareAdapt bool `json:"share_adapt,omitempty"`
+	// ShareQuantum/ShareHold are the transfer size and bid patience
+	// (defaults 8 / 2).
+	ShareQuantum int `json:"share_quantum,omitempty"`
+	ShareHold    int `json:"share_hold,omitempty"`
+	// ShareCooldown pauses the share lever after a transfer (default 4; an
+	// explicit 0 means no pause, which is why this field is a pointer).
+	ShareCooldown *int `json:"share_cooldown,omitempty"`
+	// ShareFloor is the constant per-partition floor a donor may not shrink
+	// below (default ShareQuantum) — the fallback when ShareFloorRateFrac
+	// is unset.
+	ShareFloor int `json:"share_floor,omitempty"`
+	// ShareFloorRateFrac, in (0,1], derives each donor's floor from its
+	// arrival-rate share instead of the constant: floor_t =
+	// max(1, frac * rateShare_t * blocksPerPartition). A tenant carrying
+	// half the traffic then keeps a proportionally larger guaranteed
+	// footprint than one trickling requests, where the constant floor
+	// treated both alike. Zero keeps the constant-ShareFloor behaviour.
+	ShareFloorRateFrac float64 `json:"share_floor_rate_frac,omitempty"`
+}
+
+// ParseSpec decodes and validates a spec document. Decoding is strict:
+// unknown keys anywhere in the document are rejected with a field-path
+// error (e.g. "spec.tenants[1].sahre: unknown field") instead of silently
+// configuring defaults.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := strictUnmarshal(data, &s, "spec"); err != nil {
+		return Spec{}, err
+	}
+	// Normalize "tenants": [] to the absent form: omitempty drops an empty
+	// array on re-marshal, and the two spell the same run, so keeping the
+	// distinction would break the Marshal∘ParseSpec losslessness contract.
+	if len(s.Tenants) == 0 {
+		s.Tenants = nil
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Marshal renders the spec as an indented JSON document. Marshal and
+// ParseSpec are lossless inverses for any valid spec.
+func (s Spec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Validate checks the spec: version, structural exclusions, warm-up
+// coverage, and every derived configuration constraint (the same checks
+// Config.Validate applies to a hand-built configuration).
+func (s Spec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("serve: spec version %d not supported (this build reads version %d)", s.Version, SpecVersion)
+	}
+	if s.Workload != nil && len(s.Tenants) > 0 {
+		return errors.New("serve: spec sets both workload and tenants; a run is one or the other")
+	}
+	if s.Report < -1 {
+		return fmt.Errorf("serve: spec report %d invalid (use -1 to disable interval records)", s.Report)
+	}
+	if s.Warmup < 0 {
+		return errors.New("serve: negative warmup")
+	}
+	if s.Duration != "" {
+		if _, err := time.ParseDuration(s.Duration); err != nil {
+			return fmt.Errorf("serve: spec duration: %w", err)
+		}
+	}
+	if c := s.Cache; c != nil && c.SizeMB < 0 {
+		// Guard the sign extension: uint64(-1 MiB) << 20 is a multi-petabyte
+		// cache that passes the geometry checks and OOMs at Open. Specs are
+		// remotely-supplied input, so fail here, not at allocation.
+		return fmt.Errorf("serve: spec cache size_mb %d negative", c.SizeMB)
+	}
+	if w := s.Workload; w != nil {
+		if w.Custom == nil {
+			if _, err := workload.ByName(s.workloadName()); err != nil {
+				return err
+			}
+		} else if _, err := workload.NewCustom(*w.Custom); err != nil {
+			return fmt.Errorf("serve: spec workload custom: %w", err)
+		}
+		if w.Burst < 0 || w.Burst >= 1 {
+			return errors.New("serve: spec workload burst outside [0,1)")
+		}
+	}
+	if c := s.Control; c != nil && (c.ShareFloorRateFrac < 0 || c.ShareFloorRateFrac > 1) {
+		return errors.New("serve: spec control share_floor_rate_frac outside [0,1]")
+	}
+	cfg, err := s.config()
+	if err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	return ValidateWarmup(s.EffectiveWarmup(), cfg.Transform, s.Tenants)
+}
+
+// Config derives the runnable serving configuration, applying the
+// documented defaults to every omitted field. The spec is validated first.
+func (s Spec) Config() (Config, error) {
+	if err := s.Validate(); err != nil {
+		return Config{}, err
+	}
+	return s.config()
+}
+
+// EffectiveOps returns the request bound with its default applied.
+func (s Spec) EffectiveOps() uint64 {
+	if s.Ops == 0 {
+		return 2_000_000
+	}
+	return s.Ops
+}
+
+// EffectiveWarmup returns the warm-up length with its default applied.
+func (s Spec) EffectiveWarmup() int {
+	if s.Warmup == 0 {
+		return 200_000
+	}
+	return s.Warmup
+}
+
+// workloadName returns the single-stream generator name with its default.
+func (s Spec) workloadName() string {
+	if s.Workload != nil && s.Workload.Name != "" {
+		return s.Workload.Name
+	}
+	return "dlrm"
+}
+
+// trainSeed returns the training seed with its default.
+func (s Spec) trainSeed() int64 {
+	if s.Train != nil && s.Train.Seed != 0 {
+		return s.Train.Seed
+	}
+	return 1
+}
+
+// config builds the Config without validating the result.
+func (s Spec) config() (Config, error) {
+	cfg := DefaultConfig()
+	// The CLI flag defaults differ from DefaultConfig in two places; the
+	// spec mirrors the flags, which are the documented migration surface.
+	cfg.Train.K = 64
+	cfg.Transform.LenAccessShot = 2000
+	cfg.Train.Seed = s.trainSeed()
+	if s.Shards != 0 {
+		cfg.Shards = s.Shards
+	}
+	if s.Partitions != 0 {
+		cfg.Partitions = s.Partitions
+	}
+	if s.Batch != 0 {
+		cfg.BatchSize = s.Batch
+	}
+	switch {
+	case s.Report > 0:
+		cfg.ReportEvery = s.Report
+	case s.Report == -1:
+		cfg.ReportEvery = 0
+	}
+	if s.Mode != "" {
+		mode, err := parseGMMMode(s.Mode)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Mode = mode
+	}
+	if c := s.Cache; c != nil {
+		if c.SizeMB != 0 {
+			cfg.Cache.SizeBytes = uint64(c.SizeMB) << 20
+		}
+		if c.Ways != 0 {
+			cfg.Cache.Ways = c.Ways
+		}
+		if c.SSD != "" {
+			prof, err := parseSSDProfile(c.SSD)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.SSD = prof
+		}
+		if c.SSDChannels != 0 {
+			cfg.SSDChannels = c.SSDChannels
+		}
+	}
+	if t := s.Train; t != nil {
+		if t.K != 0 {
+			cfg.Train.K = t.K
+		}
+		if t.MaxIters != 0 {
+			cfg.Train.MaxIters = t.MaxIters
+		}
+		if t.Tol != 0 {
+			cfg.Train.Tol = t.Tol
+		}
+		switch {
+		case t.MaxSamples > 0:
+			cfg.Train.MaxSamples = t.MaxSamples
+		case t.MaxSamples < 0:
+			cfg.Train.MaxSamples = 0 // unlimited
+		}
+		if t.LloydIters != 0 {
+			cfg.Train.LloydIters = t.LloydIters
+		}
+		cfg.Train.DiagonalCov = t.DiagonalCov
+		if t.Window != 0 {
+			cfg.Transform.LenWindow = t.Window
+		}
+		if t.Shot != 0 {
+			cfg.Transform.LenAccessShot = t.Shot
+		}
+		if t.ThresholdPct != 0 {
+			cfg.ThresholdPct = t.ThresholdPct
+		}
+	}
+	if r := s.Refresh; r != nil {
+		if r.Mode != "" {
+			mode, err := ParseRefreshMode(r.Mode)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.Refresh.Mode = mode
+		}
+		if r.Window != 0 {
+			cfg.Refresh.WindowSamples = r.Window
+		}
+		if r.Min != 0 {
+			cfg.Refresh.MinSamples = r.Min
+		}
+		if r.DriftDelta != 0 {
+			cfg.Refresh.Drift.Delta = r.DriftDelta
+		}
+		if r.DriftSustain != 0 {
+			cfg.Refresh.Drift.Sustain = r.DriftSustain
+		}
+		if r.DriftWarmup != 0 {
+			cfg.Refresh.Drift.Warmup = r.DriftWarmup
+		}
+		if r.DriftAlpha != 0 {
+			cfg.Refresh.Drift.Alpha = r.DriftAlpha
+		}
+	}
+	if c := s.Control; c != nil {
+		if c.Every != 0 {
+			cfg.Control.Every = c.Every
+		}
+		if c.Step != 0 {
+			cfg.Control.Step = c.Step
+		}
+		if c.MinMult != 0 {
+			cfg.Control.MinMult = c.MinMult
+		}
+		if c.MaxMult != 0 {
+			cfg.Control.MaxMult = c.MaxMult
+		}
+		cfg.Control.ShareAdapt = c.ShareAdapt
+		if c.ShareQuantum != 0 {
+			cfg.Control.ShareQuantum = c.ShareQuantum
+		}
+		if c.ShareHold != 0 {
+			cfg.Control.ShareHold = c.ShareHold
+		}
+		if c.ShareCooldown != nil {
+			cfg.Control.ShareCooldown = *c.ShareCooldown
+		}
+		if c.ShareFloor != 0 {
+			cfg.Control.ShareFloor = c.ShareFloor
+		}
+		cfg.Control.ShareFloorRateFrac = c.ShareFloorRateFrac
+	}
+	cfg.Tenants = s.Tenants
+	return cfg, nil
+}
+
+// parseGMMMode maps a spec mode string to the policy constant.
+func parseGMMMode(s string) (policy.GMMMode, error) {
+	for _, m := range []policy.GMMMode{policy.GMMCachingOnly, policy.GMMEvictionOnly, policy.GMMCachingEviction} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown GMM mode %q (valid: gmm-caching-only|gmm-eviction-only|gmm-caching-eviction)", s)
+}
+
+// parseSSDProfile maps a spec ssd string to its latency profile.
+func parseSSDProfile(s string) (ssd.Profile, error) {
+	for _, p := range []ssd.Profile{ssd.TLC(), ssd.SLC(), ssd.QLC()} {
+		if p.Name == s {
+			return p, nil
+		}
+	}
+	return ssd.Profile{}, fmt.Errorf("serve: unknown ssd profile %q (valid: tlc|slc|qlc)", s)
+}
+
+// warmTrace materializes the initial-training trace the spec describes: the
+// merged multi-tenant view for tenant runs, the raw generator output for the
+// single-stream path (matching what the legacy CLI trained on).
+func (s Spec) warmTrace() (trace.Trace, error) {
+	if len(s.Tenants) > 0 {
+		mux, err := NewTenantMux(s.Tenants)
+		if err != nil {
+			return nil, err
+		}
+		return mux.Trace(s.EffectiveWarmup()), nil
+	}
+	gen, err := s.generator()
+	if err != nil {
+		return nil, err
+	}
+	return gen.Generate(s.EffectiveWarmup(), s.streamSeed()), nil
+}
+
+// generator resolves the single-stream generator.
+func (s Spec) generator() (workload.Generator, error) {
+	if s.Workload != nil && s.Workload.Custom != nil {
+		return workload.NewCustom(*s.Workload.Custom)
+	}
+	return workload.ByName(s.workloadName())
+}
+
+// streamSeed returns the single-stream seed: the workload's own, falling
+// back to the training seed exactly as the legacy -seed flag seeded both.
+func (s Spec) streamSeed() int64 {
+	if s.Workload != nil && s.Workload.Seed != 0 {
+		return s.Workload.Seed
+	}
+	return s.trainSeed()
+}
+
+// openLoopConfig builds the single-stream open-loop configuration.
+func (s Spec) openLoopConfig() workload.OpenLoopConfig {
+	cfg := workload.OpenLoopConfig{RatePerSec: 1e6, Seed: s.streamSeed()}
+	if w := s.Workload; w != nil {
+		if w.Rate > 0 {
+			cfg.RatePerSec = w.Rate
+		} else if w.Rate < 0 {
+			cfg.RatePerSec = 0 // saturating
+		}
+		cfg.BurstAmp = w.Burst
+		cfg.BurstPeriod = w.BurstPeriod
+		if w.Drift {
+			cfg.ShiftAfter = s.EffectiveOps() / 2
+			cfg.ShiftOffsetPages = 1 << 30
+		}
+	}
+	return cfg
+}
+
+// TrainBundleFromSpec runs initial training as the spec describes it and
+// packages the scoring bundle (see TrainBundle).
+func TrainBundleFromSpec(s Spec) (*Bundle, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	warm, err := s.warmTrace()
+	if err != nil {
+		return nil, err
+	}
+	return TrainBundle(warm, cfg)
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// strictUnmarshal decodes JSON into v like encoding/json, but rejects any
+// object key that does not correspond to a field of the destination struct —
+// and names the offending key by its full path (e.g.
+// "spec.tenants[1].sahre") instead of the bare field name the standard
+// library's DisallowUnknownFields reports. Wire-format typos therefore fail
+// with an error that points at the exact spot in the document, which matters
+// once specs nest several levels deep.
+//
+// root labels the document in error messages. v must be a non-nil pointer.
+func strictUnmarshal(data []byte, v any, root string) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return fmt.Errorf("%s: %w", root, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%s: trailing data after JSON document", root)
+	}
+	if err := checkUnknownFields(tree, reflect.TypeOf(v).Elem(), root); err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// checkUnknownFields walks the decoded JSON tree alongside the destination
+// type, reporting the first unknown object key with its path. Shape
+// mismatches (an object where a number belongs, etc.) are left for
+// json.Unmarshal to diagnose; this pass cares only about keys that would be
+// silently dropped.
+func checkUnknownFields(tree any, t reflect.Type, path string) error {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch node := tree.(type) {
+	case map[string]any:
+		switch t.Kind() {
+		case reflect.Struct:
+			fields := jsonFields(t)
+			// Sorted key order keeps the reported path deterministic when a
+			// document carries several typos.
+			keys := make([]string, 0, len(node))
+			for k := range node {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				ft, ok := lookupJSONField(fields, k)
+				if !ok {
+					return fmt.Errorf("%s.%s: unknown field", path, k)
+				}
+				if err := checkUnknownFields(node[k], ft, path+"."+k); err != nil {
+					return err
+				}
+			}
+		case reflect.Map:
+			for k, v := range node {
+				if err := checkUnknownFields(v, t.Elem(), path+"."+k); err != nil {
+					return err
+				}
+			}
+		}
+	case []any:
+		if t.Kind() == reflect.Slice || t.Kind() == reflect.Array {
+			for i, el := range node {
+				if err := checkUnknownFields(el, t.Elem(), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// jsonFields maps a struct's effective JSON names to field types, flattening
+// embedded structs the way encoding/json does.
+func jsonFields(t reflect.Type) map[string]reflect.Type {
+	out := make(map[string]reflect.Type)
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" && !f.Anonymous { // unexported
+			continue
+		}
+		tag := f.Tag.Get("json")
+		if tag == "-" {
+			continue
+		}
+		name := strings.Split(tag, ",")[0]
+		if name == "" {
+			if f.Anonymous {
+				ft := f.Type
+				for ft.Kind() == reflect.Pointer {
+					ft = ft.Elem()
+				}
+				if ft.Kind() == reflect.Struct {
+					for n, sub := range jsonFields(ft) {
+						if _, exists := out[n]; !exists {
+							out[n] = sub
+						}
+					}
+					continue
+				}
+			}
+			name = f.Name
+		}
+		out[name] = f.Type
+	}
+	return out
+}
+
+// lookupJSONField resolves a document key against the field map with
+// encoding/json's matching rule: exact match first, then case-insensitive.
+func lookupJSONField(fields map[string]reflect.Type, key string) (reflect.Type, bool) {
+	if t, ok := fields[key]; ok {
+		return t, true
+	}
+	for name, t := range fields {
+		if strings.EqualFold(name, key) {
+			return t, true
+		}
+	}
+	return nil, false
+}

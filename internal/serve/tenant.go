@@ -1,8 +1,6 @@
 package serve
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -149,17 +147,14 @@ func (q QoSSpec) improved(v, prev float64) bool {
 }
 
 // ParseTenantSpecs decodes the -tenants JSON wire format (an array of
-// TenantSpec objects) and validates it. Unknown fields are rejected so typos
-// in a spec fail loudly instead of silently configuring defaults.
+// TenantSpec objects) and validates it. Decoding is strict: unknown fields
+// anywhere in the document are rejected with a field-path error (e.g.
+// "tenants[1].sahre: unknown field") so typos fail loudly — and point at the
+// offending key — instead of silently configuring defaults.
 func ParseTenantSpecs(data []byte) ([]TenantSpec, error) {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
 	var specs []TenantSpec
-	if err := dec.Decode(&specs); err != nil {
+	if err := strictUnmarshal(data, &specs, "tenants"); err != nil {
 		return nil, fmt.Errorf("serve: parsing tenant spec: %w", err)
-	}
-	if dec.More() {
-		return nil, errors.New("serve: trailing data after tenant spec array")
 	}
 	if err := ValidateTenants(specs); err != nil {
 		return nil, err

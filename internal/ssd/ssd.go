@@ -118,6 +118,47 @@ func (d *Device) Access(op Op, page uint64, nowNs int64) (doneNs int64) {
 	return done
 }
 
+// State is the device's full mutable state: per-channel busy horizons on
+// the virtual clock plus the accumulated counters. Part of the serving
+// subsystem's checkpoint surface.
+type State struct {
+	Channels []int64                `json:"channels"`
+	Reads    uint64                 `json:"reads"`
+	Writes   uint64                 `json:"writes"`
+	ReadLat  stats.AccumulatorState `json:"read_lat"`
+	WriteLat stats.AccumulatorState `json:"write_lat"`
+	Queued   stats.AccumulatorState `json:"queued"`
+}
+
+// State exports the device's mutable state.
+func (d *Device) State() State {
+	return State{
+		Channels: append([]int64(nil), d.channels...),
+		Reads:    d.reads.Value(),
+		Writes:   d.writes.Value(),
+		ReadLat:  d.readLat.State(),
+		WriteLat: d.writeLat.State(),
+		Queued:   d.queued.State(),
+	}
+}
+
+// RestoreState replaces the device's mutable state. The channel count must
+// match the configuration.
+func (d *Device) RestoreState(s State) error {
+	if len(s.Channels) != len(d.channels) {
+		return fmt.Errorf("ssd: state has %d channels, device has %d", len(s.Channels), len(d.channels))
+	}
+	copy(d.channels, s.Channels)
+	d.reads.Reset()
+	d.reads.Add(s.Reads)
+	d.writes.Reset()
+	d.writes.Add(s.Writes)
+	d.readLat.RestoreState(s.ReadLat)
+	d.writeLat.RestoreState(s.WriteLat)
+	d.queued.RestoreState(s.Queued)
+	return nil
+}
+
 // ReadPenalty returns the nominal read service time in nanoseconds, the
 // constant the latency model uses when queueing is not simulated.
 func (d *Device) ReadPenalty() int64 { return d.profile.ReadLatency.Nanoseconds() }

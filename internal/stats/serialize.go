@@ -1,0 +1,111 @@
+package stats
+
+import "errors"
+
+// This file is the measurement substrate's checkpoint surface: exact,
+// JSON-friendly state exports for the accumulators the serving subsystem
+// must carry across a pause/resume boundary. Go's encoding/json emits the
+// shortest float64 representation that parses back to the identical bits,
+// so every exported float round-trips exactly and a restored accumulator is
+// indistinguishable from one that was never serialized — the property the
+// byte-identical resume contract leans on.
+
+// AccumulatorState is the full state of a LatencyAccumulator.
+type AccumulatorState struct {
+	Sum   int64 `json:"sum"`
+	Count int64 `json:"count"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+// State exports the accumulator.
+func (a *LatencyAccumulator) State() AccumulatorState {
+	return AccumulatorState{Sum: a.sum, Count: a.count, Min: a.min, Max: a.max}
+}
+
+// RestoreState replaces the accumulator's contents with the exported state.
+func (a *LatencyAccumulator) RestoreState(s AccumulatorState) {
+	a.sum, a.count, a.min, a.max = s.Sum, s.Count, s.Min, s.Max
+}
+
+// WelfordState is the full state of a Welford accumulator.
+type WelfordState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State exports the accumulator.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// RestoreState replaces the accumulator's contents with the exported state.
+func (w *Welford) RestoreState(s WelfordState) {
+	w.n, w.mean, w.m2 = s.N, s.Mean, s.M2
+}
+
+// HistogramState is the full state of a Histogram: geometry, bucket counts,
+// the exact accumulator, and the retained raw samples in observation order.
+// Sample order matters — Merge truncates at the destination's retention cap,
+// so two histograms with the same samples in different orders can diverge
+// after a capped merge — which is why State preserves it.
+type HistogramState struct {
+	Base    float64          `json:"base"`
+	Growth  float64          `json:"growth"`
+	NBucket int              `json:"nbuckets"`
+	Buckets map[int]uint64   `json:"buckets,omitempty"` // sparse: only non-zero
+	Under   uint64           `json:"under,omitempty"`
+	Acc     AccumulatorState `json:"acc"`
+	Samples []int64          `json:"samples,omitempty"`
+	MaxKeep int              `json:"max_keep"`
+}
+
+// State exports the histogram. Bucket counts are stored sparsely (most of a
+// latency histogram's 240 buckets are empty), samples verbatim.
+func (h *Histogram) State() HistogramState {
+	s := HistogramState{
+		Base:    h.base,
+		Growth:  h.growth,
+		NBucket: len(h.buckets),
+		Under:   h.under,
+		Acc:     h.acc.State(),
+		MaxKeep: h.maxKeep,
+	}
+	for i, c := range h.buckets {
+		if c > 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]uint64)
+			}
+			s.Buckets[i] = c
+		}
+	}
+	if len(h.samples) > 0 {
+		s.Samples = append([]int64(nil), h.samples...)
+	}
+	return s
+}
+
+// RestoreState replaces the histogram's entire contents — geometry included —
+// with the exported state.
+func (h *Histogram) RestoreState(s HistogramState) error {
+	if s.Base <= 0 || s.Growth <= 1 || s.NBucket <= 0 {
+		return errors.New("stats: histogram state with invalid geometry")
+	}
+	if len(s.Samples) > s.MaxKeep {
+		return errors.New("stats: histogram state retains more samples than its cap")
+	}
+	h.base, h.growth = s.Base, s.Growth
+	h.buckets = make([]uint64, s.NBucket)
+	for i, c := range s.Buckets {
+		if i < 0 || i >= s.NBucket {
+			return errors.New("stats: histogram state bucket index out of range")
+		}
+		h.buckets[i] = c
+	}
+	h.under = s.Under
+	h.acc.RestoreState(s.Acc)
+	h.samples = append(h.samples[:0], s.Samples...)
+	h.maxKeep = s.MaxKeep
+	return nil
+}

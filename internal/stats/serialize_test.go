@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestHistogramStateRoundTrip: State/RestoreState must reproduce the
+// histogram exactly — counts, accumulator, retained samples in order — and
+// survive a JSON round trip, since the serving checkpoint ships the state
+// as JSON.
+func TestHistogramStateRoundTrip(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(5))
+	h := DefaultLatencyHistogram()
+	h.SetRetention(1 << 17)
+	for i := 0; i < 5000; i++ {
+		h.Observe(int64(rng.ExpFloat64() * 2e5))
+	}
+	h.Observe(3) // below-base bucket
+
+	data, err := json.Marshal(h.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st HistogramState
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored := DefaultLatencyHistogram()
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.State(), h.State()) {
+		t.Fatal("state round trip not exact")
+	}
+	if restored.Count() != h.Count() || restored.Sum() != h.Sum() {
+		t.Errorf("count/sum diverged: %d/%d vs %d/%d", restored.Count(), restored.Sum(), h.Count(), h.Sum())
+	}
+	for _, p := range []float64{0, 50, 90, 99, 100} {
+		if restored.Percentile(p) != h.Percentile(p) {
+			t.Errorf("p%.0f diverged after restore", p)
+		}
+	}
+	// The restored histogram continues exactly like the original.
+	h.Observe(12345)
+	restored.Observe(12345)
+	if !reflect.DeepEqual(restored.State(), h.State()) {
+		t.Error("restored histogram diverged on the next observation")
+	}
+
+	// Invalid states are rejected.
+	bad := map[string]HistogramState{
+		"zero geometry":       {},
+		"over-cap samples":    {Base: 100, Growth: 1.07, NBucket: 4, MaxKeep: 1, Samples: []int64{1, 2}},
+		"bucket out of range": {Base: 100, Growth: 1.07, NBucket: 4, MaxKeep: 8, Buckets: map[int]uint64{9: 1}},
+	}
+	for name, st := range bad {
+		if err := DefaultLatencyHistogram().RestoreState(st); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestAccumulatorWelfordStateRoundTrip covers the two scalar accumulators'
+// exports.
+func TestAccumulatorWelfordStateRoundTrip(t *testing.T) {
+	t.Parallel()
+	var a LatencyAccumulator
+	var w Welford
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*1e4 + 5e4
+		a.Observe(int64(v))
+		w.Observe(v)
+	}
+	var a2 LatencyAccumulator
+	a2.RestoreState(a.State())
+	if a2 != a {
+		t.Errorf("accumulator round trip: %+v vs %+v", a2, a)
+	}
+	var w2 Welford
+	w2.RestoreState(w.State())
+	if w2 != w {
+		t.Errorf("welford round trip: %+v vs %+v", w2, w)
+	}
+	if w2.Mean() != w.Mean() || w2.Std() != w.Std() {
+		t.Error("welford statistics diverged")
+	}
+}

@@ -95,6 +95,44 @@ func (m *Mux) Next(dst []MuxRecord) int {
 	return len(dst)
 }
 
+// MuxState is the mux's full mutable state: the one-record lookahead heads,
+// the merged-output count, and every underlying stream's cursor.
+type MuxState struct {
+	Emitted uint64          `json:"emitted"`
+	Heads   []trace.Record  `json:"heads"`
+	Streams []OpenLoopState `json:"streams"`
+}
+
+// State exports the mux's mutable state.
+func (m *Mux) State() MuxState {
+	s := MuxState{
+		Emitted: m.emitted,
+		Heads:   append([]trace.Record(nil), m.heads...),
+		Streams: make([]OpenLoopState, len(m.streams)),
+	}
+	for i, st := range m.streams {
+		s.Streams[i] = st.Stream.State()
+	}
+	return s
+}
+
+// RestoreState rewinds the mux to an exported state. The receiver must have
+// been built from the same stream configurations as the exporter.
+func (m *Mux) RestoreState(s MuxState) error {
+	if len(s.Heads) != len(m.streams) || len(s.Streams) != len(m.streams) {
+		return fmt.Errorf("workload: mux state has %d/%d streams, mux has %d",
+			len(s.Heads), len(s.Streams), len(m.streams))
+	}
+	for i, st := range m.streams {
+		if err := st.Stream.RestoreState(s.Streams[i]); err != nil {
+			return fmt.Errorf("workload: mux stream %d: %w", i, err)
+		}
+	}
+	copy(m.heads, s.Heads)
+	m.emitted = s.Emitted
+	return nil
+}
+
 // Trace materializes the next n merged records as a plain trace, dropping the
 // stream tags. The serving subsystem warms up its initial GMM on exactly this
 // merged view so the model trains on the same interleaving it will serve.

@@ -63,6 +63,10 @@ type OpenLoop struct {
 	emitted uint64
 	clockNs float64
 	shifted bool
+	// bufShifted records whether the current segment was drawn from ShiftTo
+	// rather than the base generator — the one bit State needs to regenerate
+	// the segment from the right source on restore.
+	bufShifted bool
 }
 
 // NewOpenLoop validates the config and builds the stream.
@@ -104,7 +108,8 @@ func (ol *OpenLoop) Next(dst []trace.Record) int {
 		}
 		if ol.pos >= len(ol.buf) {
 			g := ol.g
-			if ol.shifted && ol.cfg.ShiftTo != nil {
+			ol.bufShifted = ol.shifted && ol.cfg.ShiftTo != nil
+			if ol.bufShifted {
 				g = ol.cfg.ShiftTo
 			}
 			ol.buf = g.Generate(ol.cfg.SegmentLen, engine.DeriveSeed(ol.cfg.Seed, ol.seg))
@@ -122,6 +127,59 @@ func (ol *OpenLoop) Next(dst []trace.Record) int {
 		ol.emitted++
 	}
 	return len(dst)
+}
+
+// OpenLoopState is the stream's full mutable state. The in-flight segment
+// buffer is NOT stored: it is a pure function of (Seed, Seg-1) and the
+// generator choice recorded in BufShifted, so RestoreState regenerates it —
+// which is what keeps a checkpoint small and a restored stream bit-identical
+// to one that never paused.
+type OpenLoopState struct {
+	Seg        uint64  `json:"seg"`
+	Pos        int     `json:"pos"`
+	Emitted    uint64  `json:"emitted"`
+	ClockNs    float64 `json:"clock_ns"`
+	Shifted    bool    `json:"shifted,omitempty"`
+	BufShifted bool    `json:"buf_shifted,omitempty"`
+}
+
+// State exports the stream's mutable state (the RNG cursor of the serving
+// subsystem's checkpoint).
+func (ol *OpenLoop) State() OpenLoopState {
+	return OpenLoopState{
+		Seg:        ol.seg,
+		Pos:        ol.pos,
+		Emitted:    ol.emitted,
+		ClockNs:    ol.clockNs,
+		Shifted:    ol.shifted,
+		BufShifted: ol.bufShifted,
+	}
+}
+
+// RestoreState rewinds (or fast-forwards) the stream to an exported state,
+// regenerating the in-flight segment deterministically. The receiver must
+// have been built with the same generator and config as the exporter.
+func (ol *OpenLoop) RestoreState(s OpenLoopState) error {
+	if s.Seg == 0 && s.Pos != 0 {
+		return errors.New("workload: open-loop state has a cursor into a segment that was never generated")
+	}
+	if s.Pos < 0 || s.Pos > ol.cfg.SegmentLen {
+		return errors.New("workload: open-loop state cursor outside the segment")
+	}
+	if s.BufShifted && ol.cfg.ShiftTo == nil {
+		return errors.New("workload: open-loop state needs a ShiftTo generator the config does not have")
+	}
+	ol.seg, ol.pos, ol.emitted = s.Seg, s.Pos, s.Emitted
+	ol.clockNs, ol.shifted, ol.bufShifted = s.ClockNs, s.Shifted, s.BufShifted
+	ol.buf = nil
+	if s.Seg > 0 {
+		g := ol.g
+		if s.BufShifted {
+			g = ol.cfg.ShiftTo
+		}
+		ol.buf = g.Generate(ol.cfg.SegmentLen, engine.DeriveSeed(ol.cfg.Seed, s.Seg-1))
+	}
+	return nil
 }
 
 // interarrivalNs returns the gap to the next arrival: 1e9/rate scaled by the
