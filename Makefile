@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench serve-smoke test-tenants test-shares test-spec cover fuzz-smoke fmt vet fmt-check ci
+.PHONY: build test race bench serve-smoke test-tenants test-shares test-spec test-cluster cover fuzz-smoke fmt vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,8 @@ bench:
 # ingest, batched admission, a drift-triggered sync refresh, and JSONL
 # metrics end to end.
 serve-smoke:
-	$(GO) run -race ./cmd/icgmm-serve -workload parsec -ops 49152 -batch 1024 \
-		-warmup 60000 -shot 500 -k 16 -shards 4 -refresh sync -drift -out /dev/null
+	$(GO) run -race ./cmd/icgmm-serve -spec cmd/icgmm-serve/testdata/spec-smoke.json \
+		-out /dev/null
 
 # Multi-tenant suite: the tenant/controller/golden-determinism tests plus a
 # 3-tenant icgmm-serve smoke (per-tenant QoS, capacity shares, adaptive
@@ -33,9 +33,8 @@ serve-smoke:
 test-tenants:
 	$(GO) test ./internal/serve -run 'Tenant|Golden|ValidateWarmup|ParseTenantSpecs' -race
 	$(GO) test ./internal/workload -run 'Mux' -race
-	$(GO) run -race ./cmd/icgmm-serve -ops 32768 -batch 1024 -warmup 60000 -shot 500 \
-		-k 16 -shards 4 -cache-mb 16 -out /dev/null \
-		-tenants cmd/icgmm-serve/testdata/tenants-sample.json
+	$(GO) run -race ./cmd/icgmm-serve -spec cmd/icgmm-serve/testdata/spec-tenants.json \
+		-out /dev/null
 
 # Elastic-share suite: the share-adaptation unit/property/golden tests plus a
 # 3-tenant icgmm-serve smoke whose mid-run working-set growth drives the
@@ -45,13 +44,8 @@ test-shares:
 	$(GO) test ./internal/serve -run 'Share|Controller|ResidencyAudit|Golden' -race
 	$(GO) test ./internal/cache -run 'EvictAt|Victim' -race
 	$(GO) test ./internal/workload -run 'ShiftTo' -race
-	$(GO) run -race ./cmd/icgmm-serve -ops 163840 -batch 1024 -warmup 30000 -shot 256 \
-		-k 8 -shards 4 -partitions 8 -cache-mb 4 -refresh sync -out /dev/null \
-		-refresh-window 8192 -refresh-min 2048 \
-		-drift-delta 0.08 -drift-sustain 8 -drift-warmup 8 -drift-alpha 0.2 \
-		-control-every 8 -control-step 1.6 -control-min-mult 0.0625 -control-max-mult 16 \
-		-share-adapt -share-quantum 8 -share-hold 2 -share-cooldown 1 \
-		-tenants cmd/icgmm-serve/testdata/tenants-elastic.json
+	$(GO) run -race ./cmd/icgmm-serve -spec cmd/icgmm-serve/testdata/spec-elastic.json \
+		-shards 4 -out /dev/null
 
 # Spec & Session suite: declarative-spec validation, round-trip and
 # field-path strictness tests, the checkpoint/resume golden (byte-identical
@@ -65,9 +59,21 @@ test-spec:
 	$(GO) run -race ./cmd/icgmm-serve -spec cmd/icgmm-serve/testdata/spec-elastic.json \
 		-shards 4 -out /dev/null
 
+# Cluster suite: the coordinator/worker/protocol tests (golden byte-identity
+# across forced migration and forced kill+replay at shards 1/2/8) under the
+# race detector, then the icgmm-cluster binary driving the sample spec with
+# real spawned worker processes — one live migration, one SIGKILL'd worker —
+# and -verify byte-comparing every committed stream against an uninterrupted
+# in-process rerun.
+test-cluster:
+	$(GO) test ./internal/cluster ./internal/strictjson -race
+	$(GO) test ./cmd/icgmm-cluster -race
+	$(GO) run -race ./cmd/icgmm-cluster -spec cmd/icgmm-cluster/testdata/cluster-sample.json \
+		-merged /dev/null -verify -v
+
 # Ratcheted coverage floors for the packages the test subsystem hardens.
 # Raise a floor when coverage grows; never lower one.
-COVER_FLOORS := ./internal/serve:91 ./internal/workload:95
+COVER_FLOORS := ./internal/serve:91 ./internal/workload:95 ./internal/cluster:75 ./internal/strictjson:95
 cover:
 	@fail=0; \
 	for spec in $(COVER_FLOORS); do \
@@ -104,4 +110,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares test-spec fuzz-smoke
+ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares test-spec test-cluster fuzz-smoke

@@ -1,0 +1,209 @@
+// Command icgmm-cluster runs spec-described serving sessions across a fleet
+// of worker processes: a coordinator places each session on a worker,
+// drives them in deterministic lockstep rounds, live-migrates sessions
+// between workers, and survives worker death by replaying from the last
+// periodic checkpoint — all while committing metric streams byte-identical
+// to uninterrupted single-process runs of the same serve specs.
+//
+// Usage:
+//
+//	icgmm-cluster -spec cluster.json
+//	icgmm-cluster -spec cluster.json -merged merged.jsonl -session-dir out/ -verify
+//	icgmm-cluster worker
+//
+// The cluster spec is one JSON document (see cluster.Spec): worker count,
+// checkpoint cadence, named sessions each embedding a full serve spec, and
+// an optional deterministic fault schedule ({"kind": "migrate"|"kill",
+// "after": N, ...}) for rehearsing the failure model.
+//
+// By default workers are spawned as child processes re-running this binary
+// with the `worker` subcommand; -local runs them in-process instead. The
+// merged stream (every committed record wrapped with its session name)
+// goes to -merged (default stdout); -session-dir adds one raw per-session
+// JSONL file per session. -verify re-runs every session in-process after
+// the cluster run and byte-compares the streams — the determinism contract,
+// checked end to end.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "worker" {
+		if err := cluster.ServeWorker(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "icgmm-cluster worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := cliMain(args, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "icgmm-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+// cliMain is the coordinator entry point; stdout is injected for tests.
+func cliMain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("icgmm-cluster", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	specPath := fs.String("spec", "", "cluster run spec (JSON file, see cluster.Spec); required")
+	mergedPath := fs.String("merged", "-", "merged-stream sink (JSONL file, or - for stdout)")
+	sessionDir := fs.String("session-dir", "", "directory for per-session raw JSONL files (one per session)")
+	local := fs.Bool("local", false, "run workers in-process instead of spawning worker processes")
+	verify := fs.Bool("verify", false, "after the run, re-run each session in-process and byte-compare its stream")
+	verbose := fs.Bool("v", false, "log placements, faults, deaths and replays to stderr")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(os.Stderr)
+			fmt.Fprintln(os.Stderr, "usage: icgmm-cluster -spec cluster.json [-merged out.jsonl] [-session-dir dir] [-local] [-verify] [-v]")
+			fmt.Fprintln(os.Stderr, "       icgmm-cluster worker")
+			fs.PrintDefaults()
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (did you mean the `worker` subcommand first?)", fs.Arg(0))
+	}
+	if *specPath == "" {
+		return errors.New("-spec is required: icgmm-cluster -spec cluster.json")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return fmt.Errorf("reading -spec file: %w", err)
+	}
+	spec, err := cluster.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+
+	merged := io.Writer(stdout)
+	if *mergedPath != "" && *mergedPath != "-" {
+		f, err := os.Create(*mergedPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		merged = f
+	}
+
+	// Per-session sinks: files under -session-dir, and an in-memory copy
+	// when -verify needs to diff the streams afterwards.
+	captures := map[string]*bytes.Buffer{}
+	var sinkErr error
+	sessionWriter := func(name string) io.Writer {
+		var ws []io.Writer
+		if *verify {
+			buf := &bytes.Buffer{}
+			captures[name] = buf
+			ws = append(ws, buf)
+		}
+		if *sessionDir != "" {
+			f, err := os.Create(filepath.Join(*sessionDir, name+".jsonl"))
+			if err != nil {
+				sinkErr = err
+			} else {
+				ws = append(ws, f) // closed on process exit; coordinator runs to completion first
+			}
+		}
+		switch len(ws) {
+		case 0:
+			return io.Discard
+		case 1:
+			return ws[0]
+		default:
+			return io.MultiWriter(ws...)
+		}
+	}
+	if *sessionDir != "" {
+		if err := os.MkdirAll(*sessionDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var launcher cluster.Launcher
+	if *local {
+		l := &cluster.LocalLauncher{}
+		defer l.Close()
+		launcher = l
+	} else {
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("resolving worker binary: %w", err)
+		}
+		launcher = &cluster.ProcLauncher{Argv: []string{self, "worker"}}
+	}
+
+	opts := cluster.Options{Merged: merged, SessionWriter: sessionWriter}
+	if *verbose {
+		opts.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "icgmm-cluster: "+format+"\n", a...)
+		}
+	}
+
+	start := time.Now()
+	rep, err := cluster.Run(spec, launcher, opts)
+	if err != nil {
+		return err
+	}
+	if sinkErr != nil {
+		return sinkErr
+	}
+	fmt.Fprintf(os.Stderr, "cluster: %d sessions on %d workers in %v (%d worker restarts)\n",
+		len(rep.Sessions), spec.EffectiveWorkers(), time.Since(start).Round(time.Millisecond), rep.WorkerRestarts)
+	for _, s := range rep.Sessions {
+		fmt.Fprintf(os.Stderr, "  session %-12s %6d batches  worker %d  %d migrations  %d replays\n",
+			s.Name, s.Batches, s.Worker, s.Migrations, s.Replays)
+	}
+
+	if *verify {
+		if err := verifyStreams(spec, captures); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "verify: all %d session streams byte-identical to uninterrupted runs\n", len(spec.Sessions))
+	}
+	return nil
+}
+
+// verifyStreams re-runs every session's serve spec in one process and
+// byte-compares the stream against what the cluster committed. Migration
+// and crash replay must be invisible at the byte level; any divergence is
+// a determinism bug, not a tolerance.
+func verifyStreams(spec cluster.Spec, captures map[string]*bytes.Buffer) error {
+	for _, ss := range spec.Sessions {
+		sspec, err := serve.ParseSpec(ss.Spec)
+		if err != nil {
+			return err
+		}
+		var want bytes.Buffer
+		sess, err := serve.Open(sspec, &want)
+		if err != nil {
+			return err
+		}
+		if _, err := sess.Run(); err != nil {
+			return err
+		}
+		got := captures[ss.Name]
+		if got == nil || !bytes.Equal(got.Bytes(), want.Bytes()) {
+			gotLen := 0
+			if got != nil {
+				gotLen = got.Len()
+			}
+			return fmt.Errorf("verify: session %q stream diverges from uninterrupted run (%d vs %d bytes)",
+				ss.Name, gotLen, want.Len())
+		}
+	}
+	return nil
+}

@@ -7,39 +7,36 @@
 //
 //	icgmm-serve -spec run.json
 //	icgmm-serve -spec run.json -shards 8 -out metrics.jsonl
-//	icgmm-serve -workload dlrm -ops 2000000 -shards 8 -out metrics.jsonl
-//	icgmm-serve -workload memtier -duration 10s -refresh async
-//	icgmm-serve -tenants tenants.json -ops 1000000 -shards 8
 //
-// The preferred interface is -spec: one versioned JSON document (see
-// serve.Spec) that fully describes the run — training, partitions, tenants,
-// controller, refresh, workloads and the metrics sink — and doubles as the
-// wire format for shipping runs between machines. Every legacy flag maps to
-// a spec field (the README carries the full migration table) and remains
-// usable as an override on top of -spec for one release: flags given
-// explicitly on the command line replace the corresponding spec fields.
+// The spec is one versioned JSON document (see serve.Spec) that fully
+// describes the run — training, partitions, tenants, controller, refresh,
+// workloads and the metrics sink — and doubles as the wire format for
+// shipping runs between machines. -out and -shards are the only meta
+// overrides: where the metrics go and how wide the (result-invariant)
+// worker pool is.
+//
+// The legacy per-parameter flag interface was removed in PR 6 after a
+// release of -spec soak time; invoking a removed flag names the spec field
+// that replaced it. The README's "Migrating from flags to -spec" note has
+// the history.
 //
 // The service first trains an initial GMM on a warm-up trace from the same
-// generator, then serves the configured requests (or ingests until -duration
-// of wall time passes). Metrics stream as JSONL to -out (default stdout):
-// "interval" records while serving, then "partition" and "summary" records.
-// For a fixed seed and -refresh off|sync, every metric is bit-identical at
-// any -shards value; a closing "wall" line on stderr reports
-// (non-deterministic) wall-clock throughput.
-//
-// -tenants switches to multi-tenant serving: the argument is a JSON array of
-// tenant specs (inline if it starts with '[', otherwise a file path), each
-// naming a workload stream with its own seed, rate, HBM capacity share and
-// optional QoS target for the adaptive threshold controller. The stream
-// gains "tenant-interval", "control" and final "tenant" records, and a
-// per-tenant table prints to stderr.
+// generator, then serves the configured requests (or ingests until the
+// spec's duration of wall time passes). Metrics stream as JSONL to -out
+// (default the spec's output field, default stdout): "interval" records
+// while serving, then "partition" and "summary" records. For a fixed seed
+// and refresh off|sync, every metric is bit-identical at any shard count; a
+// closing "wall" line on stderr reports (non-deterministic) wall-clock
+// throughput. A spec with tenants gains "tenant-interval", "control" and
+// final "tenant" records, and a per-tenant table prints to stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/serve"
@@ -47,311 +44,121 @@ import (
 )
 
 func main() {
-	var (
-		spec          = flag.String("spec", "", "declarative run spec (JSON file, see serve.Spec); explicitly-set legacy flags override its fields")
-		shards        = flag.Int("shards", 0, "shard worker pool size (0 = one per core, 1 = sequential; results identical at any value)")
-		partitions    = flag.Int("partitions", 16, "fixed address partitions (part of the simulated configuration)")
-		ops           = flag.Uint64("ops", 2_000_000, "requests to serve")
-		duration      = flag.Duration("duration", 0, "wall-clock ingest bound; stops early even if -ops remain")
-		bench         = flag.String("workload", "dlrm", "workload generator (see cmd/tracegen for names)")
-		seed          = flag.Int64("seed", 1, "workload and training seed")
-		rate          = flag.Float64("rate", 1e6, "open-loop arrival rate in req/s (0 = saturating)")
-		burst         = flag.Float64("burst", 0, "sinusoidal rate modulation amplitude [0,1)")
-		drift         = flag.Bool("drift", false, "shift the working set halfway through -ops (exercises refresh)")
-		refresh       = flag.String("refresh", "off", "online model refresh: off|sync|async (sync keeps determinism, async never blocks serving)")
-		refreshWindow = flag.Int("refresh-window", 1<<16, "sample window a refit trains on (smaller = faster adaptation to a shifted working set)")
-		refreshMin    = flag.Int("refresh-min", 4096, "minimum window fill before a refit runs")
-		driftDelta    = flag.Float64("drift-delta", 0.10, "absolute hit-ratio drop below baseline that counts as drifting")
-		driftSustain  = flag.Int("drift-sustain", 3, "consecutive drifting batches before a refit fires")
-		driftWarmup   = flag.Int("drift-warmup", 8, "batches used to seed the drift baseline")
-		driftAlpha    = flag.Float64("drift-alpha", 0.05, "EWMA coefficient of the drift baseline tracker")
-		warmup        = flag.Int("warmup", 200_000, "warm-up trace length for initial training")
-		cacheMB       = flag.Int("cache-mb", 64, "total device cache size in MiB")
-		ways          = flag.Int("ways", 8, "cache associativity")
-		k             = flag.Int("k", 64, "GMM components")
-		window        = flag.Int("window", 32, "Algorithm 1 len_window")
-		shot          = flag.Int("shot", 2000, "Algorithm 1 len_access_shot (window*shot must fit in the trimmed warm-up)")
-		batch         = flag.Int("batch", 8192, "ingest batch size (batched GMM admission unit)")
-		report        = flag.Int("report", 16, "batches per interval metrics record")
-		out           = flag.String("out", "", "JSONL metrics file (default stdout)")
-		tenants       = flag.String("tenants", "", "multi-tenant spec: JSON array of tenants (inline if it starts with '[', else a file path); overrides -workload/-rate/-burst/-drift")
-		controlEvery  = flag.Int("control-every", 16, "batches per adaptive-controller step (tenants with QoS targets)")
-		controlStep   = flag.Float64("control-step", 1.25, "multiplicative threshold step of the adaptive controller (> 1)")
-		controlMin    = flag.Float64("control-min-mult", 1.0/1024, "lower clamp on the controller's threshold multiplier")
-		controlMax    = flag.Float64("control-max-mult", 1024, "upper clamp on the threshold multiplier (tight clamps keep comfortable tenants identifiable as share donors)")
-		shareAdapt    = flag.Bool("share-adapt", false, "let the controller reallocate HBM capacity shares between QoS tenants (elastic shares)")
-		shareQuantum  = flag.Int("share-quantum", 8, "blocks per partition moved by one share transfer")
-		shareHold     = flag.Int("share-hold", 2, "violated intervals with a saturated threshold lever before a tenant bids for capacity")
-		shareCooldown = flag.Int("share-cooldown", 4, "control intervals the share lever pauses after a transfer (hysteresis)")
-	)
-	flag.Parse()
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-
-	if err := run(config{
-		spec: *spec, set: set,
-		shards: *shards, partitions: *partitions, ops: *ops, duration: *duration,
-		bench: *bench, seed: *seed, rate: *rate, burst: *burst, drift: *drift,
-		refresh: *refresh, refreshWindow: *refreshWindow, refreshMin: *refreshMin,
-		driftDelta: *driftDelta, driftSustain: *driftSustain,
-		driftWarmup: *driftWarmup, driftAlpha: *driftAlpha,
-		warmup: *warmup, cacheMB: *cacheMB, ways: *ways,
-		k: *k, window: *window, shot: *shot, batch: *batch, report: *report, out: *out,
-		tenants: *tenants, controlEvery: *controlEvery, controlStep: *controlStep,
-		controlMin: *controlMin, controlMax: *controlMax,
-		shareAdapt: *shareAdapt, shareQuantum: *shareQuantum,
-		shareHold: *shareHold, shareCooldown: *shareCooldown,
-	}); err != nil {
+	if err := cliMain(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "icgmm-serve:", err)
 		os.Exit(1)
 	}
 }
 
-type config struct {
-	// spec is the -spec file path; set records which flags were given
-	// explicitly (nil means "treat every flag as explicit", the pure-flag
-	// legacy path).
-	spec string
-	set  map[string]bool
-
-	shards, partitions     int
-	ops                    uint64
-	duration               time.Duration
-	bench                  string
-	seed                   int64
-	rate, burst            float64
-	drift                  bool
-	refresh                string
-	refreshWindow          int
-	refreshMin             int
-	driftDelta, driftAlpha float64
-	driftSustain           int
-	driftWarmup            int
-	warmup, cacheMB, ways  int
-	k, window, shot, batch int
-	report                 int
-	out                    string
-	tenants                string
-	controlEvery           int
-	controlStep            float64
-	controlMin, controlMax float64
-	shareAdapt             bool
-	shareQuantum           int
-	shareHold              int
-	shareCooldown          int
+// removedFlags maps every legacy flag retired in PR 6 to the spec field
+// that replaced it, so an old invocation fails with a pointer at its exact
+// migration instead of a generic parse error.
+var removedFlags = map[string]string{
+	"partitions":       "partitions",
+	"ops":              "ops",
+	"duration":         "duration",
+	"workload":         "workload.name",
+	"seed":             "train.seed (and workload.seed / tenants[i].seed)",
+	"rate":             "workload.rate",
+	"burst":            "workload.burst",
+	"drift":            "workload.drift",
+	"refresh":          "refresh.mode",
+	"refresh-window":   "refresh.window",
+	"refresh-min":      "refresh.min",
+	"drift-delta":      "refresh.drift_delta",
+	"drift-sustain":    "refresh.drift_sustain",
+	"drift-warmup":     "refresh.drift_warmup",
+	"drift-alpha":      "refresh.drift_alpha",
+	"warmup":           "warmup",
+	"cache-mb":         "cache.size_mb",
+	"ways":             "cache.ways",
+	"k":                "train.k",
+	"window":           "train.window",
+	"shot":             "train.shot",
+	"batch":            "batch",
+	"report":           "report",
+	"tenants":          "tenants",
+	"control-every":    "control.every",
+	"control-step":     "control.step",
+	"control-min-mult": "control.min_mult",
+	"control-max-mult": "control.max_mult",
+	"share-adapt":      "control.share_adapt",
+	"share-quantum":    "control.share_quantum",
+	"share-hold":       "control.share_hold",
+	"share-cooldown":   "control.share_cooldown",
 }
 
-// isSet reports whether a flag was given explicitly. Without a set map
-// (tests building config directly, or the no-spec path) every flag counts.
-func (c config) isSet(name string) bool {
-	if c.set == nil {
-		return true
+// cliMain is the testable entry point: parse the three surviving flags,
+// load and validate the spec, apply the meta overrides, run.
+func cliMain(args []string) error {
+	if legacy := findRemovedFlag(args); legacy != "" {
+		return fmt.Errorf("-%s was removed in PR 6: set the spec field %q and rerun with -spec run.json (see the README's \"Migrating from flags to -spec\" note)",
+			legacy, removedFlags[legacy])
 	}
-	return c.set[name]
-}
-
-// loadTenantSpecs resolves the -tenants argument: inline JSON when it starts
-// with '[', otherwise a file path.
-func loadTenantSpecs(arg string) ([]serve.TenantSpec, error) {
-	data := []byte(arg)
-	if !strings.HasPrefix(strings.TrimSpace(arg), "[") {
-		b, err := os.ReadFile(arg)
-		if err != nil {
-			return nil, fmt.Errorf("reading -tenants file: %w", err)
+	fs := flag.NewFlagSet("icgmm-serve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	specPath := fs.String("spec", "", "declarative run spec (JSON file, see serve.Spec); required")
+	out := fs.String("out", "", "JSONL metrics sink (file path, or - for stdout); overrides the spec's output field")
+	shards := fs.Int("shards", 0, "override the spec's shard worker pool size (0 = one per core; results identical at any value)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(os.Stderr)
+			fmt.Fprintln(os.Stderr, "usage: icgmm-serve -spec run.json [-out metrics.jsonl] [-shards N]")
+			fs.PrintDefaults()
+			return nil
 		}
-		data = b
+		return err
 	}
-	return serve.ParseTenantSpecs(data)
-}
-
-// buildSpec resolves the run's declarative spec: the -spec document when
-// given, with every explicitly-set legacy flag applied on top as an
-// override; or a spec synthesized from the flags alone (the legacy path,
-// where every flag applies).
-func (c config) buildSpec() (serve.Spec, error) {
-	spec := serve.Spec{Version: serve.SpecVersion}
-	if c.spec != "" {
-		data, err := os.ReadFile(c.spec)
-		if err != nil {
-			return serve.Spec{}, fmt.Errorf("reading -spec file: %w", err)
-		}
-		if spec, err = serve.ParseSpec(data); err != nil {
-			return serve.Spec{}, err
-		}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (the run is described by -spec)", fs.Arg(0))
 	}
-	if err := c.applyFlags(&spec); err != nil {
-		return serve.Spec{}, err
+	if *specPath == "" {
+		return errors.New("-spec is required: icgmm-serve -spec run.json (the legacy flag interface was removed in PR 6; see the README migration note)")
 	}
-	if err := spec.Validate(); err != nil {
-		return serve.Spec{}, err
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return fmt.Errorf("reading -spec file: %w", err)
 	}
-	return spec, nil
-}
-
-// applyFlags folds the explicitly-set legacy flags into the spec — the
-// documented flag→field migration mapping, applied in one place.
-func (c config) applyFlags(s *serve.Spec) error {
-	ensureCache := func() *serve.CacheSpec {
-		if s.Cache == nil {
-			s.Cache = &serve.CacheSpec{}
-		}
-		return s.Cache
-	}
-	ensureTrain := func() *serve.TrainSpec {
-		if s.Train == nil {
-			s.Train = &serve.TrainSpec{}
-		}
-		return s.Train
-	}
-	ensureWorkload := func() *serve.WorkloadSpec {
-		if s.Workload == nil {
-			s.Workload = &serve.WorkloadSpec{}
-		}
-		return s.Workload
-	}
-	ensureRefresh := func() *serve.RefreshSpec {
-		if s.Refresh == nil {
-			s.Refresh = &serve.RefreshSpec{}
-		}
-		return s.Refresh
-	}
-	ensureControl := func() *serve.ControlSpec {
-		if s.Control == nil {
-			s.Control = &serve.ControlSpec{}
-		}
-		return s.Control
-	}
-	if c.isSet("shards") {
-		s.Shards = c.shards
-	}
-	if c.isSet("partitions") {
-		s.Partitions = c.partitions
-	}
-	if c.isSet("ops") {
-		s.Ops = c.ops
-	}
-	if c.isSet("duration") && c.duration > 0 {
-		s.Duration = c.duration.String()
-	}
-	if c.isSet("warmup") {
-		s.Warmup = c.warmup
-	}
-	if c.isSet("batch") {
-		s.Batch = c.batch
-	}
-	if c.isSet("report") {
-		s.Report = c.report
-		if c.report <= 0 {
-			s.Report = -1 // legacy: 0 disabled interval records
-		}
-	}
-	if c.isSet("out") {
-		s.Output = c.out
-	}
-	if c.isSet("cache-mb") {
-		ensureCache().SizeMB = c.cacheMB
-	}
-	if c.isSet("ways") {
-		ensureCache().Ways = c.ways
-	}
-	if c.isSet("k") {
-		ensureTrain().K = c.k
-	}
-	if c.isSet("seed") {
-		ensureTrain().Seed = c.seed
-	}
-	if c.isSet("window") {
-		ensureTrain().Window = c.window
-	}
-	if c.isSet("shot") {
-		ensureTrain().Shot = c.shot
-	}
-	if c.isSet("refresh") {
-		ensureRefresh().Mode = c.refresh
-	}
-	if c.isSet("refresh-window") {
-		ensureRefresh().Window = c.refreshWindow
-	}
-	if c.isSet("refresh-min") {
-		ensureRefresh().Min = c.refreshMin
-	}
-	if c.isSet("drift-delta") {
-		ensureRefresh().DriftDelta = c.driftDelta
-	}
-	if c.isSet("drift-sustain") {
-		ensureRefresh().DriftSustain = c.driftSustain
-	}
-	if c.isSet("drift-warmup") {
-		ensureRefresh().DriftWarmup = c.driftWarmup
-	}
-	if c.isSet("drift-alpha") {
-		ensureRefresh().DriftAlpha = c.driftAlpha
-	}
-	if c.isSet("control-every") {
-		ensureControl().Every = c.controlEvery
-	}
-	if c.isSet("control-step") {
-		ensureControl().Step = c.controlStep
-	}
-	if c.isSet("control-min-mult") {
-		ensureControl().MinMult = c.controlMin
-	}
-	if c.isSet("control-max-mult") {
-		ensureControl().MaxMult = c.controlMax
-	}
-	if c.isSet("share-adapt") {
-		ensureControl().ShareAdapt = c.shareAdapt
-	}
-	if c.isSet("share-quantum") {
-		ensureControl().ShareQuantum = c.shareQuantum
-	}
-	if c.isSet("share-hold") {
-		ensureControl().ShareHold = c.shareHold
-	}
-	if c.isSet("share-cooldown") {
-		cd := c.shareCooldown
-		ensureControl().ShareCooldown = &cd
-	}
-	if c.tenants != "" && c.isSet("tenants") {
-		specs, err := loadTenantSpecs(c.tenants)
-		if err != nil {
-			return err
-		}
-		s.Tenants = specs
-		s.Workload = nil
-	}
-	// Workload flags describe the single anonymous stream; under a tenant
-	// population they are ignored, exactly as before.
-	if len(s.Tenants) == 0 {
-		if c.isSet("workload") {
-			ensureWorkload().Name = c.bench
-		}
-		if c.isSet("seed") {
-			ensureWorkload().Seed = c.seed
-		}
-		if c.isSet("rate") {
-			r := c.rate
-			if r <= 0 {
-				r = -1 // legacy: -rate 0 meant a saturating source
-			}
-			ensureWorkload().Rate = r
-		}
-		if c.isSet("burst") {
-			ensureWorkload().Burst = c.burst
-		}
-		if c.isSet("drift") {
-			ensureWorkload().Drift = c.drift
-		}
-	}
-	return nil
-}
-
-func run(c config) error {
-	spec, err := c.buildSpec()
+	spec, err := serve.ParseSpec(data)
 	if err != nil {
 		return err
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["out"] {
+		spec.Output = *out
+	}
+	if set["shards"] {
+		spec.Shards = *shards
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
 	return runSpec(spec)
+}
+
+// findRemovedFlag scans raw arguments for a flag retired in PR 6, before
+// flag parsing turns it into a generic "flag provided but not defined".
+func findRemovedFlag(args []string) string {
+	for _, a := range args {
+		if len(a) < 2 || a[0] != '-' {
+			continue
+		}
+		name := a[1:]
+		if name[0] == '-' {
+			name = name[1:]
+		}
+		for i := 0; i < len(name); i++ {
+			if name[i] == '=' {
+				name = name[:i]
+				break
+			}
+		}
+		if _, ok := removedFlags[name]; ok {
+			return name
+		}
+	}
+	return ""
 }
 
 // runSpec drives one serving run through the Session lifecycle: resolve the

@@ -6,30 +6,106 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-	"time"
+
+	"repro/internal/serve"
 )
 
-// baseConfig returns flag defaults scaled down for tests. The warmup/shot
-// pairs under test must fail fast — before any GMM training — so these runs
-// complete in milliseconds.
-func baseConfig() config {
-	return config{
-		shards: 1, partitions: 8, ops: 1024, duration: time.Duration(0),
-		bench: "dlrm", seed: 1, rate: 1e6,
-		refresh: "off", warmup: 200_000, cacheMB: 16, ways: 8,
-		k: 8, window: 32, shot: 2000, batch: 1024, report: 16,
-		out: "/dev/null", controlEvery: 16, controlStep: 1.25,
+// writeSpec drops a spec document into a temp dir and returns its path.
+func writeSpec(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLIRequiresSpec: with the legacy flags gone, -spec is the interface;
+// an empty invocation must say so and point at the migration note.
+func TestCLIRequiresSpec(t *testing.T) {
+	err := cliMain(nil)
+	if err == nil {
+		t.Fatal("empty invocation accepted")
+	}
+	if !strings.Contains(err.Error(), "-spec is required") {
+		t.Errorf("error does not require -spec: %v", err)
+	}
+	if !strings.Contains(err.Error(), "removed in PR 6") {
+		t.Errorf("error does not mention the flag removal: %v", err)
 	}
 }
 
-// TestRunRejectsShortWarmup is the regression test for the warm-up
-// validation: a warm-up whose trimmed length cannot cover one access shot
-// must be an error (the old CLI only printed a warning, and only for the
-// default single-workload path).
-func TestRunRejectsShortWarmup(t *testing.T) {
-	c := baseConfig()
-	c.warmup = 40_000 // trimmed 28k < 32*2000 = 64k
-	err := run(c)
+// TestCLIRejectsRemovedFlags: every retired flag must fail with a message
+// naming the spec field that replaced it — in all the spellings the old
+// interface accepted (-flag value, -flag=value, --flag), and regardless of
+// where it sits in the argument list.
+func TestCLIRejectsRemovedFlags(t *testing.T) {
+	cases := []struct {
+		args  []string
+		field string
+	}{
+		{[]string{"-workload", "parsec"}, `"workload.name"`},
+		{[]string{"--workload=parsec"}, `"workload.name"`},
+		{[]string{"-spec", "run.json", "-ops", "1024"}, `"ops"`},
+		{[]string{"-cache-mb=16"}, `"cache.size_mb"`},
+		{[]string{"-k", "8"}, `"train.k"`},
+		{[]string{"-shot", "500"}, `"train.shot"`},
+		{[]string{"-refresh", "sync"}, `"refresh.mode"`},
+		{[]string{"-drift"}, `"workload.drift"`},
+		{[]string{"-drift-sustain", "8"}, `"refresh.drift_sustain"`},
+		{[]string{"-tenants", "t.json"}, `"tenants"`},
+		{[]string{"-share-adapt"}, `"control.share_adapt"`},
+		{[]string{"-control-max-mult", "16"}, `"control.max_mult"`},
+	}
+	for _, tc := range cases {
+		err := cliMain(tc.args)
+		if err == nil {
+			t.Errorf("%v: accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "removed in PR 6") {
+			t.Errorf("%v: error is not the migration message: %v", tc.args, err)
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%v: error does not name spec field %s: %v", tc.args, tc.field, err)
+		}
+	}
+}
+
+// TestCLIRejectsUnknownFlagAndArgs: a flag that never existed still gets the
+// stock parse error, and stray positional arguments are refused.
+func TestCLIRejectsUnknownFlagAndArgs(t *testing.T) {
+	if err := cliMain([]string{"-frobnicate"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := cliMain([]string{"-spec", "run.json", "extra"}); err == nil || !strings.Contains(err.Error(), `"extra"`) {
+		t.Errorf("positional argument not refused: %v", err)
+	}
+}
+
+// TestCLIHelp: -h prints usage and exits cleanly rather than erroring.
+func TestCLIHelp(t *testing.T) {
+	if err := cliMain([]string{"-h"}); err != nil {
+		t.Errorf("-h returned %v", err)
+	}
+}
+
+// TestCLIMissingAndMalformedSpec: unreadable files and documents that fail
+// validation surface as errors, not silent defaults.
+func TestCLIMissingAndMalformedSpec(t *testing.T) {
+	if err := cliMain([]string{"-spec", "/nonexistent/run.json"}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	// Unknown field: the strict decoder names the path.
+	err := cliMain([]string{"-spec", writeSpec(t, `{"version": 1, "sahre": 2}`)})
+	if err == nil || !strings.Contains(err.Error(), "sahre") {
+		t.Errorf("unknown spec field not named: %v", err)
+	}
+	// Valid JSON, invalid run: warm-up too short for one access shot.
+	err = cliMain([]string{"-spec", writeSpec(t, `{
+	 "version": 1, "ops": 1024, "warmup": 40000, "output": "/dev/null",
+	 "train": {"k": 8, "shot": 2000}
+	}`)})
 	if err == nil {
 		t.Fatal("short warm-up accepted")
 	}
@@ -38,17 +114,18 @@ func TestRunRejectsShortWarmup(t *testing.T) {
 	}
 }
 
-// TestRunRejectsStarvedTenantWarmup: the per-tenant validation must error,
-// naming the tenant whose rate share leaves unseen timestamp stripes, even
-// when the global warm-up is long enough.
-func TestRunRejectsStarvedTenantWarmup(t *testing.T) {
-	c := baseConfig()
-	c.shot = 500 // global span 16k fits the 140k trimmed warm-up
-	c.tenants = `[
-	 {"name":"whale","workload":"dlrm","seed":1,"rate":990000,"share":0.5},
-	 {"name":"starved","workload":"memtier","seed":2,"rate":10000,"share":0.5}
-	]`
-	err := run(c)
+// TestCLIRejectsStarvedTenantWarmup: the per-tenant warm-up validation must
+// error through the spec path, naming the tenant whose rate share leaves
+// unseen timestamp stripes.
+func TestCLIRejectsStarvedTenantWarmup(t *testing.T) {
+	err := cliMain([]string{"-spec", writeSpec(t, `{
+	 "version": 1, "ops": 1024, "warmup": 200000, "output": "/dev/null",
+	 "train": {"k": 8, "shot": 500},
+	 "tenants": [
+	  {"name": "whale", "workload": "dlrm", "seed": 1, "rate": 990000, "share": 0.5},
+	  {"name": "starved", "workload": "memtier", "seed": 2, "rate": 10000, "share": 0.5}
+	 ]
+	}`)})
 	if err == nil {
 		t.Fatal("starved tenant accepted")
 	}
@@ -57,79 +134,32 @@ func TestRunRejectsStarvedTenantWarmup(t *testing.T) {
 	}
 }
 
-// TestRunRejectsBadTenantSpec: malformed -tenants JSON is an error, not a
-// silent fallback to the single-workload path.
-func TestRunRejectsBadTenantSpec(t *testing.T) {
-	c := baseConfig()
-	c.tenants = `[{"name":"a","workload":"dlrm","rate":1e6,"share":0.5,"typo_field":1}]`
-	if err := run(c); err == nil {
-		t.Fatal("malformed tenant spec accepted")
+// TestCLIOverrides: -out and -shards are the only overrides left, and they
+// apply only when set — a bare -spec run keeps the document's values. Probed
+// via the removed-output path: overriding -out to an unwritable directory
+// must fail at sink creation, proving the override took.
+func TestCLIOverrides(t *testing.T) {
+	doc := writeSpec(t, `{"version": 1, "ops": 1024, "warmup": 40000, "output": "/dev/null",
+	 "train": {"k": 8, "shot": 2000}}`)
+	// Short warm-up fails validation before the sink opens, with or without
+	// overrides; a bogus -shards must not change the error.
+	err1 := cliMain([]string{"-spec", doc})
+	err2 := cliMain([]string{"-spec", doc, "-shards", "3", "-out", "/nonexistent/dir/out.jsonl"})
+	if err1 == nil || err2 == nil {
+		t.Fatal("short warm-up accepted")
 	}
-}
-
-// TestLoadTenantSpecsInline: the -tenants argument doubles as inline JSON
-// when it starts with '['.
-func TestLoadTenantSpecsInline(t *testing.T) {
-	specs, err := loadTenantSpecs(` [{"name":"a","workload":"dlrm","rate":1e6,"share":0.5}]`)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(specs) != 1 || specs[0].Name != "a" {
-		t.Fatalf("specs = %+v", specs)
-	}
-	if _, err := loadTenantSpecs("/nonexistent/tenants.json"); err == nil {
-		t.Fatal("missing spec file accepted")
-	}
-}
-
-// TestSpecFlagOverrides: with -spec, only explicitly-set legacy flags
-// override the document — unset flags leave the spec's values alone.
-func TestSpecFlagOverrides(t *testing.T) {
-	c := baseConfig()
-	c.spec = "testdata/spec-elastic.json"
-	c.set = map[string]bool{"shards": true, "out": true, "control-step": true}
-	c.shards = 8
-	c.out = "override.jsonl"
-	c.controlStep = 2.5
-	spec, err := c.buildSpec()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if spec.Shards != 8 || spec.Output != "override.jsonl" || spec.Control.Step != 2.5 {
-		t.Errorf("overrides not applied: shards=%d output=%q step=%v", spec.Shards, spec.Output, spec.Control.Step)
-	}
-	// Everything the flags did not touch keeps the document's values.
-	if spec.Ops != 163840 || spec.Partitions != 8 || spec.Train.K != 8 || len(spec.Tenants) != 3 {
-		t.Errorf("spec fields lost: %+v", spec)
-	}
-	if spec.Control.ShareQuantum != 8 || !spec.Control.ShareAdapt {
-		t.Errorf("control section lost: %+v", spec.Control)
-	}
-}
-
-// TestSpecFlagOverrideTenants: -tenants on top of -spec replaces the tenant
-// population (and clears any single-stream workload).
-func TestSpecFlagOverrideTenants(t *testing.T) {
-	c := baseConfig()
-	c.spec = "testdata/spec-elastic.json"
-	c.set = map[string]bool{"tenants": true}
-	c.tenants = `[{"name":"solo","workload":"dlrm","seed":1,"rate":1e6,"share":0.5}]`
-	spec, err := c.buildSpec()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(spec.Tenants) != 1 || spec.Tenants[0].Name != "solo" {
-		t.Fatalf("tenants not overridden: %+v", spec.Tenants)
+	if err1.Error() != err2.Error() {
+		t.Errorf("meta overrides changed the validation error: %v vs %v", err1, err2)
 	}
 }
 
 // TestSpecReproducesGoldenRun is the CLI-level acceptance check: running the
-// committed spec-elastic.json through the real run path must reproduce the
-// PR-4 golden JSONL byte for byte.
+// committed spec-elastic.json through the real entry point must reproduce
+// the PR-4 golden JSONL byte for byte — and a -shards override must not
+// change a byte of it.
 func TestSpecReproducesGoldenRun(t *testing.T) {
 	outPath := filepath.Join(t.TempDir(), "metrics.jsonl")
-	c := config{spec: "testdata/spec-elastic.json", set: map[string]bool{"out": true}, out: outPath}
-	if err := run(c); err != nil {
+	if err := cliMain([]string{"-spec", "testdata/spec-elastic.json", "-out", outPath, "-shards", "4"}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(outPath)
@@ -142,5 +172,27 @@ func TestSpecReproducesGoldenRun(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Errorf("-spec run diverges from the golden JSONL (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestCommittedSpecsParse: the testdata specs the Makefile smokes run must
+// stay loadable and valid.
+func TestCommittedSpecsParse(t *testing.T) {
+	for _, path := range []string{
+		"testdata/spec-smoke.json",
+		"testdata/spec-tenants.json",
+		"testdata/spec-elastic.json",
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := serve.ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
 	}
 }

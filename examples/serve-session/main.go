@@ -9,7 +9,9 @@
 //  3. Checkpoint: the full mutable state — model, cache contents, tenant
 //     budgets, controller state, histograms, RNG cursors — as one JSON
 //     document.
-//  4. Resume a fresh session from the checkpoint and run it to completion.
+//  4. Detach the paused session (Close refuses after a Checkpoint — the
+//     resumed copy owns the rest of the stream), then Resume a fresh
+//     session from the checkpoint and run it to completion.
 //  5. Verify the pause/resume contract: the concatenated metric stream is
 //     byte-identical to an uninterrupted run of the same spec.
 //
@@ -110,8 +112,12 @@ func main() {
 	}
 	fmt.Printf("checkpointed at batch %d: %d bytes of state (model, caches, budgets, controller, RNG cursors)\n",
 		sess.Batches(), ckpt.Len())
-	// The paused session is abandoned; a fresh one — same process here, any
-	// process in general — picks the run back up.
+	// The resumed copy owns the rest of the metric stream now, so the paused
+	// session must Detach — release its resources without emitting the final
+	// records (Close would, and therefore refuses after a Checkpoint).
+	sess.Detach()
+	// A fresh session — same process here, any process in general — picks
+	// the run back up.
 	var second bytes.Buffer
 	resumed, err := serve.Resume(&ckpt, &second)
 	if err != nil {

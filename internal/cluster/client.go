@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/strictjson"
+)
+
+// Client speaks the worker protocol to one worker. The worker is addressed
+// purely by URL — the client neither knows nor cares whether the other end
+// is a spawned process on localhost, an in-process test worker, or a remote
+// machine.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the worker at base (e.g.
+// "http://127.0.0.1:41873").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimSuffix(base, "/"),
+		// Requests carry whole serving steps, so no overall timeout; dead
+		// workers are caught by connection errors and the heartbeat.
+		hc: &http.Client{},
+	}
+}
+
+// call POSTs a request document and strictly decodes the response into
+// out. Non-2xx replies surface as errors carrying the worker's message;
+// transport errors surface as *TransportError so the coordinator can tell a
+// dead worker from a live one rejecting a request.
+func (c *Client) call(endpoint string, req, out any, root string) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+"/"+protocolVersion+"/"+endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return &TransportError{Endpoint: endpoint, Err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return &TransportError{Endpoint: endpoint, Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("cluster: worker %s: %s", endpoint, e.Error)
+		}
+		return fmt.Errorf("cluster: worker %s: HTTP %d", endpoint, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return strictjson.Unmarshal(data, out, root)
+}
+
+// TransportError wraps a failure to reach the worker at all — the signal,
+// along with missed heartbeats and process exit, that a worker is dead (as
+// opposed to alive and rejecting a bad request).
+type TransportError struct {
+	Endpoint string
+	Err      error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("cluster: worker unreachable (%s): %v", e.Endpoint, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Open opens a fresh session from a serve spec document.
+func (c *Client) Open(session string, spec json.RawMessage, checkpointEvery uint64) error {
+	var resp openResponse
+	return c.call("open", openRequest{Session: session, Spec: spec, CheckpointEvery: checkpointEvery}, &resp, "open")
+}
+
+// Resume rebuilds a session from a checkpoint document and returns the
+// batch count it resumed at.
+func (c *Client) Resume(session string, checkpoint json.RawMessage, checkpointEvery uint64) (uint64, error) {
+	var resp openResponse
+	err := c.call("resume", resumeRequest{Session: session, Checkpoint: checkpoint, CheckpointEvery: checkpointEvery}, &resp, "resume")
+	return resp.Batches, err
+}
+
+// Step drives a session to a target total batch count.
+func (c *Client) Step(session string, target uint64) (stepResponse, error) {
+	var resp stepResponse
+	err := c.call("step", stepRequest{Session: session, Target: target}, &resp, "step")
+	return resp, err
+}
+
+// Checkpoint takes an explicit checkpoint of an idle session (the first
+// half of a migration).
+func (c *Client) Checkpoint(session string) (checkpointInfo, error) {
+	var resp checkpointInfo
+	err := c.call("checkpoint", checkpointRequest{Session: session}, &resp, "checkpoint")
+	return resp, err
+}
+
+// Detach tears a session down without final records (the second half of a
+// migration).
+func (c *Client) Detach(session string) error {
+	var resp detachResponse
+	return c.call("detach", detachRequest{Session: session}, &resp, "detach")
+}
+
+// Health probes the worker, returning its open session count. It is the
+// heartbeat: a transport failure here marks the worker dead.
+func (c *Client) Health(timeout time.Duration) (int, error) {
+	hc := &http.Client{Timeout: timeout}
+	resp, err := hc.Get(c.base + "/" + protocolVersion + "/health")
+	if err != nil {
+		return 0, &TransportError{Endpoint: "health", Err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, &TransportError{Endpoint: "health", Err: err}
+	}
+	var h healthResponse
+	if err := strictjson.Unmarshal(data, &h, "health"); err != nil {
+		return 0, err
+	}
+	return h.Sessions, nil
+}

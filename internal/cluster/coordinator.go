@@ -1,0 +1,561 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a coordinator run.
+type Options struct {
+	// Merged receives the merged ordered stream: every committed metric
+	// record from every session, wrapped as a MergedRecord line. Nil
+	// discards it.
+	Merged io.Writer
+	// SessionWriter, if set, supplies a per-session sink for each session's
+	// raw committed JSONL — byte-identical to the stream an uninterrupted
+	// single-process run of the same serve spec would write. Called once
+	// per session, before any bytes flow.
+	SessionWriter func(name string) io.Writer
+	// Heartbeat is the worker health-probe period (default 250ms). The
+	// heartbeat is one of three death signals — transport errors on step
+	// and the process-exit channel are the others — so runs work without
+	// it, just with detection latency tied to the stepping cadence.
+	Heartbeat time.Duration
+	// Logf, if set, receives progress lines (placements, faults, deaths,
+	// replays).
+	Logf func(format string, args ...any)
+}
+
+// Report summarizes a completed cluster run.
+type Report struct {
+	// Sessions, in spec order.
+	Sessions []SessionReport `json:"sessions"`
+	// WorkerRestarts counts workers respawned after a death.
+	WorkerRestarts int `json:"worker_restarts"`
+}
+
+// SessionReport is one session's life story.
+type SessionReport struct {
+	Name string `json:"name"`
+	// Batches served in total.
+	Batches uint64 `json:"batches"`
+	// Worker is the slot the session finished on.
+	Worker int `json:"worker"`
+	// Migrations counts live migrations; Replays counts crash recoveries
+	// (resume-from-checkpoint or full reopen after a worker death).
+	Migrations int `json:"migrations"`
+	Replays    int `json:"replays"`
+}
+
+// coordinator is the run's mutable state. All fields are owned by the
+// driving goroutine; workers' death flags are the only cross-goroutine
+// state (written by monitor goroutines, atomically).
+type coordinator struct {
+	spec     Spec
+	launcher Launcher
+	opts     Options
+	ckEvery  uint64
+
+	workers  []*workerState
+	sessions []*sessionState
+	place    *Placement
+	merged   *mergedSink
+	fired    []bool // per spec fault, set once injected
+	restarts int
+}
+
+type workerState struct {
+	slot   int
+	handle *Handle
+	client *Client
+	// dead is set by the heartbeat monitor or the process-exit watcher;
+	// the drive loop checks it between rounds and recovers proactively.
+	dead *atomic.Bool
+	// stop tears down this incarnation's monitor goroutines.
+	stop chan struct{}
+	gen  int
+}
+
+type sessionState struct {
+	index int
+	name  string
+	doc   []byte // serve.Spec document, for checkpoint-less replays
+	out   io.Writer
+
+	worker  int
+	batches uint64
+	closed  bool
+
+	// Commit accounting for the current incarnation (reset on every resume):
+	// pending holds received-but-uncommitted metric bytes; committed and
+	// received count this incarnation's bytes below and including them.
+	pending   []byte
+	committed uint64
+	received  uint64
+
+	// ckpt is the newest replay point: the last periodic checkpoint or the
+	// last migration checkpoint, whichever is later. Nil until the first —
+	// a worker death then costs a full replay from batch zero.
+	ckpt *checkpointInfo
+
+	migrations int
+	replays    int
+}
+
+// Run executes a cluster spec to completion: launch the fleet, place the
+// sessions, drive them in lockstep rounds (injecting the spec's faults at
+// their batch boundaries), and tear the fleet down. On success every
+// session has emitted its complete metric stream — finals included — into
+// the merged sink and its per-session sink, byte-identical to an
+// uninterrupted single-process run of its serve spec.
+func Run(spec Spec, launcher Launcher, opts Options) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = 250 * time.Millisecond
+	}
+	c := &coordinator{
+		spec:     spec,
+		launcher: launcher,
+		opts:     opts,
+		ckEvery:  spec.EffectiveCheckpointEvery(),
+		place:    NewPlacement(spec.EffectiveWorkers()),
+		merged:   &mergedSink{w: opts.Merged},
+		fired:    make([]bool, len(spec.Faults)),
+	}
+	defer c.shutdown()
+	if err := c.launchFleet(); err != nil {
+		return nil, err
+	}
+	if err := c.placeSessions(); err != nil {
+		return nil, err
+	}
+	if err := c.drive(); err != nil {
+		return nil, err
+	}
+	rep := &Report{WorkerRestarts: c.restarts}
+	for _, s := range c.sessions {
+		rep.Sessions = append(rep.Sessions, SessionReport{
+			Name:       s.name,
+			Batches:    s.batches,
+			Worker:     s.worker,
+			Migrations: s.migrations,
+			Replays:    s.replays,
+		})
+	}
+	return rep, nil
+}
+
+func (c *coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// launchFleet starts the spec's worker count and their monitors.
+func (c *coordinator) launchFleet() error {
+	n := c.spec.EffectiveWorkers()
+	c.workers = make([]*workerState, n)
+	for i := 0; i < n; i++ {
+		ws := &workerState{slot: i, dead: &atomic.Bool{}}
+		if err := c.spawn(ws); err != nil {
+			return err
+		}
+		c.workers[i] = ws
+		c.logf("worker %d up at %s", i, ws.handle.URL)
+	}
+	return nil
+}
+
+// spawn launches (or relaunches) the worker for a slot and starts its
+// death monitors: a heartbeat prober and a process-exit watcher. Monitors
+// capture this incarnation's handle and client so a later respawn cannot
+// race them.
+func (c *coordinator) spawn(ws *workerState) error {
+	h, err := c.launcher.Launch(fmt.Sprintf("worker%d-g%d", ws.slot, ws.gen))
+	if err != nil {
+		return fmt.Errorf("cluster: launching worker %d: %w", ws.slot, err)
+	}
+	ws.gen++
+	ws.handle = h
+	ws.client = NewClient(h.URL)
+	ws.dead = &atomic.Bool{}
+	ws.stop = make(chan struct{})
+	dead, stop, client := ws.dead, ws.stop, ws.client
+	go func() { // process-exit watcher
+		select {
+		case <-h.Done:
+			dead.Store(true)
+		case <-stop:
+		}
+	}()
+	hb := c.opts.Heartbeat
+	go func() { // heartbeat prober
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		misses := 0
+		for {
+			select {
+			case <-t.C:
+				_, err := client.Health(hb)
+				var te *TransportError
+				if err != nil && errors.As(err, &te) {
+					// Three consecutive misses before declaring death: a
+					// single slow probe (a loaded machine, a long GC pause)
+					// must not trigger a replay of a healthy worker.
+					if misses++; misses >= 3 {
+						dead.Store(true)
+						return
+					}
+				} else {
+					misses = 0
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// stopMonitors ends the current incarnation's monitor goroutines.
+func (ws *workerState) stopMonitors() {
+	if ws.stop != nil {
+		close(ws.stop)
+		ws.stop = nil
+	}
+}
+
+// shutdown kills every worker and stops the monitors (end of run, success
+// or not).
+func (c *coordinator) shutdown() {
+	for _, ws := range c.workers {
+		if ws == nil {
+			continue
+		}
+		ws.stopMonitors()
+		if ws.handle != nil {
+			ws.handle.Kill() //nolint:errcheck // teardown
+		}
+	}
+}
+
+// placeSessions assigns every session a slot (deterministically) and opens
+// it there.
+func (c *coordinator) placeSessions() error {
+	for i, ss := range c.spec.Sessions {
+		st := &sessionState{index: i, name: ss.Name, doc: append([]byte(nil), ss.Spec...)}
+		if c.opts.SessionWriter != nil {
+			st.out = c.opts.SessionWriter(ss.Name)
+		}
+		st.worker = c.place.Assign()
+		if err := c.workers[st.worker].client.Open(st.name, st.doc, c.ckEvery); err != nil {
+			return fmt.Errorf("cluster: opening session %q on worker %d: %w", st.name, st.worker, err)
+		}
+		c.sessions = append(c.sessions, st)
+		c.logf("session %q placed on worker %d", st.name, st.worker)
+	}
+	return nil
+}
+
+// drive runs the lockstep rounds: in round t every live session is stepped
+// to a total of t batches, responses are absorbed in session order, and
+// spec faults fire at their batch boundaries between rounds. The loop ends
+// when every session has closed.
+func (c *coordinator) drive() error {
+	for t := uint64(1); ; t++ {
+		if err := c.fireFaults(t - 1); err != nil {
+			return err
+		}
+		live := c.liveSessions()
+		if len(live) == 0 {
+			return nil
+		}
+		if err := c.recoverFlagged(); err != nil {
+			return err
+		}
+		// Up to a few attempts per round: a worker death fails its
+		// sessions' steps, recovery replays them, and the retry re-steps
+		// them to the same target. Anything still failing after that is a
+		// real error, not a fault to ride out.
+		for attempt := 0; ; attempt++ {
+			failed, err := c.stepRound(live, t)
+			if err != nil {
+				return err
+			}
+			if len(failed) == 0 {
+				break
+			}
+			if attempt >= 3 {
+				return fmt.Errorf("cluster: round %d: %d sessions still failing after %d recovery attempts", t, len(failed), attempt)
+			}
+			if err := c.recoverSlots(failed); err != nil {
+				return err
+			}
+			live = failed
+		}
+	}
+}
+
+// liveSessions returns the not-yet-closed sessions in spec order.
+func (c *coordinator) liveSessions() []*sessionState {
+	var out []*sessionState
+	for _, s := range c.sessions {
+		if !s.closed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// stepRound steps each given session to target concurrently (workers
+// serialize their own sessions; distinct workers genuinely overlap) and
+// absorbs the responses in session-index order, which keeps the merged
+// stream deterministic. It returns the sessions whose workers died
+// mid-step; any other failure is an error.
+func (c *coordinator) stepRound(live []*sessionState, target uint64) ([]*sessionState, error) {
+	type outcome struct {
+		resp stepResponse
+		err  error
+	}
+	results := make([]outcome, len(live))
+	var wg sync.WaitGroup
+	for i, s := range live {
+		client := c.workers[s.worker].client
+		name := s.name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Step(name, target)
+			results[i] = outcome{resp: resp, err: err}
+		}()
+	}
+	wg.Wait()
+	var failed []*sessionState
+	for i, s := range live {
+		r := results[i]
+		if r.err != nil {
+			var te *TransportError
+			if errors.As(r.err, &te) {
+				c.logf("session %q: worker %d unreachable: %v", s.name, s.worker, r.err)
+				failed = append(failed, s)
+				continue
+			}
+			return nil, fmt.Errorf("cluster: stepping session %q: %w", s.name, r.err)
+		}
+		if err := c.absorb(s, r.resp); err != nil {
+			return nil, err
+		}
+	}
+	return failed, nil
+}
+
+// absorb folds one step response into a session: buffer its metric bytes,
+// commit through any checkpoint it carries, and finish it if the run
+// ended. Commits are the only writes to the sinks, and they happen in
+// deterministic order — absorb is called in session-index order per round.
+func (c *coordinator) absorb(s *sessionState, resp stepResponse) error {
+	s.batches = resp.Batches
+	if len(resp.Metrics) > 0 {
+		s.pending = append(s.pending, resp.Metrics...)
+		s.received += uint64(len(resp.Metrics))
+	}
+	if resp.Checkpoint != nil {
+		if err := c.commitTo(s, resp.Checkpoint.Emitted); err != nil {
+			return err
+		}
+		s.ckpt = resp.Checkpoint
+	}
+	if resp.Closed {
+		if err := c.commitAll(s); err != nil {
+			return err
+		}
+		s.closed = true
+		c.place.Release(s.worker)
+		c.logf("session %q finished at %d batches on worker %d", s.name, s.batches, s.worker)
+	}
+	return nil
+}
+
+// commitTo releases the session's buffered bytes up to an incarnation
+// offset — a checkpoint position, so a worker death past this point can
+// regenerate everything after it, byte for byte. Committed bytes flow to
+// the per-session sink raw and to the merged sink wrapped.
+func (c *coordinator) commitTo(s *sessionState, emitted uint64) error {
+	if emitted < s.committed {
+		return fmt.Errorf("cluster: session %q checkpoint offset %d behind committed %d", s.name, emitted, s.committed)
+	}
+	if emitted > s.received {
+		return fmt.Errorf("cluster: session %q checkpoint offset %d beyond received %d", s.name, emitted, s.received)
+	}
+	n := emitted - s.committed
+	if n == 0 {
+		return nil
+	}
+	chunk := s.pending[:n]
+	if s.out != nil {
+		if _, err := s.out.Write(chunk); err != nil {
+			return err
+		}
+	}
+	if err := c.merged.emit(s.name, chunk); err != nil {
+		return err
+	}
+	s.pending = append([]byte(nil), s.pending[n:]...)
+	s.committed = emitted
+	return nil
+}
+
+// commitAll releases everything buffered — the clean end of a session's
+// run (finals included) or a migration boundary, where the explicit
+// checkpoint covers every byte received.
+func (c *coordinator) commitAll(s *sessionState) error {
+	return c.commitTo(s, s.received)
+}
+
+// fireFaults injects the spec faults scheduled after batch boundary b.
+func (c *coordinator) fireFaults(b uint64) error {
+	for i := range c.spec.Faults {
+		f := c.spec.Faults[i]
+		if f.After != b || c.fired[i] {
+			continue
+		}
+		c.fired[i] = true
+		switch f.Kind {
+		case FaultMigrate:
+			if err := c.migrate(f.Session, f.Worker); err != nil {
+				return err
+			}
+		case FaultKill:
+			c.logf("fault: killing worker %d after batch %d", f.Worker, b)
+			c.workers[f.Worker].handle.Kill() //nolint:errcheck // death is the point
+		}
+	}
+	return nil
+}
+
+// migrate live-migrates a session: explicit checkpoint on its current
+// worker, commit every byte the checkpoint covers, resume on the target,
+// then detach the original (tear-down without final records). The
+// checkpoint doubles as the session's newest replay point.
+func (c *coordinator) migrate(name string, target int) error {
+	s := c.byName(name)
+	if s == nil || s.closed {
+		c.logf("fault: migrate %q skipped (already finished)", name)
+		return nil
+	}
+	if s.worker == target {
+		c.logf("fault: migrate %q skipped (already on worker %d)", name, target)
+		return nil
+	}
+	src, dst := c.workers[s.worker], c.workers[target]
+	info, err := src.client.Checkpoint(name)
+	if err != nil {
+		return fmt.Errorf("cluster: migrating %q: checkpoint: %w", name, err)
+	}
+	// Between steps nothing new is emitted, so the checkpoint covers every
+	// byte received — this commit drains the buffer exactly.
+	if info.Emitted != s.received {
+		return fmt.Errorf("cluster: migrating %q: checkpoint covers %d bytes, coordinator received %d", name, info.Emitted, s.received)
+	}
+	if err := c.commitAll(s); err != nil {
+		return err
+	}
+	b, err := dst.client.Resume(name, info.Doc, c.ckEvery)
+	if err != nil {
+		return fmt.Errorf("cluster: migrating %q: resume on worker %d: %w", name, target, err)
+	}
+	if err := src.client.Detach(name); err != nil {
+		return fmt.Errorf("cluster: migrating %q: detach: %w", name, err)
+	}
+	c.place.Move(s.worker, target)
+	c.logf("fault: migrated %q from worker %d to worker %d at batch %d", name, s.worker, target, info.Batches)
+	s.worker = target
+	s.batches = b
+	s.ckpt = &info
+	s.pending = nil
+	s.committed, s.received = 0, 0
+	s.migrations++
+	return nil
+}
+
+func (c *coordinator) byName(name string) *sessionState {
+	for _, s := range c.sessions {
+		if s.name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// recoverFlagged respawns workers whose monitors flagged them dead since
+// the last round — the heartbeat / process-exit legs of death detection.
+// (The step-error leg recovers through recoverSlots instead.)
+func (c *coordinator) recoverFlagged() error {
+	for _, ws := range c.workers {
+		if ws.dead.Load() {
+			if err := c.recoverWorker(ws); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recoverSlots recovers the workers behind a set of failed sessions.
+func (c *coordinator) recoverSlots(failed []*sessionState) error {
+	done := make(map[int]bool)
+	for _, s := range failed {
+		if done[s.worker] {
+			continue
+		}
+		done[s.worker] = true
+		if err := c.recoverWorker(c.workers[s.worker]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverWorker replaces a dead worker: kill whatever is left of it, spawn
+// a fresh one into the same slot, and replay every session that lived
+// there from its last checkpoint (or from batch zero, retraining and all,
+// if it never reached one). Buffered uncommitted bytes are discarded — the
+// replay regenerates them byte-identically, which is the whole contract.
+func (c *coordinator) recoverWorker(ws *workerState) error {
+	c.logf("worker %d dead; respawning", ws.slot)
+	ws.stopMonitors()
+	ws.handle.Kill() //nolint:errcheck // it is already dying
+	if err := c.spawn(ws); err != nil {
+		return err
+	}
+	c.restarts++
+	for _, s := range c.sessions {
+		if s.closed || s.worker != ws.slot {
+			continue
+		}
+		s.pending = nil
+		s.committed, s.received = 0, 0
+		if s.ckpt != nil {
+			b, err := ws.client.Resume(s.name, s.ckpt.Doc, c.ckEvery)
+			if err != nil {
+				return fmt.Errorf("cluster: replaying session %q on worker %d: %w", s.name, ws.slot, err)
+			}
+			s.batches = b
+			c.logf("session %q replayed from checkpoint at batch %d", s.name, b)
+		} else {
+			if err := ws.client.Open(s.name, s.doc, c.ckEvery); err != nil {
+				return fmt.Errorf("cluster: reopening session %q on worker %d: %w", s.name, ws.slot, err)
+			}
+			s.batches = 0
+			c.logf("session %q replayed from scratch (no checkpoint yet)", s.name)
+		}
+		s.replays++
+	}
+	return nil
+}

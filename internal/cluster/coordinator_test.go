@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// goldenFaults is the standing fault schedule for the golden tests: the
+// tenants session is live-migrated from worker 0 to worker 1 after batch 6,
+// then worker 1 — by that point hosting both sessions — is killed after
+// batch 10, forcing the coordinator to detect the death and replay both
+// sessions from their batch-8 periodic checkpoints.
+const goldenFaults = `[
+ {"kind": "migrate", "after": 6, "session": "tenants", "worker": 1},
+ {"kind": "kill", "after": 10, "worker": 1}
+]`
+
+// uninterruptedStream runs a serve spec document to completion in-process
+// and returns its full metric stream — the golden every cluster run is
+// diffed against.
+func uninterruptedStream(t *testing.T, doc []byte) []byte {
+	t.Helper()
+	spec, err := serve.ParseSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sess, err := serve.Open(spec, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// runCluster executes a cluster spec document on in-process workers,
+// returning the per-session committed streams, the merged stream, and the
+// report.
+func runCluster(t *testing.T, doc string) (map[string]*bytes.Buffer, []byte, *Report) {
+	t.Helper()
+	spec, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var launcher LocalLauncher
+	t.Cleanup(launcher.Close)
+	perSession := make(map[string]*bytes.Buffer)
+	var merged bytes.Buffer
+	rep, err := Run(spec, &launcher, Options{
+		Merged: &merged,
+		SessionWriter: func(name string) io.Writer {
+			buf := &bytes.Buffer{}
+			perSession[name] = buf
+			return buf
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return perSession, merged.Bytes(), rep
+}
+
+// TestClusterGoldenAcrossFaults is the acceptance test: a 2-session run on
+// 2 workers, with one forced live migration and one forced worker kill (the
+// kill taking down both sessions), must commit per-session metric streams
+// byte-identical to uninterrupted single-process runs of the same serve
+// specs — at shards 1, 2 and 8. The byte-identical-resume contract makes
+// the whole cluster failure model a byte-diff.
+func TestClusterGoldenAcrossFaults(t *testing.T) {
+	t.Parallel()
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			t.Parallel()
+			perSession, merged, rep := runCluster(t, clusterSpecJSON(shards, goldenFaults))
+
+			// Per-session streams must match the uninterrupted goldens.
+			goldens := map[string][]byte{
+				"tenants": uninterruptedStream(t, []byte(tenantSpecJSON(shards))),
+				"stream":  uninterruptedStream(t, []byte(serveSpecJSON(shards, 11, 12288))),
+			}
+			for name, want := range goldens {
+				got, ok := perSession[name]
+				if !ok {
+					t.Fatalf("no per-session stream for %q", name)
+				}
+				if !bytes.Equal(got.Bytes(), want) {
+					t.Errorf("session %q: cluster stream diverges from uninterrupted run (%d vs %d bytes)",
+						name, got.Len(), len(want))
+				}
+			}
+
+			// The merged stream, filtered by session and unwrapped, must
+			// reproduce each per-session stream exactly.
+			unwrapped := map[string]*bytes.Buffer{}
+			sc := bufio.NewScanner(bytes.NewReader(merged))
+			sc.Buffer(nil, 1<<20)
+			for sc.Scan() {
+				var rec MergedRecord
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					t.Fatalf("merged line: %v", err)
+				}
+				buf := unwrapped[rec.Session]
+				if buf == nil {
+					buf = &bytes.Buffer{}
+					unwrapped[rec.Session] = buf
+				}
+				buf.Write(rec.Record)
+				buf.WriteByte('\n')
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			for name, want := range goldens {
+				if got := unwrapped[name]; got == nil || !bytes.Equal(got.Bytes(), want) {
+					t.Errorf("session %q: unwrapped merged stream diverges from uninterrupted run", name)
+				}
+			}
+
+			// The faults must actually have happened.
+			if rep.WorkerRestarts != 1 {
+				t.Errorf("worker restarts = %d, want 1", rep.WorkerRestarts)
+			}
+			byName := map[string]SessionReport{}
+			for _, s := range rep.Sessions {
+				byName[s.Name] = s
+			}
+			if s := byName["tenants"]; s.Migrations != 1 || s.Replays != 1 || s.Batches != 16 {
+				t.Errorf("tenants report = %+v, want 1 migration, 1 replay, 16 batches", s)
+			}
+			if s := byName["stream"]; s.Migrations != 0 || s.Replays != 1 || s.Batches != 12 {
+				t.Errorf("stream report = %+v, want 1 replay, 12 batches", s)
+			}
+		})
+	}
+}
+
+// TestClusterMergedDeterminism: the merged stream is a pure function of the
+// cluster spec, fault schedule included — two runs of the same document
+// produce byte-identical merged output.
+func TestClusterMergedDeterminism(t *testing.T) {
+	t.Parallel()
+	doc := clusterSpecJSON(2, goldenFaults)
+	_, merged1, _ := runCluster(t, doc)
+	_, merged2, _ := runCluster(t, doc)
+	if !bytes.Equal(merged1, merged2) {
+		t.Error("merged streams of two identical runs differ")
+	}
+	if len(merged1) == 0 {
+		t.Error("merged stream empty")
+	}
+}
+
+// TestClusterNoFaults: the undisturbed path — sessions of different lengths
+// finish cleanly, streams match, nothing restarts.
+func TestClusterNoFaults(t *testing.T) {
+	t.Parallel()
+	perSession, _, rep := runCluster(t, clusterSpecJSON(1, ""))
+	if rep.WorkerRestarts != 0 {
+		t.Errorf("worker restarts = %d on a fault-free run", rep.WorkerRestarts)
+	}
+	for _, s := range rep.Sessions {
+		if s.Migrations != 0 || s.Replays != 0 {
+			t.Errorf("session %q: %d migrations, %d replays on a fault-free run", s.Name, s.Migrations, s.Replays)
+		}
+	}
+	want := uninterruptedStream(t, []byte(serveSpecJSON(1, 11, 12288)))
+	if got := perSession["stream"]; !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("fault-free stream diverges (%d vs %d bytes)", got.Len(), len(want))
+	}
+}
+
+// TestClusterKillBeforeFirstCheckpoint: a worker killed before any periodic
+// checkpoint forces the full-replay path — reopen from the spec, retraining
+// included — and the stream must still come out byte-identical.
+func TestClusterKillBeforeFirstCheckpoint(t *testing.T) {
+	t.Parallel()
+	doc := fmt.Sprintf(`{
+	 "version": 1, "workers": 2, "checkpoint_every": 8,
+	 "sessions": [{"name": "solo", "spec": %s}],
+	 "faults": [{"kind": "kill", "after": 3, "worker": 0}]
+	}`, serveSpecJSON(1, 21, 6144))
+	perSession, _, rep := runCluster(t, doc)
+	if rep.WorkerRestarts != 1 || rep.Sessions[0].Replays != 1 {
+		t.Errorf("report = %+v, want 1 restart / 1 replay", rep)
+	}
+	want := uninterruptedStream(t, []byte(serveSpecJSON(1, 21, 6144)))
+	if got := perSession["solo"]; !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("from-scratch replay diverges (%d vs %d bytes)", got.Len(), len(want))
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+// Launcher spawns workers. The coordinator only ever sees the Handle — a
+// URL plus liveness and kill hooks — so the same coordinator drives
+// separate processes (ProcLauncher) and in-process test workers
+// (LocalLauncher) unchanged.
+type Launcher interface {
+	// Launch starts one worker and returns once it is reachable.
+	Launch(name string) (*Handle, error)
+}
+
+// Handle is a running worker as the coordinator sees it.
+type Handle struct {
+	// Name labels the worker in logs and reports.
+	Name string
+	// URL is the worker's protocol base address.
+	URL string
+	// Done is closed when the worker terminates for any reason — the
+	// process-exit leg of death detection.
+	Done <-chan struct{}
+	kill func() error
+}
+
+// Kill terminates the worker. Idempotent in effect: killing an
+// already-dead worker is not an error the coordinator cares about.
+func (h *Handle) Kill() error { return h.kill() }
+
+// ProcLauncher spawns each worker as a child process running the
+// `icgmm-cluster worker` entrypoint, learning its address from the
+// "ICGMM-WORKER LISTEN <addr>" handshake line the worker prints once its
+// listener is bound.
+type ProcLauncher struct {
+	// Argv is the worker command line, e.g.
+	// []string{"/path/to/icgmm-cluster", "worker"}. The worker must bind an
+	// ephemeral localhost port and print the handshake line on stdout.
+	Argv []string
+}
+
+// Launch starts the process and waits for the handshake.
+func (l *ProcLauncher) Launch(name string) (*Handle, error) {
+	if len(l.Argv) == 0 {
+		return nil, fmt.Errorf("cluster: ProcLauncher has no worker command")
+	}
+	cmd := exec.Command(l.Argv[0], l.Argv[1:]...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	// Scan stdout for the handshake. The worker prints nothing before it;
+	// anything after it is the worker's business.
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, handshakePrefix) {
+			addr = strings.TrimSpace(strings.TrimPrefix(line, handshakePrefix))
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill() //nolint:errcheck // already failing
+		cmd.Wait()         //nolint:errcheck
+		return nil, fmt.Errorf("cluster: worker %s exited without handshake", name)
+	}
+	done := make(chan struct{})
+	go func() {
+		// Drain the rest of stdout so the child never blocks on a full pipe,
+		// then reap it.
+		for sc.Scan() {
+		}
+		cmd.Wait() //nolint:errcheck // exit status is not liveness; Done is
+		close(done)
+	}()
+	return &Handle{
+		Name: name,
+		URL:  "http://" + addr,
+		Done: done,
+		kill: func() error { return cmd.Process.Kill() },
+	}, nil
+}
+
+// ServeWorker is the body of a spawned worker process: bind an ephemeral
+// loopback listener, print the handshake line ProcLauncher scans for on
+// announce, and serve the cluster protocol until the process is killed. It
+// only returns on a serve error.
+func ServeWorker(announce io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(announce, "%s%s\n", handshakePrefix, ln.Addr())
+	return http.Serve(ln, NewWorker())
+}
+
+// LocalLauncher runs workers in-process: each Launch binds an ephemeral
+// localhost listener and serves a fresh Worker on it. Kill force-closes the
+// server and every open connection, which is as abrupt as a SIGKILL from
+// the coordinator's point of view — in-flight requests fail with transport
+// errors and the worker's state is unreachable forever. Tests use it to
+// exercise the full protocol, fault handling included, without spawning
+// processes.
+type LocalLauncher struct {
+	mu      sync.Mutex
+	handles []*Handle
+}
+
+// Launch starts an in-process worker.
+func (l *LocalLauncher) Launch(name string) (*Handle, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewWorker()}
+	done := make(chan struct{})
+	go func() {
+		srv.Serve(ln) //nolint:errcheck // Serve always returns non-nil on Close
+		close(done)
+	}()
+	h := &Handle{
+		Name: name,
+		URL:  "http://" + ln.Addr().String(),
+		Done: done,
+		kill: srv.Close,
+	}
+	l.mu.Lock()
+	l.handles = append(l.handles, h)
+	l.mu.Unlock()
+	return h, nil
+}
+
+// Close kills every worker this launcher ever started (test cleanup).
+func (l *LocalLauncher) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, h := range l.handles {
+		h.Kill() //nolint:errcheck // teardown
+	}
+}

@@ -1,0 +1,42 @@
+package cluster
+
+// Placement assigns sessions to worker slots deterministically:
+// least-loaded slot, ties broken toward the lowest index. Placing a batch
+// of sessions onto an idle fleet therefore round-robins them; placing a
+// replacement session later lands it on whichever slot carries the least.
+// Determinism matters more than cleverness here — the merged metric stream
+// is only reproducible if placement is a pure function of the spec.
+type Placement struct {
+	load []int
+}
+
+// NewPlacement tracks a fleet of n worker slots, all idle.
+func NewPlacement(n int) *Placement {
+	return &Placement{load: make([]int, n)}
+}
+
+// Assign picks the slot for one new session and records it.
+func (p *Placement) Assign() int {
+	best := 0
+	for i, l := range p.load {
+		if l < p.load[best] {
+			best = i
+		}
+	}
+	p.load[best]++
+	return best
+}
+
+// Move re-homes one session from slot from to slot to (a migration).
+func (p *Placement) Move(from, to int) {
+	p.load[from]--
+	p.load[to]++
+}
+
+// Release removes one session from a slot (it finished or was torn down).
+func (p *Placement) Release(slot int) {
+	p.load[slot]--
+}
+
+// Load returns slot's session count.
+func (p *Placement) Load(slot int) int { return p.load[slot] }

@@ -1,0 +1,139 @@
+// Package cluster runs spec-described serving sessions across worker
+// processes. A coordinator places each session on a worker, drives the
+// fleet in deterministic lockstep rounds, streams every session's interval
+// JSONL back into a merged ordered sink, live-migrates sessions between
+// workers via checkpoint → transfer → resume, and survives worker death by
+// replaying the lost sessions from their last periodic checkpoint.
+//
+// The whole layer leans on one property inherited from internal/serve: a
+// resumed session's metric stream, concatenated after the bytes emitted
+// before its checkpoint, is byte-identical to the uninterrupted run. The
+// coordinator therefore commits a session's bytes to its sinks only up to
+// checkpoint boundaries it could replay from (plus the clean end of run);
+// whatever a dead worker emitted past its last checkpoint is discarded and
+// regenerated, bit for bit, by the replay. Migration and crash recovery
+// both reduce to a byte-diff against an uninterrupted single-process run —
+// which is exactly how the package tests itself.
+//
+// Coordinator and worker speak versioned JSON over HTTP (all endpoints
+// under /v1/). Workers bind localhost TCP, but nothing in the protocol
+// cares: a worker's address is just a URL, so a future transport only needs
+// to produce one. Request bodies are decoded strictly — an unknown field
+// anywhere fails with its path (e.g. "step.tagret: unknown field") rather
+// than being silently dropped.
+package cluster
+
+import "encoding/json"
+
+// protocolVersion prefixes every endpoint path. A coordinator and worker
+// from different protocol generations fail with 404s instead of
+// half-understanding each other.
+const protocolVersion = "v1"
+
+// handshakePrefix starts the single line a spawned worker process prints to
+// stdout once its listener is bound: "ICGMM-WORKER LISTEN <addr>". The
+// launcher scans for it to learn the worker's address.
+const handshakePrefix = "ICGMM-WORKER LISTEN "
+
+// openRequest asks a worker to open a fresh session: validate the embedded
+// serve spec, run initial training, and hold the session at batch zero.
+type openRequest struct {
+	// Session names the session; all later requests refer to it by name.
+	Session string `json:"session"`
+	// Spec is a serve.Spec document, passed through verbatim; the worker
+	// runs serve.ParseSpec's own strict pass on it.
+	Spec json.RawMessage `json:"spec"`
+	// CheckpointEvery arms the periodic checkpoint hook: every N batches the
+	// worker captures a full checkpoint document and returns it with the
+	// step response that covered the boundary. 0 disables (the coordinator
+	// then has no replay point until the first migration).
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+}
+
+// resumeRequest asks a worker to rebuild a session from a checkpoint
+// document (taken on any worker) and continue it.
+type resumeRequest struct {
+	Session string `json:"session"`
+	// Checkpoint is the serve checkpoint document, verbatim.
+	Checkpoint      json.RawMessage `json:"checkpoint"`
+	CheckpointEvery uint64          `json:"checkpoint_every,omitempty"`
+}
+
+// openResponse answers open and resume with where the session stands.
+type openResponse struct {
+	// Batches already served (0 for a fresh open, the checkpoint's batch
+	// count for a resume).
+	Batches uint64 `json:"batches"`
+}
+
+// stepRequest drives a session forward to a target total batch count. The
+// coordinator's lockstep rounds make Target monotone; a freshly resumed
+// session simply has further to go to reach the same target.
+type stepRequest struct {
+	Session string `json:"session"`
+	// Target is the total batch count to reach (not a delta).
+	Target uint64 `json:"target"`
+}
+
+// stepResponse reports the step's outcome and carries everything the
+// session emitted while stepping.
+type stepResponse struct {
+	// Batches is the session's total served batch count after the step.
+	Batches uint64 `json:"batches"`
+	// Done is set once the source is exhausted. The worker then closes the
+	// session itself, so Done implies the final partition/tenant/summary
+	// records are already in Metrics and Closed is set.
+	Done   bool `json:"done,omitempty"`
+	Closed bool `json:"closed,omitempty"`
+	// Metrics is the raw JSONL the session wrote during this step range
+	// (base64 on the wire via encoding/json's []byte rule).
+	Metrics []byte `json:"metrics,omitempty"`
+	// Checkpoint is the latest periodic checkpoint captured inside this step
+	// range, if any boundary was crossed — the coordinator's commit point
+	// and replay seed.
+	Checkpoint *checkpointInfo `json:"checkpoint,omitempty"`
+}
+
+// checkpointInfo pins a checkpoint document to its position in the
+// session's metric stream.
+type checkpointInfo struct {
+	// Batches served when the checkpoint was taken.
+	Batches uint64 `json:"batches"`
+	// Emitted counts the metric bytes this incarnation of the session had
+	// written when the checkpoint was taken. Bytes up to Emitted are exactly
+	// the bytes a resume from Doc will not re-emit — the coordinator's
+	// commit horizon.
+	Emitted uint64 `json:"emitted"`
+	// Doc is the serve checkpoint document.
+	Doc json.RawMessage `json:"doc"`
+}
+
+// checkpointRequest takes an explicit checkpoint of an idle session — the
+// first half of a migration. The session stays open (Detach tears it down
+// once the checkpoint has landed elsewhere).
+type checkpointRequest struct {
+	Session string `json:"session"`
+}
+
+// detachRequest tears a session down without emitting final records — the
+// second half of a migration, once the checkpoint has been resumed on the
+// target worker.
+type detachRequest struct {
+	Session string `json:"session"`
+}
+
+// detachResponse acknowledges a detach.
+type detachResponse struct {
+	Detached bool `json:"detached"`
+}
+
+// healthResponse answers the heartbeat probe.
+type healthResponse struct {
+	// Sessions is how many open sessions the worker holds.
+	Sessions int `json:"sessions"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MergedRecord is one line of the coordinator's merged stream: a session
+// name plus one of that session's metric records, embedded verbatim. The
+// inner record keeps its exact bytes (json.RawMessage round-trips them
+// untouched), so filtering the merged stream by session and unwrapping
+// reproduces each per-session stream bit for bit.
+type MergedRecord struct {
+	Session string          `json:"session"`
+	Record  json.RawMessage `json:"record"`
+}
+
+// mergedSink serializes committed per-session JSONL chunks into one merged
+// ordered stream. The coordinator commits chunks in deterministic (round,
+// session-index) order, so the merged stream is a pure function of the
+// cluster spec and its fault schedule.
+type mergedSink struct {
+	w   io.Writer
+	err error
+}
+
+// emit wraps each line of a committed chunk and appends it to the merged
+// stream. Chunks always end on a line boundary — sessions emit whole
+// records and commits cut at checkpoint positions, which fall between
+// records. The error is sticky, like the serve metrics writer's.
+func (s *mergedSink) emit(session string, chunk []byte) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.w == nil || len(chunk) == 0 {
+		return nil
+	}
+	rest := chunk
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			s.err = fmt.Errorf("cluster: committed chunk for %q does not end on a record boundary", session)
+			return s.err
+		}
+		line := rest[:nl]
+		rest = rest[nl+1:]
+		out, err := json.Marshal(MergedRecord{Session: session, Record: json.RawMessage(line)})
+		if err != nil {
+			s.err = err
+			return s.err
+		}
+		out = append(out, '\n')
+		if _, err := s.w.Write(out); err != nil {
+			s.err = err
+			return s.err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/serve"
+	"repro/internal/strictjson"
+)
+
+// SpecVersion is the cluster wire-format version this package reads.
+const SpecVersion = 1
+
+// Spec describes one cluster run: the worker fleet, the sessions to place
+// on it, the periodic-checkpoint cadence, and (optionally) a deterministic
+// fault schedule. Like serve.Spec it is a versioned, strictly-decoded JSON
+// document: the same document replayed against the same build produces the
+// same run — faults included, which is what makes crash-recovery testable
+// by byte-diff.
+type Spec struct {
+	// Version must be SpecVersion.
+	Version int `json:"version"`
+	// Workers sizes the fleet (default 2).
+	Workers int `json:"workers,omitempty"`
+	// CheckpointEvery is the periodic-checkpoint cadence in batches
+	// (default 8; it is each session's replay granularity after a worker
+	// dies). 0 disables periodic checkpoints — a session killed before its
+	// first migration then replays from batch zero, retraining included.
+	CheckpointEvery *uint64 `json:"checkpoint_every,omitempty"`
+	// Sessions are the serving runs to place, in placement order.
+	Sessions []SessionSpec `json:"sessions"`
+	// Faults is the deterministic fault schedule.
+	Faults []FaultSpec `json:"faults,omitempty"`
+}
+
+// SessionSpec names one serving run and embeds its serve.Spec document.
+type SessionSpec struct {
+	// Name labels the session in the merged stream and reports. Required,
+	// unique.
+	Name string `json:"name"`
+	// Spec is the serve.Spec document, embedded verbatim (serve.ParseSpec
+	// strictly decodes it in turn).
+	Spec json.RawMessage `json:"spec"`
+}
+
+// FaultSpec schedules one injected fault at a batch boundary: after every
+// live session has served After batches (and its metrics are accounted),
+// the fault fires, before any session steps further.
+type FaultSpec struct {
+	// Kind is "migrate" (checkpoint → transfer → resume a session onto
+	// Worker) or "kill" (SIGKILL the worker in slot Worker; the coordinator
+	// must detect the death and replay its sessions from their last
+	// checkpoints).
+	Kind string `json:"kind"`
+	// After is the batch boundary the fault fires at.
+	After uint64 `json:"after"`
+	// Session names the session to migrate (migrate only).
+	Session string `json:"session,omitempty"`
+	// Worker is the migration target slot, or the kill victim slot.
+	Worker int `json:"worker"`
+}
+
+const (
+	// FaultMigrate live-migrates a session: checkpoint on its current
+	// worker, resume on the target, detach the original.
+	FaultMigrate = "migrate"
+	// FaultKill kills a worker process outright.
+	FaultKill = "kill"
+)
+
+// defaultCheckpointEvery is the periodic-checkpoint cadence when the spec
+// leaves it unset.
+const defaultCheckpointEvery = 8
+
+// EffectiveWorkers returns the fleet size with its default applied.
+func (s Spec) EffectiveWorkers() int {
+	if s.Workers == 0 {
+		return 2
+	}
+	return s.Workers
+}
+
+// EffectiveCheckpointEvery returns the checkpoint cadence with its default
+// applied (the field is a pointer so an explicit 0 — checkpoints off — is
+// distinguishable from absent).
+func (s Spec) EffectiveCheckpointEvery() uint64 {
+	if s.CheckpointEvery == nil {
+		return defaultCheckpointEvery
+	}
+	return *s.CheckpointEvery
+}
+
+// ParseSpec decodes and validates a cluster spec document. Decoding is
+// strict: unknown keys anywhere (outside the embedded serve documents,
+// which run their own strict pass) are rejected with a field-path error.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := strictjson.Unmarshal(data, &s, "cluster"); err != nil {
+		return Spec{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the spec: version, fleet size, session names and their
+// embedded serve specs, and that every fault refers to a real session and a
+// real worker slot.
+func (s Spec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("cluster: spec version %d not supported (this build reads version %d)", s.Version, SpecVersion)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("cluster: %d workers", s.Workers)
+	}
+	if len(s.Sessions) == 0 {
+		return errors.New("cluster: spec has no sessions")
+	}
+	names := make(map[string]bool, len(s.Sessions))
+	for i, sess := range s.Sessions {
+		if sess.Name == "" {
+			return fmt.Errorf("cluster: session %d has no name", i)
+		}
+		if names[sess.Name] {
+			return fmt.Errorf("cluster: duplicate session name %q", sess.Name)
+		}
+		names[sess.Name] = true
+		if _, err := serve.ParseSpec(sess.Spec); err != nil {
+			return fmt.Errorf("cluster: session %q: %w", sess.Name, err)
+		}
+	}
+	for i, f := range s.Faults {
+		if f.Worker < 0 || f.Worker >= s.EffectiveWorkers() {
+			return fmt.Errorf("cluster: fault %d targets worker %d of %d", i, f.Worker, s.EffectiveWorkers())
+		}
+		switch f.Kind {
+		case FaultMigrate:
+			if !names[f.Session] {
+				return fmt.Errorf("cluster: fault %d migrates unknown session %q", i, f.Session)
+			}
+		case FaultKill:
+			if f.Session != "" {
+				return fmt.Errorf("cluster: fault %d: kill targets a worker, not a session", i)
+			}
+		default:
+			return fmt.Errorf("cluster: fault %d has unknown kind %q", i, f.Kind)
+		}
+	}
+	return nil
+}

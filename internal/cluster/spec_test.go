@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// serveSpecJSON renders a fast single-stream serve spec for cluster tests:
+// drift + sync refresh keep the checkpointed state interesting, while the
+// small warm-up keeps training cheap.
+func serveSpecJSON(shards int, seed int64, ops int) string {
+	return fmt.Sprintf(`{
+	 "version": 1, "shards": %d, "partitions": 4, "ops": %d, "warmup": 16000,
+	 "batch": 1024, "report": 4,
+	 "cache": {"size_mb": 1, "ways": 8},
+	 "train": {"k": 4, "seed": %d, "max_iters": 6, "max_samples": 2000, "lloyd_iters": 2, "shot": 128},
+	 "refresh": {"mode": "sync", "window": 4096, "min": 1024,
+	  "drift_delta": 0.1, "drift_sustain": 1, "drift_warmup": 4, "drift_alpha": 0.2},
+	 "workload": {"custom": {"Name": "ws", "TotalPages": 600,
+	   "Clusters": [{"CenterPage": 150, "Spread": 40}, {"CenterPage": 450, "Spread": 30}],
+	   "WriteFrac": 0.2}, "seed": %d, "rate": 3000000, "drift": true}
+	}`, shards, ops, seed, seed+1)
+}
+
+// tenantSpecJSON renders a fast 2-tenant serve spec exercising the QoS
+// controller with elastic shares and a mid-run working-set shift — the
+// richest checkpointed state the serving path has.
+func tenantSpecJSON(shards int) string {
+	return fmt.Sprintf(`{
+	 "version": 1, "shards": %d, "partitions": 4, "ops": 16384, "warmup": 16000,
+	 "batch": 1024, "report": 4,
+	 "cache": {"size_mb": 1, "ways": 8},
+	 "train": {"k": 4, "max_iters": 6, "max_samples": 2000, "lloyd_iters": 2, "shot": 128},
+	 "refresh": {"mode": "sync", "window": 4096, "min": 1024,
+	  "drift_delta": 0.10, "drift_sustain": 1, "drift_warmup": 4, "drift_alpha": 0.2},
+	 "control": {"every": 2, "step": 1.6, "min_mult": 0.125, "max_mult": 8,
+	  "share_adapt": true, "share_quantum": 4, "share_hold": 2, "share_cooldown": 1, "share_floor": 4},
+	 "tenants": [
+	  {"name": "a",
+	   "custom": {"Name": "a-ws", "TotalPages": 300,
+	    "Clusters": [{"CenterPage": 80, "Spread": 25}, {"CenterPage": 220, "Spread": 20}],
+	    "WriteFrac": 0.2},
+	   "seed": 1, "rate": 20000, "share": 0.6,
+	   "shift_after": 8192, "shift_offset_pages": 524288,
+	   "qos": {"metric": "hit_ratio", "target": 0.7, "band": 0.1}},
+	  {"name": "b",
+	   "custom": {"Name": "b-ws", "TotalPages": 160,
+	    "Clusters": [{"CenterPage": 60, "Spread": 20}], "WriteFrac": 0.3},
+	   "seed": 2, "rate": 10000, "offset_pages": 65536, "share": 0.4,
+	   "qos": {"metric": "hit_ratio", "target": 0.6, "band": 0.15}}
+	 ]
+	}`, shards)
+}
+
+// clusterSpecJSON assembles a 2-worker, 2-session cluster document with the
+// given fault schedule fragment (empty string for none).
+func clusterSpecJSON(shards int, faults string) string {
+	if faults != "" {
+		faults = `, "faults": ` + faults
+	}
+	return fmt.Sprintf(`{
+	 "version": 1, "workers": 2, "checkpoint_every": 4,
+	 "sessions": [
+	  {"name": "tenants", "spec": %s},
+	  {"name": "stream", "spec": %s}
+	 ]%s
+	}`, tenantSpecJSON(shards), serveSpecJSON(shards, 11, 12288), faults)
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	t.Parallel()
+	spec, err := ParseSpec([]byte(clusterSpecJSON(1, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.EffectiveWorkers(); got != 2 {
+		t.Errorf("EffectiveWorkers() = %d", got)
+	}
+	if got := spec.EffectiveCheckpointEvery(); got != 4 {
+		t.Errorf("EffectiveCheckpointEvery() = %d", got)
+	}
+
+	// Defaults when omitted; explicit 0 for checkpoint_every means off.
+	min, err := ParseSpec([]byte(fmt.Sprintf(
+		`{"version": 1, "sessions": [{"name": "s", "spec": %s}]}`, serveSpecJSON(1, 3, 4096))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.EffectiveWorkers() != 2 || min.EffectiveCheckpointEvery() != defaultCheckpointEvery {
+		t.Errorf("defaults: workers=%d every=%d", min.EffectiveWorkers(), min.EffectiveCheckpointEvery())
+	}
+	off, err := ParseSpec([]byte(fmt.Sprintf(
+		`{"version": 1, "checkpoint_every": 0, "sessions": [{"name": "s", "spec": %s}]}`, serveSpecJSON(1, 3, 4096))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.EffectiveCheckpointEvery() != 0 {
+		t.Errorf("explicit 0 checkpoint_every read back as %d", off.EffectiveCheckpointEvery())
+	}
+}
+
+// TestParseSpecRejects pins the validation and strict-decode errors,
+// including the field paths strict decoding reports.
+func TestParseSpecRejects(t *testing.T) {
+	t.Parallel()
+	ok := serveSpecJSON(1, 3, 4096)
+	cases := map[string]struct {
+		doc     string
+		wantErr string
+	}{
+		"unknown top-level field": {
+			doc:     fmt.Sprintf(`{"version": 1, "workrs": 2, "sessions": [{"name": "s", "spec": %s}]}`, ok),
+			wantErr: "cluster.workrs: unknown field",
+		},
+		"unknown fault field by path": {
+			doc: fmt.Sprintf(`{"version": 1, "sessions": [{"name": "s", "spec": %s}],
+			 "faults": [{"kind": "kill", "after": 2, "wroker": 1}]}`, ok),
+			wantErr: "cluster.faults[0].wroker: unknown field",
+		},
+		"unknown field inside embedded serve spec": {
+			doc:     `{"version": 1, "sessions": [{"name": "s", "spec": {"version": 1, "sahre": 2}}]}`,
+			wantErr: "spec.sahre: unknown field",
+		},
+		"bad version": {
+			doc:     fmt.Sprintf(`{"version": 9, "sessions": [{"name": "s", "spec": %s}]}`, ok),
+			wantErr: "version 9 not supported",
+		},
+		"no sessions": {
+			doc:     `{"version": 1, "sessions": []}`,
+			wantErr: "no sessions",
+		},
+		"duplicate session name": {
+			doc:     fmt.Sprintf(`{"version": 1, "sessions": [{"name": "s", "spec": %s}, {"name": "s", "spec": %s}]}`, ok, ok),
+			wantErr: `duplicate session name "s"`,
+		},
+		"unnamed session": {
+			doc:     fmt.Sprintf(`{"version": 1, "sessions": [{"name": "", "spec": %s}]}`, ok),
+			wantErr: "session 0 has no name",
+		},
+		"fault worker out of range": {
+			doc: fmt.Sprintf(`{"version": 1, "sessions": [{"name": "s", "spec": %s}],
+			 "faults": [{"kind": "kill", "after": 2, "worker": 5}]}`, ok),
+			wantErr: "targets worker 5 of 2",
+		},
+		"migrate unknown session": {
+			doc: fmt.Sprintf(`{"version": 1, "sessions": [{"name": "s", "spec": %s}],
+			 "faults": [{"kind": "migrate", "after": 2, "session": "ghost", "worker": 1}]}`, ok),
+			wantErr: `migrates unknown session "ghost"`,
+		},
+		"kill with session": {
+			doc: fmt.Sprintf(`{"version": 1, "sessions": [{"name": "s", "spec": %s}],
+			 "faults": [{"kind": "kill", "after": 2, "session": "s", "worker": 1}]}`, ok),
+			wantErr: "kill targets a worker, not a session",
+		},
+		"unknown fault kind": {
+			doc: fmt.Sprintf(`{"version": 1, "sessions": [{"name": "s", "spec": %s}],
+			 "faults": [{"kind": "explode", "after": 2, "worker": 1}]}`, ok),
+			wantErr: `unknown kind "explode"`,
+		},
+	}
+	for name, tc := range cases {
+		_, err := ParseSpec([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: parsed", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	t.Parallel()
+	p := NewPlacement(3)
+	// A fresh fleet round-robins (least-loaded with lowest-slot ties).
+	got := []int{p.Assign(), p.Assign(), p.Assign(), p.Assign()}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assignments = %v, want %v", got, want)
+		}
+	}
+	// After a release, the emptiest slot wins.
+	p.Release(1)
+	if slot := p.Assign(); slot != 1 {
+		t.Errorf("post-release assignment = %d, want 1", slot)
+	}
+	p.Move(0, 2)
+	if p.Load(0) != 1 || p.Load(2) != 2 {
+		t.Errorf("after move: load0=%d load2=%d", p.Load(0), p.Load(2))
+	}
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/serve"
+	"repro/internal/strictjson"
+)
+
+// Worker hosts serving sessions behind the cluster protocol. It is an
+// http.Handler: mount it on any listener and its URL is a worker address.
+// The same type backs both the spawned `icgmm-cluster worker` process and
+// the in-process workers the tests run.
+//
+// Sessions are single-goroutine; the worker serializes all session-touching
+// requests behind one mutex, so a coordinator may issue requests for
+// different sessions on the same worker concurrently and they simply queue.
+type Worker struct {
+	mu       sync.Mutex
+	sessions map[string]*workerSession
+	// count mirrors len(sessions) atomically so the health endpoint never
+	// waits on the session mutex: a worker mid-step must still answer
+	// heartbeats, or a long step reads as a death.
+	count atomic.Int64
+}
+
+// workerSession is one hosted session plus its incarnation-local metric
+// accounting. emitted counts every byte the session has written since it
+// was opened or resumed here; the buffer holds the bytes not yet drained
+// into a step response.
+type workerSession struct {
+	sess    *serve.Session
+	buf     bytes.Buffer
+	emitted uint64
+	// lastCkpt is the most recent periodic checkpoint captured by the hook,
+	// waiting to ride out on the next step response.
+	lastCkpt *checkpointInfo
+	closed   bool
+}
+
+// Write is the session's metrics sink: into the drain buffer, counting.
+func (ws *workerSession) Write(p []byte) (int, error) {
+	ws.emitted += uint64(len(p))
+	return ws.buf.Write(p)
+}
+
+// NewWorker returns an empty worker.
+func NewWorker() *Worker {
+	return &Worker{sessions: make(map[string]*workerSession)}
+}
+
+// ServeHTTP routes the protocol endpoints.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/" + protocolVersion + "/open":
+		w.post(rw, r, w.handleOpen)
+	case "/" + protocolVersion + "/resume":
+		w.post(rw, r, w.handleResume)
+	case "/" + protocolVersion + "/step":
+		w.post(rw, r, w.handleStep)
+	case "/" + protocolVersion + "/checkpoint":
+		w.post(rw, r, w.handleCheckpoint)
+	case "/" + protocolVersion + "/detach":
+		w.post(rw, r, w.handleDetach)
+	case "/" + protocolVersion + "/health":
+		writeJSON(rw, http.StatusOK, healthResponse{Sessions: int(w.count.Load())})
+	default:
+		writeJSON(rw, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("cluster: unknown endpoint %s (this worker speaks %s)", r.URL.Path, protocolVersion)})
+	}
+}
+
+// post reads the body and dispatches to an endpoint handler, mapping its
+// error to a JSON error reply.
+func (w *Worker) post(rw http.ResponseWriter, r *http.Request, h func(body []byte) (any, error)) {
+	if r.Method != http.MethodPost {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorResponse{Error: "cluster: POST required"})
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	resp, err := h(body)
+	if err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(v) //nolint:errcheck // nothing to do about a dead client
+}
+
+func (w *Worker) handleOpen(body []byte) (any, error) {
+	var req openRequest
+	if err := strictjson.Unmarshal(body, &req, "open"); err != nil {
+		return nil, err
+	}
+	if req.Session == "" {
+		return nil, fmt.Errorf("cluster: open: empty session name")
+	}
+	spec, err := serve.ParseSpec(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.sessions[req.Session]; ok {
+		return nil, fmt.Errorf("cluster: session %q already open on this worker", req.Session)
+	}
+	ws := &workerSession{}
+	sess, err := serve.Open(spec, ws)
+	if err != nil {
+		return nil, err
+	}
+	ws.sess = sess
+	armCheckpointHook(ws, req.CheckpointEvery)
+	w.sessions[req.Session] = ws
+	w.count.Store(int64(len(w.sessions)))
+	return openResponse{Batches: sess.Batches()}, nil
+}
+
+func (w *Worker) handleResume(body []byte) (any, error) {
+	var req resumeRequest
+	if err := strictjson.Unmarshal(body, &req, "resume"); err != nil {
+		return nil, err
+	}
+	if req.Session == "" {
+		return nil, fmt.Errorf("cluster: resume: empty session name")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.sessions[req.Session]; ok {
+		return nil, fmt.Errorf("cluster: session %q already open on this worker", req.Session)
+	}
+	ws := &workerSession{}
+	sess, err := serve.Resume(bytes.NewReader(req.Checkpoint), ws)
+	if err != nil {
+		return nil, err
+	}
+	ws.sess = sess
+	armCheckpointHook(ws, req.CheckpointEvery)
+	w.sessions[req.Session] = ws
+	w.count.Store(int64(len(w.sessions)))
+	return openResponse{Batches: sess.Batches()}, nil
+}
+
+// armCheckpointHook registers the periodic-checkpoint hook: at every
+// boundary it snapshots the document together with the session's position
+// in its metric stream. The hook fires mid-Step, so emitted is read at the
+// boundary — before any bytes the rest of the step will add.
+func armCheckpointHook(ws *workerSession, every uint64) {
+	if every == 0 {
+		return
+	}
+	ws.sess.CheckpointEvery(every, func(doc []byte) error {
+		ws.lastCkpt = &checkpointInfo{
+			Batches: ws.sess.Batches(),
+			Emitted: ws.emitted,
+			Doc:     json.RawMessage(append([]byte(nil), doc...)),
+		}
+		return nil
+	})
+}
+
+func (w *Worker) handleStep(body []byte) (any, error) {
+	var req stepRequest
+	if err := strictjson.Unmarshal(body, &req, "step"); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ws, ok := w.sessions[req.Session]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no session %q on this worker", req.Session)
+	}
+	if ws.closed {
+		return nil, fmt.Errorf("cluster: session %q already finished", req.Session)
+	}
+	for ws.sess.Batches() < req.Target && !ws.sess.Done() {
+		n, err := ws.sess.Step(1)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	resp := stepResponse{Batches: ws.sess.Batches(), Done: ws.sess.Done()}
+	if ws.sess.Done() {
+		// Close here so the final records travel back in this response;
+		// the coordinator never has to make a separate closing round-trip.
+		if err := ws.sess.Close(); err != nil {
+			return nil, err
+		}
+		ws.closed = true
+		resp.Closed = true
+	}
+	if ws.buf.Len() > 0 {
+		resp.Metrics = append([]byte(nil), ws.buf.Bytes()...)
+		ws.buf.Reset()
+	}
+	resp.Checkpoint = ws.lastCkpt
+	ws.lastCkpt = nil
+	return resp, nil
+}
+
+func (w *Worker) handleCheckpoint(body []byte) (any, error) {
+	var req checkpointRequest
+	if err := strictjson.Unmarshal(body, &req, "checkpoint"); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ws, ok := w.sessions[req.Session]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no session %q on this worker", req.Session)
+	}
+	if ws.closed {
+		return nil, fmt.Errorf("cluster: session %q already finished", req.Session)
+	}
+	var doc bytes.Buffer
+	if err := ws.sess.Checkpoint(&doc); err != nil {
+		return nil, err
+	}
+	return checkpointInfo{
+		Batches: ws.sess.Batches(),
+		Emitted: ws.emitted,
+		Doc:     json.RawMessage(doc.Bytes()),
+	}, nil
+}
+
+func (w *Worker) handleDetach(body []byte) (any, error) {
+	var req detachRequest
+	if err := strictjson.Unmarshal(body, &req, "detach"); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ws, ok := w.sessions[req.Session]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no session %q on this worker", req.Session)
+	}
+	ws.sess.Detach()
+	delete(w.sessions, req.Session)
+	w.count.Store(int64(len(w.sessions)))
+	return detachResponse{Detached: true}, nil
+}

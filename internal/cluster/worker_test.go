@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// newTestWorker mounts a Worker on an httptest server and returns a client
+// for it.
+func newTestWorker(t *testing.T) *Client {
+	t.Helper()
+	srv := httptest.NewServer(NewWorker())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL)
+}
+
+// TestWorkerSessionLifecycle drives one session through the whole protocol
+// — open, lockstep steps, auto-close at exhaustion — and checks the
+// returned metric bytes reassemble the exact stream an in-process run of
+// the same spec writes, periodic checkpoints riding along at their
+// boundaries.
+func TestWorkerSessionLifecycle(t *testing.T) {
+	t.Parallel()
+	specJSON := serveSpecJSON(2, 5, 8192) // 8 batches
+	c := newTestWorker(t)
+	if err := c.Open("s", []byte(specJSON), 3); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Health(time.Second); err != nil || n != 1 {
+		t.Fatalf("health = %d, %v", n, err)
+	}
+
+	var got bytes.Buffer
+	var ckpts []checkpointInfo
+	closed := false
+	for target := uint64(1); ; target++ {
+		resp, err := c.Step("s", target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Write(resp.Metrics)
+		if resp.Checkpoint != nil {
+			ckpts = append(ckpts, *resp.Checkpoint)
+		}
+		if resp.Done {
+			if !resp.Closed {
+				t.Fatal("done without closed: finals would be stranded")
+			}
+			closed = true
+			if resp.Batches != 8 {
+				t.Fatalf("finished at %d batches, want 8", resp.Batches)
+			}
+			break
+		}
+		if resp.Batches != target {
+			t.Fatalf("batches = %d after stepping to %d", resp.Batches, target)
+		}
+	}
+	if !closed {
+		t.Fatal("never finished")
+	}
+	// Boundaries 3 and 6 fire the cadence-3 hook (the final boundary 8 ends
+	// the run before another multiple of 3).
+	if len(ckpts) != 2 || ckpts[0].Batches != 3 || ckpts[1].Batches != 6 {
+		t.Fatalf("checkpoints at %+v, want batches 3 and 6", ckpts)
+	}
+
+	spec, err := serve.ParseSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	sess, err := serve.Open(spec, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("worker metric stream diverges from in-process run (%d vs %d bytes)", got.Len(), want.Len())
+	}
+
+	// A checkpoint's Emitted offset must mark exactly the bytes a resume
+	// regenerates: resuming the last checkpoint and running to completion
+	// must reproduce the stream's tail.
+	last := ckpts[len(ckpts)-1]
+	var tail bytes.Buffer
+	resumed, err := serve.Resume(bytes.NewReader(last.Doc), &tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail.Bytes(), want.Bytes()[last.Emitted:]) {
+		t.Errorf("resume from worker checkpoint does not regenerate the stream past Emitted=%d", last.Emitted)
+	}
+}
+
+// TestWorkerMigrationEndpoints covers the checkpoint → resume → detach
+// sequence across two workers — a migration driven by hand.
+func TestWorkerMigrationEndpoints(t *testing.T) {
+	t.Parallel()
+	specJSON := serveSpecJSON(1, 7, 6144) // 6 batches
+	src, dst := newTestWorker(t), newTestWorker(t)
+	if err := src.Open("m", []byte(specJSON), 0); err != nil {
+		t.Fatal(err)
+	}
+	var pre bytes.Buffer
+	resp, err := src.Step("m", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre.Write(resp.Metrics)
+	info, err := src.Checkpoint("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Batches != 3 || info.Emitted != uint64(pre.Len()) {
+		t.Fatalf("checkpoint batches=%d emitted=%d, want 3/%d", info.Batches, info.Emitted, pre.Len())
+	}
+	b, err := dst.Resume("m", info.Doc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 3 {
+		t.Fatalf("resumed at batch %d", b)
+	}
+	if err := src.Detach("m"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := src.Health(time.Second); n != 0 {
+		t.Errorf("source still holds %d sessions after detach", n)
+	}
+	// Finish on the target; concatenated stream must equal an uninterrupted
+	// run.
+	var post bytes.Buffer
+	for target := uint64(4); ; target++ {
+		resp, err := dst.Step("m", target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		post.Write(resp.Metrics)
+		if resp.Done {
+			break
+		}
+	}
+	spec, err := serve.ParseSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	sess, err := serve.Open(spec, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	concat := append(pre.Bytes(), post.Bytes()...)
+	if !bytes.Equal(concat, want.Bytes()) {
+		t.Errorf("migrated stream diverges from uninterrupted run (%d vs %d bytes)", len(concat), want.Len())
+	}
+}
+
+// TestWorkerRejects pins the protocol's error edges: strict request
+// decoding with field paths, unknown sessions, duplicate opens, bad
+// endpoints and methods.
+func TestWorkerRejects(t *testing.T) {
+	t.Parallel()
+	srv := httptest.NewServer(NewWorker())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+
+	post := func(t *testing.T, endpoint, body string) string {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/"+protocolVersion+"/"+endpoint, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s accepted %q", endpoint, body)
+		}
+		return e.Error
+	}
+
+	// Unknown fields are rejected by path, at both the envelope and the
+	// embedded serve document.
+	if msg := post(t, "step", `{"session": "s", "tagret": 3}`); !strings.Contains(msg, "step.tagret: unknown field") {
+		t.Errorf("step typo error = %q", msg)
+	}
+	if msg := post(t, "open", `{"session": "s", "spec": {"version": 1, "sahre": 1}}`); !strings.Contains(msg, "spec.sahre: unknown field") {
+		t.Errorf("open bad-spec error = %q", msg)
+	}
+	if msg := post(t, "resume", `{"session": "s", "checkpoint": {}, "every": 1}`); !strings.Contains(msg, "resume.every: unknown field") {
+		t.Errorf("resume typo error = %q", msg)
+	}
+	if msg := post(t, "open", `{"spec": {"version": 1}}`); !strings.Contains(msg, "empty session name") {
+		t.Errorf("unnamed open error = %q", msg)
+	}
+
+	// Session bookkeeping errors.
+	if _, err := c.Step("ghost", 1); err == nil || !strings.Contains(err.Error(), `no session "ghost"`) {
+		t.Errorf("step unknown session: %v", err)
+	}
+	if _, err := c.Checkpoint("ghost"); err == nil || !strings.Contains(err.Error(), `no session "ghost"`) {
+		t.Errorf("checkpoint unknown session: %v", err)
+	}
+	if err := c.Detach("ghost"); err == nil || !strings.Contains(err.Error(), `no session "ghost"`) {
+		t.Errorf("detach unknown session: %v", err)
+	}
+	specJSON := serveSpecJSON(1, 9, 2048)
+	if err := c.Open("dup", []byte(specJSON), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Open("dup", []byte(specJSON), 0); err == nil || !strings.Contains(err.Error(), "already open") {
+		t.Errorf("duplicate open: %v", err)
+	}
+
+	// Transport-level edges: wrong method, unknown endpoint, dead worker.
+	resp, err := http.Get(srv.URL + "/" + protocolVersion + "/step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET step = HTTP %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v999/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown version = HTTP %d", resp.StatusCode)
+	}
+	dead := NewClient("http://127.0.0.1:1")
+	var te *TransportError
+	if _, err := dead.Step("s", 1); !errors.As(err, &te) {
+		t.Errorf("dead worker step error = %v, want TransportError", err)
+	}
+	if _, err := dead.Health(100 * time.Millisecond); !errors.As(err, &te) {
+		t.Errorf("dead worker health error = %v, want TransportError", err)
+	}
+}
+
+// TestLocalLauncherKill: killing an in-process worker closes its Done
+// channel and makes it unreachable — the liveness signals the coordinator's
+// death detection is built on.
+func TestLocalLauncherKill(t *testing.T) {
+	t.Parallel()
+	var l LocalLauncher
+	t.Cleanup(l.Close)
+	h, err := l.Launch("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(h.URL)
+	if _, err := c.Health(time.Second); err != nil {
+		t.Fatalf("fresh worker unhealthy: %v", err)
+	}
+	if err := h.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-h.Done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Done not closed after Kill")
+	}
+	var te *TransportError
+	if _, err := c.Health(time.Second); !errors.As(err, &te) {
+		t.Errorf("killed worker health = %v, want TransportError", err)
+	}
+}

@@ -162,7 +162,22 @@ type sourceState struct {
 // times. Under asynchronous refresh an in-flight refit is drained and
 // installed first (async runs have already traded away byte-determinism;
 // sync and off modes are unaffected).
+//
+// A checkpoint taken here is presumed to seed a resume elsewhere: until the
+// session Steps again, Close is an error and Detach is the way to tear it
+// down (see Close). The periodic CheckpointEvery hook does not carry this
+// presumption.
 func (s *Session) Checkpoint(w io.Writer) error {
+	if err := s.checkpointTo(w); err != nil {
+		return err
+	}
+	s.ckptPending = true
+	return nil
+}
+
+// checkpointTo is Checkpoint without the resume-elsewhere presumption — the
+// shared core of the public method and the CheckpointEvery hook.
+func (s *Session) checkpointTo(w io.Writer) error {
 	if s.closed {
 		return errors.New("serve: cannot checkpoint a closed session")
 	}

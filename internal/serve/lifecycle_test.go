@@ -1,0 +1,192 @@
+package serve_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestSessionDetachLifecycle pins the checkpoint-then-migrate lifecycle:
+// after Checkpoint, Close is a documented error (the resumed copy owns the
+// rest of the stream), Detach tears the session down emitting nothing, and
+// Step re-arms Close for callers who checkpointed but kept serving locally.
+func TestSessionDetachLifecycle(t *testing.T) {
+	t.Parallel()
+	spec := smallSessionSpec(t)
+
+	var out bytes.Buffer
+	sess, err := serve.Open(spec, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := sess.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close after Checkpoint: refused, pointing at Detach.
+	err = sess.Close()
+	if err == nil {
+		t.Fatal("Close after Checkpoint succeeded; final records would corrupt the resumed stream")
+	}
+	if !strings.Contains(err.Error(), "Detach") {
+		t.Errorf("Close-after-Checkpoint error %q does not point at Detach", err)
+	}
+
+	// Detach: emits nothing, closes the session, and is idempotent.
+	emitted := out.Len()
+	sess.Detach()
+	sess.Detach()
+	if out.Len() != emitted {
+		t.Errorf("Detach emitted %d bytes", out.Len()-emitted)
+	}
+	if _, err := sess.Step(1); err == nil {
+		t.Error("Step on a detached session succeeded")
+	}
+	if err := sess.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Error("Checkpoint on a detached session succeeded")
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("Close on a detached session: %v (idempotent close must stay nil)", err)
+	}
+
+	// The checkpoint the detached session left behind must resume into the
+	// full golden stream — detach released resources, not the contract.
+	var rest bytes.Buffer
+	resumed, err := serve.Resume(bytes.NewReader(ckpt.Bytes()), &rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	ref, err := serve.Open(spec, &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	concat := append(append([]byte(nil), out.Bytes()...), rest.Bytes()...)
+	if !bytes.Equal(concat, full.Bytes()) {
+		t.Errorf("detach-then-resume stream diverges from uninterrupted run (%d vs %d bytes)", len(concat), full.Len())
+	}
+
+	// Stepping after a checkpoint re-arms Close: the caller demonstrably
+	// kept serving locally, so the resumed-elsewhere presumption is off.
+	sess2, err := serve.Open(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.Checkpoint(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.Close(); err != nil {
+		t.Errorf("Close after Checkpoint+Step: %v", err)
+	}
+}
+
+// TestSessionCheckpointEveryHook drives the periodic-checkpoint hook: with
+// a cadence of 4 over a 16-batch run the hook fires at batches 4, 8, 12 and
+// 16, each captured document resumes into the exact remainder of the metric
+// stream, and the hook never arms the Close-after-Checkpoint guard.
+func TestSessionCheckpointEveryHook(t *testing.T) {
+	t.Parallel()
+	spec := smallSessionSpec(t)
+	var full bytes.Buffer
+	sess, err := serve.Open(spec, &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type mark struct {
+		batch  uint64
+		prefix int
+		doc    []byte
+	}
+	var marks []mark
+	sess.CheckpointEvery(4, func(doc []byte) error {
+		marks = append(marks, mark{
+			batch:  sess.Batches(),
+			prefix: full.Len(),
+			doc:    append([]byte(nil), doc...),
+		})
+		return nil
+	})
+	snapFull, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marks) != 4 {
+		t.Fatalf("hook fired %d times, want 4", len(marks))
+	}
+	for i, m := range marks {
+		if want := uint64(4 * (i + 1)); m.batch != want {
+			t.Errorf("hook %d fired at batch %d, want %d", i, m.batch, want)
+		}
+		var post bytes.Buffer
+		resumed, err := serve.Resume(bytes.NewReader(m.doc), &post)
+		if err != nil {
+			t.Fatalf("batch %d: resume: %v", m.batch, err)
+		}
+		snap, err := resumed.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		concat := append(append([]byte(nil), full.Bytes()[:m.prefix]...), post.Bytes()...)
+		if !bytes.Equal(concat, full.Bytes()) {
+			t.Errorf("batch %d: hook checkpoint resume diverges (%d vs %d bytes)", m.batch, len(concat), full.Len())
+		}
+		if !reflect.DeepEqual(snap, snapFull) {
+			t.Errorf("batch %d: resumed snapshot differs", m.batch)
+		}
+	}
+}
+
+// TestSessionCheckpointEveryErrors: a failing hook aborts the Step that
+// triggered it; cadence 0 removes the hook; a cadence without a callback is
+// a programming error.
+func TestSessionCheckpointEveryErrors(t *testing.T) {
+	t.Parallel()
+	spec := smallSessionSpec(t)
+	sess, err := serve.Open(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sink full")
+	fired := 0
+	sess.CheckpointEvery(2, func(doc []byte) error {
+		fired++
+		return boom
+	})
+	if _, err := sess.Step(4); !errors.Is(err, boom) {
+		t.Errorf("Step did not surface the hook error: %v", err)
+	}
+	if fired != 1 {
+		t.Errorf("hook fired %d times after failing, want 1", fired)
+	}
+	// Removing the hook lets the run continue.
+	sess.CheckpointEvery(0, nil)
+	if _, err := sess.Step(2); err != nil {
+		t.Errorf("Step after removing the hook: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CheckpointEvery(2, nil) did not panic")
+		}
+	}()
+	sess.CheckpointEvery(2, nil)
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"errors"
 	"io"
 
@@ -36,6 +37,17 @@ type Session struct {
 
 	done   bool
 	closed bool
+
+	// ckptPending is set by Checkpoint and cleared by the next Step (or by
+	// Detach): a session whose last act was a checkpoint is presumed to be
+	// resumed elsewhere, and Close refuses to write final records into a
+	// stream the resumed half will continue.
+	ckptPending bool
+
+	// Periodic checkpoint hook (CheckpointEvery): every ckptEvery batches,
+	// Step captures the full checkpoint document and hands it to ckptFn.
+	ckptEvery uint64
+	ckptFn    func(doc []byte) error
 }
 
 // Open validates the spec, runs initial training on the warm-up trace it
@@ -92,6 +104,9 @@ func (s *Session) Step(n int) (int, error) {
 	if s.closed {
 		return 0, errors.New("serve: session is closed")
 	}
+	// Stepping after a checkpoint means the caller is continuing this
+	// session locally, not resuming it elsewhere — Close becomes legal again.
+	s.ckptPending = false
 	steps := 0
 	for steps < n && !s.done {
 		k := s.src.Next(s.buf)
@@ -103,8 +118,32 @@ func (s *Session) Step(n int) (int, error) {
 			return steps, err
 		}
 		steps++
+		if s.ckptEvery > 0 && s.svc.batches%s.ckptEvery == 0 {
+			var buf bytes.Buffer
+			if err := s.checkpointTo(&buf); err != nil {
+				return steps, err
+			}
+			if err := s.ckptFn(buf.Bytes()); err != nil {
+				return steps, err
+			}
+		}
 	}
 	return steps, nil
+}
+
+// CheckpointEvery arranges for Step to capture a full checkpoint document
+// every `every` batches (at the batch boundary, counting total batches
+// served — a resumed session keeps the original cadence) and pass it to fn.
+// The hook is how a supervisor gets periodic recovery points without driving
+// the checkpoint cadence itself; it does not arm the Close-after-Checkpoint
+// guard, since the session demonstrably keeps running. every = 0 removes
+// the hook. A non-nil error from fn aborts the Step that triggered it.
+func (s *Session) CheckpointEvery(every uint64, fn func(doc []byte) error) {
+	if every > 0 && fn == nil {
+		panic("serve: CheckpointEvery requires a callback")
+	}
+	s.ckptEvery = every
+	s.ckptFn = fn
 }
 
 // Done reports whether the source is exhausted.
@@ -120,16 +159,38 @@ func (s *Session) Metrics() *Snapshot { return s.svc.Snapshot() }
 
 // Close finishes the run: it waits for any in-flight asynchronous refit and
 // emits the final partition/tenant/summary metric records, exactly as
-// Service.Run does at source exhaustion. Idempotent. A session that was
-// checkpointed to be resumed elsewhere should be abandoned, not closed —
-// closing writes final records into a stream the resumed half will continue.
+// Service.Run does at source exhaustion. Idempotent.
+//
+// Closing a session whose last act was Checkpoint is an error: the
+// checkpoint exists to resume the run elsewhere, and final records written
+// here would corrupt the stream the resumed half continues. Call Detach to
+// tear such a session down, or Step it again to keep serving locally (which
+// re-arms Close).
 func (s *Session) Close() error {
 	if s.closed {
 		return nil
 	}
+	if s.ckptPending {
+		return errors.New("serve: session was checkpointed to be resumed elsewhere; call Detach instead of Close (or Step to keep serving locally)")
+	}
 	s.closed = true
 	s.svc.refresher.wait()
 	return s.svc.metrics.writeFinal(s.svc.Snapshot(), len(s.cfg.Tenants) > 0)
+}
+
+// Detach tears the session down without emitting final records: it waits
+// for any in-flight asynchronous refit and marks the session closed, writing
+// nothing. This is the correct end of life for a session that was
+// checkpointed for migration — the resumed copy owns the rest of the metric
+// stream, including the finals. Idempotent; safe whether or not a
+// checkpoint was taken.
+func (s *Session) Detach() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.ckptPending = false
+	s.svc.refresher.wait()
 }
 
 // Run steps the session to source exhaustion, closes it, and returns the

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/ssd"
+	"repro/internal/strictjson"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -193,7 +194,7 @@ type ControlSpec struct {
 // configuring defaults.
 func ParseSpec(data []byte) (Spec, error) {
 	var s Spec
-	if err := strictUnmarshal(data, &s, "spec"); err != nil {
+	if err := strictjson.Unmarshal(data, &s, "spec"); err != nil {
 		return Spec{}, err
 	}
 	// Normalize "tenants": [] to the absent form: omitempty drops an empty

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/policy"
 	"repro/internal/stats"
+	"repro/internal/strictjson"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -153,7 +154,7 @@ func (q QoSSpec) improved(v, prev float64) bool {
 // offending key — instead of silently configuring defaults.
 func ParseTenantSpecs(data []byte) ([]TenantSpec, error) {
 	var specs []TenantSpec
-	if err := strictUnmarshal(data, &specs, "tenants"); err != nil {
+	if err := strictjson.Unmarshal(data, &specs, "tenants"); err != nil {
 		return nil, fmt.Errorf("serve: parsing tenant spec: %w", err)
 	}
 	if err := ValidateTenants(specs); err != nil {

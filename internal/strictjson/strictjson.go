@@ -1,4 +1,11 @@
-package serve
+// Package strictjson decodes JSON wire formats strictly: any object key
+// that does not correspond to a field of the destination struct is rejected
+// with an error naming the key by its full path in the document. The serve
+// spec/tenant formats and the cluster coordinator/worker protocol all decode
+// through it, so a typo anywhere in a remotely-supplied document fails
+// loudly at the exact offending key instead of silently configuring a
+// default.
+package strictjson
 
 import (
 	"bytes"
@@ -9,16 +16,16 @@ import (
 	"strings"
 )
 
-// strictUnmarshal decodes JSON into v like encoding/json, but rejects any
-// object key that does not correspond to a field of the destination struct —
-// and names the offending key by its full path (e.g.
-// "spec.tenants[1].sahre") instead of the bare field name the standard
-// library's DisallowUnknownFields reports. Wire-format typos therefore fail
-// with an error that points at the exact spot in the document, which matters
-// once specs nest several levels deep.
+// Unmarshal decodes JSON into v like encoding/json, but rejects any object
+// key that does not correspond to a field of the destination struct — and
+// names the offending key by its full path (e.g. "spec.tenants[1].sahre")
+// instead of the bare field name the standard library's
+// DisallowUnknownFields reports. Wire-format typos therefore fail with an
+// error that points at the exact spot in the document, which matters once
+// documents nest several levels deep.
 //
 // root labels the document in error messages. v must be a non-nil pointer.
-func strictUnmarshal(data []byte, v any, root string) error {
+func Unmarshal(data []byte, v any, root string) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.UseNumber()
 	var tree any
@@ -42,6 +49,11 @@ func strictUnmarshal(data []byte, v any, root string) error {
 func checkUnknownFields(tree any, t reflect.Type, path string) error {
 	for t.Kind() == reflect.Pointer {
 		t = t.Elem()
+	}
+	// json.RawMessage fields pass through verbatim — their contents belong
+	// to whatever format later decodes them, not to this document.
+	if t == reflect.TypeOf(json.RawMessage(nil)) {
+		return nil
 	}
 	switch node := tree.(type) {
 	case map[string]any:

@@ -1,0 +1,98 @@
+package strictjson
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+type inner struct {
+	Gamma int             `json:"gamma"`
+	Raw   json.RawMessage `json:"raw"`
+}
+
+type embedded struct {
+	FromEmbed string `json:"from_embed"`
+}
+
+type outer struct {
+	embedded
+	Alpha    int              `json:"alpha"`
+	Renamed  string           `json:"renamed,omitempty"`
+	Untagged float64          // effective name "Untagged"
+	Skipped  string           `json:"-"`
+	hidden   int              //nolint:unused // pins the unexported-field skip
+	Nested   *inner           `json:"nested"`
+	List     []inner          `json:"list"`
+	ByKey    map[string]inner `json:"by_key"`
+}
+
+func TestUnmarshalAccepts(t *testing.T) {
+	t.Parallel()
+	doc := `{
+	 "alpha": 1, "renamed": "x", "Untagged": 2.5, "from_embed": "e",
+	 "nested": {"gamma": 3, "raw": {"anything": ["goes", "here"]}},
+	 "list": [{"gamma": 1}, {"gamma": 2}],
+	 "by_key": {"k": {"gamma": 9}}
+	}`
+	var v outer
+	if err := Unmarshal([]byte(doc), &v, "doc"); err != nil {
+		t.Fatal(err)
+	}
+	if v.Alpha != 1 || v.FromEmbed != "e" || v.Nested.Gamma != 3 || len(v.List) != 2 {
+		t.Errorf("decoded %+v", v)
+	}
+	// Case-insensitive key matching follows encoding/json.
+	if err := Unmarshal([]byte(`{"ALPHA": 4}`), &outer{}, "doc"); err != nil {
+		t.Errorf("case-insensitive key rejected: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsByPath(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		doc  string
+		path string
+	}{
+		{`{"aplha": 1}`, "doc.aplha"},
+		{`{"skipped": "x"}`, "doc.skipped"}, // json:"-" is not a wire name
+		{`{"nested": {"gmma": 3}}`, "doc.nested.gmma"},
+		{`{"list": [{"gamma": 1}, {"gmma": 2}]}`, "doc.list[1].gmma"},
+		{`{"by_key": {"some-key": {"gmma": 1}}}`, "doc.by_key.some-key.gmma"},
+		{`{"zz": 1, "aa": 2}`, "doc.aa"}, // sorted: deterministic first report
+	}
+	for _, tc := range cases {
+		err := Unmarshal([]byte(tc.doc), &outer{}, "doc")
+		if err == nil {
+			t.Errorf("%s: accepted", tc.doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.path+": unknown field") {
+			t.Errorf("%s: error %q does not name path %q", tc.doc, err, tc.path)
+		}
+	}
+}
+
+func TestUnmarshalRawMessagePassthrough(t *testing.T) {
+	t.Parallel()
+	// Keys inside a RawMessage belong to a later decode, not this document.
+	doc := `{"nested": {"raw": {"utterly": {"unknown": true}}}}`
+	var v outer
+	if err := Unmarshal([]byte(doc), &v, "doc"); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"utterly": {"unknown": true}}`
+	if string(v.Nested.Raw) != want {
+		t.Errorf("RawMessage bytes not preserved: %s", v.Nested.Raw)
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	t.Parallel()
+	if err := Unmarshal([]byte(`{"alpha": `), &outer{}, "doc"); err == nil || !strings.Contains(err.Error(), "doc:") {
+		t.Errorf("truncated document: %v", err)
+	}
+	if err := Unmarshal([]byte(`{} trailing`), &outer{}, "doc"); err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Errorf("trailing data: %v", err)
+	}
+}
