@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench serve-smoke test-tenants test-shares test-spec test-cluster cover fuzz-smoke fmt vet fmt-check ci
+.PHONY: build test race bench serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry cover fuzz-smoke fmt vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -71,9 +71,20 @@ test-cluster:
 	$(GO) run -race ./cmd/icgmm-cluster -spec cmd/icgmm-cluster/testdata/cluster-sample.json \
 		-merged /dev/null -verify -v
 
+# Telemetry suite: the registry/trace/debug-server unit tests, the golden
+# determinism-equivalence tests (telemetry on, scraped live, must emit the
+# telemetry-off byte stream — serve at shards 1/2/8, cluster across faults),
+# and the CLI test that scrapes /metrics + /status from a live spec-driven
+# run mid-flight — all under the race detector.
+test-telemetry:
+	$(GO) test ./internal/telemetry -race
+	$(GO) test ./internal/serve -run 'MetricsSink' -race
+	$(GO) test ./internal/cluster -run 'Telemetry|WorkerDebug' -race
+	$(GO) test ./cmd/icgmm-serve -run 'TelemetryLiveScrape' -race
+
 # Ratcheted coverage floors for the packages the test subsystem hardens.
 # Raise a floor when coverage grows; never lower one.
-COVER_FLOORS := ./internal/serve:91 ./internal/workload:95 ./internal/cluster:75 ./internal/strictjson:95
+COVER_FLOORS := ./internal/serve:91 ./internal/workload:95 ./internal/cluster:75 ./internal/strictjson:95 ./internal/telemetry:85
 cover:
 	@fail=0; \
 	for spec in $(COVER_FLOORS); do \
@@ -110,4 +121,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares test-spec test-cluster fuzz-smoke
+ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry fuzz-smoke

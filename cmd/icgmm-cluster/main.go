@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -150,6 +151,35 @@ func cliMain(args []string, stdout io.Writer) error {
 	if *verbose {
 		opts.Logf = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "icgmm-cluster: "+format+"\n", a...)
+		}
+	}
+
+	// Telemetry (opt-in via the spec): the coordinator's cluster-wide live
+	// view — per-worker step EWMAs, heartbeat staleness, placement, fault
+	// counts — behind /metrics + /status + pprof, plus the cluster event
+	// trace. Workers expose their own debug endpoints on their protocol
+	// listeners regardless.
+	if ts := spec.Telemetry; ts != nil {
+		opts.Telemetry = telemetry.NewRegistry()
+		if ts.Trace != "" {
+			tw := io.Writer(os.Stderr)
+			if ts.Trace != "-" {
+				f, err := os.Create(ts.Trace)
+				if err != nil {
+					return fmt.Errorf("opening telemetry trace: %w", err)
+				}
+				defer f.Close()
+				tw = f
+			}
+			opts.Trace = telemetry.NewTracer(tw)
+		}
+		if ts.Addr != "" {
+			srv, err := telemetry.Serve(ts.Addr, opts.Telemetry)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "telemetry: http://%s (/metrics /status /debug/pprof)\n", srv.Addr())
 		}
 	}
 

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -197,6 +198,12 @@ func runSpec(spec serve.Spec) error {
 	fmt.Fprintf(os.Stderr, "serving %s: shards=%d partitions=%d batch=%d refresh=%s\n",
 		label, cfg.Shards, cfg.Partitions, cfg.BatchSize, cfg.Refresh.Mode)
 
+	tel, err := startTelemetry(spec, sess)
+	if err != nil {
+		return err
+	}
+	defer tel.close()
+
 	start := time.Now()
 	var deadline time.Time
 	if spec.Duration != "" {
@@ -213,11 +220,13 @@ func runSpec(spec serve.Spec) error {
 		if _, err := sess.Step(1); err != nil {
 			return err
 		}
+		tel.afterStep(sess)
 	}
 	if err := sess.Close(); err != nil {
 		return err
 	}
 	snap := sess.Metrics()
+	tel.final(snap)
 	wall := time.Since(start)
 	fmt.Fprintf(os.Stderr,
 		"wall: served %d ops in %v (%.0f ops/s wall, %.0f ops/s virtual), hit ratio %.4f, refreshes %d\n",
@@ -227,6 +236,90 @@ func runSpec(spec serve.Spec) error {
 		fmt.Fprint(os.Stderr, tenantTable(snap))
 	}
 	return nil
+}
+
+// sessionName labels the CLI's single session in telemetry output.
+const sessionName = "serve"
+
+// cliTelemetry is the run's optional telemetry hookup: the registry behind
+// the debug server, the server itself, the trace sink, and the snapshot
+// cadence. The zero value (telemetry off) makes every method a no-op, so
+// the serving loop calls them unconditionally.
+type cliTelemetry struct {
+	reg       *telemetry.Registry
+	srv       *telemetry.Server
+	traceFile *os.File
+	every     uint64
+}
+
+// startTelemetry resolves the spec's telemetry block: build the registry,
+// open the trace sink, start the debug server (reporting the bound address
+// on stderr — the spec may ask for port 0), and wire the session's event
+// observer. Everything it sets up is read-side: the JSONL metric stream is
+// byte-identical with or without it.
+func startTelemetry(spec serve.Spec, sess *serve.Session) (*cliTelemetry, error) {
+	tel := &cliTelemetry{}
+	ts := spec.Telemetry
+	if ts == nil {
+		return tel, nil
+	}
+	tel.reg = telemetry.NewRegistry()
+	tel.every = ts.EffectiveSnapshotEvery()
+	var tracer *telemetry.Tracer
+	switch ts.Trace {
+	case "":
+	case "-":
+		tracer = telemetry.NewTracer(os.Stderr)
+	default:
+		f, err := os.Create(ts.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("opening telemetry trace: %w", err)
+		}
+		tel.traceFile = f
+		tracer = telemetry.NewTracer(f)
+	}
+	sess.Observe(telemetry.SessionObserver(tel.reg, tracer, sessionName))
+	tel.reg.PublishSnapshot(sessionName, sess.Metrics())
+	if ts.Addr != "" {
+		srv, err := telemetry.Serve(ts.Addr, tel.reg)
+		if err != nil {
+			return nil, err
+		}
+		tel.srv = srv
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s (/metrics /status /debug/pprof)\n", srv.Addr())
+	}
+	return tel, nil
+}
+
+// afterStep publishes the session's progress after each batch, and a full
+// snapshot (which sorts retained histogram samples) every `every` batches.
+func (t *cliTelemetry) afterStep(sess *serve.Session) {
+	if t.reg == nil {
+		return
+	}
+	t.reg.PublishProgress(sessionName, sess.Batches(), sess.Done())
+	if sess.Batches()%t.every == 0 {
+		t.reg.PublishSnapshot(sessionName, sess.Metrics())
+	}
+}
+
+// final publishes the closing snapshot so a last scrape sees the full run.
+func (t *cliTelemetry) final(snap *serve.Snapshot) {
+	if t.reg == nil {
+		return
+	}
+	t.reg.PublishProgress(sessionName, snap.Batches, true)
+	t.reg.PublishSnapshot(sessionName, snap)
+}
+
+// close tears the debug server and trace sink down.
+func (t *cliTelemetry) close() {
+	if t.srv != nil {
+		t.srv.Close() //nolint:errcheck // teardown
+	}
+	if t.traceFile != nil {
+		t.traceFile.Close() //nolint:errcheck // teardown
+	}
 }
 
 // tenantTable renders the final per-tenant accounting as an aligned table.

@@ -182,6 +182,7 @@ func TestCommittedSpecsParse(t *testing.T) {
 		"testdata/spec-smoke.json",
 		"testdata/spec-tenants.json",
 		"testdata/spec-elastic.json",
+		"testdata/spec-telemetry.json",
 	} {
 		data, err := os.ReadFile(path)
 		if err != nil {

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestCLITelemetryLiveScrape runs the committed telemetry spec — the elastic
+// scenario with the debug server and stderr trace enabled — through the real
+// CLI entry point, scrapes /metrics and /status over HTTP while the run is
+// serving, and then checks the two halves of the observability contract:
+// the endpoints answer with live well-formed data mid-flight, and the metric
+// JSONL written is still byte-identical to the telemetry-free golden.
+func TestCLITelemetryLiveScrape(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "metrics.jsonl")
+
+	// The CLI reports the bound telemetry address (the spec asks for port 0)
+	// and streams the trace on stderr; capture both through a pipe.
+	origStderr := os.Stderr
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = pw
+	defer func() { os.Stderr = origStderr }()
+	lines := make(chan string, 8192)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		sc.Buffer(nil, 1<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cliMain([]string{"-spec", "testdata/spec-telemetry.json", "-out", outPath, "-shards", "4"})
+	}()
+
+	// Wait for the telemetry banner, then scrape while the run serves.
+	var addr string
+	var early []string
+	timeout := time.After(2 * time.Minute)
+	for addr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("stderr closed before the telemetry banner; saw:\n%s", strings.Join(early, "\n"))
+			}
+			early = append(early, line)
+			if rest, found := strings.CutPrefix(line, "telemetry: http://"); found {
+				addr, _, _ = strings.Cut(rest, " ")
+			}
+		case err := <-done:
+			t.Fatalf("run finished before the telemetry banner (err=%v); saw:\n%s", err, strings.Join(early, "\n"))
+		case <-timeout:
+			t.Fatal("no telemetry banner within 2m")
+		}
+	}
+
+	metricsBody := httpGet(t, "http://"+addr+"/metrics")
+	for _, want := range []string{"icgmm_uptime_seconds", `icgmm_session_ops_total{session="serve"}`} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("live /metrics missing %s:\n%s", want, metricsBody)
+		}
+	}
+	var st telemetry.Status
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+addr+"/status")), &st); err != nil {
+		t.Fatalf("live /status not JSON: %v", err)
+	}
+	if len(st.Sessions) != 1 || st.Sessions[0].Name != "serve" || st.Sessions[0].Snapshot == nil {
+		t.Errorf("live /status = %+v", st.Sessions)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	os.Stderr = origStderr
+
+	// Drain the rest of stderr: the trace rode it as JSONL ("trace": "-").
+	kinds := map[string]int{}
+	for line := range lines {
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var ev telemetry.TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if ev.TimeUnixNs == 0 || ev.Session != "serve" {
+			t.Fatalf("malformed trace event %+v", ev)
+		}
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{"drift", "refresh", "share"} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+
+	// Telemetry on, scraped mid-flight: the metric stream is still the
+	// committed telemetry-off golden, byte for byte.
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "internal", "serve", "testdata", "tenant_golden.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("telemetry-on run diverges from the golden JSONL (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

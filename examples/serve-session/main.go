@@ -9,11 +9,15 @@
 //  3. Checkpoint: the full mutable state — model, cache contents, tenant
 //     budgets, controller state, histograms, RNG cursors — as one JSON
 //     document.
-//  4. Detach the paused session (Close refuses after a Checkpoint — the
+//  4. Scrape the live telemetry endpoint: the run exposes /status,
+//     /metrics and /debug/pprof on a loopback debug server, and the paused
+//     state is visible there — without perturbing the metric stream.
+//  5. Detach the paused session (Close refuses after a Checkpoint — the
 //     resumed copy owns the rest of the stream), then Resume a fresh
 //     session from the checkpoint and run it to completion.
-//  5. Verify the pause/resume contract: the concatenated metric stream is
-//     byte-identical to an uninterrupted run of the same spec.
+//  6. Verify the pause/resume contract: the concatenated metric stream is
+//     byte-identical to an uninterrupted run of the same spec — telemetry
+//     on or off.
 //
 // Run with: go run ./examples/serve-session [-spec run.json]
 package main
@@ -22,10 +26,13 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // defaultSpec is the embedded demo scenario: two tenants under the adaptive
@@ -89,12 +96,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The same run, paused halfway and resumed from its checkpoint.
+	// The same run, paused halfway and resumed from its checkpoint — this
+	// time with live telemetry: a registry fed at batch boundaries, served
+	// over HTTP. Telemetry is read-side only, so the byte-identity check at
+	// the end still holds against the telemetry-free reference run.
+	reg := telemetry.NewRegistry()
+	tsrv, err := telemetry.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tsrv.Close()
+
 	var first bytes.Buffer
 	sess, err := serve.Open(spec, &first)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess.Observe(telemetry.SessionObserver(reg, nil, "demo"))
 	batch := spec.Batch
 	if batch == 0 {
 		batch = 8192
@@ -112,6 +130,15 @@ func main() {
 	}
 	fmt.Printf("checkpointed at batch %d: %d bytes of state (model, caches, budgets, controller, RNG cursors)\n",
 		sess.Batches(), ckpt.Len())
+	// Publish the paused session's state and scrape /status over the wire —
+	// the same view an operator gets mid-flight with curl.
+	reg.PublishProgress("demo", sess.Batches(), false)
+	reg.PublishSnapshot("demo", sess.Metrics())
+	status, err := scrape("http://" + tsrv.Addr() + "/status")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live /status between checkpoint and resume:\n%s", status)
 	// The resumed copy owns the rest of the metric stream now, so the paused
 	// session must Detach — release its resources without emitting the final
 	// records (Close would, and therefore refuses after a Checkpoint).
@@ -140,4 +167,17 @@ func main() {
 			ts.Tenant, ts.Ops, ts.HitRatio(), ts.ResidentBlocks, ts.BudgetBlocks)
 	}
 	_ = refSnap
+}
+
+// scrape GETs a telemetry endpoint and returns its body.
+func scrape(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }

@@ -7,6 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // Options configures a coordinator run.
@@ -28,6 +31,14 @@ type Options struct {
 	// Logf, if set, receives progress lines (placements, faults, deaths,
 	// replays).
 	Logf func(format string, args ...any)
+	// Telemetry, if set, receives the coordinator's cluster-wide live view:
+	// per-worker step-latency EWMAs and heartbeat/step miss counts (signals
+	// the drive loop measures anyway), session placement and progress, and
+	// fault/replay counters. Purely read-side — nil changes nothing.
+	Telemetry *telemetry.Registry
+	// Trace, if set, receives wall-clock-stamped cluster events (checkpoint
+	// commits, migrations, worker deaths, replays) as JSONL.
+	Trace *telemetry.Tracer
 }
 
 // Report summarizes a completed cluster run.
@@ -186,6 +197,7 @@ func (c *coordinator) spawn(ws *workerState) error {
 	ws.client = NewClient(h.URL)
 	ws.dead = &atomic.Bool{}
 	ws.stop = make(chan struct{})
+	c.opts.Telemetry.RecordWorker(ws.slot, h.URL)
 	dead, stop, client := ws.dead, ws.stop, ws.client
 	go func() { // process-exit watcher
 		select {
@@ -194,7 +206,7 @@ func (c *coordinator) spawn(ws *workerState) error {
 		case <-stop:
 		}
 	}()
-	hb := c.opts.Heartbeat
+	hb, slot, reg := c.opts.Heartbeat, ws.slot, c.opts.Telemetry
 	go func() { // heartbeat prober
 		t := time.NewTicker(hb)
 		defer t.Stop()
@@ -205,6 +217,7 @@ func (c *coordinator) spawn(ws *workerState) error {
 				_, err := client.Health(hb)
 				var te *TransportError
 				if err != nil && errors.As(err, &te) {
+					reg.Heartbeat(slot, false)
 					// Three consecutive misses before declaring death: a
 					// single slow probe (a loaded machine, a long GC pause)
 					// must not trigger a replay of a healthy worker.
@@ -213,6 +226,7 @@ func (c *coordinator) spawn(ws *workerState) error {
 						return
 					}
 				} else {
+					reg.Heartbeat(slot, true)
 					misses = 0
 				}
 			case <-stop:
@@ -258,6 +272,7 @@ func (c *coordinator) placeSessions() error {
 			return fmt.Errorf("cluster: opening session %q on worker %d: %w", st.name, st.worker, err)
 		}
 		c.sessions = append(c.sessions, st)
+		c.opts.Telemetry.SetPlacement(st.name, st.worker)
 		c.logf("session %q placed on worker %d", st.name, st.worker)
 	}
 	return nil
@@ -327,11 +342,16 @@ func (c *coordinator) stepRound(live []*sessionState, target uint64) ([]*session
 	var wg sync.WaitGroup
 	for i, s := range live {
 		client := c.workers[s.worker].client
-		name := s.name
+		name, slot := s.name, s.worker
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-round, per-worker step wall time feeds the telemetry
+			// registry's latency EWMA — the load signal a future rebalancer
+			// wants, measured here anyway.
+			start := time.Now()
 			resp, err := client.Step(name, target)
+			c.opts.Telemetry.ObserveStep(slot, time.Since(start), err == nil)
 			results[i] = outcome{resp: resp, err: err}
 		}()
 	}
@@ -365,11 +385,20 @@ func (c *coordinator) absorb(s *sessionState, resp stepResponse) error {
 		s.pending = append(s.pending, resp.Metrics...)
 		s.received += uint64(len(resp.Metrics))
 	}
+	c.opts.Telemetry.PublishProgress(s.name, s.batches, resp.Closed)
 	if resp.Checkpoint != nil {
 		if err := c.commitTo(s, resp.Checkpoint.Emitted); err != nil {
 			return err
 		}
 		s.ckpt = resp.Checkpoint
+		c.opts.Telemetry.RecordCheckpoint(s.name, resp.Checkpoint.Batches)
+		c.opts.Telemetry.CountEvent(serve.EventCheckpoint, s.name)
+		c.opts.Trace.Emit(telemetry.TraceEvent{
+			Kind:    serve.EventCheckpoint,
+			Session: s.name,
+			Batch:   resp.Checkpoint.Batches,
+			Worker:  &s.worker,
+		})
 	}
 	if resp.Closed {
 		if err := c.commitAll(s); err != nil {
@@ -481,6 +510,14 @@ func (c *coordinator) migrate(name string, target int) error {
 	s.pending = nil
 	s.committed, s.received = 0, 0
 	s.migrations++
+	c.opts.Telemetry.RecordMigration(name)
+	c.opts.Telemetry.SetPlacement(name, target)
+	c.opts.Trace.Emit(telemetry.TraceEvent{
+		Kind:    telemetry.EventMigration,
+		Session: name,
+		Batch:   info.Batches,
+		Worker:  &target,
+	})
 	return nil
 }
 
@@ -529,12 +566,16 @@ func (c *coordinator) recoverSlots(failed []*sessionState) error {
 // replay regenerates them byte-identically, which is the whole contract.
 func (c *coordinator) recoverWorker(ws *workerState) error {
 	c.logf("worker %d dead; respawning", ws.slot)
+	c.opts.Telemetry.SetWorkerUp(ws.slot, false)
+	c.opts.Telemetry.CountEvent(telemetry.EventWorkerDeath, "")
+	c.opts.Trace.Emit(telemetry.TraceEvent{Kind: telemetry.EventWorkerDeath, Worker: &ws.slot})
 	ws.stopMonitors()
 	ws.handle.Kill() //nolint:errcheck // it is already dying
 	if err := c.spawn(ws); err != nil {
 		return err
 	}
 	c.restarts++
+	c.opts.Telemetry.RecordRestart(ws.slot)
 	for _, s := range c.sessions {
 		if s.closed || s.worker != ws.slot {
 			continue
@@ -556,6 +597,14 @@ func (c *coordinator) recoverWorker(ws *workerState) error {
 			c.logf("session %q replayed from scratch (no checkpoint yet)", s.name)
 		}
 		s.replays++
+		c.opts.Telemetry.RecordReplay(s.name)
+		c.opts.Telemetry.PublishProgress(s.name, s.batches, false)
+		c.opts.Trace.Emit(telemetry.TraceEvent{
+			Kind:    telemetry.EventReplay,
+			Session: s.name,
+			Batch:   s.batches,
+			Worker:  &ws.slot,
+		})
 	}
 	return nil
 }

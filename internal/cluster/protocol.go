@@ -127,10 +127,27 @@ type detachResponse struct {
 	Detached bool `json:"detached"`
 }
 
-// healthResponse answers the heartbeat probe.
+// healthResponse answers the heartbeat probe. The whole body is built from
+// the worker's telemetry registry — never from session state — so a worker
+// mid-step answers instantly.
 type healthResponse struct {
 	// Sessions is how many open sessions the worker holds.
 	Sessions int `json:"sessions"`
+	// Detail lists the hosted sessions (sorted by name) with their last
+	// published progress.
+	Detail []sessionHealth `json:"detail,omitempty"`
+}
+
+// sessionHealth is one hosted session's live view inside a health reply.
+type sessionHealth struct {
+	Session string `json:"session"`
+	// Batches is the session's served batch count as last published (it can
+	// trail the true count by the in-flight step).
+	Batches uint64 `json:"batches"`
+	Done    bool   `json:"done,omitempty"`
+	// LastCheckpointBatch is the newest periodic/explicit checkpoint
+	// boundary, absent before the first.
+	LastCheckpointBatch *uint64 `json:"last_checkpoint_batch,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx reply.

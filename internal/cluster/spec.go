@@ -32,6 +32,12 @@ type Spec struct {
 	Sessions []SessionSpec `json:"sessions"`
 	// Faults is the deterministic fault schedule.
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// Telemetry opts the *coordinator* into the live debug server (Addr)
+	// and the cluster event trace (Trace). Workers always expose /metrics,
+	// /status and /debug/pprof on their own protocol listeners regardless.
+	// Loader-resolved, read-side only: the merged and per-session metric
+	// streams are byte-identical with or without it.
+	Telemetry *serve.TelemetrySpec `json:"telemetry,omitempty"`
 }
 
 // SessionSpec names one serving run and embeds its serve.Spec document.
@@ -130,6 +136,9 @@ func (s Spec) Validate() error {
 		if _, err := serve.ParseSpec(sess.Spec); err != nil {
 			return fmt.Errorf("cluster: session %q: %w", sess.Name, err)
 		}
+	}
+	if t := s.Telemetry; t != nil && t.SnapshotEvery < 0 {
+		return fmt.Errorf("cluster: spec telemetry snapshot_every %d negative", t.SnapshotEvery)
 	}
 	for i, f := range s.Faults {
 		if f.Worker < 0 || f.Worker >= s.EffectiveWorkers() {

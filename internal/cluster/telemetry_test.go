@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// TestClusterTelemetryGolden runs the standing fault scenario — one live
+// migration, one worker kill with a two-session replay — with the full
+// telemetry hookup: coordinator registry, cluster trace, and a scraper
+// hitting the debug server throughout. The committed per-session streams
+// must still be byte-identical to uninterrupted telemetry-free runs, and
+// the registry/trace must have seen every fault.
+func TestClusterTelemetryGolden(t *testing.T) {
+	t.Parallel()
+	spec, err := ParseSpec([]byte(clusterSpecJSON(2, goldenFaults)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var launcher LocalLauncher
+	t.Cleanup(launcher.Close)
+
+	reg := telemetry.NewRegistry()
+	var traceBuf bytes.Buffer
+	tracer := telemetry.NewTracer(&traceBuf)
+	srv, err := telemetry.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // live scraper for the whole run
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/status"} {
+				resp, err := http.Get("http://" + srv.Addr() + path)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	perSession := make(map[string]*bytes.Buffer)
+	var merged bytes.Buffer
+	rep, err := Run(spec, &launcher, Options{
+		Merged: &merged,
+		SessionWriter: func(name string) io.Writer {
+			buf := &bytes.Buffer{}
+			perSession[name] = buf
+			return buf
+		},
+		Logf:      t.Logf,
+		Telemetry: reg,
+		Trace:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Telemetry on, faults and all: streams still byte-identical to the
+	// telemetry-free uninterrupted runs.
+	goldens := map[string][]byte{
+		"tenants": uninterruptedStream(t, []byte(tenantSpecJSON(2))),
+		"stream":  uninterruptedStream(t, []byte(serveSpecJSON(2, 11, 12288))),
+	}
+	for name, want := range goldens {
+		got := perSession[name]
+		if got == nil || !bytes.Equal(got.Bytes(), want) {
+			gotLen := 0
+			if got != nil {
+				gotLen = got.Len()
+			}
+			t.Errorf("session %q: telemetry-on stream diverges from telemetry-off run (%d vs %d bytes)",
+				name, gotLen, len(want))
+		}
+	}
+
+	// The registry saw the whole failure story.
+	st := reg.Status()
+	if len(st.Workers) != 2 {
+		t.Fatalf("registry has %d workers, want 2: %+v", len(st.Workers), st.Workers)
+	}
+	for _, w := range st.Workers {
+		if w.URL == "" || w.Steps == 0 || w.StepLatencyEWMASeconds <= 0 {
+			t.Errorf("worker %d never observed stepping: %+v", w.Worker, w)
+		}
+	}
+	if st.Workers[1].Restarts != uint64(rep.WorkerRestarts) || rep.WorkerRestarts != 1 {
+		t.Errorf("worker 1 restarts = %d (report %d), want 1", st.Workers[1].Restarts, rep.WorkerRestarts)
+	}
+	if len(st.Sessions) != 2 {
+		t.Fatalf("registry has %d sessions: %+v", len(st.Sessions), st.Sessions)
+	}
+	byName := map[string]telemetry.SessionStatus{}
+	for _, s := range st.Sessions {
+		if !s.Done || s.Batches == 0 || s.Worker == nil {
+			t.Errorf("session %q incomplete in registry: %+v", s.Name, s)
+		}
+		byName[s.Name] = s
+	}
+	if byName["tenants"].Migrations != 1 {
+		t.Errorf("tenants migrations = %d, want 1", byName["tenants"].Migrations)
+	}
+	// The kill hits worker 1 when it hosts both sessions: both replay.
+	for _, name := range []string{"tenants", "stream"} {
+		if byName[name].Replays != 1 {
+			t.Errorf("%s replays = %d, want 1", name, byName[name].Replays)
+		}
+		if byName[name].LastCheckpointBatch == nil {
+			t.Errorf("%s has no checkpoint recorded", name)
+		}
+	}
+	for _, kind := range []string{telemetry.EventMigration, telemetry.EventWorkerDeath, telemetry.EventReplay, serve.EventCheckpoint} {
+		if st.Events[kind] == 0 {
+			t.Errorf("registry saw no %q events: %v", kind, st.Events)
+		}
+	}
+
+	// The trace recorded the same transitions, stamped and well-formed.
+	kinds := map[string]int{}
+	for _, line := range bytes.Split(bytes.TrimSpace(traceBuf.Bytes()), []byte("\n")) {
+		var ev telemetry.TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if ev.TimeUnixNs == 0 {
+			t.Fatalf("unstamped trace event %+v", ev)
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds[telemetry.EventMigration] != 1 || kinds[telemetry.EventWorkerDeath] != 1 || kinds[telemetry.EventReplay] != 2 {
+		t.Errorf("trace kinds = %v, want 1 migration, 1 worker-death, 2 replays", kinds)
+	}
+	if kinds[serve.EventCheckpoint] == 0 {
+		t.Errorf("trace has no checkpoint commits: %v", kinds)
+	}
+
+	// The coordinator's own /metrics reflects it too.
+	body := string(reg.RenderPrometheus())
+	for _, want := range []string{"icgmm_worker_up", "icgmm_worker_restarts_total", "icgmm_session_replays_total", "icgmm_session_migrations_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("coordinator /metrics missing %s", want)
+		}
+	}
+}
+
+// TestWorkerDebugEndpoints exercises the worker-side observability surface:
+// the protocol listener also answers /metrics, /status and /debug/pprof/,
+// the rich health detail tracks hosted sessions, and none of it touches the
+// session mutex path.
+func TestWorkerDebugEndpoints(t *testing.T) {
+	t.Parallel()
+	w := NewWorker()
+	srv := httptest.NewServer(w)
+	t.Cleanup(srv.Close)
+	client := NewClient(srv.URL)
+
+	if err := client.Open("s", []byte(serveSpecJSON(1, 3, 4096)), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Target past the end: the worker serves the remaining 4 batches, sees
+	// the source exhausted, closes the session, and publishes its final
+	// snapshot.
+	if _, err := client.Step("s", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ct := get("/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics = %d %q", code, ct)
+	}
+	if !strings.Contains(body, `icgmm_session_batches_total{session="s"} 4`) {
+		t.Errorf("/metrics missing session progress:\n%s", body)
+	}
+	if !strings.Contains(body, "icgmm_session_ops_total") {
+		t.Errorf("/metrics missing snapshot families (final snapshot should have published):\n%s", body)
+	}
+
+	code, body, _ = get("/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status = %d", code)
+	}
+	var st telemetry.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v", err)
+	}
+	if len(st.Sessions) != 1 || st.Sessions[0].Name != "s" || st.Sessions[0].Batches != 4 || !st.Sessions[0].Done {
+		t.Fatalf("/status sessions = %+v", st.Sessions)
+	}
+	if st.Sessions[0].LastCheckpointBatch == nil || *st.Sessions[0].LastCheckpointBatch != 4 {
+		t.Errorf("periodic checkpoint hook not recorded: %+v", st.Sessions[0])
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d:\n%s", code, body)
+	}
+
+	// Health carries the per-session detail, built from the same registry.
+	code, body, _ = get("/" + protocolVersion + "/health")
+	if code != http.StatusOK {
+		t.Fatalf("health = %d", code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Sessions != 1 || len(h.Detail) != 1 || h.Detail[0].Session != "s" || h.Detail[0].Batches != 4 || !h.Detail[0].Done {
+		t.Fatalf("health = %+v", h)
+	}
+
+	// Unknown protocol endpoints still 404 as protocol errors.
+	if code, _, _ := get("/" + protocolVersion + "/bogus"); code != http.StatusNotFound {
+		t.Errorf("protocol 404 = %d", code)
+	}
+}

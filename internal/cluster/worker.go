@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/serve"
 	"repro/internal/strictjson"
+	"repro/internal/telemetry"
 )
 
 // Worker hosts serving sessions behind the cluster protocol. It is an
@@ -28,6 +31,12 @@ type Worker struct {
 	// waits on the session mutex: a worker mid-step must still answer
 	// heartbeats, or a long step reads as a death.
 	count atomic.Int64
+	// reg is the worker's telemetry registry: session progress, snapshots
+	// and event counters, published at batch boundaries. The health endpoint
+	// and the debug endpoints (/metrics, /status, /debug/pprof) read only
+	// it, which is what keeps them independent of the session mutex.
+	reg   *telemetry.Registry
+	debug http.Handler
 }
 
 // workerSession is one hosted session plus its incarnation-local metric
@@ -42,7 +51,16 @@ type workerSession struct {
 	// waiting to ride out on the next step response.
 	lastCkpt *checkpointInfo
 	closed   bool
+	// lastPub is when the session's full snapshot was last published to the
+	// telemetry registry. Snapshots sort retained histogram samples, so
+	// publishing is time-gated (snapshotMinGap) rather than per-step.
+	lastPub time.Time
 }
+
+// snapshotMinGap is the minimum wall-clock spacing between full snapshot
+// publications for one session. Cheap progress counters publish every step
+// regardless.
+const snapshotMinGap = 500 * time.Millisecond
 
 // Write is the session's metrics sink: into the drain buffer, counting.
 func (ws *workerSession) Write(p []byte) (int, error) {
@@ -52,10 +70,20 @@ func (ws *workerSession) Write(p []byte) (int, error) {
 
 // NewWorker returns an empty worker.
 func NewWorker() *Worker {
-	return &Worker{sessions: make(map[string]*workerSession)}
+	reg := telemetry.NewRegistry()
+	return &Worker{
+		sessions: make(map[string]*workerSession),
+		reg:      reg,
+		debug:    telemetry.NewHandler(reg),
+	}
 }
 
-// ServeHTTP routes the protocol endpoints.
+// Registry exposes the worker's telemetry registry (read-side state the
+// debug endpoints serve); embedding callers can scrape it directly.
+func (w *Worker) Registry() *telemetry.Registry { return w.reg }
+
+// ServeHTTP routes the protocol endpoints; everything outside /v1/ goes to
+// the telemetry debug handler (/metrics, /status, /debug/pprof/).
 func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/" + protocolVersion + "/open":
@@ -69,10 +97,32 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	case "/" + protocolVersion + "/detach":
 		w.post(rw, r, w.handleDetach)
 	case "/" + protocolVersion + "/health":
-		writeJSON(rw, http.StatusOK, healthResponse{Sessions: int(w.count.Load())})
+		writeJSON(rw, http.StatusOK, w.health())
 	default:
+		if !strings.HasPrefix(r.URL.Path, "/"+protocolVersion+"/") {
+			w.debug.ServeHTTP(rw, r)
+			return
+		}
 		writeJSON(rw, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("cluster: unknown endpoint %s (this worker speaks %s)", r.URL.Path, protocolVersion)})
 	}
+}
+
+// health assembles the heartbeat reply from the telemetry registry alone:
+// no session mutex, so a worker mid-step (which can hold the mutex for a
+// long refit) still answers within the prober's deadline.
+func (w *Worker) health() healthResponse {
+	resp := healthResponse{Sessions: int(w.count.Load())}
+	st := w.reg.Status()
+	for i := range st.Sessions {
+		s := &st.Sessions[i]
+		resp.Detail = append(resp.Detail, sessionHealth{
+			Session:             s.Name,
+			Batches:             s.Batches,
+			Done:                s.Done,
+			LastCheckpointBatch: s.LastCheckpointBatch,
+		})
+	}
+	return resp
 }
 
 // post reads the body and dispatches to an endpoint handler, mapping its
@@ -124,9 +174,7 @@ func (w *Worker) handleOpen(body []byte) (any, error) {
 		return nil, err
 	}
 	ws.sess = sess
-	armCheckpointHook(ws, req.CheckpointEvery)
-	w.sessions[req.Session] = ws
-	w.count.Store(int64(len(w.sessions)))
+	w.adopt(req.Session, ws, req.CheckpointEvery)
 	return openResponse{Batches: sess.Batches()}, nil
 }
 
@@ -149,17 +197,26 @@ func (w *Worker) handleResume(body []byte) (any, error) {
 		return nil, err
 	}
 	ws.sess = sess
-	armCheckpointHook(ws, req.CheckpointEvery)
-	w.sessions[req.Session] = ws
-	w.count.Store(int64(len(w.sessions)))
+	w.adopt(req.Session, ws, req.CheckpointEvery)
 	return openResponse{Batches: sess.Batches()}, nil
+}
+
+// adopt is the shared tail of open and resume: arm the periodic-checkpoint
+// hook, wire the session's event observer into the telemetry registry,
+// publish its starting position, and register it. Caller holds w.mu.
+func (w *Worker) adopt(name string, ws *workerSession, every uint64) {
+	w.armCheckpointHook(name, ws, every)
+	ws.sess.Observe(telemetry.SessionObserver(w.reg, nil, name))
+	w.reg.PublishProgress(name, ws.sess.Batches(), false)
+	w.sessions[name] = ws
+	w.count.Store(int64(len(w.sessions)))
 }
 
 // armCheckpointHook registers the periodic-checkpoint hook: at every
 // boundary it snapshots the document together with the session's position
 // in its metric stream. The hook fires mid-Step, so emitted is read at the
 // boundary — before any bytes the rest of the step will add.
-func armCheckpointHook(ws *workerSession, every uint64) {
+func (w *Worker) armCheckpointHook(name string, ws *workerSession, every uint64) {
 	if every == 0 {
 		return
 	}
@@ -169,6 +226,7 @@ func armCheckpointHook(ws *workerSession, every uint64) {
 			Emitted: ws.emitted,
 			Doc:     json.RawMessage(append([]byte(nil), doc...)),
 		}
+		w.reg.RecordCheckpoint(name, ws.sess.Batches())
 		return nil
 	})
 }
@@ -206,6 +264,16 @@ func (w *Worker) handleStep(body []byte) (any, error) {
 		ws.closed = true
 		resp.Closed = true
 	}
+	// Telemetry: cheap progress counters every step; the full snapshot
+	// (which sorts retained histogram samples) only when snapshotMinGap has
+	// passed or the session just finished. Both happen at a batch boundary
+	// on the session's own goroutine, so Metrics() is legal, and neither
+	// writes to the metric stream.
+	w.reg.PublishProgress(req.Session, ws.sess.Batches(), ws.closed)
+	if now := time.Now(); ws.closed || now.Sub(ws.lastPub) >= snapshotMinGap {
+		ws.lastPub = now
+		w.reg.PublishSnapshot(req.Session, ws.sess.Metrics())
+	}
 	if ws.buf.Len() > 0 {
 		resp.Metrics = append([]byte(nil), ws.buf.Bytes()...)
 		ws.buf.Reset()
@@ -233,6 +301,7 @@ func (w *Worker) handleCheckpoint(body []byte) (any, error) {
 	if err := ws.sess.Checkpoint(&doc); err != nil {
 		return nil, err
 	}
+	w.reg.RecordCheckpoint(req.Session, ws.sess.Batches())
 	return checkpointInfo{
 		Batches: ws.sess.Batches(),
 		Emitted: ws.emitted,
@@ -254,5 +323,8 @@ func (w *Worker) handleDetach(body []byte) (any, error) {
 	ws.sess.Detach()
 	delete(w.sessions, req.Session)
 	w.count.Store(int64(len(w.sessions)))
+	// The session's live state now belongs to whoever resumed it; keep this
+	// worker's telemetry to sessions it actually hosts.
+	w.reg.Remove(req.Session)
 	return detachResponse{Detached: true}, nil
 }

@@ -181,6 +181,12 @@ func (s *Session) checkpointTo(w io.Writer) error {
 	if s.closed {
 		return errors.New("serve: cannot checkpoint a closed session")
 	}
+	// A checkpoint presumes the metric stream up to here reached the sink:
+	// fail now if it didn't, rather than resume from a checkpoint whose
+	// preceding records were silently dropped.
+	if s.svc.metrics.err != nil {
+		return fmt.Errorf("serve: metrics sink: %w", s.svc.metrics.err)
+	}
 	s.svc.refresher.wait()
 	st, err := s.svc.exportState()
 	if err != nil {
@@ -197,7 +203,11 @@ func (s *Session) checkpointTo(w io.Writer) error {
 		doc.Source.OpenLoop = &os
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	s.svc.emit(Event{Kind: EventCheckpoint})
+	return nil
 }
 
 // Resume rebuilds a session from a checkpoint written by Checkpoint,

@@ -260,8 +260,10 @@ type metricRecord struct {
 }
 
 // metricsWriter serializes metric records as JSONL. A nil writer turns every
-// call into a no-op; encode errors are sticky and surfaced at the end of the
-// run instead of failing a batch mid-flight.
+// call into a no-op. Encode errors are sticky — once a write fails, later
+// records are dropped — and are surfaced at the next batch boundary
+// (processBatch) or checkpoint, so a dead sink fails the run promptly
+// rather than at Close.
 type metricsWriter struct {
 	enc *json.Encoder
 	err error
@@ -290,7 +292,8 @@ func (m *metricsWriter) writeRefresh(batch, installed uint64, threshold float64)
 // throughput Welford. It reads only O(partitions) counters — no histogram
 // percentile sorting — so periodic reporting stays off the ingest loop's
 // critical path; p50/p99 appear in the final partition/summary records.
-func (s *Service) emitInterval(batchHitRatio float64) error {
+// Write errors stick in the metricsWriter and are surfaced by processBatch.
+func (s *Service) emitInterval(batchHitRatio float64) {
 	var ops, hits, misses, bypasses uint64
 	var latSum, latCount, makespan int64
 	for _, p := range s.parts {
@@ -360,7 +363,6 @@ func (s *Service) emitInterval(batchHitRatio float64) error {
 			})
 		}
 	}
-	return s.metrics.err
 }
 
 // writeFinal emits the per-partition, per-tenant and aggregate summary

@@ -297,7 +297,11 @@ func (r *refresher) observe(hitRatio float64) {
 	if r.svc.cfg.Refresh.Mode == RefreshOff {
 		return
 	}
-	if !r.detector.Observe(hitRatio) && !r.pendingFire {
+	fired := r.detector.Observe(hitRatio)
+	if fired {
+		r.svc.emit(Event{Kind: EventDrift, HitRatio: hitRatio, Baseline: r.detector.Baseline()})
+	}
+	if !fired && !r.pendingFire {
 		return
 	}
 	if r.svc.window.size() < r.svc.cfg.Refresh.MinSamples {
@@ -313,6 +317,7 @@ func (r *refresher) observe(hitRatio float64) {
 		nb, err := r.refit(samples, seed)
 		if err != nil {
 			r.failed.Add(1)
+			r.svc.emit(Event{Kind: EventRefreshFailed, Err: err.Error()})
 			return
 		}
 		r.install(nb)
@@ -372,6 +377,7 @@ func (r *refresher) install(nb *Bundle) {
 	r.svc.rescoreResident(nb)
 	r.installed++
 	r.svc.metrics.writeRefresh(r.svc.batches, r.installed, nb.Threshold)
+	r.svc.emit(Event{Kind: EventRefresh, Threshold: nb.Threshold, Refreshes: r.installed})
 }
 
 // wait blocks until an in-flight async refit finishes, then installs it so

@@ -310,6 +310,10 @@ type Service struct {
 	ctrl      *controller
 	window    *sampleWindow
 	metrics   *metricsWriter
+	// obs, when non-nil, receives serving-path events (see Session.Observe).
+	// Called only at batch boundaries on the session's goroutine; purely
+	// read-side, so it never affects the deterministic output.
+	obs func(Event)
 
 	intervalThroughput stats.Welford
 	lastIntervalOps    uint64
@@ -448,6 +452,12 @@ func (s *Service) transferShare(donor, recv, q int) {
 		DonorBudgetBlocks: donorBudget,
 		EvictedBlocks:     &freed,
 	})
+	s.emit(Event{
+		Kind:   EventShare,
+		Tenant: s.tenants[recv].spec.Name,
+		Donor:  s.tenants[donor].spec.Name,
+		Blocks: uint64(q * len(s.parts)),
+	})
 }
 
 // rescoreResident re-derives every resident block's stored eviction score
@@ -567,9 +577,13 @@ func (s *Service) processBatch(batch []Request) error {
 		s.ctrl.step()
 	}
 	if s.cfg.ReportEvery > 0 && s.batches%uint64(s.cfg.ReportEvery) == 0 {
-		if err := s.emitInterval(hitRatio); err != nil {
-			return err
-		}
+		s.emitInterval(hitRatio)
+	}
+	// Surface metrics-sink write failures at the batch that hit them (any
+	// record kind — interval, refresh, share, control — may have tripped the
+	// sticky error) instead of letting a full disk go unnoticed until Close.
+	if s.metrics.err != nil {
+		return fmt.Errorf("serve: metrics sink: %w", s.metrics.err)
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+package serve_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// brokenWriter fails every write — a full disk under the metrics sink.
+type brokenWriter struct{ writes int }
+
+func (w *brokenWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return 0, errors.New("disk full")
+}
+
+// TestMetricsSinkErrorSurfacesAtStep pins the failure-visibility contract: a
+// sink write error surfaces from Step at the batch boundary that produced
+// it — not silently deferred until Close — and a Checkpoint taken after the
+// failure refuses, because a checkpoint whose preceding records were dropped
+// would resume into a provably incomplete stream.
+func TestMetricsSinkErrorSurfacesAtStep(t *testing.T) {
+	t.Parallel()
+	spec := smallSessionSpec(t)
+	sink := &brokenWriter{}
+	sess, err := serve.Open(spec, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The first record emitted (a control-interval record at batch 2 —
+	// before the first report boundary at 4) fails the sink, and that same
+	// Step must return the error.
+	var stepErr error
+	batches := 0
+	for batches < 16 {
+		n, err := sess.Step(1)
+		if err != nil {
+			stepErr = err
+			break
+		}
+		if n == 0 {
+			break
+		}
+		batches++
+	}
+	if stepErr == nil {
+		t.Fatal("Step never surfaced the sink error")
+	}
+	if !strings.Contains(stepErr.Error(), "metrics sink") {
+		t.Fatalf("Step error = %v, want a metrics-sink error", stepErr)
+	}
+	if batches >= 4 {
+		// The batch whose boundary produced the first record must surface
+		// the failure itself — by the report boundary at the latest.
+		t.Errorf("error surfaced only after %d clean batches", batches)
+	}
+	if sink.writes == 0 {
+		t.Fatal("sink never saw a write")
+	}
+
+	var ckpt bytes.Buffer
+	if err := sess.Checkpoint(&ckpt); err == nil || !strings.Contains(err.Error(), "metrics sink") {
+		t.Fatalf("Checkpoint after a sink failure = %v, want a metrics-sink refusal", err)
+	}
+	if ckpt.Len() != 0 {
+		t.Errorf("refused checkpoint still wrote %d bytes", ckpt.Len())
+	}
+}

@@ -77,6 +77,12 @@ type Spec struct {
 	Refresh *RefreshSpec `json:"refresh,omitempty"`
 	// Control parameterizes the adaptive threshold/share controller.
 	Control *ControlSpec `json:"control,omitempty"`
+	// Telemetry opts into the live debug server and event trace. Like
+	// Output it is loader-resolved (the CLI and cluster workers mount the
+	// server; the embedded Session API ignores it) and read-side only: a
+	// spec with telemetry produces byte-identical metric output to the same
+	// spec without it.
+	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
 }
 
 // CacheSpec sizes the device cache and its backing store.
@@ -188,6 +194,34 @@ type ControlSpec struct {
 	ShareFloorRateFrac float64 `json:"share_floor_rate_frac,omitempty"`
 }
 
+// TelemetrySpec enables the opt-in live telemetry layer: an HTTP debug
+// server exposing /metrics (Prometheus text), /status (JSON) and
+// /debug/pprof, plus a wall-clock-stamped JSONL event trace. All of it is
+// read-side: enabling telemetry never changes the deterministic metric
+// output.
+type TelemetrySpec struct {
+	// Addr is the debug server's listen address; "127.0.0.1:0" picks a free
+	// port (the loader reports the bound address). Empty disables the
+	// server.
+	Addr string `json:"addr,omitempty"`
+	// Trace is the event-trace JSONL sink: a file path, or "-" for stderr.
+	// Empty disables the trace.
+	Trace string `json:"trace,omitempty"`
+	// SnapshotEvery is how often (in ingest batches) the loader publishes a
+	// full Session.Metrics snapshot to the /metrics and /status endpoints
+	// (default 16). Snapshots sort retained histogram samples, so very
+	// small values trade serving throughput for telemetry freshness.
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+}
+
+// EffectiveSnapshotEvery returns the snapshot cadence with its default.
+func (t *TelemetrySpec) EffectiveSnapshotEvery() uint64 {
+	if t == nil || t.SnapshotEvery == 0 {
+		return 16
+	}
+	return uint64(t.SnapshotEvery)
+}
+
 // ParseSpec decodes and validates a spec document. Decoding is strict:
 // unknown keys anywhere in the document are rejected with a field-path
 // error (e.g. "spec.tenants[1].sahre: unknown field") instead of silently
@@ -256,6 +290,9 @@ func (s Spec) Validate() error {
 	}
 	if c := s.Control; c != nil && (c.ShareFloorRateFrac < 0 || c.ShareFloorRateFrac > 1) {
 		return errors.New("serve: spec control share_floor_rate_frac outside [0,1]")
+	}
+	if t := s.Telemetry; t != nil && t.SnapshotEvery < 0 {
+		return fmt.Errorf("serve: spec telemetry snapshot_every %d negative", t.SnapshotEvery)
 	}
 	cfg, err := s.config()
 	if err != nil {

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// EventCount is one (kind, session) event-counter cell.
+type EventCount struct {
+	Kind    string
+	Session string
+	Count   uint64
+}
+
+// EventCounts returns the event counters sorted by kind then session.
+func (r *Registry) EventCounts() []EventCount {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]EventCount, 0, len(r.events))
+	for k, v := range r.events {
+		out = append(out, EventCount{Kind: k.kind, Session: k.session, Count: v})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Session < out[j].Session
+	})
+	return out
+}
+
+// RenderPrometheus snapshots the registry and renders it in the Prometheus
+// text exposition format, entirely into memory: the caller writes the
+// returned buffer to the network, so no lock is ever held across a
+// connection write and a stalled scraper cannot back-pressure the registry.
+func (r *Registry) RenderPrometheus() []byte {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, r.Status(), r.EventCounts())
+	return buf.Bytes()
+}
+
+// promWriter accumulates one exposition document; it tracks which metric
+// families have had their HELP/TYPE header written so samples of one family
+// can come from several sessions and still group under one header.
+type promWriter struct {
+	w      io.Writer
+	headed map[string]bool
+}
+
+// family writes the # HELP / # TYPE header once per metric name.
+func (p *promWriter) family(name, help, typ string) {
+	if p.headed[name] {
+		return
+	}
+	p.headed[name] = true
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample writes one sample line. Labels are (key, value) pairs, written in
+// the order given; values are escaped per the exposition format.
+func (p *promWriter) sample(name string, labels []string, value float64) {
+	io.WriteString(p.w, name)
+	if len(labels) > 0 {
+		io.WriteString(p.w, "{")
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				io.WriteString(p.w, ",")
+			}
+			fmt.Fprintf(p.w, "%s=%q", labels[i], escapeLabel(labels[i+1]))
+		}
+		io.WriteString(p.w, "}")
+	}
+	// %g keeps integers integral and floats shortest-form, both valid.
+	fmt.Fprintf(p.w, " %g\n", value)
+}
+
+// escapeLabel escapes a label value per the text exposition format
+// (backslash, double quote, newline). %q then adds the surrounding quotes
+// and re-escapes backslashes and quotes — so pre-escape only the newline —
+// but building the final form here keeps the rule in one place.
+func escapeLabel(v string) string {
+	return strings.NewReplacer("\n", `\n`).Replace(v)
+}
+
+// WritePrometheus renders a status document plus event counters as
+// Prometheus text. Pure function of its inputs, with deterministic output
+// ordering (sessions and workers arrive sorted from Status, events sorted
+// from EventCounts), so tests can pin the format byte-for-byte.
+func WritePrometheus(w io.Writer, st *Status, events []EventCount) {
+	p := &promWriter{w: w, headed: make(map[string]bool)}
+	p.family("icgmm_uptime_seconds", "Wall time since the telemetry registry was created.", "gauge")
+	p.sample("icgmm_uptime_seconds", nil, st.UptimeSeconds)
+
+	for i := range st.Sessions {
+		s := &st.Sessions[i]
+		l := []string{"session", s.Name}
+		p.family("icgmm_session_batches_total", "Ingest batches served by the session.", "counter")
+		p.sample("icgmm_session_batches_total", l, float64(s.Batches))
+		p.family("icgmm_session_done", "1 when the session's source is exhausted.", "gauge")
+		p.sample("icgmm_session_done", l, boolGauge(s.Done))
+		if s.Worker != nil {
+			p.family("icgmm_session_worker", "Worker slot hosting the session.", "gauge")
+			p.sample("icgmm_session_worker", l, float64(*s.Worker))
+		}
+		if s.Migrations > 0 {
+			p.family("icgmm_session_migrations_total", "Live migrations of the session between workers.", "counter")
+			p.sample("icgmm_session_migrations_total", l, float64(s.Migrations))
+		}
+		if s.Replays > 0 {
+			p.family("icgmm_session_replays_total", "Checkpoint replays of the session after worker deaths.", "counter")
+			p.sample("icgmm_session_replays_total", l, float64(s.Replays))
+		}
+		if s.LastCheckpointBatch != nil {
+			p.family("icgmm_session_last_checkpoint_batch", "Batch boundary of the session's newest checkpoint.", "gauge")
+			p.sample("icgmm_session_last_checkpoint_batch", l, float64(*s.LastCheckpointBatch))
+			p.family("icgmm_session_last_checkpoint_age_seconds", "Wall time since the session's newest checkpoint.", "gauge")
+			p.sample("icgmm_session_last_checkpoint_age_seconds", l, s.LastCheckpointAgeSeconds)
+		}
+		snap := s.Snapshot
+		if snap == nil {
+			continue
+		}
+		p.family("icgmm_session_ops_total", "Requests served by the session (as of the last snapshot).", "counter")
+		p.sample("icgmm_session_ops_total", l, float64(snap.Ops))
+		p.family("icgmm_session_hit_ratio", "Cumulative cache hit ratio of the session.", "gauge")
+		p.sample("icgmm_session_hit_ratio", l, snap.HitRatio())
+		p.family("icgmm_session_refreshes_total", "Refreshed model bundles installed.", "counter")
+		p.sample("icgmm_session_refreshes_total", l, float64(snap.Refreshes))
+		if snap.RefreshesFailed > 0 {
+			p.family("icgmm_session_refreshes_failed_total", "Model refits that errored (previous bundle kept).", "counter")
+			p.sample("icgmm_session_refreshes_failed_total", l, float64(snap.RefreshesFailed))
+		}
+		p.family("icgmm_session_throughput_virtual_ops", "Virtual-time throughput of the session (ops per virtual second).", "gauge")
+		p.sample("icgmm_session_throughput_virtual_ops", l, snap.Throughput)
+		p.family("icgmm_session_latency_ns", "Sojourn-time distribution of the session in nanoseconds.", "gauge")
+		for _, q := range []struct {
+			stat string
+			v    float64
+		}{
+			{"mean", float64(snap.Latency.Mean)},
+			{"p50", float64(snap.Latency.P50)},
+			{"p99", float64(snap.Latency.P99)},
+			{"max", float64(snap.Latency.Max)},
+		} {
+			p.sample("icgmm_session_latency_ns", append(l, "stat", q.stat), q.v)
+		}
+		for j := range snap.Tenants {
+			t := &snap.Tenants[j]
+			tl := append(l, "tenant", t.Tenant)
+			p.family("icgmm_tenant_ops_total", "Requests served for the tenant.", "counter")
+			p.sample("icgmm_tenant_ops_total", tl, float64(t.Ops))
+			p.family("icgmm_tenant_hit_ratio", "Cumulative cache hit ratio of the tenant.", "gauge")
+			p.sample("icgmm_tenant_hit_ratio", tl, t.HitRatio())
+			p.family("icgmm_tenant_latency_p99_ns", "p99 sojourn time of the tenant in nanoseconds.", "gauge")
+			p.sample("icgmm_tenant_latency_p99_ns", tl, float64(t.Latency.P99))
+			p.family("icgmm_tenant_budget_blocks", "HBM capacity share of the tenant in cache blocks.", "gauge")
+			p.sample("icgmm_tenant_budget_blocks", tl, float64(t.BudgetBlocks))
+			p.family("icgmm_tenant_resident_blocks", "Cache blocks currently resident for the tenant.", "gauge")
+			p.sample("icgmm_tenant_resident_blocks", tl, float64(t.ResidentBlocks))
+			p.family("icgmm_tenant_threshold", "Effective admission threshold of the tenant.", "gauge")
+			p.sample("icgmm_tenant_threshold", tl, t.Threshold)
+		}
+	}
+
+	for _, ec := range events {
+		p.family("icgmm_events_total", "Serving-path and cluster events by kind.", "counter")
+		labels := []string{"kind", ec.Kind}
+		if ec.Session != "" {
+			labels = append(labels, "session", ec.Session)
+		}
+		p.sample("icgmm_events_total", labels, float64(ec.Count))
+	}
+
+	for i := range st.Workers {
+		wk := &st.Workers[i]
+		l := []string{"worker", fmt.Sprintf("%d", wk.Worker)}
+		p.family("icgmm_worker_up", "1 while the worker slot has a live process.", "gauge")
+		p.sample("icgmm_worker_up", l, boolGauge(wk.Up))
+		p.family("icgmm_worker_steps_total", "Successful step round trips to the worker.", "counter")
+		p.sample("icgmm_worker_steps_total", l, float64(wk.Steps))
+		if wk.StepMisses > 0 {
+			p.family("icgmm_worker_step_misses_total", "Failed step round trips to the worker.", "counter")
+			p.sample("icgmm_worker_step_misses_total", l, float64(wk.StepMisses))
+		}
+		p.family("icgmm_worker_step_latency_ewma_seconds", "EWMA of the worker's step round-trip wall time.", "gauge")
+		p.sample("icgmm_worker_step_latency_ewma_seconds", l, wk.StepLatencyEWMASeconds)
+		p.family("icgmm_worker_heartbeat_age_seconds", "Staleness of the worker's last successful health probe (-1 before the first).", "gauge")
+		p.sample("icgmm_worker_heartbeat_age_seconds", l, wk.HeartbeatAgeSeconds)
+		if wk.HeartbeatMisses > 0 {
+			p.family("icgmm_worker_heartbeat_misses_total", "Failed health probes of the worker.", "counter")
+			p.sample("icgmm_worker_heartbeat_misses_total", l, float64(wk.HeartbeatMisses))
+		}
+		if wk.Restarts > 0 {
+			p.family("icgmm_worker_restarts_total", "Respawns of the worker slot after deaths.", "counter")
+			p.sample("icgmm_worker_restarts_total", l, float64(wk.Restarts))
+		}
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewHandler builds the debug mux over a registry:
+//
+//	/metrics       Prometheus text exposition
+//	/status        one JSON Status document
+//	/debug/pprof/  net/http/pprof profiles
+//
+// Every endpoint renders from registry snapshots into memory before writing,
+// so handler goroutines never hold registry state across a network write.
+// The handler is also mountable inside an existing server (the cluster
+// worker serves it beside its /v1 protocol).
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		body := reg.RenderPrometheus()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(body)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		body, err := json.MarshalIndent(reg.Status(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(body, '\n'))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "icgmm telemetry\n\n/metrics\n/status\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running telemetry debug server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug server on addr (":0" or "127.0.0.1:0" pick a free
+// port; read the bound address back with Addr). The server runs on its own
+// goroutines and holds no locks shared with the serving path, so it can be
+// slow, scraped aggressively, or ignored without affecting the run.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewHandler(reg), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately. In-flight scrapes are dropped —
+// telemetry holds no state worth draining.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,418 @@
+// Package telemetry is the read-side observability layer for the serving
+// and cluster subsystems: a live view of what a run is doing *right now*,
+// built entirely from state the deterministic path already produces.
+//
+// The package is three pieces:
+//
+//   - Registry: a process-local, mutex-guarded store of per-session
+//     snapshots (serve.Snapshot, published at batch boundaries by whatever
+//     loop drives the session), per-worker health (step-latency EWMA,
+//     heartbeat staleness, restarts — the coordinator's view), and
+//     monotonically increasing event counters.
+//   - Server: an HTTP debug server exposing /metrics (Prometheus text
+//     format), /status (one JSON document), and net/http/pprof under
+//     /debug/pprof/ — the profiling hooks for the hot-path work.
+//   - Tracer: a wall-clock-stamped structured event stream (JSONL), fed by
+//     serve.Session observers and the cluster coordinator: drift fired,
+//     refresh installed, share transferred, checkpoint taken, session
+//     migrated, worker died, session replayed.
+//
+// # Determinism
+//
+// Nothing in this package sits on the deterministic serving path. Snapshots
+// are taken by the session's own driving goroutine at batch boundaries (the
+// only time Session.Metrics is legal) and handed to the Registry as
+// immutable values; scrapers read the stored pointer without ever touching
+// the session. Wall-clock time appears only in telemetry output — the trace
+// stream and the status/metrics endpoints — never in the metric JSONL the
+// goldens pin. The Registry lock is held only for in-memory reads and
+// writes (rendering happens into a buffer before any network write), so a
+// slow or blocked scraper can never stall Step. The golden-equivalence test
+// pins all of this: a run with telemetry on, scraped concurrently, emits
+// JSONL byte-identical to the same run with telemetry off.
+//
+// Every Registry and Tracer method is safe on a nil receiver, so call sites
+// thread an optional telemetry hookup without branching.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Registry is the process-local telemetry store. The zero value is not
+// usable; build with NewRegistry. All methods are safe for concurrent use
+// and safe on a nil receiver (no-ops / empty results).
+type Registry struct {
+	mu       sync.Mutex
+	start    time.Time
+	sessions map[string]*sessionEntry
+	workers  map[int]*workerEntry
+	events   map[eventKey]uint64
+	restarts uint64
+}
+
+type eventKey struct{ kind, session string }
+
+// sessionEntry is one session's live state as last published.
+type sessionEntry struct {
+	batches    uint64
+	done       bool
+	worker     int
+	hasWorker  bool
+	ckptBatch  uint64
+	ckptAt     time.Time
+	hasCkpt    bool
+	migrations uint64
+	replays    uint64
+	snap       *serve.Snapshot
+	snapAt     time.Time
+}
+
+// workerEntry is one worker slot's health as the coordinator observes it.
+type workerEntry struct {
+	url        string
+	up         bool
+	stepEWMA   float64 // seconds
+	steps      uint64
+	stepMisses uint64
+	lastBeat   time.Time
+	hasBeat    bool
+	beatMisses uint64
+	restarts   uint64
+}
+
+// stepEWMAAlpha weighs each new step-latency observation; ~0.2 tracks a
+// shifting round time within a handful of rounds without jittering on one
+// slow step.
+const stepEWMAAlpha = 0.2
+
+// NewRegistry returns an empty registry anchored at the current wall clock.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		sessions: make(map[string]*sessionEntry),
+		workers:  make(map[int]*workerEntry),
+		events:   make(map[eventKey]uint64),
+	}
+}
+
+// session returns (creating if needed) the entry for name. Caller holds mu.
+func (r *Registry) session(name string) *sessionEntry {
+	e, ok := r.sessions[name]
+	if !ok {
+		e = &sessionEntry{}
+		r.sessions[name] = e
+	}
+	return e
+}
+
+// worker returns (creating if needed) the entry for a slot. Caller holds mu.
+func (r *Registry) worker(slot int) *workerEntry {
+	e, ok := r.workers[slot]
+	if !ok {
+		e = &workerEntry{}
+		r.workers[slot] = e
+	}
+	return e
+}
+
+// PublishSnapshot stores a session's aggregate snapshot. The snapshot must
+// not be mutated afterwards (Session.Metrics returns a fresh value each
+// call, so the natural usage is safe).
+func (r *Registry) PublishSnapshot(name string, snap *serve.Snapshot) {
+	if r == nil || snap == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.session(name)
+	e.snap = snap
+	e.snapAt = time.Now()
+	e.batches = snap.Batches
+}
+
+// PublishProgress records a session's cheap progress counters — batch count
+// and completion — without the cost of a full snapshot.
+func (r *Registry) PublishProgress(name string, batches uint64, done bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.session(name)
+	e.batches = batches
+	if done {
+		e.done = true
+	}
+}
+
+// RecordCheckpoint records that a session checkpointed at a batch boundary.
+func (r *Registry) RecordCheckpoint(name string, batch uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.session(name)
+	e.ckptBatch = batch
+	e.ckptAt = time.Now()
+	e.hasCkpt = true
+}
+
+// SetPlacement records which worker slot hosts a session.
+func (r *Registry) SetPlacement(name string, worker int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.session(name)
+	e.worker = worker
+	e.hasWorker = true
+}
+
+// RecordMigration counts one live migration of a session.
+func (r *Registry) RecordMigration(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.session(name).migrations++
+	r.events[eventKey{kind: EventMigration, session: name}]++
+	r.mu.Unlock()
+}
+
+// RecordReplay counts one crash replay of a session.
+func (r *Registry) RecordReplay(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.session(name).replays++
+	r.events[eventKey{kind: EventReplay, session: name}]++
+	r.mu.Unlock()
+}
+
+// Remove drops a session from the registry — e.g. after it migrated away
+// from this worker and its live state is now someone else's to report.
+func (r *Registry) Remove(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.sessions, name)
+	r.mu.Unlock()
+}
+
+// CountEvent bumps the counter for an event kind, attributed to a session
+// ("" for process-wide events like a worker death).
+func (r *Registry) CountEvent(kind, session string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events[eventKey{kind: kind, session: session}]++
+	r.mu.Unlock()
+}
+
+// RecordWorker marks a worker slot up at the given URL (launch or respawn).
+func (r *Registry) RecordWorker(slot int, url string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e := r.worker(slot)
+	e.url = url
+	e.up = true
+	r.mu.Unlock()
+}
+
+// SetWorkerUp flips a worker slot's liveness flag.
+func (r *Registry) SetWorkerUp(slot int, up bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.worker(slot).up = up
+	r.mu.Unlock()
+}
+
+// ObserveStep records one coordinator→worker step round trip: its wall time
+// feeds the slot's EWMA on success; a failed step counts as a miss.
+func (r *Registry) ObserveStep(slot int, d time.Duration, ok bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.worker(slot)
+	if !ok {
+		e.stepMisses++
+		return
+	}
+	s := d.Seconds()
+	if e.steps == 0 {
+		e.stepEWMA = s
+	} else {
+		e.stepEWMA += stepEWMAAlpha * (s - e.stepEWMA)
+	}
+	e.steps++
+}
+
+// Heartbeat records one health-probe outcome for a worker slot.
+func (r *Registry) Heartbeat(slot int, ok bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.worker(slot)
+	if ok {
+		e.lastBeat = time.Now()
+		e.hasBeat = true
+	} else {
+		e.beatMisses++
+	}
+}
+
+// RecordRestart counts one respawn of a worker slot after a death.
+func (r *Registry) RecordRestart(slot int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.worker(slot).restarts++
+	r.restarts++
+	r.mu.Unlock()
+}
+
+// Status is the /status JSON document: everything the registry knows, in
+// one deterministic-ordered snapshot (sessions by name, workers by slot).
+type Status struct {
+	// UptimeSeconds is the wall time since the registry was built.
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Sessions      []SessionStatus `json:"sessions,omitempty"`
+	Workers       []WorkerStatus  `json:"workers,omitempty"`
+	// Events sums the event counters by kind over all sessions.
+	Events map[string]uint64 `json:"events,omitempty"`
+}
+
+// SessionStatus is one session's live view.
+type SessionStatus struct {
+	Name    string `json:"name"`
+	Batches uint64 `json:"batches"`
+	Done    bool   `json:"done,omitempty"`
+	// Worker is the hosting slot, when a coordinator placed the session.
+	Worker     *int   `json:"worker,omitempty"`
+	Migrations uint64 `json:"migrations,omitempty"`
+	Replays    uint64 `json:"replays,omitempty"`
+	// LastCheckpointBatch / LastCheckpointAgeSeconds locate the newest
+	// checkpoint (absent until the first one).
+	LastCheckpointBatch      *uint64 `json:"last_checkpoint_batch,omitempty"`
+	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds,omitempty"`
+	// Snapshot is the last published aggregate snapshot (may trail Batches
+	// by up to the publish cadence); SnapshotAgeSeconds dates it.
+	SnapshotAgeSeconds float64         `json:"snapshot_age_seconds,omitempty"`
+	Snapshot           *serve.Snapshot `json:"snapshot,omitempty"`
+}
+
+// WorkerStatus is one worker slot's health view.
+type WorkerStatus struct {
+	Worker     int    `json:"worker"`
+	URL        string `json:"url,omitempty"`
+	Up         bool   `json:"up"`
+	Steps      uint64 `json:"steps,omitempty"`
+	StepMisses uint64 `json:"step_misses,omitempty"`
+	// StepLatencyEWMASeconds tracks the slot's recent step round-trip time.
+	StepLatencyEWMASeconds float64 `json:"step_latency_ewma_seconds,omitempty"`
+	// HeartbeatAgeSeconds is the staleness of the last successful probe
+	// (negative when no probe has succeeded yet).
+	HeartbeatAgeSeconds float64 `json:"heartbeat_age_seconds,omitempty"`
+	HeartbeatMisses     uint64  `json:"heartbeat_misses,omitempty"`
+	Restarts            uint64  `json:"restarts,omitempty"`
+}
+
+// Status assembles the current /status document.
+func (r *Registry) Status() *Status {
+	if r == nil {
+		return &Status{}
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &Status{UptimeSeconds: now.Sub(r.start).Seconds()}
+	for _, name := range r.sessionNames() {
+		e := r.sessions[name]
+		ss := SessionStatus{
+			Name:       name,
+			Batches:    e.batches,
+			Done:       e.done,
+			Migrations: e.migrations,
+			Replays:    e.replays,
+			Snapshot:   e.snap,
+		}
+		if e.hasWorker {
+			w := e.worker
+			ss.Worker = &w
+		}
+		if e.hasCkpt {
+			b := e.ckptBatch
+			ss.LastCheckpointBatch = &b
+			ss.LastCheckpointAgeSeconds = now.Sub(e.ckptAt).Seconds()
+		}
+		if e.snap != nil {
+			ss.SnapshotAgeSeconds = now.Sub(e.snapAt).Seconds()
+		}
+		st.Sessions = append(st.Sessions, ss)
+	}
+	for _, slot := range r.workerSlots() {
+		e := r.workers[slot]
+		ws := WorkerStatus{
+			Worker:                 slot,
+			URL:                    e.url,
+			Up:                     e.up,
+			Steps:                  e.steps,
+			StepMisses:             e.stepMisses,
+			StepLatencyEWMASeconds: e.stepEWMA,
+			HeartbeatMisses:        e.beatMisses,
+			Restarts:               e.restarts,
+		}
+		if e.hasBeat {
+			ws.HeartbeatAgeSeconds = now.Sub(e.lastBeat).Seconds()
+		} else {
+			ws.HeartbeatAgeSeconds = -1
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	if len(r.events) > 0 {
+		st.Events = make(map[string]uint64)
+		for k, v := range r.events {
+			st.Events[k.kind] += v
+		}
+	}
+	return st
+}
+
+// sessionNames returns the session names sorted. Caller holds mu.
+func (r *Registry) sessionNames() []string {
+	names := make([]string, 0, len(r.sessions))
+	for n := range r.sessions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// workerSlots returns the worker slots sorted. Caller holds mu.
+func (r *Registry) workerSlots() []int {
+	slots := make([]int, 0, len(r.workers))
+	for s := range r.workers {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	return slots
+}

@@ -1,0 +1,548 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// testSnapshot builds a small aggregate snapshot with enough populated
+// fields to exercise every per-session and per-tenant metric family.
+func testSnapshot() *serve.Snapshot {
+	snap := &serve.Snapshot{
+		Ops:             100,
+		Batches:         4,
+		Refreshes:       2,
+		RefreshesFailed: 1,
+		Throughput:      123.5,
+		Latency:         stats.Summary{Mean: 10, P50: 8, P99: 20, Max: 30},
+		Tenants: []serve.TenantSnapshot{
+			{Tenant: "a", Ops: 60, Hits: 30, BudgetBlocks: 10, ResidentBlocks: 5,
+				Threshold: 0.5, Latency: stats.Summary{P99: 15}},
+			{Tenant: "b", Ops: 40, Hits: 20, BudgetBlocks: 6, ResidentBlocks: 6,
+				Threshold: 0.25, Latency: stats.Summary{P99: 9}},
+		},
+	}
+	snap.Cache.Hits = 50
+	snap.Cache.Misses = 50
+	return snap
+}
+
+func TestNilRegistryAndTracerAreSafe(t *testing.T) {
+	var r *Registry
+	r.PublishSnapshot("s", testSnapshot())
+	r.PublishProgress("s", 1, true)
+	r.RecordCheckpoint("s", 1)
+	r.SetPlacement("s", 0)
+	r.RecordMigration("s")
+	r.RecordReplay("s")
+	r.Remove("s")
+	r.CountEvent("drift", "s")
+	r.RecordWorker(0, "http://x")
+	r.SetWorkerUp(0, true)
+	r.ObserveStep(0, time.Second, true)
+	r.Heartbeat(0, true)
+	r.RecordRestart(0)
+	if st := r.Status(); st == nil || len(st.Sessions) != 0 || len(st.Workers) != 0 {
+		t.Fatalf("nil registry Status = %+v, want empty", st)
+	}
+	if ec := r.EventCounts(); ec != nil {
+		t.Fatalf("nil registry EventCounts = %v, want nil", ec)
+	}
+	if body := r.RenderPrometheus(); !bytes.Contains(body, []byte("icgmm_uptime_seconds")) {
+		t.Fatalf("nil registry RenderPrometheus missing uptime:\n%s", body)
+	}
+
+	var tr *Tracer
+	tr.Emit(TraceEvent{Kind: "drift"})
+	if err := tr.Err(); err != nil {
+		t.Fatalf("nil tracer Err = %v", err)
+	}
+	// The observer bridge must tolerate both halves being nil.
+	SessionObserver(nil, nil, "s")(serve.Event{Kind: serve.EventDrift})
+}
+
+func TestRegistryStatus(t *testing.T) {
+	r := NewRegistry()
+	// Publish out of name order to check the deterministic sort.
+	r.PublishProgress("zeta", 7, false)
+	r.PublishSnapshot("alpha", testSnapshot())
+	r.PublishProgress("alpha", 4, false)
+	r.RecordCheckpoint("alpha", 3)
+	r.SetPlacement("alpha", 1)
+	r.RecordMigration("alpha")
+	r.RecordReplay("alpha")
+	r.PublishProgress("zeta", 9, true)
+	r.CountEvent(serve.EventDrift, "alpha")
+	r.CountEvent(serve.EventDrift, "zeta")
+
+	r.RecordWorker(1, "http://b")
+	r.RecordWorker(0, "http://a")
+	r.ObserveStep(0, 100*time.Millisecond, true)
+	r.ObserveStep(0, 200*time.Millisecond, true)
+	r.ObserveStep(0, time.Second, false)
+	r.Heartbeat(0, true)
+	r.Heartbeat(1, false)
+	r.SetWorkerUp(1, false)
+	r.RecordRestart(1)
+
+	st := r.Status()
+	if st.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime %v", st.UptimeSeconds)
+	}
+	if len(st.Sessions) != 2 || st.Sessions[0].Name != "alpha" || st.Sessions[1].Name != "zeta" {
+		t.Fatalf("sessions not sorted by name: %+v", st.Sessions)
+	}
+	a := st.Sessions[0]
+	if a.Batches != 4 || a.Done || a.Migrations != 1 || a.Replays != 1 {
+		t.Fatalf("alpha status = %+v", a)
+	}
+	if a.Worker == nil || *a.Worker != 1 {
+		t.Fatalf("alpha worker = %v, want 1", a.Worker)
+	}
+	if a.LastCheckpointBatch == nil || *a.LastCheckpointBatch != 3 || a.LastCheckpointAgeSeconds < 0 {
+		t.Fatalf("alpha checkpoint = %v age %v", a.LastCheckpointBatch, a.LastCheckpointAgeSeconds)
+	}
+	if a.Snapshot == nil || a.Snapshot.Ops != 100 || a.SnapshotAgeSeconds < 0 {
+		t.Fatalf("alpha snapshot = %+v age %v", a.Snapshot, a.SnapshotAgeSeconds)
+	}
+	z := st.Sessions[1]
+	if z.Batches != 9 || !z.Done || z.Worker != nil || z.LastCheckpointBatch != nil || z.Snapshot != nil {
+		t.Fatalf("zeta status = %+v", z)
+	}
+
+	if len(st.Workers) != 2 || st.Workers[0].Worker != 0 || st.Workers[1].Worker != 1 {
+		t.Fatalf("workers not sorted by slot: %+v", st.Workers)
+	}
+	w0 := st.Workers[0]
+	if !w0.Up || w0.URL != "http://a" || w0.Steps != 2 || w0.StepMisses != 1 {
+		t.Fatalf("worker 0 = %+v", w0)
+	}
+	// EWMA: first observation seeds (0.1s), second blends 0.2*(0.2-0.1).
+	if want := 0.1 + stepEWMAAlpha*(0.2-0.1); !closeTo(w0.StepLatencyEWMASeconds, want) {
+		t.Fatalf("worker 0 EWMA = %v, want %v", w0.StepLatencyEWMASeconds, want)
+	}
+	if w0.HeartbeatAgeSeconds < 0 {
+		t.Fatalf("worker 0 heartbeat age = %v after a successful probe", w0.HeartbeatAgeSeconds)
+	}
+	w1 := st.Workers[1]
+	if w1.Up || w1.HeartbeatMisses != 1 || w1.Restarts != 1 {
+		t.Fatalf("worker 1 = %+v", w1)
+	}
+	if w1.HeartbeatAgeSeconds != -1 {
+		t.Fatalf("worker 1 heartbeat age = %v, want -1 before first success", w1.HeartbeatAgeSeconds)
+	}
+
+	// Events sum by kind across sessions; migration/replay count themselves.
+	if st.Events[serve.EventDrift] != 2 || st.Events[EventMigration] != 1 || st.Events[EventReplay] != 1 {
+		t.Fatalf("events = %v", st.Events)
+	}
+
+	r.Remove("zeta")
+	if st := r.Status(); len(st.Sessions) != 1 || st.Sessions[0].Name != "alpha" {
+		t.Fatalf("after Remove: %+v", st.Sessions)
+	}
+}
+
+func closeTo(got, want float64) bool {
+	d := got - want
+	return d < 1e-12 && d > -1e-12
+}
+
+func TestEventCountsSorted(t *testing.T) {
+	r := NewRegistry()
+	r.CountEvent("share", "b")
+	r.CountEvent("drift", "b")
+	r.CountEvent("drift", "a")
+	r.CountEvent("drift", "a")
+	r.CountEvent(EventWorkerDeath, "")
+	got := r.EventCounts()
+	want := []EventCount{
+		{Kind: "drift", Session: "a", Count: 2},
+		{Kind: "drift", Session: "b", Count: 1},
+		{Kind: "share", Session: "b", Count: 1},
+		{Kind: EventWorkerDeath, Session: "", Count: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("EventCounts = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EventCounts[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPrometheusWellFormed renders a fully populated registry and checks the
+// exposition document line by line: every line is either a well-formed
+// comment or a sample, and each family has exactly one HELP and one TYPE
+// header, appearing before its first sample.
+func TestPrometheusWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.PublishSnapshot("s1", testSnapshot())
+	r.PublishSnapshot("s2", testSnapshot())
+	r.RecordCheckpoint("s1", 3)
+	r.SetPlacement("s1", 0)
+	r.RecordMigration("s1")
+	r.RecordReplay("s1")
+	r.CountEvent(serve.EventDrift, "s1")
+	r.CountEvent(EventWorkerDeath, "")
+	r.RecordWorker(0, "http://a")
+	r.ObserveStep(0, time.Millisecond, true)
+	r.ObserveStep(0, time.Millisecond, false)
+	r.Heartbeat(0, false)
+	r.RecordRestart(0)
+
+	body := r.RenderPrometheus()
+	helped := map[string]int{}
+	typed := map[string]int{}
+	sampled := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)[0]
+			helped[name]++
+			if sampled[name] {
+				t.Errorf("HELP for %s after its first sample", name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || (fields[1] != "counter" && fields[1] != "gauge") {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			typed[fields[0]]++
+		case line == "":
+			t.Error("blank line in exposition output")
+		default:
+			name, rest, ok := splitSample(line)
+			if !ok {
+				t.Errorf("malformed sample line %q", line)
+				continue
+			}
+			sampled[name] = true
+			if helped[name] == 0 || typed[name] == 0 {
+				t.Errorf("sample %q before/without HELP+TYPE", line)
+			}
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Errorf("unparseable value in %q: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range helped {
+		if n != 1 || typed[name] != 1 {
+			t.Errorf("family %s: %d HELP, %d TYPE headers; want exactly 1 each", name, n, typed[name])
+		}
+		if !sampled[name] {
+			t.Errorf("family %s has headers but no samples", name)
+		}
+	}
+	// Spot-check families that only appear with a populated registry.
+	for _, want := range []string{
+		"icgmm_uptime_seconds", "icgmm_session_batches_total", "icgmm_session_hit_ratio",
+		"icgmm_session_latency_ns", "icgmm_tenant_ops_total", "icgmm_tenant_budget_blocks",
+		"icgmm_events_total", "icgmm_worker_up", "icgmm_worker_step_latency_ewma_seconds",
+		"icgmm_worker_restarts_total", "icgmm_session_migrations_total",
+	} {
+		if !sampled[want] {
+			t.Errorf("expected family %s in output", want)
+		}
+	}
+	// Two sessions, one header per family: the s2 samples ride under the
+	// header written for s1.
+	if n := bytes.Count(body, []byte(`icgmm_session_batches_total{session=`)); n != 2 {
+		t.Errorf("want 2 session_batches samples, got %d:\n%s", n, body)
+	}
+}
+
+// splitSample splits a sample line into metric name and the rest (value),
+// tolerating a label block that may itself contain escaped quotes.
+func splitSample(line string) (name, rest string, ok bool) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		end := -1
+		inQuote := false
+		for j := i + 1; j < len(line); j++ {
+			switch line[j] {
+			case '\\':
+				j++
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					end = j
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 || end+2 > len(line) {
+			return "", "", false
+		}
+		return line[:i], strings.TrimSpace(line[end+1:]), true
+	}
+	fields := strings.SplitN(line, " ", 2)
+	if len(fields) != 2 {
+		return "", "", false
+	}
+	return fields[0], fields[1], true
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.PublishProgress("a\"b\\c\nd", 1, false)
+	body := string(r.RenderPrometheus())
+	want := `icgmm_session_batches_total{session="a\"b\\c\\nd"} 1`
+	if !strings.Contains(body, want) {
+		t.Fatalf("escaped label %q not found in:\n%s", want, body)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	before := time.Now().UnixNano()
+	tr.Emit(TraceEvent{Kind: serve.EventDrift, Session: "s", HitRatio: 0.5, Baseline: 0.7})
+	tr.Emit(TraceEvent{Kind: EventMigration, Session: "s", TimeUnixNs: 42})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d trace lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var ev TraceEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.TimeUnixNs < before || ev.Kind != serve.EventDrift || ev.HitRatio != 0.5 {
+		t.Fatalf("trace line 0 = %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.TimeUnixNs != 42 {
+		t.Fatalf("caller-stamped time overwritten: %+v", ev)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n == 0 {
+		return 0, errors.New("sink broke")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestTracerStickyError(t *testing.T) {
+	tr := NewTracer(&failWriter{n: 1})
+	tr.Emit(TraceEvent{Kind: "a"})
+	if err := tr.Err(); err != nil {
+		t.Fatalf("first emit errored: %v", err)
+	}
+	tr.Emit(TraceEvent{Kind: "b"})
+	if err := tr.Err(); err == nil {
+		t.Fatal("want sticky error after failed emit")
+	}
+	tr.Emit(TraceEvent{Kind: "c"}) // must not panic or clear the error
+	if err := tr.Err(); err == nil {
+		t.Fatal("sticky error cleared")
+	}
+}
+
+func TestSessionObserver(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	obs := SessionObserver(r, NewTracer(&buf), "sess")
+	obs(serve.Event{Kind: serve.EventShare, Batch: 9, Tenant: "a", Donor: "b", Blocks: 4})
+	obs(serve.Event{Kind: serve.EventRefresh, Batch: 11, Threshold: 0.5, Refreshes: 1})
+
+	ec := r.EventCounts()
+	if len(ec) != 2 || ec[0].Kind != serve.EventRefresh || ec[1].Kind != serve.EventShare {
+		t.Fatalf("EventCounts = %+v", ec)
+	}
+	for _, c := range ec {
+		if c.Session != "sess" || c.Count != 1 {
+			t.Fatalf("event cell = %+v", c)
+		}
+	}
+	var ev TraceEvent
+	line, _, _ := strings.Cut(buf.String(), "\n")
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != serve.EventShare || ev.Session != "sess" || ev.Batch != 9 ||
+		ev.Tenant != "a" || ev.Donor != "b" || ev.Blocks != 4 || ev.TimeUnixNs == 0 {
+		t.Fatalf("trace event = %+v", ev)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.PublishSnapshot("s", testSnapshot())
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, ct := get(t, base+"/metrics")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "icgmm_session_hit_ratio") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	body, ct = get(t, base+"/status")
+	if ct != "application/json" {
+		t.Fatalf("/status content type = %q", ct)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if len(st.Sessions) != 1 || st.Sessions[0].Name != "s" || st.Sessions[0].Snapshot == nil {
+		t.Fatalf("/status = %+v", st)
+	}
+
+	body, _ = get(t, base+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index:\n%s", body)
+	}
+	body, _ = get(t, base+"/")
+	if !strings.Contains(body, "/metrics") {
+		t.Fatalf("index page:\n%s", body)
+	}
+	resp, err := http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+}
+
+func get(t *testing.T, url string) (body, contentType string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.Header.Get("Content-Type")
+}
+
+// TestStalledScraperDoesNotBlockPublish pins the no-back-pressure invariant:
+// a scraper that connects and never reads must not stop the serving loop
+// from publishing into the registry, because rendering happens into memory
+// before any network write and the registry lock is never held across one.
+func TestStalledScraperDoesNotBlockPublish(t *testing.T) {
+	r := NewRegistry()
+	r.PublishSnapshot("s", testSnapshot())
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A scraper that sends the request and then goes to sleep forever.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			r.PublishProgress("s", uint64(i), false)
+			r.PublishSnapshot("s", testSnapshot())
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publishing stalled behind a non-reading scraper")
+	}
+}
+
+// TestConcurrentScrapeAndPublish hammers the registry from scrapers and
+// publishers at once; run under -race this is the data-race check for the
+// whole read side.
+func TestConcurrentScrapeAndPublish(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", g)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.PublishSnapshot(name, testSnapshot())
+				r.PublishProgress(name, uint64(i), false)
+				r.CountEvent(serve.EventDrift, name)
+				r.ObserveStep(g, time.Millisecond, i%7 != 0)
+				r.Heartbeat(g, i%5 != 0)
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if body := r.RenderPrometheus(); len(body) == 0 {
+					t.Error("empty render")
+					return
+				}
+				if st := r.Status(); st == nil {
+					t.Error("nil status")
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

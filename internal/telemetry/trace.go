@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Cluster-level trace/event kinds, continuing the serve.Event* kind
+// namespace (drift, refresh, refresh-failed, share, checkpoint).
+const (
+	// EventMigration: a session was live-migrated between workers.
+	EventMigration = "migration"
+	// EventWorkerDeath: a worker process was declared dead.
+	EventWorkerDeath = "worker-death"
+	// EventReplay: a session was replayed from its last checkpoint after a
+	// worker death.
+	EventReplay = "replay"
+)
+
+// TraceEvent is one line of the telemetry trace stream: a wall-clock-stamped
+// record of a state transition somewhere in the serving system. The trace is
+// deliberately a separate stream from the deterministic metric JSONL — wall
+// time and real-time interleaving belong here and only here.
+type TraceEvent struct {
+	// TimeUnixNs is the wall-clock stamp; the Tracer fills it at Emit.
+	TimeUnixNs int64  `json:"time_unix_ns"`
+	Kind       string `json:"kind"`
+	// Session names the session the event belongs to (absent for
+	// process-wide events like a worker death).
+	Session string `json:"session,omitempty"`
+	// Batch locates the event on the session's virtual timeline.
+	Batch uint64 `json:"batch,omitempty"`
+	// Worker is the worker slot involved (coordinator-side events).
+	Worker *int `json:"worker,omitempty"`
+	// Serve-event payload fields (see serve.Event).
+	Tenant    string  `json:"tenant,omitempty"`
+	Donor     string  `json:"donor,omitempty"`
+	Blocks    uint64  `json:"blocks,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	HitRatio  float64 `json:"hit_ratio,omitempty"`
+	Baseline  float64 `json:"baseline,omitempty"`
+	Refreshes uint64  `json:"refreshes,omitempty"`
+	Err       string  `json:"error,omitempty"`
+}
+
+// Tracer serializes TraceEvents as JSONL to a sink. Emits from different
+// goroutines interleave whole lines (one encoder call under one mutex), so a
+// coordinator and its probers can share a Tracer. All methods are safe on a
+// nil receiver; write errors are sticky and reported by Err — telemetry is
+// best-effort and must never fail the run it watches.
+type Tracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewTracer builds a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{enc: json.NewEncoder(w)}
+}
+
+// Emit stamps ev with the current wall clock (unless the caller already
+// stamped it) and writes one line.
+func (t *Tracer) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	if ev.TimeUnixNs == 0 {
+		ev.TimeUnixNs = time.Now().UnixNano()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(ev)
+}
+
+// Err returns the sticky write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// SessionObserver bridges serve.Session.Observe into the telemetry layer:
+// the returned function counts each event in the registry and emits it on
+// the trace, attributed to the named session. Either reg or tr may be nil.
+// The observer runs on the session's own goroutine at batch boundaries and
+// does only an O(1) counter bump plus one buffered-encoder write, honoring
+// the must-not-block contract of Session.Observe.
+func SessionObserver(reg *Registry, tr *Tracer, session string) func(serve.Event) {
+	return func(ev serve.Event) {
+		reg.CountEvent(ev.Kind, session)
+		tr.Emit(TraceEvent{
+			Kind:      ev.Kind,
+			Session:   session,
+			Batch:     ev.Batch,
+			Tenant:    ev.Tenant,
+			Donor:     ev.Donor,
+			Blocks:    ev.Blocks,
+			Threshold: ev.Threshold,
+			HitRatio:  ev.HitRatio,
+			Baseline:  ev.Baseline,
+			Refreshes: ev.Refreshes,
+			Err:       ev.Err,
+		})
+	}
+}
