@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry cover fuzz-smoke fmt vet fmt-check ci
+.PHONY: build test race bench bench-json serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry cover fuzz-smoke fmt vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,18 @@ race:
 # numbers.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/serve
+
+# Machine-readable benchmarks: run the root and serving benchmarks with
+# -benchmem, keep the raw text for benchstat (BENCH_<date>.txt) and render a
+# JSON trajectory point next to it (BENCH_<date>.json) via cmd/benchjson.
+# Override BENCHTIME (e.g. BENCHTIME=5x) for steadier numbers.
+BENCHTIME ?= 1x
+BENCHSTAMP := $(shell date +%Y%m%d)
+bench-json:
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem -run='^$$' . ./internal/serve \
+		| tee BENCH_$(BENCHSTAMP).txt \
+		| $(GO) run ./cmd/benchjson > BENCH_$(BENCHSTAMP).json
+	@echo "wrote BENCH_$(BENCHSTAMP).txt and BENCH_$(BENCHSTAMP).json"
 
 # Serving smoke: a short icgmm-serve run under the race detector, exercising
 # ingest, batched admission, a drift-triggered sync refresh, and JSONL
@@ -101,13 +113,14 @@ cover:
 	rm -f cover.tmp.out cover.tmp.log; exit $$fail
 
 # Fuzz smoke: 20 seconds per target against the trace CSV parser, the
-# -tenants JSON spec parser, and the declarative run-spec wire format.
-# -run='^$$' skips the unit tests so the time budget goes entirely to
-# fuzzing.
+# -tenants JSON spec parser, the declarative run-spec wire format, and the
+# Q16.16 quantizer's batch/scalar parity contract. -run='^$$' skips the unit
+# tests so the time budget goes entirely to fuzzing.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzParseRecord -fuzztime=20s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzTenantSpec -fuzztime=20s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzServeSpec -fuzztime=20s
+	$(GO) test ./internal/gmm -run='^$$' -fuzz=FuzzQuantizeRoundTrip -fuzztime=20s
 
 fmt:
 	gofmt -w .

@@ -181,7 +181,7 @@ func BenchmarkTable2GMMQuantized(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	q := gmm.Quantize(m)
+	q, _ := gmm.Quantize(m)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.ScorePageTime(0.5, 0.5)

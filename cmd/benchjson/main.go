@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench` text output into JSON, so
+// benchmark runs can be committed as machine-readable trajectory points
+// (BENCH_<date>.json) next to the raw text benchstat consumes. It reads the
+// benchmark stream on stdin and writes one JSON document on stdout:
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson > BENCH_20260807.json
+//
+// Every metric go test emits is kept as a name -> value pair ("ns/op",
+// "allocs/op", custom b.ReportMetric units like "wall-ops/sec"), so new
+// metrics never require a schema change here.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line.
+type result struct {
+	// Pkg and the environment lines active when the benchmark ran.
+	Pkg    string `json:"pkg,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Name is the full benchmark name including the -N GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every value/unit pair on the line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parse consumes a `go test -bench` text stream. Non-benchmark lines (PASS,
+// ok, coverage, test logs) are skipped; goos/goarch/pkg/cpu header lines set
+// the environment attached to subsequent results.
+func parse(r io.Reader) ([]result, error) {
+	var (
+		out                      []result
+		goos, goarch, pkg, cpuID string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			cpuID = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with "Benchmark"
+		}
+		res := result{
+			Pkg: pkg, Goos: goos, Goarch: goarch, CPU: cpuID,
+			Name: fields[0], Iterations: iters,
+			Metrics: make(map[string]float64),
+		}
+		// The remainder alternates value, unit.
+		vals := fields[2:]
+		for i := 0; i+1 < len(vals); i += 2 {
+			v, err := strconv.ParseFloat(vals[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %s: bad metric value %q", fields[0], vals[i])
+			}
+			res.Metrics[vals[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func run(r io.Reader, w io.Writer) error {
+	results, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

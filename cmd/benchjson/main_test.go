@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/serve
+cpu: AMD EPYC 7B13
+BenchmarkServeShards1-1   	       4	286338434 ns/op	    457752 wall-ops/sec	    1024 B/op	       3 allocs/op
+BenchmarkServeShards2-1   	       4	290000000 ns/op
+PASS
+ok  	repro/internal/serve	2.541s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkServeShards1-1" || r.Iterations != 4 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.Pkg != "repro/internal/serve" || r.Goos != "linux" || r.Goarch != "amd64" || r.CPU != "AMD EPYC 7B13" {
+		t.Errorf("environment not attached: %+v", r)
+	}
+	want := map[string]float64{
+		"ns/op": 286338434, "wall-ops/sec": 457752, "B/op": 1024, "allocs/op": 3,
+	}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+	if len(results[1].Metrics) != 1 {
+		t.Errorf("second result metrics = %v", results[1].Metrics)
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	in := `some preamble
+BenchmarkNotANumber badline here
+--- BENCH: BenchmarkFoo
+PASS
+`
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("noise parsed as %d results", len(results))
+	}
+}
+
+func TestParseRejectsBadMetric(t *testing.T) {
+	in := "BenchmarkX-4 10 abc ns/op\n"
+	if _, err := parse(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed metric value accepted")
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d entries", len(decoded))
+	}
+	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("empty benchmark stream accepted")
+	}
+}

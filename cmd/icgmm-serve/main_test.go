@@ -183,6 +183,7 @@ func TestCommittedSpecsParse(t *testing.T) {
 		"testdata/spec-tenants.json",
 		"testdata/spec-elastic.json",
 		"testdata/spec-telemetry.json",
+		"testdata/spec-q16.json",
 	} {
 		data, err := os.ReadFile(path)
 		if err != nil {

@@ -182,11 +182,16 @@ func trainOrLoad(tr trace.Trace, modelPath string, cfg core.Config) (*core.Train
 	if err != nil {
 		return nil, err
 	}
+	quant, qrep := gmm.Quantize(m)
+	if qrep.Saturated > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d quantized model constants saturate Q16.16; fixed-point scores are unfaithful\n", qrep.Saturated)
+	}
 	tg := &core.TrainedGMM{
-		Result:    &gmm.TrainResult{Model: m},
-		Quantized: gmm.Quantize(m),
-		Norm:      norm,
-		Transform: cfg.Transform,
+		Result:      &gmm.TrainResult{Model: m},
+		Quantized:   quant,
+		QuantReport: qrep,
+		Norm:        norm,
+		Transform:   cfg.Transform,
 	}
 	// Loaded models still need a threshold matched to this trace; run the
 	// same empirical sweep Train performs.

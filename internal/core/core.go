@@ -113,10 +113,13 @@ func (c Config) Validate() error {
 type TrainedGMM struct {
 	Result    *gmm.TrainResult
 	Quantized *gmm.QuantizedModel
-	Norm      trace.Normalizer
-	Threshold float64
-	Transform trace.TransformConfig
-	useQuant  bool
+	// QuantReport records how faithfully the weight-buffer quantization
+	// represented the model (clamp count, worst representable error).
+	QuantReport gmm.QuantReport
+	Norm        trace.Normalizer
+	Threshold   float64
+	Transform   trace.TransformConfig
+	useQuant    bool
 }
 
 // Train runs the offline Sec. 3 flow on a trace: preprocess, fit the GMM
@@ -137,17 +140,21 @@ func Train(tr trace.Trace, cfg Config) (*TrainedGMM, error) {
 		return nil, fmt.Errorf("core: training GMM: %w", err)
 	}
 	samples := norm.ApplyAll(trace.Preprocess(tr, cfg.Transform))
-	quant := gmm.Quantize(res.Model)
+	quant, qrep := gmm.Quantize(res.Model)
+	if cfg.Quantized && qrep.Saturated > 0 {
+		return nil, fmt.Errorf("core: quantized inference requested but %d model constants saturate Q16.16", qrep.Saturated)
+	}
 	var scorer policy.Scorer = res.Model
 	if cfg.Quantized {
 		scorer = quant
 	}
 	tg := &TrainedGMM{
-		Result:    res,
-		Quantized: quant,
-		Norm:      norm,
-		Transform: cfg.Transform,
-		useQuant:  cfg.Quantized,
+		Result:      res,
+		Quantized:   quant,
+		QuantReport: qrep,
+		Norm:        norm,
+		Transform:   cfg.Transform,
+		useQuant:    cfg.Quantized,
 	}
 	tg.Threshold = policy.CalibrateThreshold(scorer, samples, cfg.ThresholdPct)
 	if cfg.AutoThreshold {

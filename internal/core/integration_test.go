@@ -170,9 +170,10 @@ func TestTrainWithChooseKIntegration(t *testing.T) {
 	if len(sweep) != 3 {
 		t.Fatalf("sweep entries = %d", len(sweep))
 	}
+	quant, _ := gmm.Quantize(best.Result.Model)
 	tg := &TrainedGMM{
 		Result:    best.Result,
-		Quantized: gmm.Quantize(best.Result.Model),
+		Quantized: quant,
 		Norm:      norm,
 		Threshold: 0,
 		Transform: cfg.Transform,

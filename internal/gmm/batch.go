@@ -11,70 +11,103 @@ import (
 // L2 while amortizing the per-component parameter loads across the block.
 const scoreBlock = 64
 
-// LogScoreBatch writes log G(x) for every x into dst, evaluating the
-// mixture block-wise: for each block of points it streams every component's
-// Mahalanobis distances through linalg.MahalanobisSquaredBatch, then runs
-// the same max-then-sum log-sum-exp as LogScore per point. The arithmetic
-// (per-point component order included) matches LogScore exactly, so batched
-// and per-call scoring are bit-identical — the property that lets the
-// replay engine precompute scores without changing any simulation result.
-//
-// dst must be at least len(xs) long.
-func (m *Model) LogScoreBatch(xs []linalg.Vec2, dst []float64) {
+// logScoreBlock scores one block of at most scoreBlock points into dst: each
+// component's fused log-density sweep over the packed SoA constants, then the
+// same max-then-sum log-sum-exp as LogScore per point. ld is the caller's
+// component-major block buffer (Scratch.block). The arithmetic — per-point
+// component order included — matches LogScore exactly, so batched and
+// per-call scoring are bit-identical.
+func (m *Model) logScoreBlock(dst, xs, ys, ld []float64) {
+	k := len(m.Components)
+	n := len(xs)
+	for c := 0; c < k; c++ {
+		linalg.LogDensityBatch(ld[c*scoreBlock:c*scoreBlock+n], xs, ys,
+			m.soa.meanX[c], m.soa.meanY[c],
+			m.soa.pxx[c], m.soa.pxy[c], m.soa.pyy[c], m.soa.logCoef[c])
+	}
+	for i := 0; i < n; i++ {
+		maxLog := math.Inf(-1)
+		for c := 0; c < k; c++ {
+			if v := ld[c*scoreBlock+i]; v > maxLog {
+				maxLog = v
+			}
+		}
+		if math.IsInf(maxLog, -1) {
+			dst[i] = maxLog
+			continue
+		}
+		sum := 0.0
+		for c := 0; c < k; c++ {
+			sum += math.Exp(ld[c*scoreBlock+i] - maxLog)
+		}
+		dst[i] = maxLog + math.Log(sum)
+	}
+}
+
+// LogScoreBatchScratch writes log G(x) for every x into dst, scoring
+// block-wise through the caller-owned scratch; it allocates nothing once the
+// scratch has grown to this model's K. dst must be at least len(xs) long.
+func (m *Model) LogScoreBatchScratch(xs []linalg.Vec2, dst []float64, s *Scratch) {
 	if len(xs) == 0 {
 		return
 	}
 	_ = dst[len(xs)-1]
-	k := len(m.Components)
-	// ld[c*scoreBlock+i] is component c's log-density at block point i.
-	ld := make([]float64, k*scoreBlock)
+	ld := s.block(len(m.Components))
+	bx, by := s.stage()
 	for start := 0; start < len(xs); start += scoreBlock {
 		end := start + scoreBlock
 		if end > len(xs) {
 			end = len(xs)
 		}
-		block := xs[start:end]
-		n := len(block)
-		for c := range m.Components {
-			comp := &m.Components[c]
-			row := ld[c*scoreBlock : c*scoreBlock+n]
-			linalg.MahalanobisSquaredBatch(row, block, comp.Mean, comp.precision)
-			for i := range row {
-				row[i] = comp.logCoef - 0.5*row[i]
-			}
+		n := end - start
+		for i, x := range xs[start:end] {
+			bx[i], by[i] = x.X, x.Y
 		}
-		for i := 0; i < n; i++ {
-			maxLog := math.Inf(-1)
-			for c := 0; c < k; c++ {
-				if v := ld[c*scoreBlock+i]; v > maxLog {
-					maxLog = v
-				}
-			}
-			if math.IsInf(maxLog, -1) {
-				dst[start+i] = maxLog
-				continue
-			}
-			sum := 0.0
-			for c := 0; c < k; c++ {
-				sum += math.Exp(ld[c*scoreBlock+i] - maxLog)
-			}
-			dst[start+i] = maxLog + math.Log(sum)
+		m.logScoreBlock(dst[start:end], bx[:n], by[:n], ld)
+	}
+}
+
+// LogScoreBatch is LogScoreBatchScratch over pooled scratch — the
+// compatibility entry point for callers that do not manage their own. It is
+// allocation-free at steady state (the pool retains warm scratch), but
+// callers on a hot path with a natural owner (one scratch per partition,
+// say) should thread a Scratch explicitly.
+func (m *Model) LogScoreBatch(xs []linalg.Vec2, dst []float64) {
+	s := scratchPool.Get().(*Scratch)
+	m.LogScoreBatchScratch(xs, dst, s)
+	scratchPool.Put(s)
+}
+
+// ScorePageTimeBatchScratch fills dst with the mixture density at each
+// (page, timestamp) pair, scoring directly from the coordinate slices — no
+// intermediate point buffer — through the caller-owned scratch. It is the
+// zero-allocation form of the policy package's batch-scoring hook.
+func (m *Model) ScorePageTimeBatchScratch(pages, times, dst []float64, s *Scratch) {
+	if len(pages) == 0 {
+		return
+	}
+	_ = dst[len(pages)-1]
+	_ = times[len(pages)-1]
+	ld := s.block(len(m.Components))
+	for start := 0; start < len(pages); start += scoreBlock {
+		end := start + scoreBlock
+		if end > len(pages) {
+			end = len(pages)
+		}
+		out := dst[start:end]
+		m.logScoreBlock(out, pages[start:end], times[start:end], ld)
+		for i := range out {
+			out[i] = math.Exp(out[i])
 		}
 	}
 }
 
-// ScorePageTimeBatch is the block form of ScorePageTime: it fills dst with
-// the mixture density at each (page, timestamp) pair. It implements the
-// policy package's BatchScorer interface, the hook the replay engine uses to
-// precompute per-access scores in blocks instead of one inference call per
-// access.
+// ScorePageTimeBatch is the block form of ScorePageTime over pooled scratch.
+// It implements the policy package's BatchScorer interface, the hook the
+// replay engine uses to precompute per-access scores in blocks instead of
+// one inference call per access.
 func (m *Model) ScorePageTimeBatch(pages, times, dst []float64) {
-	xs := make([]linalg.Vec2, len(pages))
-	for i := range pages {
-		xs[i] = linalg.V2(pages[i], times[i])
-	}
-	m.LogScoreBatch(xs, dst)
-	for i := range dst[:len(xs)] {
-		dst[i] = math.Exp(dst[i])
-	}
+	s := scratchPool.Get().(*Scratch)
+	m.ScorePageTimeBatchScratch(pages, times, dst, s)
+	scratchPool.Put(s)
 }

@@ -74,6 +74,67 @@ func TestLogScoreBatchEmpty(t *testing.T) {
 	m.ScorePageTimeBatch(nil, nil, nil)
 }
 
+func TestBatchScratchMatchesPooled(t *testing.T) {
+	t.Parallel()
+	m := batchTestModel(t, 9)
+	rng := rand.New(rand.NewSource(6))
+	n := 2*scoreBlock + 7
+	xs := make([]linalg.Vec2, n)
+	pages := make([]float64, n)
+	times := make([]float64, n)
+	for i := range xs {
+		xs[i] = linalg.V2(rng.Float64(), rng.Float64())
+		pages[i], times[i] = rng.Float64(), rng.Float64()
+	}
+	a, b := make([]float64, n), make([]float64, n)
+	var s Scratch
+	m.LogScoreBatch(xs, a)
+	m.LogScoreBatchScratch(xs, b, &s)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("LogScoreBatch point %d: pooled %v != scratch %v", i, a[i], b[i])
+		}
+	}
+	m.ScorePageTimeBatch(pages, times, a)
+	m.ScorePageTimeBatchScratch(pages, times, b, &s)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ScorePageTimeBatch point %d: pooled %v != scratch %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBatchScorerAllocs pins the float batch kernels at zero steady-state
+// allocations, the property the serving hot path relies on.
+func TestBatchScorerAllocs(t *testing.T) {
+	m := batchTestModel(t, 32)
+	rng := rand.New(rand.NewSource(7))
+	n := 2*scoreBlock + 9
+	xs := make([]linalg.Vec2, n)
+	pages := make([]float64, n)
+	times := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range xs {
+		xs[i] = linalg.V2(rng.Float64(), rng.Float64())
+		pages[i], times[i] = rng.Float64(), rng.Float64()
+	}
+	var s Scratch
+	m.LogScoreBatchScratch(xs, dst, &s) // grow the scratch once
+	m.ScorePageTimeBatchScratch(pages, times, dst, &s)
+	if a := testing.AllocsPerRun(20, func() { m.LogScoreBatchScratch(xs, dst, &s) }); a != 0 {
+		t.Errorf("LogScoreBatchScratch allocates %v per run at steady state", a)
+	}
+	if a := testing.AllocsPerRun(20, func() { m.ScorePageTimeBatchScratch(pages, times, dst, &s) }); a != 0 {
+		t.Errorf("ScorePageTimeBatchScratch allocates %v per run at steady state", a)
+	}
+	if a := testing.AllocsPerRun(20, func() { m.LogScoreBatch(xs, dst) }); a != 0 {
+		t.Errorf("pooled LogScoreBatch allocates %v per run at steady state", a)
+	}
+	if a := testing.AllocsPerRun(20, func() { m.ScorePageTimeBatch(pages, times, dst) }); a != 0 {
+		t.Errorf("pooled ScorePageTimeBatch allocates %v per run at steady state", a)
+	}
+}
+
 func BenchmarkScoreScalar(b *testing.B) {
 	m := batchTestModel(b, 256)
 	rng := rand.New(rand.NewSource(3))
@@ -100,5 +161,30 @@ func BenchmarkScoreBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.LogScoreBatch(xs, dst)
+	}
+}
+
+// BenchmarkScoreBatchQ16 is the quantized counterpart of BenchmarkScoreBatch:
+// the same batch size through the Q16.16 weight-buffer datapath (dequantized
+// SoA plus linear-domain fold), the form the serve path dispatches to.
+func BenchmarkScoreBatchQ16(b *testing.B) {
+	m := batchTestModel(b, 256)
+	q, rep := Quantize(m)
+	if rep.Saturated != 0 {
+		b.Fatalf("%d constants saturate", rep.Saturated)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pages := make([]float64, 4096)
+	times := make([]float64, 4096)
+	dst := make([]float64, 4096)
+	for i := range pages {
+		pages[i] = rng.Float64()
+		times[i] = rng.Float64()
+	}
+	var s Scratch
+	q.ScorePageTimeBatchScratch(pages, times, dst, &s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ScorePageTimeBatchScratch(pages, times, dst, &s)
 	}
 }

@@ -364,5 +364,6 @@ func prepareAll(m *Model) error {
 			return fmt.Errorf("component %d: %w", i, err)
 		}
 	}
+	m.rebuildSOA()
 	return nil
 }

@@ -67,6 +67,10 @@ func (c *Component) LogDensity(x linalg.Vec2) float64 {
 // Model is a K-component 2-D Gaussian mixture.
 type Model struct {
 	Components []Component
+
+	// soa is the packed scoring bundle the batch kernels read; rebuilt by
+	// rebuildSOA whenever the components are (re-)prepared.
+	soa soa
 }
 
 // New builds a model from components, validating and caching the derived
@@ -93,6 +97,7 @@ func New(components []Component) (*Model, error) {
 			return nil, fmt.Errorf("component %d: %w", i, err)
 		}
 	}
+	m.rebuildSOA()
 	return m, nil
 }
 

@@ -18,12 +18,41 @@ type QuantizedModel struct {
 	// PrecXX/PrecXY/PrecYY hold -(1/2) * Sigma^-1 entries.
 	PrecXX, PrecXY, PrecYY []int32
 	LogCoef                []int32
+
+	// dq is the dequantized SoA scoring bundle (fromQ of every constant,
+	// precision entries still carrying the folded -1/2), built by Quantize so
+	// the batch kernels never convert per point. Models assembled by hand
+	// rather than through Quantize leave it empty; the batch entry points
+	// fall back to per-point scoring then.
+	dq soa
 }
 
 // QFracBits is the number of fractional bits in the Q16.16 representation.
 const QFracBits = 16
 
 const qScale = 1 << QFracBits
+
+// qLogCoefFloor is the quantized log-coefficient assigned to components that
+// contribute no density (weight 0, logCoef -Inf). toQ(-32768) is exactly
+// math.MinInt32, the most negative representable exponent; math.Exp
+// underflows it to zero density just as -Inf would. The floor is a deliberate
+// encoding, not saturation, so Quantize excludes it from the QuantReport.
+const qLogCoefFloor = -32768.0
+
+// QuantReport describes how faithfully Quantize represented a model in
+// Q16.16: how many constants fell outside the representable range and had to
+// be clamped (a saturating quantization scores a wrong density with no other
+// signal), and the largest absolute representable error among the constants
+// that did fit (bounded by 2^-17 by construction of round-to-nearest).
+type QuantReport struct {
+	// Saturated counts constants clamped to the int32 range. Any non-zero
+	// value means the quantized model's densities are unfaithful to the
+	// float model; serving refuses such models.
+	Saturated int
+	// MaxAbsErr is the largest |fromQ(toQ(f)) - f| over the non-saturated
+	// constants — the worst per-constant representation error.
+	MaxAbsErr float64
+}
 
 // toQ converts a float64 to Q16.16 with saturation.
 func toQ(f float64) int32 {
@@ -40,49 +69,85 @@ func toQ(f float64) int32 {
 // fromQ converts Q16.16 back to float64.
 func fromQ(q int32) float64 { return float64(q) / qScale }
 
-// Quantize converts a prepared model into its fixed-point hardware form.
-func Quantize(m *Model) *QuantizedModel {
+// Quantize converts a prepared model into its fixed-point hardware form and
+// reports how faithfully the constants survived: the clamp count and the
+// worst representable error. Callers that serve through the quantized model
+// must check Report.Saturated — a tight component whose precision entry
+// exceeds the Q16.16 range quantizes to an arbitrarily wrong density with no
+// other signal.
+func Quantize(m *Model) (*QuantizedModel, QuantReport) {
 	k := m.K()
 	q := &QuantizedModel{
 		MeanX: make([]int32, k), MeanY: make([]int32, k),
 		PrecXX: make([]int32, k), PrecXY: make([]int32, k), PrecYY: make([]int32, k),
 		LogCoef: make([]int32, k),
 	}
+	var rep QuantReport
+	quant := func(f float64) int32 {
+		v := math.Round(f * qScale)
+		if v > math.MaxInt32 || v < math.MinInt32 {
+			rep.Saturated++
+			if v > 0 {
+				return math.MaxInt32
+			}
+			return math.MinInt32
+		}
+		qv := int32(v)
+		if err := math.Abs(fromQ(qv) - f); err > rep.MaxAbsErr {
+			rep.MaxAbsErr = err
+		}
+		return qv
+	}
 	for i := range m.Components {
 		c := &m.Components[i]
-		q.MeanX[i] = toQ(c.Mean.X)
-		q.MeanY[i] = toQ(c.Mean.Y)
-		q.PrecXX[i] = toQ(-0.5 * c.precision.XX)
-		q.PrecXY[i] = toQ(-0.5 * c.precision.XY)
-		q.PrecYY[i] = toQ(-0.5 * c.precision.YY)
-		lc := c.logCoef
-		if math.IsInf(lc, -1) {
-			lc = -32768 // saturates to the most negative representable exponent
+		q.MeanX[i] = quant(c.Mean.X)
+		q.MeanY[i] = quant(c.Mean.Y)
+		q.PrecXX[i] = quant(-0.5 * c.precision.XX)
+		q.PrecXY[i] = quant(-0.5 * c.precision.XY)
+		q.PrecYY[i] = quant(-0.5 * c.precision.YY)
+		if lc := c.logCoef; math.IsInf(lc, -1) {
+			q.LogCoef[i] = toQ(qLogCoefFloor) // deliberate floor, not saturation
+		} else {
+			q.LogCoef[i] = quant(lc)
 		}
-		q.LogCoef[i] = toQ(lc)
 	}
-	return q
+	q.rebuildDQ()
+	return q, rep
+}
+
+// rebuildDQ repacks the dequantized constants into the SoA scoring bundle.
+func (q *QuantizedModel) rebuildDQ() {
+	k := q.K()
+	q.dq.resize(k)
+	for i := 0; i < k; i++ {
+		q.dq.meanX[i], q.dq.meanY[i] = fromQ(q.MeanX[i]), fromQ(q.MeanY[i])
+		q.dq.pxx[i], q.dq.pxy[i], q.dq.pyy[i] = fromQ(q.PrecXX[i]), fromQ(q.PrecXY[i]), fromQ(q.PrecYY[i])
+		q.dq.logCoef[i] = fromQ(q.LogCoef[i])
+	}
 }
 
 // K returns the number of components.
 func (q *QuantizedModel) K() int { return len(q.MeanX) }
 
+// logDensity is component i's exponent at (x, y): logCoef + the folded
+// quadratic form. The expression shape matches linalg.FoldedLogDensityBatch
+// exactly, so per-point and batched quantized scoring are bit-identical.
+func (q *QuantizedModel) logDensity(i int, x, y float64) float64 {
+	dx := x - fromQ(q.MeanX[i])
+	dy := y - fromQ(q.MeanY[i])
+	qf := dx*dx*fromQ(q.PrecXX[i]) + 2*dx*dy*fromQ(q.PrecXY[i]) + dy*dy*fromQ(q.PrecYY[i])
+	return fromQ(q.LogCoef[i]) + qf
+}
+
 // LogScore evaluates the mixture log-density using only the quantized
 // constants and float64 exp/log for the transcendental steps, emulating the
-// PE datapath (per-Gaussian multiply-adds on fixed-point weights).
+// PE datapath (per-Gaussian multiply-adds on fixed-point weights). Two
+// passes — max, then sum — so it allocates nothing, like the float model's
+// LogScore.
 func (q *QuantizedModel) LogScore(x linalg.Vec2) float64 {
 	maxLog := math.Inf(-1)
-	logs := make([]float64, q.K())
-	for i := range logs {
-		dx := x.X - fromQ(q.MeanX[i])
-		dy := x.Y - fromQ(q.MeanY[i])
-		// exponent = logCoef + dx^2*pxx + 2*dx*dy*pxy + dy^2*pyy
-		e := fromQ(q.LogCoef[i]) +
-			dx*dx*fromQ(q.PrecXX[i]) +
-			2*dx*dy*fromQ(q.PrecXY[i]) +
-			dy*dy*fromQ(q.PrecYY[i])
-		logs[i] = e
-		if e > maxLog {
+	for i := 0; i < q.K(); i++ {
+		if e := q.logDensity(i, x.X, x.Y); e > maxLog {
 			maxLog = e
 		}
 	}
@@ -90,8 +155,8 @@ func (q *QuantizedModel) LogScore(x linalg.Vec2) float64 {
 		return maxLog
 	}
 	sum := 0.0
-	for _, e := range logs {
-		sum += math.Exp(e - maxLog)
+	for i := 0; i < q.K(); i++ {
+		sum += math.Exp(q.logDensity(i, x.X, x.Y) - maxLog)
 	}
 	return maxLog + math.Log(sum)
 }
@@ -104,6 +169,76 @@ func (q *QuantizedModel) Score(x linalg.Vec2) float64 { return math.Exp(q.LogSco
 // the float Model.
 func (q *QuantizedModel) ScorePageTime(page, timestamp float64) float64 {
 	return q.Score(linalg.V2(page, timestamp))
+}
+
+// logScoreBlock scores one block of at most scoreBlock points through the
+// dequantized SoA bundle: per-component fused folded-exponent sweeps, then
+// the same max-then-sum log-sum-exp as LogScore per point.
+func (q *QuantizedModel) logScoreBlock(dst, xs, ys, ld []float64) {
+	k := q.K()
+	n := len(xs)
+	for c := 0; c < k; c++ {
+		linalg.FoldedLogDensityBatch(ld[c*scoreBlock:c*scoreBlock+n], xs, ys,
+			q.dq.meanX[c], q.dq.meanY[c],
+			q.dq.pxx[c], q.dq.pxy[c], q.dq.pyy[c], q.dq.logCoef[c])
+	}
+	for i := 0; i < n; i++ {
+		maxLog := math.Inf(-1)
+		for c := 0; c < k; c++ {
+			if v := ld[c*scoreBlock+i]; v > maxLog {
+				maxLog = v
+			}
+		}
+		if math.IsInf(maxLog, -1) {
+			dst[i] = maxLog
+			continue
+		}
+		sum := 0.0
+		for c := 0; c < k; c++ {
+			sum += math.Exp(ld[c*scoreBlock+i] - maxLog)
+		}
+		dst[i] = maxLog + math.Log(sum)
+	}
+}
+
+// ScorePageTimeBatchScratch fills dst with the quantized mixture density at
+// each (page, timestamp) pair through the caller-owned scratch, bit-identical
+// to per-point ScorePageTime. It is the zero-allocation batch form the
+// serving path threads per-partition scratch through.
+func (q *QuantizedModel) ScorePageTimeBatchScratch(pages, times, dst []float64, s *Scratch) {
+	if len(pages) == 0 {
+		return
+	}
+	_ = dst[len(pages)-1]
+	_ = times[len(pages)-1]
+	if len(q.dq.logCoef) != q.K() {
+		// Hand-assembled model without the Quantize-built bundle: score
+		// per point rather than racing a lazy rebuild.
+		for i, p := range pages {
+			dst[i] = q.ScorePageTime(p, times[i])
+		}
+		return
+	}
+	ld := s.block(q.K())
+	for start := 0; start < len(pages); start += scoreBlock {
+		end := start + scoreBlock
+		if end > len(pages) {
+			end = len(pages)
+		}
+		out := dst[start:end]
+		q.logScoreBlock(out, pages[start:end], times[start:end], ld)
+		for i := range out {
+			out[i] = math.Exp(out[i])
+		}
+	}
+}
+
+// ScorePageTimeBatch is the pooled-scratch batch form; it implements the
+// policy package's BatchScorer interface for the quantized datapath.
+func (q *QuantizedModel) ScorePageTimeBatch(pages, times, dst []float64) {
+	s := scratchPool.Get().(*Scratch)
+	q.ScorePageTimeBatchScratch(pages, times, dst, s)
+	scratchPool.Put(s)
 }
 
 // WeightBufferBytes returns the on-chip storage the quantized model needs:

@@ -82,9 +82,12 @@ func TestQuantizeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := Quantize(m)
+	q, rep := Quantize(m)
 	if q.K() != 2 {
 		t.Fatalf("K = %d", q.K())
+	}
+	if rep.Saturated != 0 {
+		t.Fatalf("moderate model saturated %d constants", rep.Saturated)
 	}
 	// Quantized scores should track float scores closely near the data.
 	for _, x := range []linalg.Vec2{{X: 0.2, Y: 0.3}, {X: 0.8, Y: 0.7}, {X: 0.5, Y: 0.5}} {
@@ -106,7 +109,7 @@ func TestQuantizedWeightBufferSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := Quantize(res.Model)
+	q, _ := Quantize(res.Model)
 	if got := q.WeightBufferBytes(); got != 16*24 {
 		t.Errorf("WeightBufferBytes = %d, want %d", got, 16*24)
 	}

@@ -17,3 +17,46 @@ func MahalanobisSquaredBatch(dst []float64, xs []Vec2, mu Vec2, sigmaInv Sym2) {
 		dst[i] = sigmaInv.QuadForm(x.Sub(mu))
 	}
 }
+
+// LogDensityBatch is the fused SoA form of Component.LogDensity: for every
+// point (xs[i], ys[i]) it writes logCoef - 0.5*d² into dst, where d² is the
+// squared Mahalanobis distance to mean (muX, muY) under the precision matrix
+// (pxx, pxy, pyy). Fusing the distance and the log-density fold lets the
+// caller hold one component's six constants in registers while streaming a
+// block of points, with no intermediate distance buffer.
+//
+// Each output is computed with exactly the expression shapes of
+// Sym2.QuadForm followed by logCoef - 0.5*q, so fused and per-point scoring
+// are bit-identical. dst, xs and ys must all be at least len(xs) long.
+func LogDensityBatch(dst, xs, ys []float64, muX, muY, pxx, pxy, pyy, logCoef float64) {
+	if len(xs) == 0 {
+		return
+	}
+	_ = dst[len(xs)-1]
+	_ = ys[len(xs)-1]
+	for i, x := range xs {
+		dx := x - muX
+		dy := ys[i] - muY
+		q := dx*dx*pxx + 2*dx*dy*pxy + dy*dy*pyy
+		dst[i] = logCoef - 0.5*q
+	}
+}
+
+// FoldedLogDensityBatch is LogDensityBatch for precision entries that already
+// fold the -1/2 exponent factor — the quantized weight-buffer layout, where
+// PrecXX/PrecXY/PrecYY store -(1/2)·Σ⁻¹. The exponent is logCoef + q with
+// the same quadratic-form expression shape as LogDensityBatch, so batched and
+// per-point quantized scoring stay bit-identical.
+func FoldedLogDensityBatch(dst, xs, ys []float64, muX, muY, pxx, pxy, pyy, logCoef float64) {
+	if len(xs) == 0 {
+		return
+	}
+	_ = dst[len(xs)-1]
+	_ = ys[len(xs)-1]
+	for i, x := range xs {
+		dx := x - muX
+		dy := ys[i] - muY
+		q := dx*dx*pxx + 2*dx*dy*pxy + dy*dy*pyy
+		dst[i] = logCoef + q
+	}
+}

@@ -1,0 +1,91 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMahalanobisSquaredBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Sym2{XX: 2, XY: 0.5, YY: 3}
+	mu := V2(0.3, -0.7)
+	xs := make([]Vec2, 257)
+	for i := range xs {
+		xs[i] = V2(rng.NormFloat64(), rng.NormFloat64())
+	}
+	dst := make([]float64, len(xs))
+	MahalanobisSquaredBatch(dst, xs, mu, s)
+	for i, x := range xs {
+		if want := MahalanobisSquared(x, mu, s); dst[i] != want {
+			t.Fatalf("point %d: batch %v != scalar %v", i, dst[i], want)
+		}
+	}
+}
+
+// TestLogDensityBatchMatchesQuadForm pins the fused kernel to the exact
+// arithmetic of the unfused path (QuadForm on the difference vector, then the
+// -1/2 fold): the serving goldens depend on the two producing identical bits.
+func TestLogDensityBatchMatchesQuadForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prec := Sym2{XX: 40, XY: -3, YY: 25}
+	mu := V2(0.4, 0.6)
+	const logCoef = -2.25
+	n := 131
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*20 - 10
+		ys[i] = rng.Float64()*20 - 10
+	}
+	LogDensityBatch(dst, xs, ys, mu.X, mu.Y, prec.XX, prec.XY, prec.YY, logCoef)
+	for i := range xs {
+		q := prec.QuadForm(V2(xs[i], ys[i]).Sub(mu))
+		if want := logCoef - 0.5*q; dst[i] != want {
+			t.Fatalf("point %d: fused %v != unfused %v (must be bit-identical)", i, dst[i], want)
+		}
+	}
+}
+
+// TestFoldedLogDensityBatch pins the quantized-path kernel, whose precision
+// entries arrive with the -1/2 factor pre-folded.
+func TestFoldedLogDensityBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	folded := Sym2{XX: -20, XY: 1.5, YY: -12.5}
+	mu := V2(-0.2, 0.9)
+	const logCoef = -1.125
+	n := 65
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*4 - 2
+		ys[i] = rng.Float64()*4 - 2
+	}
+	FoldedLogDensityBatch(dst, xs, ys, mu.X, mu.Y, folded.XX, folded.XY, folded.YY, logCoef)
+	for i := range xs {
+		dx, dy := xs[i]-mu.X, ys[i]-mu.Y
+		want := logCoef + (dx*dx*folded.XX + 2*dx*dy*folded.XY + dy*dy*folded.YY)
+		if dst[i] != want {
+			t.Fatalf("point %d: fused %v != unfused %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestBatchKernelsEmpty(t *testing.T) {
+	LogDensityBatch(nil, nil, nil, 0, 0, 1, 0, 1, 0)
+	FoldedLogDensityBatch(nil, nil, nil, 0, 0, -1, 0, -1, 0)
+	MahalanobisSquaredBatch(nil, nil, Vec2{}, Sym2{XX: 1, YY: 1})
+}
+
+func TestLogDensityBatchAllocs(t *testing.T) {
+	n := 256
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	dst := make([]float64, n)
+	if a := testing.AllocsPerRun(20, func() {
+		LogDensityBatch(dst, xs, ys, 0.5, 0.5, 30, -2, 20, -1)
+	}); a != 0 {
+		t.Errorf("LogDensityBatch allocates %v per run", a)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/gmm"
 	"repro/internal/trace"
 )
 
@@ -16,13 +17,25 @@ type Scorer interface {
 }
 
 // BatchScorer is implemented by scorers that can evaluate blocks of points
-// in one call (gmm.Model does, through linalg block kernels). Batched and
-// per-call scoring must be bit-identical so callers may use either path
-// without perturbing simulation results.
+// in one call (gmm.Model and gmm.QuantizedModel do, through linalg block
+// kernels). Batched and per-call scoring must be bit-identical so callers
+// may use either path without perturbing simulation results.
 type BatchScorer interface {
 	Scorer
 	// ScorePageTimeBatch fills dst[i] with the score at (pages[i], times[i]).
 	ScorePageTimeBatch(pages, times, dst []float64)
+}
+
+// ScratchBatchScorer is the zero-allocation refinement of BatchScorer:
+// scoring happens through caller-owned gmm.Scratch, so a caller that keeps
+// one scratch per concurrent scoring context (the serving path keeps one per
+// partition) allocates nothing at steady state. The scratch variant must be
+// bit-identical to the other scoring paths.
+type ScratchBatchScorer interface {
+	BatchScorer
+	// ScorePageTimeBatchScratch is ScorePageTimeBatch through s; s may not
+	// be shared by concurrent callers.
+	ScorePageTimeBatchScratch(pages, times, dst []float64, s *gmm.Scratch)
 }
 
 // ScoreSamples evaluates the scorer over normalized samples, using the

@@ -224,7 +224,15 @@ func Resume(r io.Reader, metrics io.Writer) (*Session, error) {
 	if doc.Format != checkpointFormat {
 		return nil, fmt.Errorf("serve: unknown checkpoint format %q (this build reads %q)", doc.Format, checkpointFormat)
 	}
-	bundle, err := doc.State.Bundle.restore()
+	kind := ScoringFloat64
+	if doc.Spec.Scoring != "" {
+		k, err := ParseScoringKind(doc.Spec.Scoring)
+		if err != nil {
+			return nil, err
+		}
+		kind = k
+	}
+	bundle, err := doc.State.Bundle.restore(kind)
 	if err != nil {
 		return nil, err
 	}
@@ -437,12 +445,18 @@ func (s *Service) restoreState(st serviceState) error {
 	return nil
 }
 
-// exportBundle flattens the active bundle. Only the float *gmm.Model scorer
-// is checkpointable — it is the only scorer the serving path trains.
+// exportBundle flattens the active bundle. Checkpoints always persist the
+// float model: under q16 scoring the quantized form is a pure function of it
+// (and of the spec's scoring field), so resume re-derives it bit-identically
+// instead of widening the wire format.
 func exportBundle(b *Bundle) (bundleState, error) {
-	model, ok := b.Scorer.(*gmm.Model)
-	if !ok {
-		return bundleState{}, fmt.Errorf("serve: cannot checkpoint scorer of type %T (only *gmm.Model)", b.Scorer)
+	model := b.Model
+	if model == nil {
+		var ok bool
+		model, ok = b.Scorer.(*gmm.Model)
+		if !ok {
+			return bundleState{}, fmt.Errorf("serve: cannot checkpoint scorer of type %T without its float model", b.Scorer)
+		}
 	}
 	bs := bundleState{
 		Components: make([]componentState, len(model.Components)),
@@ -461,8 +475,10 @@ func exportBundle(b *Bundle) (bundleState, error) {
 
 // restore rebuilds the bundle, bit-identically: components are fed through
 // gmm.RestoreModel, which re-derives cached quantities without the weight
-// renormalization that would perturb low-order bits.
-func (bs bundleState) restore() (*Bundle, error) {
+// renormalization that would perturb low-order bits. Under q16 scoring the
+// quantized scorer is re-derived from the restored float model — Quantize is
+// deterministic, so the resumed run scores the same bits the paused one did.
+func (bs bundleState) restore(kind ScoringKind) (*Bundle, error) {
 	comps := make([]gmm.Component, len(bs.Components))
 	for i, c := range bs.Components {
 		comps[i] = gmm.Component{
@@ -475,7 +491,16 @@ func (bs bundleState) restore() (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: restoring checkpoint bundle: %w", err)
 	}
-	return &Bundle{Scorer: model, Norm: bs.Norm, Threshold: bs.Threshold}, nil
+	b := &Bundle{Model: model, Scorer: model, Norm: bs.Norm, Threshold: bs.Threshold}
+	if kind == ScoringQ16 {
+		qm, rep := gmm.Quantize(model)
+		if rep.Saturated > 0 {
+			return nil, fmt.Errorf("serve: restoring checkpoint bundle: %d model constants saturate Q16.16", rep.Saturated)
+		}
+		b.Scorer = qm
+		b.Quant = rep
+	}
+	return b, nil
 }
 
 // exportState snapshots the policy engine's per-partition state.

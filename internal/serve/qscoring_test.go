@@ -1,0 +1,181 @@
+package serve_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// q16Spec loads the committed q16 scenario — the same document
+// cmd/icgmm-serve ships in its testdata — pinned to the given shard count.
+// Its page geometry is deliberately compact: tenants with 65536-page offsets
+// (the elastic scenario) collapse each working set to a normalized page
+// variance below Q16.16's representable precision, and training refuses to
+// serve the saturating model. That refusal has its own test below.
+func q16Spec(t testing.TB, shards int) serve.Spec {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "cmd", "icgmm-serve", "testdata", "spec-q16.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := serve.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Shards = shards
+	return spec
+}
+
+// TestQ16RefusesWideOffsetScenario pins the saturation guard end to end: the
+// elastic scenario's 65536-page tenant offsets are unrepresentable in Q16.16
+// precision, and training under q16 must refuse the model rather than serve
+// unfaithful densities.
+func TestQ16RefusesWideOffsetScenario(t *testing.T) {
+	t.Parallel()
+	spec := elasticSpec(t, 1)
+	spec.Scoring = "q16"
+	if _, err := serve.TrainBundleFromSpec(spec); err == nil {
+		t.Fatal("q16 training accepted the wide-offset elastic scenario")
+	} else if !strings.Contains(err.Error(), "saturate") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestQ16DeterministicAcrossShards extends the shard-count determinism
+// contract to the quantized datapath: the q16 scenario must emit
+// byte-identical JSONL at shards 1, 2 and 8. (The float goldens pin the
+// default path; q16 is a different density scale, so it gets its own
+// determinism check rather than a shared golden.)
+func TestQ16DeterministicAcrossShards(t *testing.T) {
+	t.Parallel()
+	var ref bytes.Buffer
+	sess, err := serve.Open(q16Spec(t, 1), &ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSnap, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSnap.Ops == 0 {
+		t.Fatal("q16 run served nothing")
+	}
+	for _, shards := range []int{2, 8} {
+		var out bytes.Buffer
+		sess, err := serve.Open(q16Spec(t, shards), &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), ref.Bytes()) {
+			t.Errorf("shards=%d: q16 JSONL diverges from shards=1 (%d vs %d bytes)", shards, out.Len(), ref.Len())
+		}
+		if !reflect.DeepEqual(snap, refSnap) {
+			t.Errorf("shards=%d: q16 snapshot differs from shards=1", shards)
+		}
+	}
+}
+
+// TestQ16CheckpointResume: a q16 session checkpointed mid-run and resumed in
+// a fresh session must continue its metric stream byte for byte — the
+// checkpoint persists only the float model and the spec's scoring field, so
+// this proves re-quantization at resume is deterministic.
+func TestQ16CheckpointResume(t *testing.T) {
+	t.Parallel()
+	var full bytes.Buffer
+	sess, err := serve.Open(q16Spec(t, 2), &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapFull, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapFull.Refreshes == 0 {
+		t.Error("q16 scenario lost its refresh coverage")
+	}
+
+	// Batches 8 and 16 bracket both tenants' working-set shifts (batches 9
+	// and 12), so refit-under-q16 state crosses the second boundary.
+	for _, at := range []int{8, 16} {
+		var pre bytes.Buffer
+		sess, err := serve.Open(q16Spec(t, 2), &pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := sess.Step(at); err != nil || n != at {
+			t.Fatalf("Step(%d) = %d, %v", at, n, err)
+		}
+		var ckpt bytes.Buffer
+		if err := sess.Checkpoint(&ckpt); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(ckpt.Bytes(), []byte(`"scoring": "q16"`)) &&
+			!bytes.Contains(ckpt.Bytes(), []byte(`"scoring":"q16"`)) {
+			t.Fatal("checkpoint does not carry the scoring field")
+		}
+		var post bytes.Buffer
+		resumed, err := serve.Resume(bytes.NewReader(ckpt.Bytes()), &post)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := resumed.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		concat := append(append([]byte(nil), pre.Bytes()...), post.Bytes()...)
+		if !bytes.Equal(concat, full.Bytes()) {
+			t.Errorf("checkpoint at batch %d: resumed q16 JSONL diverges (%d vs %d bytes)", at, len(concat), full.Len())
+		}
+		if !reflect.DeepEqual(snap, snapFull) {
+			t.Errorf("checkpoint at batch %d: resumed q16 snapshot differs", at)
+		}
+	}
+}
+
+// TestSpecScoringRoundTrip: the scoring field survives the
+// Marshal∘ParseSpec losslessness contract, defaults to the float path, and
+// rejects unknown values at parse time.
+func TestSpecScoringRoundTrip(t *testing.T) {
+	t.Parallel()
+	spec := q16Spec(t, 2)
+	data, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := serve.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Error("q16 spec did not survive Marshal -> ParseSpec")
+	}
+	cfg, err := back.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scoring != serve.ScoringQ16 {
+		t.Errorf("config scoring = %v, want q16", cfg.Scoring)
+	}
+	// Default: omitted field means the float path the goldens pin.
+	defCfg, err := smallSessionSpec(t).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defCfg.Scoring != serve.ScoringFloat64 {
+		t.Errorf("default scoring = %v, want float64", defCfg.Scoring)
+	}
+	bad := smallSessionSpec(t)
+	bad.Scoring = "bfloat16"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown scoring value passed Validate")
+	}
+}

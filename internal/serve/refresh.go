@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/gmm"
-	"repro/internal/policy"
 	"repro/internal/trace"
 )
 
@@ -341,7 +340,10 @@ func (r *refresher) observe(hitRatio float64) {
 
 // refit trains a fresh bundle on the sample window: refit the normalizer to
 // the drifted working set, EM with the E-step sharded over engine.Map, and
-// threshold recalibration on the window scores.
+// threshold recalibration on the window scores. Under q16 scoring a refitted
+// model that saturates Q16.16 fails the refit (the service keeps serving the
+// old bundle and counts a failed refresh) rather than installing a scorer
+// whose fixed-point densities are unfaithful.
 func (r *refresher) refit(samples []trace.Sample, seed int64) (*Bundle, error) {
 	norm := trace.FitNormalizer(samples)
 	normed := norm.ApplyAll(samples)
@@ -351,11 +353,7 @@ func (r *refresher) refit(samples []trace.Sample, seed int64) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Bundle{
-		Scorer:    res.Model,
-		Norm:      norm,
-		Threshold: policy.CalibrateThreshold(res.Model, normed, r.svc.cfg.ThresholdPct),
-	}, nil
+	return buildBundle(res.Model, norm, normed, r.svc.cfg)
 }
 
 // installPending swaps in an async-completed bundle, if any. Called at batch

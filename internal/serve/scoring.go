@@ -1,0 +1,40 @@
+package serve
+
+import "fmt"
+
+// ScoringKind selects the admission scorer datapath: the float64 model, or
+// the Q16.16 fixed-point weight-buffer emulation the paper's PE pipeline
+// scores through. Quantized scoring trades a bounded density error for a
+// cheaper datapath; the admission threshold is always calibrated against the
+// scorer actually serving, so the two kinds are self-consistent but their
+// metric streams are not byte-comparable to each other.
+type ScoringKind int
+
+const (
+	// ScoringFloat64 scores through the trained float model (the default —
+	// and the path the determinism goldens pin).
+	ScoringFloat64 ScoringKind = iota
+	// ScoringQ16 scores through gmm.QuantizedModel, the Q16.16 form of the
+	// same model. Training and refresh still fit in float; each fitted model
+	// is quantized at install time and refused if any constant saturates.
+	ScoringQ16
+)
+
+// String names the kind as the spec's "scoring" field spells it.
+func (k ScoringKind) String() string {
+	if k == ScoringQ16 {
+		return "q16"
+	}
+	return "float64"
+}
+
+// ParseScoringKind maps a spec "scoring" value to its kind.
+func ParseScoringKind(s string) (ScoringKind, error) {
+	switch s {
+	case "float64":
+		return ScoringFloat64, nil
+	case "q16":
+		return ScoringQ16, nil
+	}
+	return ScoringFloat64, fmt.Errorf("serve: unknown scoring kind %q (valid: float64|q16)", s)
+}

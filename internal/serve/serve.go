@@ -78,6 +78,10 @@ type Config struct {
 	Link cxl.LinkConfig
 	// Mode picks the GMM strategy (default caching+eviction).
 	Mode policy.GMMMode
+	// Scoring picks the admission scorer datapath (default float64; see
+	// ScoringKind). Training always fits in float; q16 quantizes each fitted
+	// model at install time.
+	Scoring ScoringKind
 	// GMMInference is the policy engine's per-miss inference latency;
 	// Overlap hides it behind the SSD access as in Sec. 4.3.
 	GMMInference time.Duration
@@ -155,6 +159,9 @@ func (c Config) Validate() error {
 	if c.ThresholdPct < 0 || c.ThresholdPct > 1 {
 		return errors.New("serve: threshold percentile outside [0,1]")
 	}
+	if c.Scoring != ScoringFloat64 && c.Scoring != ScoringQ16 {
+		return fmt.Errorf("serve: unknown scoring kind %d", c.Scoring)
+	}
 	if err := c.SSD.Validate(); err != nil {
 		return err
 	}
@@ -205,19 +212,54 @@ func (c Config) trainConfig() gmm.TrainConfig {
 	return t
 }
 
-// Bundle is the hot-swappable scoring state: the trained model, the
-// coordinate normalizer fitted with it, and the calibrated admission
-// threshold. The service publishes bundles through an atomic pointer, so a
-// refresh replaces all three together without blocking serving.
+// Bundle is the hot-swappable scoring state: the serving scorer, the float
+// model behind it, the coordinate normalizer fitted with it, and the
+// calibrated admission threshold. The service publishes bundles through an
+// atomic pointer, so a refresh replaces all of it together without blocking
+// serving.
 type Bundle struct {
+	// Scorer is what the admission path scores through: the float Model
+	// itself, or its quantized form under ScoringQ16.
 	Scorer    policy.Scorer
 	Norm      trace.Normalizer
 	Threshold float64
+	// Model is the float64 model behind Scorer. It is what checkpoints
+	// persist (the quantized form is re-derived deterministically at
+	// resume); nil only for hand-assembled bundles, where a *gmm.Model
+	// Scorer stands in.
+	Model *gmm.Model
+	// Quant reports the quantization fidelity when Scorer is the q16 form.
+	Quant gmm.QuantReport
+}
+
+// buildBundle packages a fitted float model for serving under the configured
+// scoring kind: pick (and, for q16, derive) the scorer, then calibrate the
+// admission threshold against the scorer that will actually serve — GMM
+// densities are only comparable within one datapath, so a threshold
+// calibrated in float would sit on the wrong scale for quantized scores.
+// A model whose constants saturate Q16.16 is refused: its fixed-point
+// densities are unfaithful with no other signal.
+func buildBundle(model *gmm.Model, norm trace.Normalizer, normed []trace.Sample, cfg Config) (*Bundle, error) {
+	b := &Bundle{Model: model, Norm: norm}
+	switch cfg.Scoring {
+	case ScoringQ16:
+		qm, rep := gmm.Quantize(model)
+		if rep.Saturated > 0 {
+			return nil, fmt.Errorf("serve: q16 scoring: %d model constants saturate Q16.16 (max representable error %.3g); refusing unfaithful fixed-point model", rep.Saturated, rep.MaxAbsErr)
+		}
+		b.Scorer = qm
+		b.Quant = rep
+	default:
+		b.Scorer = model
+	}
+	b.Threshold = policy.CalibrateThreshold(b.Scorer, normed, cfg.ThresholdPct)
+	return b, nil
 }
 
 // TrainBundle runs the offline Sec. 3 flow on a warm-up trace and packages
 // the result for serving: preprocess, fit the normalizer and the GMM (E-step
-// sharded per Config.Shards), and calibrate the admission threshold.
+// sharded per Config.Shards), and calibrate the admission threshold against
+// the configured scoring datapath.
 func TrainBundle(tr trace.Trace, cfg Config) (*Bundle, error) {
 	samples := trace.Preprocess(tr, cfg.Transform)
 	if len(samples) < 2 {
@@ -229,11 +271,11 @@ func TrainBundle(tr trace.Trace, cfg Config) (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: training bundle: %w", err)
 	}
-	return &Bundle{
-		Scorer:    res.Model,
-		Norm:      norm,
-		Threshold: policy.CalibrateThreshold(res.Model, normed, cfg.ThresholdPct),
-	}, nil
+	b, err := buildBundle(res.Model, norm, normed, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: training bundle: %w", err)
+	}
+	return b, nil
 }
 
 // timestampFor is the Algorithm 1 timestamp of the request with global
@@ -294,7 +336,18 @@ type partition struct {
 	pages  []float64
 	times  []float64
 	scores []float64
+	// scratch holds the partition's batched-scoring workspace. Each
+	// partition owns its own because partitions score the shared bundle
+	// concurrently on shard goroutines; sharing one through the model would
+	// race.
+	scratch gmm.Scratch
+	// rsLocs is rescoreResident's resident-block location buffer, kept here
+	// (with pages/times/scores reuse) so periodic refreshes stop allocating.
+	rsLocs []scoreLoc
 }
+
+// scoreLoc addresses one resident cache block for batched rescoring.
+type scoreLoc struct{ set, way int }
 
 // Service is the running subsystem. Build with New, drive with Run.
 type Service struct {
@@ -472,26 +525,25 @@ func (s *Service) transferShare(donor, recv, q int) {
 func (s *Service) rescoreResident(b *Bundle) {
 	ts := timestampFor(s.seq, s.tcfg.LenWindow, s.tcfg.LenAccessShot)
 	_ = engine.ForEach(s.runner, s.parts, func(_ int, p *partition) error {
-		type loc struct{ set, way int }
-		var locs []loc
-		var pages, times []float64
+		// Reuse the partition's batch buffers: refreshes arrive at batch
+		// boundaries, when the queue is drained and pages/times/scores are
+		// idle, so growing them here just pre-sizes the next drain.
+		locs, pages, times := p.rsLocs[:0], p.pages[:0], p.times[:0]
 		p.cache.Scan(func(set, way int, page uint64, _ bool) {
 			np, nt := b.Norm.ApplyPageTime(page, ts)
-			locs = append(locs, loc{set, way})
+			locs = append(locs, scoreLoc{set, way})
 			pages = append(pages, np)
 			times = append(times, nt)
 		})
+		p.rsLocs, p.pages, p.times = locs, pages, times
 		if len(locs) == 0 {
 			return nil
 		}
-		scores := make([]float64, len(locs))
-		if bs, ok := b.Scorer.(policy.BatchScorer); ok {
-			bs.ScorePageTimeBatch(pages, times, scores)
-		} else {
-			for i := range scores {
-				scores[i] = b.Scorer.ScorePageTime(pages[i], times[i])
-			}
+		if cap(p.scores) < len(locs) {
+			p.scores = make([]float64, len(locs))
 		}
+		scores := p.scores[:len(locs)]
+		scoreBatch(b.Scorer, pages, times, scores, &p.scratch)
 		for i, l := range locs {
 			p.pol.setScore(l.set, l.way, scores[i])
 		}
@@ -596,26 +648,43 @@ func (p *partition) drainBatch(b *Bundle) {
 	if n == 0 {
 		return
 	}
+	// Grow each buffer on its own: rescoreResident reuses them and appends
+	// independently, so their capacities can diverge.
 	if cap(p.pages) < n {
 		p.pages = make([]float64, n)
+	}
+	if cap(p.times) < n {
 		p.times = make([]float64, n)
+	}
+	if cap(p.scores) < n {
 		p.scores = make([]float64, n)
 	}
 	pages, times, scores := p.pages[:n], p.times[:n], p.scores[:n]
 	for i, sr := range p.queue {
 		pages[i], times[i] = b.Norm.ApplyPageTime(sr.req.Page, sr.ts)
 	}
-	if bs, ok := b.Scorer.(policy.BatchScorer); ok {
-		bs.ScorePageTimeBatch(pages, times, scores)
-	} else {
-		for i := range scores {
-			scores[i] = b.Scorer.ScorePageTime(pages[i], times[i])
-		}
-	}
+	scoreBatch(b.Scorer, pages, times, scores, &p.scratch)
 	for i, sr := range p.queue {
 		p.serveOne(sr.req, scores[i])
 	}
 	p.queue = p.queue[:0]
+}
+
+// scoreBatch dispatches one batched scoring call through the fastest
+// interface the scorer offers: scratch-threaded (zero steady-state
+// allocations — both gmm.Model and gmm.QuantizedModel land here), plain
+// batched, or a scalar fallback for minimal test scorers.
+func scoreBatch(sc policy.Scorer, pages, times, scores []float64, s *gmm.Scratch) {
+	switch bs := sc.(type) {
+	case policy.ScratchBatchScorer:
+		bs.ScorePageTimeBatchScratch(pages, times, scores, s)
+	case policy.BatchScorer:
+		bs.ScorePageTimeBatch(pages, times, scores)
+	default:
+		for i := range scores {
+			scores[i] = sc.ScorePageTime(pages[i], times[i])
+		}
+	}
 }
 
 // serveOne routes one request through the partition's cache and latency

@@ -53,6 +53,12 @@ type Spec struct {
 	// Mode picks the GMM strategy: "gmm-caching-only", "gmm-eviction-only"
 	// or "gmm-caching-eviction" (the default).
 	Mode string `json:"mode,omitempty"`
+	// Scoring picks the admission scorer datapath: "float64" (the default,
+	// and the path the determinism goldens pin) or "q16", the Q16.16
+	// fixed-point weight-buffer emulation. Checkpoints persist the float
+	// model plus this field, so a q16 run resumes by re-quantizing
+	// deterministically.
+	Scoring string `json:"scoring,omitempty"`
 	// Duration is an optional wall-clock ingest bound ("10s"); wall time is
 	// non-reproducible by construction, so a spec carrying it trades the
 	// determinism contract for a bounded run, exactly like the -duration
@@ -374,6 +380,13 @@ func (s Spec) config() (Config, error) {
 			return Config{}, err
 		}
 		cfg.Mode = mode
+	}
+	if s.Scoring != "" {
+		kind, err := ParseScoringKind(s.Scoring)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Scoring = kind
 	}
 	if c := s.Cache; c != nil {
 		if c.SizeMB != 0 {
