@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry cover fuzz-smoke fmt vet fmt-check ci
+.PHONY: build test race bench bench-json serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry test-device cover fuzz-smoke fmt vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -94,9 +94,20 @@ test-telemetry:
 	$(GO) test ./internal/cluster -run 'Telemetry|WorkerDebug' -race
 	$(GO) test ./cmd/icgmm-serve -run 'TelemetryLiveScrape' -race
 
+# Device-timing suite: the fpga timeline / device model / cxl link unit
+# tests, the serve-path dataflow tests (committed golden at shards 1/2/8
+# with a mid-run checkpoint/resume, queue-depth QoS lever regression,
+# congestion events, flat-default byte-compatibility) under the race
+# detector, then an icgmm-serve smoke driven by the committed dataflow spec.
+test-device:
+	$(GO) test ./internal/fpga ./internal/device ./internal/cxl -race
+	$(GO) test ./internal/serve -run 'Dataflow|Device|QueueDepth|TimingKind' -race
+	$(GO) run -race ./cmd/icgmm-serve -spec cmd/icgmm-serve/testdata/spec-dataflow.json \
+		-shards 4 -out /dev/null
+
 # Ratcheted coverage floors for the packages the test subsystem hardens.
 # Raise a floor when coverage grows; never lower one.
-COVER_FLOORS := ./internal/serve:91 ./internal/workload:95 ./internal/cluster:75 ./internal/strictjson:95 ./internal/telemetry:85
+COVER_FLOORS := ./internal/serve:91 ./internal/workload:95 ./internal/cluster:75 ./internal/strictjson:95 ./internal/telemetry:85 ./internal/fpga:80 ./internal/cxl:80 ./internal/device:90
 cover:
 	@fail=0; \
 	for spec in $(COVER_FLOORS); do \
@@ -113,13 +124,15 @@ cover:
 	rm -f cover.tmp.out cover.tmp.log; exit $$fail
 
 # Fuzz smoke: 20 seconds per target against the trace CSV parser, the
-# -tenants JSON spec parser, the declarative run-spec wire format, and the
-# Q16.16 quantizer's batch/scalar parity contract. -run='^$$' skips the unit
-# tests so the time budget goes entirely to fuzzing.
+# -tenants JSON spec parser, the declarative run-spec wire format, the spec's
+# device-timing block, and the Q16.16 quantizer's batch/scalar parity
+# contract. -run='^$$' skips the unit tests so the time budget goes entirely
+# to fuzzing.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzParseRecord -fuzztime=20s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzTenantSpec -fuzztime=20s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzServeSpec -fuzztime=20s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDeviceSpec -fuzztime=20s
 	$(GO) test ./internal/gmm -run='^$$' -fuzz=FuzzQuantizeRoundTrip -fuzztime=20s
 
 fmt:
@@ -134,4 +147,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry fuzz-smoke
+ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry test-device fuzz-smoke

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cxl"
+	"repro/internal/device"
 	"repro/internal/hbm"
 	"repro/internal/ssd"
 	"repro/internal/stats"
@@ -30,7 +31,10 @@ type System struct {
 	devCache *cache.Cache
 	devMem   *hbm.Memory
 	devSSD   *ssd.Device
-	overhead int64 // policy engine inference ns per miss
+	// timing is the shared flat device model (internal/device) the serve
+	// path also uses; System owns the functional cache and routing, the
+	// model owns the miss/overhead/link arithmetic.
+	timing *device.Flat
 
 	now        int64
 	hostHits   stats.Counter
@@ -104,13 +108,19 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 	return &System{
-		cfg:        cfg,
-		addrMap:    cfg.AddressMap,
-		link:       link,
-		devCache:   c,
-		devMem:     mem,
-		devSSD:     dev,
-		overhead:   cfg.PolicyOverhead.Nanoseconds(),
+		cfg:      cfg,
+		addrMap:  cfg.AddressMap,
+		link:     link,
+		devCache: c,
+		devMem:   mem,
+		devSSD:   dev,
+		timing: &device.Flat{
+			Mem:        mem,
+			Dev:        dev,
+			Link:       link,
+			OverheadNs: cfg.PolicyOverhead.Nanoseconds(),
+			Overlap:    cfg.Core.Overlap,
+		},
 		latency:    stats.DefaultLatencyHistogram(),
 		hostLat:    stats.DefaultLatencyHistogram(),
 		devLat:     stats.DefaultLatencyHistogram(),
@@ -146,44 +156,12 @@ func (s *System) Access(addr uint64, write bool) (time.Duration, error) {
 	}
 }
 
-// deviceAccess runs the device-side path: link request, cache lookup, and
-// the miss machinery of Run, returning the total latency in ns.
+// deviceAccess runs the device-side path — functional cache lookup, then the
+// shared flat timing model (link round trip wrapping HBM/SSD service plus
+// policy-engine overhead) — returning the total latency in ns.
 func (s *System) deviceAccess(page uint64, write bool) int64 {
 	res := s.devCache.Access(page, write)
-
-	// Device-internal service time.
-	var dev int64
-	switch {
-	case res.Hit:
-		dev = s.devMem.Access(page, s.now) - s.now
-	case res.Admitted:
-		done := s.devSSD.Access(ssd.OpRead, page, s.now)
-		dev = done - s.now
-		if res.WriteBack {
-			wb := s.devSSD.Access(ssd.OpWrite, res.VictimPage, s.now)
-			dev += wb - s.now
-		}
-		// Fill lands in device DRAM before the completion returns.
-		dev += s.devMem.Access(page, s.now+dev) - (s.now + dev)
-	case write:
-		dev = s.devSSD.Access(ssd.OpWrite, page, s.now) - s.now
-	default:
-		dev = s.devSSD.Access(ssd.OpRead, page, s.now) - s.now
-	}
-
-	if !res.Hit && s.overhead > 0 {
-		if s.cfg.Core.Overlap {
-			if s.overhead > dev {
-				dev = s.overhead
-			}
-		} else {
-			dev += s.overhead
-		}
-	}
-
-	// CXL round trip wraps the device service time: request over, data
-	// back (page payload on the read completion).
-	rt := s.link.RoundTrip(!write, trace.PageSize, s.now) - s.now
+	rt, dev, _ := s.timing.Serve(page, device.OutcomeOf(res, write), s.now)
 	return rt + dev
 }
 

@@ -1,0 +1,177 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cxl"
+	"repro/internal/fpga"
+	"repro/internal/hbm"
+	"repro/internal/ssd"
+)
+
+func newFlat(t *testing.T, overheadNs int64, overlap bool) *Flat {
+	t.Helper()
+	mem, err := hbm.New(hbm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := ssd.New(ssd.TLC(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := cxl.NewLink(cxl.DefaultLinkConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Flat{Mem: mem, Dev: dev, Link: link, OverheadNs: overheadNs, Overlap: overlap}
+}
+
+func TestFlatServePaths(t *testing.T) {
+	hbmNs := hbm.DefaultConfig().AccessLatency.Nanoseconds()
+	readNs := ssd.TLC().ReadLatency.Nanoseconds()
+	writeNs := ssd.TLC().WriteLatency.Nanoseconds()
+	overhead := (3 * time.Microsecond).Nanoseconds()
+
+	f := newFlat(t, overhead, true)
+	rt0, _, _ := f.Serve(1, Outcome{Hit: true}, 0)
+
+	cases := []struct {
+		name    string
+		out     Outcome
+		wantDev int64
+		wantBsy int64
+	}{
+		// Fresh pages each case: no bank/channel queueing between cases.
+		{"hit", Outcome{Hit: true}, hbmNs, 0},
+		{"fill", Outcome{Admitted: true}, readNs + hbmNs, 0},
+		{"fill+writeback", Outcome{Admitted: true, WriteBack: true, VictimPage: 900}, readNs + writeNs + hbmNs, 0},
+		{"bypass read", Outcome{}, readNs, 0},
+		{"bypass write", Outcome{Write: true}, writeNs, 0},
+	}
+	start := int64(0)
+	for i, tc := range cases {
+		f := newFlat(t, overhead, true)
+		page := uint64(100*i + 1)
+		rt, dev, busy := f.Serve(page, tc.out, start)
+		if rt != rt0 && tc.out.Write == cases[0].out.Write {
+			t.Errorf("%s: round trip %d, want %d", tc.name, rt, rt0)
+		}
+		if dev != tc.wantDev {
+			t.Errorf("%s: dev %d ns, want %d", tc.name, dev, tc.wantDev)
+		}
+		if busy != tc.wantBsy {
+			t.Errorf("%s: busy %d ns, want %d", tc.name, busy, tc.wantBsy)
+		}
+	}
+}
+
+// With overlap the overhead only surfaces (and accrues busy time) when it
+// exceeds the device time; serialized it always adds on top.
+func TestFlatServeOverheadAccounting(t *testing.T) {
+	hbmNs := hbm.DefaultConfig().AccessLatency.Nanoseconds()
+	readNs := ssd.TLC().ReadLatency.Nanoseconds()
+	long := readNs + 10*hbmNs // overhead larger than any single device access
+
+	overlap := newFlat(t, long, true)
+	if _, dev, busy := overlap.Serve(1, Outcome{}, 0); dev != long || busy != long-readNs {
+		t.Fatalf("overlapped long overhead: dev=%d busy=%d, want dev=%d busy=%d",
+			dev, busy, long, long-readNs)
+	}
+	// Hits never pay the engine.
+	if _, dev, busy := overlap.Serve(2, Outcome{Hit: true}, 0); dev != hbmNs || busy != 0 {
+		t.Fatalf("hit paid the engine: dev=%d busy=%d", dev, busy)
+	}
+
+	serial := newFlat(t, 1000, false)
+	if _, dev, busy := serial.Serve(1, Outcome{}, 0); dev != readNs+1000 || busy != 1000 {
+		t.Fatalf("serialized overhead: dev=%d busy=%d, want dev=%d busy=1000",
+			dev, busy, readNs+1000)
+	}
+
+	hidden := newFlat(t, 1000, true)
+	if _, dev, busy := hidden.Serve(1, Outcome{}, 0); dev != readNs || busy != 0 {
+		t.Fatalf("hidden overhead surfaced: dev=%d busy=%d", dev, busy)
+	}
+}
+
+func TestOutcomeOfAndBypassed(t *testing.T) {
+	if !(Outcome{}).Bypassed() {
+		t.Fatal("miss without admission must be bypassed")
+	}
+	if (Outcome{Hit: true}).Bypassed() || (Outcome{Admitted: true}).Bypassed() {
+		t.Fatal("hits and fills are not bypasses")
+	}
+}
+
+func TestCycleConversionRoundTrip(t *testing.T) {
+	for _, ns := range []int64{0, 1, 1000, 75_000, 1_000_000, 123_456_789} {
+		c := NsToCycles(ns)
+		back := CyclesToNs(c)
+		// One cycle is ~4.29 ns; conversion truncates, so the round trip
+		// may lose up to one cycle's worth.
+		if back > ns || ns-back > 5 {
+			t.Fatalf("ns=%d -> cycles=%d -> ns=%d drifted", ns, c, back)
+		}
+	}
+}
+
+func newDataflow(t *testing.T, cfg fpga.DataflowConfig, hostPages uint64) *Dataflow {
+	t.Helper()
+	link, err := cxl.NewLink(cxl.DefaultLinkConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := fpga.NewDeviceTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Dataflow{Link: link, Timeline: tl, HostPages: hostPages, HostLatNs: 100}
+}
+
+func TestDataflowHostRoute(t *testing.T) {
+	d := newDataflow(t, fpga.DefaultDataflowConfig(), 64)
+	if lat, ok := d.HostRoute(63); !ok || lat != 100 {
+		t.Fatalf("page 63 should be host-resident at 100 ns, got %d,%v", lat, ok)
+	}
+	if _, ok := d.HostRoute(64); ok {
+		t.Fatal("page 64 should route to the device")
+	}
+	all := newDataflow(t, fpga.DefaultDataflowConfig(), 0)
+	if _, ok := all.HostRoute(0); ok {
+		t.Fatal("HostPages=0 must route everything to the device")
+	}
+}
+
+func TestDataflowServeQueueing(t *testing.T) {
+	cfg := fpga.DefaultDataflowConfig()
+	cfg.Outstanding = 2
+	d := newDataflow(t, cfg, 0)
+
+	// Hits clear the pipe fast; the first sees an empty window.
+	r0 := d.Serve(1, Outcome{Hit: true}, 0)
+	if r0.QueueDepth != 0 || r0.Stalled {
+		t.Fatalf("first arrival saw depth=%d stalled=%v", r0.QueueDepth, r0.Stalled)
+	}
+	if r0.DoneNs != r0.LinkNs+r0.DevNs {
+		t.Fatalf("done %d != link %d + dev %d at arrival 0", r0.DoneNs, r0.LinkNs, r0.DevNs)
+	}
+	if r0.DevNs < CyclesToNs(cfg.HitCycles) {
+		t.Fatalf("hit dev time %d ns below the hit cycles %d ns", r0.DevNs, CyclesToNs(cfg.HitCycles))
+	}
+
+	// Three immediate back-to-back misses against a 75 us SSD: the third
+	// must find the window full and stall behind the first response.
+	d2 := newDataflow(t, cfg, 0)
+	var last Result
+	for i := 0; i < 3; i++ {
+		last = d2.Serve(uint64(10+i), Outcome{}, int64(i))
+	}
+	if !last.Stalled || last.QueueDepth != 2 {
+		t.Fatalf("third miss: depth=%d stalled=%v, want depth=2 stalled=true",
+			last.QueueDepth, last.Stalled)
+	}
+	if got := d2.Timeline.Stalls(); got != 1 {
+		t.Fatalf("stall counter %d, want 1", got)
+	}
+}

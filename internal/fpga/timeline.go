@@ -1,0 +1,234 @@
+package fpga
+
+import "fmt"
+
+// DeviceTimeline is the incremental form of SimulateDataflow: the same Fig. 5
+// per-module cursor model, advanced one annotated access at a time so a
+// long-running serving loop can feed it requests as they arrive instead of
+// batching a finished trace. Feeding events with arrival cycles 0,1,2,... is
+// cycle-exact with SimulateDataflow over the same event sequence (pinned by
+// TestDeviceTimelineMatchesSimulateDataflow); arbitrary arrival cycles model
+// an open-loop host whose requests are spaced by wall-clock, not by the
+// one-per-cycle trace FIFO.
+//
+// The full cursor state exports through TimelineState and restores exactly,
+// so a checkpointed serving run resumes bit-identical to an uninterrupted
+// one.
+type DeviceTimeline struct {
+	cfg    DataflowConfig
+	window int
+
+	ctrlFree, gmmFree, ssdFree, lastResp int64
+
+	// ring holds the response cycles of the last `window` admitted requests;
+	// when full, ring[wpos] is the oldest outstanding response — the one that
+	// must drain before the next request may enter the device.
+	ring  []int64
+	wpos  int
+	count int
+
+	issued uint64
+	stalls uint64
+
+	gmmBusy, ssdBusy, ctrlBusy, hiddenGMM int64
+}
+
+// TimelineState is the serialized cursor state of a DeviceTimeline. Window
+// lists the outstanding response cycles oldest-first; every other field is a
+// direct cursor or counter copy.
+type TimelineState struct {
+	CtrlFree int64 `json:"ctrl_free"`
+	GMMFree  int64 `json:"gmm_free"`
+	SSDFree  int64 `json:"ssd_free"`
+	LastResp int64 `json:"last_resp"`
+
+	Window []int64 `json:"window,omitempty"`
+
+	Issued uint64 `json:"issued,omitempty"`
+	Stalls uint64 `json:"stalls,omitempty"`
+
+	GMMBusy         int64 `json:"gmm_busy,omitempty"`
+	SSDBusy         int64 `json:"ssd_busy,omitempty"`
+	CtrlBusy        int64 `json:"ctrl_busy,omitempty"`
+	HiddenGMMCycles int64 `json:"hidden_gmm_cycles,omitempty"`
+}
+
+// NewDeviceTimeline builds an empty timeline for the given timing.
+func NewDeviceTimeline(cfg DataflowConfig) (*DeviceTimeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	window := cfg.Outstanding
+	if window <= 0 {
+		window = 1
+	}
+	return &DeviceTimeline{cfg: cfg, window: window, ring: make([]int64, window)}, nil
+}
+
+// Config returns the timing the timeline was built with.
+func (t *DeviceTimeline) Config() DataflowConfig { return t.cfg }
+
+// Window returns the sanitized outstanding-request window size.
+func (t *DeviceTimeline) Window() int { return t.window }
+
+// Depth reports how many admitted requests are still outstanding at cycle c:
+// responses later than c that already occupy the host window. It is the queue
+// depth an arrival at cycle c observes, bounded by Window().
+func (t *DeviceTimeline) Depth(c int64) int {
+	depth := 0
+	for i := 0; i < t.count; i++ {
+		if t.ring[i] > c {
+			depth++
+		}
+	}
+	return depth
+}
+
+// Advance admits one annotated access arriving at the given cycle and returns
+// its device-entry cycle (after any host-window wait), its response cycle,
+// and whether the arrival was stalled by a full outstanding window. Arrivals
+// must be fed in non-decreasing cycle order.
+func (t *DeviceTimeline) Advance(ev AccessEvent, arrival int64) (entry, resp int64, stalled bool) {
+	cfg := &t.cfg
+	entry = arrival
+	if t.count == t.window {
+		if oldest := t.ring[t.wpos]; oldest > entry {
+			entry = oldest
+			stalled = true
+			t.stalls++
+		}
+	}
+	start := max64(entry, t.ctrlFree)
+	tagDone := start + cfg.TagCompareCycles
+	t.ctrlBusy += tagDone - start
+	t.ctrlFree = tagDone
+
+	switch {
+	case ev.Hit:
+		resp = tagDone + cfg.HitCycles
+	default:
+		gmmDone := tagDone
+		if cfg.PolicyEnabled {
+			gmmStart := max64(tagDone, t.gmmFree)
+			gmmDone = gmmStart + cfg.GMM.InferenceCycles()
+			t.gmmFree = gmmDone
+			t.gmmBusy += cfg.GMM.InferenceCycles()
+		}
+		ssdKickoff := tagDone
+		if cfg.PolicyEnabled && !cfg.Overlap {
+			ssdKickoff = gmmDone
+		}
+		var ssdCycles int64
+		switch {
+		case ev.Bypassed && ev.Write:
+			ssdCycles = cfg.SSDWriteCycles
+		case ev.Bypassed:
+			ssdCycles = cfg.SSDReadCycles
+		default:
+			ssdCycles = cfg.SSDReadCycles
+			if ev.WriteBack {
+				ssdCycles += cfg.SSDWriteCycles
+			}
+		}
+		ssdStart := max64(ssdKickoff, t.ssdFree)
+		ssdDone := ssdStart + ssdCycles
+		t.ssdFree = ssdDone
+		t.ssdBusy += ssdCycles
+
+		if cfg.PolicyEnabled && cfg.Overlap {
+			hidden := min64(gmmDone, ssdDone) - max64(tagDone, gmmDone-cfg.GMM.InferenceCycles())
+			if hidden > 0 {
+				t.hiddenGMM += hidden
+			}
+		}
+		resp = max64(gmmDone, ssdDone) + cfg.HitCycles
+	}
+	if resp <= t.lastResp {
+		resp = t.lastResp + 1
+	}
+	t.lastResp = resp
+
+	t.ring[t.wpos] = resp
+	t.wpos++
+	if t.wpos == t.window {
+		t.wpos = 0
+	}
+	if t.count < t.window {
+		t.count++
+	}
+	t.issued++
+	return entry, resp, stalled
+}
+
+// WallCycles is the completion cycle of the latest response — the timeline's
+// wall clock, against which the busy counters are utilization fractions.
+func (t *DeviceTimeline) WallCycles() int64 { return t.lastResp }
+
+// Busy returns the cumulative per-module busy cycles (policy engine, SSD
+// emulator, controller) and the policy-engine cycles hidden behind SSD
+// access.
+func (t *DeviceTimeline) Busy() (gmm, ssd, ctrl, hidden int64) {
+	return t.gmmBusy, t.ssdBusy, t.ctrlBusy, t.hiddenGMM
+}
+
+// Issued returns the number of admitted requests; Stalls the number whose
+// entry waited on a full outstanding window.
+func (t *DeviceTimeline) Issued() uint64 { return t.issued }
+func (t *DeviceTimeline) Stalls() uint64 { return t.stalls }
+
+// State exports the full cursor state.
+func (t *DeviceTimeline) State() TimelineState {
+	st := TimelineState{
+		CtrlFree:        t.ctrlFree,
+		GMMFree:         t.gmmFree,
+		SSDFree:         t.ssdFree,
+		LastResp:        t.lastResp,
+		Issued:          t.issued,
+		Stalls:          t.stalls,
+		GMMBusy:         t.gmmBusy,
+		SSDBusy:         t.ssdBusy,
+		CtrlBusy:        t.ctrlBusy,
+		HiddenGMMCycles: t.hiddenGMM,
+	}
+	if t.count > 0 {
+		st.Window = make([]int64, 0, t.count)
+		// Oldest-first: when full the oldest sits at wpos; otherwise the
+		// ring never wrapped and starts at index 0.
+		if t.count == t.window {
+			st.Window = append(st.Window, t.ring[t.wpos:]...)
+			st.Window = append(st.Window, t.ring[:t.wpos]...)
+		} else {
+			st.Window = append(st.Window, t.ring[:t.count]...)
+		}
+	}
+	return st
+}
+
+// RestoreState loads an exported cursor state into the timeline. The window
+// occupancy must fit the configured outstanding window.
+func (t *DeviceTimeline) RestoreState(st TimelineState) error {
+	if len(st.Window) > t.window {
+		return fmt.Errorf("fpga: timeline state has %d outstanding responses, window is %d",
+			len(st.Window), t.window)
+	}
+	t.ctrlFree = st.CtrlFree
+	t.gmmFree = st.GMMFree
+	t.ssdFree = st.SSDFree
+	t.lastResp = st.LastResp
+	t.issued = st.Issued
+	t.stalls = st.Stalls
+	t.gmmBusy = st.GMMBusy
+	t.ssdBusy = st.SSDBusy
+	t.ctrlBusy = st.CtrlBusy
+	t.hiddenGMM = st.HiddenGMMCycles
+	for i := range t.ring {
+		t.ring[i] = 0
+	}
+	copy(t.ring, st.Window)
+	t.count = len(st.Window)
+	t.wpos = t.count
+	if t.wpos == t.window {
+		t.wpos = 0
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package fpga
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomEvents(r *rand.Rand, n int) []AccessEvent {
+	evs := make([]AccessEvent, n)
+	for i := range evs {
+		evs[i] = AccessEvent{
+			Page:      r.Uint64() % 4096,
+			Write:     r.Intn(4) == 0,
+			Hit:       r.Intn(3) != 0,
+			WriteBack: r.Intn(8) == 0,
+			Bypassed:  r.Intn(5) == 0,
+		}
+	}
+	return evs
+}
+
+func timelineConfigs() []DataflowConfig {
+	base := DefaultDataflowConfig()
+	noOverlap := base
+	noOverlap.Overlap = false
+	noPolicy := base
+	noPolicy.PolicyEnabled = false
+	deep := base
+	deep.Outstanding = 16
+	zeroTag := base
+	zeroTag.TagCompareCycles = 0
+	zeroTag.Outstanding = 4
+	return []DataflowConfig{base, noOverlap, noPolicy, deep, zeroTag}
+}
+
+// The incremental timeline fed with the batch simulator's arrival rule
+// (one request per cycle) must reproduce SimulateDataflow cycle-exactly:
+// entries, responses, busy counters, and hidden-cycle accounting.
+func TestDeviceTimelineMatchesSimulateDataflow(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for ci, cfg := range timelineConfigs() {
+		events := randomEvents(r, 500)
+		want, err := SimulateDataflow(events, cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: SimulateDataflow: %v", ci, err)
+		}
+		tl, err := NewDeviceTimeline(cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: NewDeviceTimeline: %v", ci, err)
+		}
+		for i, ev := range events {
+			entry, resp, _ := tl.Advance(ev, int64(i))
+			if entry != want.Arrivals[i] {
+				t.Fatalf("cfg %d event %d: entry %d, want %d", ci, i, entry, want.Arrivals[i])
+			}
+			if resp != want.Responses[i] {
+				t.Fatalf("cfg %d event %d: resp %d, want %d", ci, i, resp, want.Responses[i])
+			}
+		}
+		gmm, ssd, ctrl, hidden := tl.Busy()
+		if gmm != want.GMMBusy || ssd != want.SSDBusy || ctrl != want.CtrlBusy || hidden != want.HiddenGMMCycles {
+			t.Fatalf("cfg %d: busy (%d,%d,%d,%d), want (%d,%d,%d,%d)", ci,
+				gmm, ssd, ctrl, hidden,
+				want.GMMBusy, want.SSDBusy, want.CtrlBusy, want.HiddenGMMCycles)
+		}
+		if tl.WallCycles() != want.TotalCycles {
+			t.Fatalf("cfg %d: wall %d, want %d", ci, tl.WallCycles(), want.TotalCycles)
+		}
+		if tl.Issued() != uint64(len(events)) {
+			t.Fatalf("cfg %d: issued %d, want %d", ci, tl.Issued(), len(events))
+		}
+	}
+}
+
+// No module can be busy for more cycles than the wall clock has advanced,
+// under any event mix, arrival spacing, or window size.
+func TestDeviceTimelineBusyNeverExceedsWall(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		cfg := DefaultDataflowConfig()
+		cfg.Outstanding = 1 + r.Intn(8)
+		cfg.Overlap = r.Intn(2) == 0
+		cfg.PolicyEnabled = r.Intn(4) != 0
+		tl, err := NewDeviceTimeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrival := int64(0)
+		for _, ev := range randomEvents(r, 200) {
+			arrival += int64(r.Intn(2000))
+			tl.Advance(ev, arrival)
+		}
+		wall := tl.WallCycles()
+		gmm, ssd, ctrl, hidden := tl.Busy()
+		for name, busy := range map[string]int64{"gmm": gmm, "ssd": ssd, "ctrl": ctrl} {
+			if busy < 0 || busy > wall {
+				t.Fatalf("iter %d: %s busy %d outside [0, wall=%d]", iter, name, busy, wall)
+			}
+		}
+		if hidden < 0 || hidden > gmm {
+			t.Fatalf("iter %d: hidden %d outside [0, gmm=%d]", iter, hidden, gmm)
+		}
+	}
+}
+
+// Depth is bounded by the window, drops as responses drain, and stalls are
+// exactly the arrivals that found the window full and undrained.
+func TestDeviceTimelineDepthAndStalls(t *testing.T) {
+	cfg := DefaultDataflowConfig()
+	cfg.Outstanding = 4
+	tl, err := NewDeviceTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tl.Depth(0); d != 0 {
+		t.Fatalf("empty timeline depth %d, want 0", d)
+	}
+	ev := AccessEvent{Bypassed: true} // 75 us SSD read per request
+	var lastResp int64
+	for i := 0; i < 32; i++ {
+		arrival := int64(i) // far faster than the SSD drains
+		if d := tl.Depth(arrival); d > tl.Window() {
+			t.Fatalf("depth %d exceeds window %d", d, tl.Window())
+		}
+		_, resp, _ := tl.Advance(ev, arrival)
+		if resp <= lastResp {
+			t.Fatalf("response %d not after previous %d", resp, lastResp)
+		}
+		lastResp = resp
+	}
+	// Back-to-back arrivals against a 75 us service time: every arrival
+	// after the window fills must stall.
+	if got, want := tl.Stalls(), uint64(32-4); got != want {
+		t.Fatalf("stalls %d, want %d", got, want)
+	}
+	// After the last response drains, the window is empty again.
+	if d := tl.Depth(lastResp); d != 0 {
+		t.Fatalf("depth %d after all responses drained, want 0", d)
+	}
+	if d := tl.Depth(lastResp - 1); d != 1 {
+		t.Fatalf("depth %d with one response in flight, want 1", d)
+	}
+}
+
+// State/RestoreState round-trips through JSON and resumes the cursor model
+// exactly: a restored timeline must produce the same responses as the
+// original from any split point, including mid-window.
+func TestDeviceTimelineStateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	cfg := DefaultDataflowConfig()
+	cfg.Outstanding = 5
+	events := randomEvents(r, 300)
+	arrivals := make([]int64, len(events))
+	a := int64(0)
+	for i := range arrivals {
+		a += int64(r.Intn(3000))
+		arrivals[i] = a
+	}
+	full, err := NewDeviceTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResp := make([]int64, len(events))
+	for i, ev := range events {
+		_, wantResp[i], _ = full.Advance(ev, arrivals[i])
+	}
+	for _, split := range []int{0, 1, 3, 7, 150, 299} {
+		tl, err := NewDeviceTimeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < split; i++ {
+			tl.Advance(events[i], arrivals[i])
+		}
+		blob, err := json.Marshal(tl.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st TimelineState
+		if err := json.Unmarshal(blob, &st); err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := NewDeviceTimeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.RestoreState(st); err != nil {
+			t.Fatal(err)
+		}
+		for i := split; i < len(events); i++ {
+			_, resp, _ := resumed.Advance(events[i], arrivals[i])
+			if resp != wantResp[i] {
+				t.Fatalf("split %d event %d: resp %d, want %d", split, i, resp, wantResp[i])
+			}
+		}
+		if !reflect.DeepEqual(resumed.State(), full.State()) {
+			t.Fatalf("split %d: final state diverged:\n%+v\n%+v", split, resumed.State(), full.State())
+		}
+	}
+}
+
+func TestDeviceTimelineRestoreRejectsOversizedWindow(t *testing.T) {
+	tl, err := NewDeviceTimeline(DefaultDataflowConfig()) // window 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.RestoreState(TimelineState{Window: []int64{1, 2}}); err == nil {
+		t.Fatal("expected error restoring 2 outstanding responses into window 1")
+	}
+}
+
+func TestNewDeviceTimelineValidates(t *testing.T) {
+	cfg := DefaultDataflowConfig()
+	cfg.HitCycles = 0
+	if _, err := NewDeviceTimeline(cfg); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cxl"
+	"repro/internal/fpga"
 	"repro/internal/gmm"
 	"repro/internal/hbm"
 	"repro/internal/linalg"
@@ -52,6 +53,16 @@ type serviceState struct {
 	Tenants            []tenantCtlState `json:"tenants"`
 	ControllerCooldown int              `json:"controller_cooldown,omitempty"`
 	Partitions         []partitionState `json:"partitions"`
+
+	// Dataflow interval cursors (see Service; all omitted under flat timing
+	// so flat checkpoints are byte-compatible with earlier builds).
+	LastDFQueueSum uint64 `json:"last_df_queue_sum,omitempty"`
+	LastDFOps      uint64 `json:"last_df_ops,omitempty"`
+	LastDFStalls   uint64 `json:"last_df_stalls,omitempty"`
+	LastGMMBusy    int64  `json:"last_gmm_busy,omitempty"`
+	LastSSDBusy    int64  `json:"last_ssd_busy,omitempty"`
+	LastCtrlBusy   int64  `json:"last_ctrl_busy,omitempty"`
+	LastWallCycles int64  `json:"last_wall_cycles,omitempty"`
 }
 
 // bundleState is the active scoring bundle: the GMM's components verbatim
@@ -118,6 +129,15 @@ type partitionState struct {
 	Ops          uint64               `json:"ops"`
 	Hist         stats.HistogramState `json:"hist"`
 	Tenants      []tenantCellState    `json:"tenants"`
+
+	// Dataflow timing state (omitted under flat timing): the fpga timeline's
+	// cursors and outstanding-window occupancy, plus the partition's
+	// host-routing and queue-depth accounting.
+	Dataflow   *fpga.TimelineState `json:"dataflow,omitempty"`
+	HostOps    uint64              `json:"host_ops,omitempty"`
+	DFOps      uint64              `json:"df_ops,omitempty"`
+	DFQueueSum uint64              `json:"df_queue_sum,omitempty"`
+	DFStalls   uint64              `json:"df_stalls,omitempty"`
 }
 
 // policyState is the tenant policy engine's per-partition state: the stored
@@ -142,6 +162,7 @@ type tenantCellState struct {
 	SSD           stats.HistogramState  `json:"ssd"`
 	CtrlOps       uint64                `json:"ctrl_ops,omitempty"`
 	CtrlHits      uint64                `json:"ctrl_hits,omitempty"`
+	CtrlQueueSum  uint64                `json:"ctrl_queue_sum,omitempty"`
 	CtrlHist      *stats.HistogramState `json:"ctrl_hist,omitempty"`
 }
 
@@ -311,6 +332,13 @@ func (s *Service) exportState() (serviceState, error) {
 	if s.ctrl != nil {
 		st.ControllerCooldown = s.ctrl.cooldown
 	}
+	st.LastDFQueueSum = s.lastDFQueueSum
+	st.LastDFOps = s.lastDFOps
+	st.LastDFStalls = s.lastDFStalls
+	st.LastGMMBusy = s.lastGMMBusy
+	st.LastSSDBusy = s.lastSSDBusy
+	st.LastCtrlBusy = s.lastCtrlBusy
+	st.LastWallCycles = s.lastWallCycles
 	st.Partitions = make([]partitionState, len(s.parts))
 	for i, p := range s.parts {
 		ps := partitionState{
@@ -324,6 +352,14 @@ func (s *Service) exportState() (serviceState, error) {
 			Ops:          p.ops,
 			Hist:         p.hist.State(),
 			Tenants:      make([]tenantCellState, len(p.ten)),
+			HostOps:      p.hostOps,
+			DFOps:        p.dfOps,
+			DFQueueSum:   p.dfQueueSum,
+			DFStalls:     p.dfStalls,
+		}
+		if tl := p.model.timeline(); tl != nil {
+			tls := tl.State()
+			ps.Dataflow = &tls
 		}
 		for t := range p.ten {
 			cell := &p.ten[t]
@@ -337,6 +373,7 @@ func (s *Service) exportState() (serviceState, error) {
 				SSD:           cell.ssdHist.State(),
 				CtrlOps:       cell.ctrlOps,
 				CtrlHits:      cell.ctrlHits,
+				CtrlQueueSum:  cell.ctrlQueueSum,
 			}
 			if cell.ctrlHist != nil {
 				hs := cell.ctrlHist.State()
@@ -389,6 +426,13 @@ func (s *Service) restoreState(st serviceState) error {
 	if s.ctrl != nil {
 		s.ctrl.cooldown = st.ControllerCooldown
 	}
+	s.lastDFQueueSum = st.LastDFQueueSum
+	s.lastDFOps = st.LastDFOps
+	s.lastDFStalls = st.LastDFStalls
+	s.lastGMMBusy = st.LastGMMBusy
+	s.lastSSDBusy = st.LastSSDBusy
+	s.lastCtrlBusy = st.LastCtrlBusy
+	s.lastWallCycles = st.LastWallCycles
 	for i, ps := range st.Partitions {
 		p := s.parts[i]
 		if err := p.cache.LoadDump(ps.Cache); err != nil {
@@ -407,6 +451,20 @@ func (s *Service) restoreState(st serviceState) error {
 		p.now = ps.NowNs
 		p.engineBusy = ps.EngineBusyNs
 		p.ops = ps.Ops
+		p.hostOps = ps.HostOps
+		p.dfOps = ps.DFOps
+		p.dfQueueSum = ps.DFQueueSum
+		p.dfStalls = ps.DFStalls
+		switch tl := p.model.timeline(); {
+		case tl == nil && ps.Dataflow != nil:
+			return fmt.Errorf("serve: checkpoint partition %d carries dataflow timeline state but the spec's timing is flat", i)
+		case tl != nil && ps.Dataflow == nil:
+			return fmt.Errorf("serve: spec timing is dataflow but checkpoint partition %d has no timeline state", i)
+		case tl != nil:
+			if err := tl.RestoreState(*ps.Dataflow); err != nil {
+				return fmt.Errorf("serve: checkpoint partition %d: %w", i, err)
+			}
+		}
 		if err := p.hist.RestoreState(ps.Hist); err != nil {
 			return err
 		}
@@ -432,6 +490,7 @@ func (s *Service) restoreState(st serviceState) error {
 			}
 			cell.ctrlOps = cs.CtrlOps
 			cell.ctrlHits = cs.CtrlHits
+			cell.ctrlQueueSum = cs.CtrlQueueSum
 			switch {
 			case cs.CtrlHist != nil && cell.ctrlHist != nil:
 				if err := cell.ctrlHist.RestoreState(*cs.CtrlHist); err != nil {

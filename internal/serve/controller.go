@@ -449,6 +449,15 @@ func (c *controller) measure(ti int, q QoSSpec) (v float64, ok bool) {
 	switch q.Metric {
 	case QoSHitRatio:
 		return float64(hits) / float64(ops), true
+	case QoSQueueDepth:
+		// Mean outstanding-window depth observed at arrival across the
+		// tenant's requests (host-routed requests observe depth 0: they
+		// never queue on the device).
+		var depth uint64
+		for _, p := range s.parts {
+			depth += p.ten[ti].ctrlQueueSum
+		}
+		return float64(depth) / float64(ops), true
 	case QoSMeanNs:
 		var sum, count int64
 		for _, p := range s.parts {
@@ -477,7 +486,7 @@ func (c *controller) reset() {
 	for _, p := range c.svc.parts {
 		for ti := range p.ten {
 			ts := &p.ten[ti]
-			ts.ctrlOps, ts.ctrlHits = 0, 0
+			ts.ctrlOps, ts.ctrlHits, ts.ctrlQueueSum = 0, 0, 0
 			if ts.ctrlHist != nil {
 				ts.ctrlHist.Reset()
 			}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/fpga"
+)
+
+// TimingKind selects a partition's device timing backend: the flat
+// latency-constant model (the historical behaviour and the path the
+// determinism goldens pin) or the fpga dataflow pipeline, where tag compare,
+// policy-engine inference and SSD access contend as pipelined modules behind
+// a bounded outstanding-request window, so sojourn times reflect queueing and
+// backpressure. The two kinds are separately deterministic but their metric
+// streams are not byte-comparable to each other.
+type TimingKind int
+
+const (
+	// TimingFlat serves through device.Flat: per-outcome latency constants
+	// with a fixed per-miss inference overhead (the default).
+	TimingFlat TimingKind = iota
+	// TimingDataflow serves through device.Dataflow: host/link routing in
+	// front of a per-partition fpga.DeviceTimeline.
+	TimingDataflow
+)
+
+// String names the kind as the spec's "device".{"timing"} field spells it.
+func (k TimingKind) String() string {
+	if k == TimingDataflow {
+		return "dataflow"
+	}
+	return "flat"
+}
+
+// ParseTimingKind maps a spec "timing" value to its kind.
+func ParseTimingKind(s string) (TimingKind, error) {
+	switch s {
+	case "flat":
+		return TimingFlat, nil
+	case "dataflow":
+		return TimingDataflow, nil
+	}
+	return TimingFlat, fmt.Errorf("serve: unknown timing kind %q (valid: flat|dataflow)", s)
+}
+
+// DeviceConfig selects and parameterizes the device timing backend.
+type DeviceConfig struct {
+	// Timing picks the backend (default flat).
+	Timing TimingKind
+	// Dataflow times the Fig. 5 pipeline under TimingDataflow: tag-compare /
+	// inference / SSD cycles, overlap, and the outstanding-request window.
+	Dataflow fpga.DataflowConfig
+	// HostPages bounds the host-DRAM-resident prefix of the page space under
+	// TimingDataflow; requests below it are served locally at HostLatencyNs
+	// and never reach the device (0 routes everything to the device).
+	HostPages     uint64
+	HostLatencyNs int64
+}
+
+// DefaultDeviceConfig is flat timing, with the paper's measured dataflow
+// parameters staged for a spec that switches the backend on.
+func DefaultDeviceConfig() DeviceConfig {
+	return DeviceConfig{
+		Timing:        TimingFlat,
+		Dataflow:      fpga.DefaultDataflowConfig(),
+		HostLatencyNs: 100,
+	}
+}
+
+// Validate checks the device timing configuration.
+func (c DeviceConfig) Validate() error {
+	switch c.Timing {
+	case TimingFlat:
+	case TimingDataflow:
+		if err := c.Dataflow.Validate(); err != nil {
+			return err
+		}
+		if c.Dataflow.Outstanding < 0 {
+			return errors.New("serve: negative outstanding-request window")
+		}
+		if c.Dataflow.PolicyEnabled && c.Dataflow.GMM.InferenceCycles() <= 0 {
+			return errors.New("serve: non-positive policy-engine inference cycles")
+		}
+		if c.HostPages > 0 && c.HostLatencyNs <= 0 {
+			return errors.New("serve: host-resident pages need a positive host latency")
+		}
+	default:
+		return fmt.Errorf("serve: unknown timing kind %d", c.Timing)
+	}
+	if c.HostLatencyNs < 0 {
+		return errors.New("serve: negative host latency")
+	}
+	return nil
+}
+
+// deviceResult is one request's timing through a partition's device model.
+type deviceResult struct {
+	// doneNs is the completion time on the partition clock; linkNs and devNs
+	// are the CXL round-trip and device-internal components of the service.
+	doneNs, linkNs, devNs int64
+	// busyNs is policy-engine busy time this request accounted for (flat
+	// timing only; the dataflow timeline tracks busy cycles itself).
+	busyNs int64
+	// queueDepth/stalled report the outstanding-window view at arrival
+	// (dataflow timing only).
+	queueDepth int
+	stalled    bool
+}
+
+// deviceModel is a partition's timing backend. Implementations are
+// partition-local (one per partition, touched only by the shard draining it)
+// and must be deterministic functions of the request sequence.
+type deviceModel interface {
+	// hostRoute reports whether the page is host-DRAM resident — served
+	// locally, bypassing the cache and the device — and its latency.
+	hostRoute(page uint64) (int64, bool)
+	// serveReq times one device-routed request given its arrival time and
+	// the partition clock (the completion time of the previous request).
+	serveReq(page uint64, out device.Outcome, arrivalNs, nowNs int64) deviceResult
+	// timeline exposes the dataflow cursor state for checkpointing and
+	// utilization metrics; nil under flat timing.
+	timeline() *fpga.DeviceTimeline
+}
+
+// flatModel adapts device.Flat to the partition serving loop: the partition
+// is a single server, so a request starts at its arrival time or when the
+// previous request completed, whichever is later.
+type flatModel struct {
+	flat device.Flat
+}
+
+func (m *flatModel) hostRoute(uint64) (int64, bool) { return 0, false }
+
+func (m *flatModel) serveReq(page uint64, out device.Outcome, arrivalNs, nowNs int64) deviceResult {
+	start := arrivalNs
+	if nowNs > start {
+		start = nowNs
+	}
+	rt, dev, busy := m.flat.Serve(page, out, start)
+	return deviceResult{doneNs: start + rt + dev, linkNs: rt, devNs: dev, busyNs: busy}
+}
+
+func (m *flatModel) timeline() *fpga.DeviceTimeline { return nil }
+
+// dataflowModel adapts device.Dataflow: queueing lives in the timeline's
+// module cursors and outstanding window, so requests enter at their arrival
+// time and the partition clock only records the latest completion.
+type dataflowModel struct {
+	df device.Dataflow
+}
+
+func (m *dataflowModel) hostRoute(page uint64) (int64, bool) { return m.df.HostRoute(page) }
+
+func (m *dataflowModel) serveReq(page uint64, out device.Outcome, arrivalNs, _ int64) deviceResult {
+	r := m.df.Serve(page, out, arrivalNs)
+	return deviceResult{
+		doneNs:     r.DoneNs,
+		linkNs:     r.LinkNs,
+		devNs:      r.DevNs,
+		queueDepth: r.QueueDepth,
+		stalled:    r.Stalled,
+	}
+}
+
+func (m *dataflowModel) timeline() *fpga.DeviceTimeline { return m.df.Timeline }

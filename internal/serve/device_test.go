@@ -1,0 +1,396 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// dataflowSpec loads the committed dataflow scenario spec — the document
+// cmd/icgmm-serve ships in its testdata — and pins it to the given shard
+// count, exactly as elasticSpec does for the flat golden.
+func dataflowSpec(t testing.TB, shards int) serve.Spec {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "cmd", "icgmm-serve", "testdata", "spec-dataflow.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := serve.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Shards = shards
+	return spec
+}
+
+// TestServeDataflowGolden pins the dataflow timing backend to bytes on disk:
+// the committed 3-tenant dataflow scenario (host routing, outstanding window
+// of 4, queue-depth QoS on beta) must produce the exact committed JSONL
+// stream at shards 1, 2 and 8, uninterrupted or checkpoint-resumed mid-run —
+// the same determinism contract the flat goldens enforce, extended to the
+// fpga timeline's cursor and FIFO state.
+func TestServeDataflowGolden(t *testing.T) {
+	t.Parallel()
+	var full bytes.Buffer
+	sess, err := serve.Open(dataflowSpec(t, 1), &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapFull, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "dataflow_golden.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, full.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, full.Len())
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(full.Bytes(), golden) {
+		t.Errorf("shards=1 JSONL diverges from %s (%d vs %d bytes); if the change is intentional, regenerate with -update",
+			goldenPath, full.Len(), len(golden))
+	}
+
+	// The scenario must actually exercise the new machinery, or the golden
+	// pins nothing: host routing, stalls on the outstanding window, and
+	// queue-depth measurements feeding beta's controller.
+	if snapFull.Timing != "dataflow" {
+		t.Errorf("snapshot timing %q, want dataflow", snapFull.Timing)
+	}
+	var hostOps, devOps, stalls uint64
+	for _, ps := range snapFull.Partitions {
+		hostOps += ps.HostOps
+		devOps += ps.DeviceOps
+		stalls += ps.Stalls
+		if ps.HostOps+ps.DeviceOps != ps.Ops {
+			t.Errorf("partition %d: host %d + device %d != ops %d", ps.Partition, ps.HostOps, ps.DeviceOps, ps.Ops)
+		}
+	}
+	if hostOps == 0 {
+		t.Error("no host-routed requests; the scenario lost its host-path coverage")
+	}
+	if stalls == 0 {
+		t.Error("no outstanding-window stalls; the scenario lost its queueing coverage")
+	}
+	if !bytes.Contains(golden, []byte(`"queue_depth_mean"`)) {
+		t.Error("no queue_depth_mean in the golden interval records")
+	}
+	if !bytes.Contains(golden, []byte(`"qos_metric":"queue_depth"`)) {
+		t.Error("no queue_depth control records; beta's controller never measured the queue")
+	}
+
+	for _, shards := range []int{1, 2, 8} {
+		var pre bytes.Buffer
+		sess, err := serve.Open(dataflowSpec(t, shards), &pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := sess.Step(40); err != nil || n != 40 {
+			t.Fatalf("shards=%d: Step(40) = %d, %v", shards, n, err)
+		}
+		var ckpt bytes.Buffer
+		if err := sess.Checkpoint(&ckpt); err != nil {
+			t.Fatalf("shards=%d: checkpoint: %v", shards, err)
+		}
+		var post bytes.Buffer
+		resumed, err := serve.Resume(bytes.NewReader(ckpt.Bytes()), &post)
+		if err != nil {
+			t.Fatalf("shards=%d: resume: %v", shards, err)
+		}
+		snap, err := resumed.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		concat := append(append([]byte(nil), pre.Bytes()...), post.Bytes()...)
+		if !bytes.Equal(concat, golden) {
+			t.Errorf("shards=%d: checkpoint-resumed JSONL diverges from the golden file (%d vs %d bytes)",
+				shards, len(concat), len(golden))
+		}
+		if !reflect.DeepEqual(snap, snapFull) {
+			t.Errorf("shards=%d: resumed final snapshot differs from the uninterrupted run", shards)
+		}
+	}
+}
+
+// TestDataflowSnapshotUtilization is the serve-path utilization property:
+// after any dataflow run, every partition's per-module busy fraction sits in
+// [0,1] — a module cannot be busy longer than its timeline's wall clock —
+// and the queue-depth mean is bounded by the outstanding window.
+func TestDataflowSnapshotUtilization(t *testing.T) {
+	t.Parallel()
+	sess, err := serve.Open(dataflowSpec(t, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := 4.0 // the spec's outstanding window
+	for _, ps := range snap.Partitions {
+		for name, r := range map[string]float64{
+			"gmm": ps.GMMBusyRatio, "ssd": ps.SSDBusyRatio, "ctrl": ps.CtrlBusyRatio,
+		} {
+			if r < 0 || r > 1 {
+				t.Errorf("partition %d: %s busy ratio %v outside [0,1]", ps.Partition, name, r)
+			}
+		}
+		if ps.QueueDepthMean < 0 || ps.QueueDepthMean > window {
+			t.Errorf("partition %d: queue depth mean %v outside [0,%v]", ps.Partition, ps.QueueDepthMean, window)
+		}
+		if ps.DeviceOps > 0 && ps.SSDBusyRatio == 0 {
+			t.Errorf("partition %d: served %d device ops with zero SSD busy time", ps.Partition, ps.DeviceOps)
+		}
+	}
+}
+
+// TestDataflowIntervalRecords checks the interval JSONL under dataflow
+// timing: every interval record must carry the queue-depth mean and the
+// per-module busy ratios, with in-range values.
+func TestDataflowIntervalRecords(t *testing.T) {
+	t.Parallel()
+	var jsonl bytes.Buffer
+	sess, err := serve.Open(dataflowSpec(t, 1), &jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Kind           string   `json:"kind"`
+		QueueDepthMean *float64 `json:"queue_depth_mean"`
+		GMMBusyRatio   *float64 `json:"gmm_busy_ratio"`
+		SSDBusyRatio   *float64 `json:"ssd_busy_ratio"`
+		CtrlBusyRatio  *float64 `json:"ctrl_busy_ratio"`
+	}
+	intervals := 0
+	for _, line := range strings.Split(strings.TrimSpace(jsonl.String()), "\n") {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if r.Kind != "interval" {
+			continue
+		}
+		intervals++
+		if r.QueueDepthMean == nil {
+			t.Fatalf("interval record without queue_depth_mean: %s", line)
+		}
+		for name, p := range map[string]*float64{
+			"gmm_busy_ratio": r.GMMBusyRatio, "ssd_busy_ratio": r.SSDBusyRatio, "ctrl_busy_ratio": r.CtrlBusyRatio,
+		} {
+			if p == nil {
+				t.Fatalf("interval record without %s: %s", name, line)
+			}
+			if *p < 0 || *p > 1 {
+				t.Errorf("interval %s %v outside [0,1]", name, *p)
+			}
+		}
+	}
+	if intervals == 0 {
+		t.Fatal("no interval records emitted")
+	}
+}
+
+// queueLeverSpec is a single-QoS scenario where only the queue-depth lever
+// can resolve the violation: the training threshold quantile (0.9) bypasses
+// nearly everything, so every request pays the 75 us SSD read and arrivals
+// outrun the device — the outstanding window backs up well past the QoS
+// target of 1.0. No hit-ratio or latency target exists; the only signal the
+// controller has is the queue depth, and the only lever that can move it is
+// loosening the admission threshold until the working set is served from
+// HBM. qos toggles the target so the test can compare against an
+// uncontrolled baseline.
+func queueLeverSpec(t testing.TB, qos bool) serve.Spec {
+	t.Helper()
+	q := ""
+	if qos {
+		q = `,"qos": {"metric": "queue_depth", "target": 1.0, "band": 0.3}`
+	}
+	spec, err := serve.ParseSpec([]byte(`{
+	 "version": 1, "shards": 2, "partitions": 4, "ops": 49152, "warmup": 16000,
+	 "batch": 1024, "report": 8,
+	 "cache": {"size_mb": 2, "ways": 8},
+	 "train": {"k": 4, "max_iters": 6, "max_samples": 2000, "lloyd_iters": 2,
+	  "shot": 128, "threshold_pct": 0.9},
+	 "control": {"every": 4, "step": 2.0, "min_mult": 0.00048828125, "max_mult": 2048},
+	 "device": {"timing": "dataflow", "outstanding": 16},
+	 "tenants": [
+	  {"name": "hot",
+	   "custom": {"Name": "hot-ws", "TotalPages": 320,
+	    "Clusters": [{"CenterPage": 100, "Spread": 30}, {"CenterPage": 250, "Spread": 20}],
+	    "WriteFrac": 0.1},
+	   "seed": 1, "rate": 120000, "share": 1.0` + q + `}
+	 ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestQueueDepthLeverResolvesViolation is the controller regression for the
+// queue-depth QoS signal: with the target configured, the controller must
+// loosen the admission threshold (multiplier driven away from 1) and land
+// the measured queue depth inside the band by the end of the run; without
+// it, the same workload must stay backed up. If the queue-depth measurement
+// ever stops reaching the controller, the controlled run degenerates into
+// the baseline and this test fails.
+func TestQueueDepthLeverResolvesViolation(t *testing.T) {
+	t.Parallel()
+	run := func(qos bool) *serve.Snapshot {
+		sess, err := serve.Open(queueLeverSpec(t, qos), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	depth := func(snap *serve.Snapshot) float64 {
+		var sum float64
+		var n int
+		for _, ps := range snap.Partitions {
+			if ps.DeviceOps > 0 {
+				sum += ps.QueueDepthMean
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no device-routed ops")
+		}
+		return sum / float64(n)
+	}
+
+	base := run(false)
+	ctl := run(true)
+	baseDepth, ctlDepth := depth(base), depth(ctl)
+	if ctlDepth >= baseDepth {
+		t.Errorf("controlled run depth %v not below baseline %v; the queue lever did nothing", ctlDepth, baseDepth)
+	}
+	ten := &ctl.Tenants[0]
+	if ten.Mult == 1 {
+		t.Error("controller never moved the threshold multiplier off 1")
+	}
+	if !ten.QoSValid {
+		t.Fatal("no completed queue-depth control measurement")
+	}
+	if !ten.WithinQoS {
+		t.Errorf("queue-depth QoS still violated at end of run (last measured %v, target 1.0±0.3)", ten.QoSValue)
+	}
+	if ctl.Tenants[0].HitRatio() <= base.Tenants[0].HitRatio() {
+		t.Errorf("controlled hit ratio %v not above baseline %v; depth should have fallen via admissions",
+			ctl.Tenants[0].HitRatio(), base.Tenants[0].HitRatio())
+	}
+}
+
+// TestDataflowCongestionEvent saturates a window-1 device — arrivals every
+// 400 ns against microsecond-scale service — so after the first interval
+// every device-routed request stalls, and the session must emit a congestion
+// event per saturated interval with the interval's mean depth attached.
+func TestDataflowCongestionEvent(t *testing.T) {
+	t.Parallel()
+	spec, err := serve.ParseSpec([]byte(`{
+	 "version": 1, "shards": 1, "partitions": 4, "ops": 8192, "warmup": 16000,
+	 "batch": 1024, "report": 1,
+	 "cache": {"size_mb": 1, "ways": 8},
+	 "train": {"k": 4, "max_iters": 5, "max_samples": 2000, "lloyd_iters": 2, "shot": 128},
+	 "device": {"timing": "dataflow", "outstanding": 1},
+	 "workload": {"name": "dlrm", "rate": 10000000}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := serve.Open(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var congested []serve.Event
+	sess.Observe(func(ev serve.Event) {
+		if ev.Kind == serve.EventCongestion {
+			congested = append(congested, ev)
+		}
+	})
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(congested) == 0 {
+		t.Fatal("saturated run emitted no congestion events")
+	}
+	for _, ev := range congested {
+		if ev.QueueDepth <= 0 {
+			t.Errorf("congestion event at batch %d carries depth %v", ev.Batch, ev.QueueDepth)
+		}
+	}
+}
+
+// TestFlatDeviceBlockIsDefault pins the refactor's compatibility contract
+// beyond the committed goldens: a spec with an explicit {"timing": "flat"}
+// device block produces byte-identical metric output to the same spec with
+// no device block at all — the block's presence alone changes nothing.
+func TestFlatDeviceBlockIsDefault(t *testing.T) {
+	t.Parallel()
+	run := func(device string) []byte {
+		spec, err := serve.ParseSpec([]byte(`{
+		 "version": 1, "shards": 2, "partitions": 4, "ops": 8192, "warmup": 16000,
+		 "batch": 1024, "report": 2,
+		 "cache": {"size_mb": 1, "ways": 8},
+		 "train": {"k": 4, "max_iters": 5, "max_samples": 2000, "lloyd_iters": 2, "shot": 128},
+		 "workload": {"name": "dlrm", "rate": 2000000}` + device + `
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jsonl bytes.Buffer
+		sess, err := serve.Open(spec, &jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return jsonl.Bytes()
+	}
+	bare := run("")
+	explicit := run(`,"device": {"timing": "flat"}`)
+	if !bytes.Equal(bare, explicit) {
+		t.Errorf("explicit flat device block changed the metric stream (%d vs %d bytes)", len(explicit), len(bare))
+	}
+	if bytes.Contains(bare, []byte("queue_depth_mean")) {
+		t.Error("flat run leaked dataflow fields into the interval records")
+	}
+}
+
+// TestQueueDepthQoSNeedsDataflow: a queue-depth QoS target is meaningless
+// under flat timing (the depth is identically zero), so the spec must be
+// rejected, not silently held at zero forever.
+func TestQueueDepthQoSNeedsDataflow(t *testing.T) {
+	t.Parallel()
+	_, err := serve.ParseSpec([]byte(`{
+	 "version": 1, "ops": 4096, "warmup": 16000,
+	 "train": {"k": 4, "shot": 128},
+	 "tenants": [{"name": "a", "workload": "dlrm", "rate": 1000, "share": 1.0,
+	  "qos": {"metric": "queue_depth", "target": 2, "band": 0.5}}]
+	}`))
+	if err == nil {
+		t.Fatal("queue-depth QoS under flat timing accepted")
+	}
+	if !strings.Contains(err.Error(), "dataflow") {
+		t.Errorf("error %q does not point at the timing requirement", err)
+	}
+}

@@ -18,6 +18,10 @@ const (
 	// EventCheckpoint: a checkpoint document was captured (explicit
 	// Checkpoint or the CheckpointEvery hook).
 	EventCheckpoint = "checkpoint"
+	// EventCongestion: under dataflow timing, every device-routed request in
+	// a reporting interval stalled on a full outstanding window — the device
+	// was saturated for the whole interval.
+	EventCongestion = "congestion"
 )
 
 // Event is one observed serving-path state transition. Batch locates it on
@@ -42,6 +46,8 @@ type Event struct {
 	Tenant string
 	Donor  string
 	Blocks uint64
+	// Congestion field: the interval's mean outstanding-window depth.
+	QueueDepth float64
 }
 
 // emit hands an event to the observer, if any. Called only from the

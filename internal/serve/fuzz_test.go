@@ -58,6 +58,50 @@ func FuzzServeSpec(f *testing.F) {
 	})
 }
 
+// FuzzDeviceSpec fuzzes the spec's "device" block: arbitrary bytes must
+// never panic, unknown keys anywhere under "device" (including the nested
+// "link" object) must be rejected with a field-path error, and every accepted
+// document must build a validated device configuration and survive a
+// Marshal/ParseSpec round trip unchanged.
+func FuzzDeviceSpec(f *testing.F) {
+	const base = `"warmup":16000,"train":{"k":4,"shot":128}`
+	f.Add([]byte(`{"version":1,` + base + `,"device":{"timing":"flat"}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"device":{"timing":"dataflow","outstanding":4,
+	 "overlap":false,"tag_compare_cycles":3,"hit_cycles":200,"ssd_read_cycles":10000,
+	 "ssd_write_cycles":120000,"inference_cycles":512,"host_pages":4096,"host_latency_ns":90,
+	 "link":{"one_way_ns":120,"bytes_per_ns":32,"flit_bytes":128}}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"device":{"timing":"dataflow"}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"device":{"timing":"warp"}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"device":{"outstandng":4}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"device":{"link":{"one_way_sn":120}}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"device":{"timing":"dataflow","hit_cycles":-1}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"device":{"timing":"dataflow","host_pages":64,"host_latency_ns":-5}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := serve.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		cfg, err := spec.Config()
+		if err != nil {
+			t.Fatalf("accepted spec does not build a config: %v", err)
+		}
+		if err := cfg.Device.Validate(); err != nil {
+			t.Fatalf("accepted spec builds an invalid device config: %v", err)
+		}
+		out, err := spec.Marshal()
+		if err != nil {
+			t.Fatalf("marshalling accepted spec: %v", err)
+		}
+		again, err := serve.ParseSpec(out)
+		if err != nil {
+			t.Fatalf("re-parsing %s: %v", out, err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round trip changed the spec:\n%+v\n%+v", spec, again)
+		}
+	})
+}
+
 // FuzzTenantSpec fuzzes the -tenants JSON wire format: arbitrary bytes must
 // never panic, and every accepted spec list must satisfy the documented
 // invariants (unique names, positive rates, shares in (0,1] summing to at

@@ -23,6 +23,18 @@ type PartitionSnapshot struct {
 	// LastCompletionNs is the partition's virtual clock at the end of the
 	// run; the makespan is the maximum across partitions.
 	LastCompletionNs int64
+	// Dataflow timing view (all zero under flat timing): requests served
+	// from host DRAM, device-routed requests with the mean
+	// outstanding-window depth they observed at arrival, arrivals stalled on
+	// a full window, and each pipeline module's cumulative busy fraction of
+	// the timeline's wall clock.
+	HostOps        uint64
+	DeviceOps      uint64
+	QueueDepthMean float64
+	Stalls         uint64
+	GMMBusyRatio   float64
+	SSDBusyRatio   float64
+	CtrlBusyRatio  float64
 }
 
 // TenantSnapshot summarizes one tenant, merged across partitions in
@@ -86,7 +98,11 @@ type Snapshot struct {
 	// throughput (Welford over intervals).
 	IntervalThroughputMean float64
 	IntervalThroughputStd  float64
-	Partitions             []PartitionSnapshot
+	// Timing names the device timing backend the run served through
+	// ("flat" or "dataflow"); the per-partition dataflow fields are only
+	// populated under "dataflow".
+	Timing     string
+	Partitions []PartitionSnapshot
 	// Tenants holds one entry per configured tenant (exactly one for
 	// single-tenant runs), in Config.Tenants order.
 	Tenants []TenantSnapshot
@@ -108,6 +124,7 @@ func (s *Service) Snapshot() *Snapshot {
 		Batches:         s.batches,
 		Refreshes:       s.refresher.installed,
 		RefreshesFailed: s.refresher.failed.Load(),
+		Timing:          s.cfg.Device.Timing.String(),
 		Partitions:      make([]PartitionSnapshot, len(s.parts)),
 	}
 	for i, p := range s.parts {
@@ -126,7 +143,7 @@ func (s *Service) Snapshot() *Snapshot {
 		if p.now > snap.MakespanNs {
 			snap.MakespanNs = p.now
 		}
-		snap.Partitions[i] = PartitionSnapshot{
+		ps := PartitionSnapshot{
 			Partition:        i,
 			Ops:              p.ops,
 			Cache:            cs,
@@ -135,7 +152,22 @@ func (s *Service) Snapshot() *Snapshot {
 			Latency:          p.hist.Summarize(),
 			EngineBusy:       time.Duration(p.engineBusy),
 			LastCompletionNs: p.now,
+			HostOps:          p.hostOps,
+			DeviceOps:        p.dfOps,
+			Stalls:           p.dfStalls,
 		}
+		if p.dfOps > 0 {
+			ps.QueueDepthMean = float64(p.dfQueueSum) / float64(p.dfOps)
+		}
+		if tl := p.model.timeline(); tl != nil {
+			if wall := tl.WallCycles(); wall > 0 {
+				gmmB, ssdB, ctrlB, _ := tl.Busy()
+				ps.GMMBusyRatio = float64(gmmB) / float64(wall)
+				ps.SSDBusyRatio = float64(ssdB) / float64(wall)
+				ps.CtrlBusyRatio = float64(ctrlB) / float64(wall)
+			}
+		}
+		snap.Partitions[i] = ps
 	}
 	snap.Latency = agg.Summarize()
 	if snap.MakespanNs > 0 {
@@ -257,6 +289,16 @@ type metricRecord struct {
 	QoSMetric string   `json:"qos_metric,omitempty"`
 	QoS       *float64 `json:"qos,omitempty"`
 	WithinQoS *bool    `json:"within_qos,omitempty"`
+	// Dataflow interval fields (emitted only under "timing": "dataflow"):
+	// the interval's mean outstanding-window depth at arrival, how many
+	// arrivals stalled on a full window, and each pipeline module's busy
+	// fraction of the interval's wall cycles. Pointers so flat-timing metric
+	// streams omit the keys and stay byte-identical to their goldens.
+	QueueDepthMean *float64 `json:"queue_depth_mean,omitempty"`
+	StalledOps     uint64   `json:"stalled_ops,omitempty"`
+	GMMBusyRatio   *float64 `json:"gmm_busy_ratio,omitempty"`
+	SSDBusyRatio   *float64 `json:"ssd_busy_ratio,omitempty"`
+	CtrlBusyRatio  *float64 `json:"ctrl_busy_ratio,omitempty"`
 }
 
 // metricsWriter serializes metric records as JSONL. A nil writer turns every
@@ -325,7 +367,7 @@ func (s *Service) emitInterval(batchHitRatio float64) {
 	}
 	s.lastIntervalOps = ops
 	s.lastMakespan = makespan
-	s.metrics.write(metricRecord{
+	rec := metricRecord{
 		Kind:          "interval",
 		Batch:         s.batches,
 		Ops:           ops,
@@ -335,7 +377,11 @@ func (s *Service) emitInterval(batchHitRatio float64) {
 		MeanNs:        int64(mean),
 		OpsPerSec:     throughput,
 		Refreshes:     s.refresher.installed,
-	})
+	}
+	if s.cfg.Device.Timing == TimingDataflow {
+		s.addDataflowInterval(&rec)
+	}
+	s.metrics.write(rec)
 	// Explicit multi-tenant runs also get one cumulative per-tenant line —
 	// O(partitions) counter sums, no percentile sorting.
 	if len(s.cfg.Tenants) > 0 {
@@ -362,6 +408,52 @@ func (s *Service) emitInterval(batchHitRatio float64) {
 				Mult:           t.mult,
 			})
 		}
+	}
+}
+
+// addDataflowInterval attaches the dataflow congestion view to an interval
+// record: per-interval deltas of the cumulative queue/stall/busy counters
+// against the cursors left by the previous interval. When every
+// device-routed request of the interval stalled on a full outstanding
+// window, the device was saturated for the whole interval and an
+// EventCongestion is emitted.
+func (s *Service) addDataflowInterval(rec *metricRecord) {
+	var qsum, dops, stalls uint64
+	var gmmB, ssdB, ctrlB, wall int64
+	for _, p := range s.parts {
+		qsum += p.dfQueueSum
+		dops += p.dfOps
+		stalls += p.dfStalls
+		if tl := p.model.timeline(); tl != nil {
+			g, sd, c, _ := tl.Busy()
+			gmmB += g
+			ssdB += sd
+			ctrlB += c
+			wall += tl.WallCycles()
+		}
+	}
+	dQ := qsum - s.lastDFQueueSum
+	dOps := dops - s.lastDFOps
+	dStalls := stalls - s.lastDFStalls
+	depthMean := 0.0
+	if dOps > 0 {
+		depthMean = float64(dQ) / float64(dOps)
+	}
+	var gmmR, ssdR, ctrlR float64
+	if dWall := wall - s.lastWallCycles; dWall > 0 {
+		gmmR = float64(gmmB-s.lastGMMBusy) / float64(dWall)
+		ssdR = float64(ssdB-s.lastSSDBusy) / float64(dWall)
+		ctrlR = float64(ctrlB-s.lastCtrlBusy) / float64(dWall)
+	}
+	rec.QueueDepthMean = &depthMean
+	rec.StalledOps = dStalls
+	rec.GMMBusyRatio = &gmmR
+	rec.SSDBusyRatio = &ssdR
+	rec.CtrlBusyRatio = &ctrlR
+	s.lastDFQueueSum, s.lastDFOps, s.lastDFStalls = qsum, dops, stalls
+	s.lastGMMBusy, s.lastSSDBusy, s.lastCtrlBusy, s.lastWallCycles = gmmB, ssdB, ctrlB, wall
+	if dOps > 0 && dStalls == dOps {
+		s.emit(Event{Kind: EventCongestion, QueueDepth: depthMean})
 	}
 }
 

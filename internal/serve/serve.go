@@ -31,7 +31,9 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cxl"
+	"repro/internal/device"
 	"repro/internal/engine"
+	"repro/internal/fpga"
 	"repro/internal/gmm"
 	"repro/internal/hbm"
 	"repro/internal/policy"
@@ -113,6 +115,11 @@ type Config struct {
 	// Control parameterizes the adaptive per-tenant threshold controller;
 	// it activates only for tenants that declare a QoS target.
 	Control ControlConfig
+	// Device selects the timing backend requests are served through: the
+	// flat latency-constant model (default — the historical behaviour) or
+	// the fpga dataflow pipeline with host routing and a bounded
+	// outstanding-request window. See DeviceConfig.
+	Device DeviceConfig
 	// Metrics, when non-nil, receives JSONL metric records: one "interval"
 	// record every ReportEvery batches, one "refresh" record per installed
 	// model, and "partition" + "summary" records when the run ends.
@@ -141,6 +148,7 @@ func DefaultConfig() Config {
 		BatchSize:    8192,
 		Refresh:      DefaultRefreshConfig(),
 		Control:      DefaultControlConfig(),
+		Device:       DefaultDeviceConfig(),
 		ReportEvery:  16,
 	}
 }
@@ -179,6 +187,18 @@ func (c Config) Validate() error {
 	}
 	if err := c.Control.Validate(); err != nil {
 		return err
+	}
+	if err := c.Device.Validate(); err != nil {
+		return err
+	}
+	// Queue depth only exists under dataflow timing: the flat model has no
+	// outstanding window, so a queue-depth QoS target could never measure.
+	if c.Device.Timing != TimingDataflow {
+		for _, t := range c.Tenants {
+			if t.QoS != nil && t.QoS.Metric == QoSQueueDepth {
+				return fmt.Errorf("serve: tenant %q: %q QoS needs \"timing\": \"dataflow\"", t.Name, QoSQueueDepth)
+			}
+		}
 	}
 	pc, err := c.partitionCache()
 	if err != nil {
@@ -321,14 +341,26 @@ type partition struct {
 	dev   *ssd.Device
 	link  *cxl.Link
 
-	overheadNs int64
-	overlap    bool
+	// model is the timing backend every request is served through; timing
+	// names which kind it is (flat gates requests on the partition clock,
+	// dataflow queues them in the fpga timeline).
+	model  deviceModel
+	timing TimingKind
 
 	now        int64 // completion time of the last request served here
 	engineBusy int64
 	ops        uint64
 	hist       *stats.Histogram
 	ten        []tenantPartStats // per-tenant accounting cells
+
+	// Dataflow accounting (zero under flat timing): requests routed to host
+	// DRAM, device-routed requests, the summed outstanding-window depth
+	// those observed at arrival, and how many of them stalled on a full
+	// window.
+	hostOps    uint64
+	dfOps      uint64
+	dfQueueSum uint64
+	dfStalls   uint64
 
 	batchOps, batchHits uint64
 
@@ -371,6 +403,17 @@ type Service struct {
 	intervalThroughput stats.Welford
 	lastIntervalOps    uint64
 	lastMakespan       int64
+
+	// Dataflow interval cursors: the last-emitted values of the cumulative
+	// queue/stall/busy counters, so emitInterval reports per-interval deltas
+	// (see metrics.go). All zero under flat timing.
+	lastDFQueueSum uint64
+	lastDFOps      uint64
+	lastDFStalls   uint64
+	lastGMMBusy    int64
+	lastSSDBusy    int64
+	lastCtrlBusy   int64
+	lastWallCycles int64
 }
 
 // New builds a service around an initial scoring bundle (see TrainBundle).
@@ -433,16 +476,38 @@ func New(cfg Config, b *Bundle) (*Service, error) {
 		for t := range ten {
 			ten[t] = newTenantPartStats(hasQoS)
 		}
+		var model deviceModel
+		switch cfg.Device.Timing {
+		case TimingDataflow:
+			tl, err := fpga.NewDeviceTimeline(cfg.Device.Dataflow)
+			if err != nil {
+				return nil, err
+			}
+			model = &dataflowModel{df: device.Dataflow{
+				Link:      link,
+				Timeline:  tl,
+				HostPages: cfg.Device.HostPages,
+				HostLatNs: cfg.Device.HostLatencyNs,
+			}}
+		default:
+			model = &flatModel{flat: device.Flat{
+				Mem:        mem,
+				Dev:        dev,
+				Link:       link,
+				OverheadNs: cfg.GMMInference.Nanoseconds(),
+				Overlap:    cfg.Overlap,
+			}}
+		}
 		parts[i] = &partition{
-			cache:      c,
-			pol:        pol,
-			mem:        mem,
-			dev:        dev,
-			link:       link,
-			overheadNs: cfg.GMMInference.Nanoseconds(),
-			overlap:    cfg.Overlap,
-			hist:       stats.DefaultLatencyHistogram(),
-			ten:        ten,
+			cache:  c,
+			pol:    pol,
+			mem:    mem,
+			dev:    dev,
+			link:   link,
+			model:  model,
+			timing: cfg.Device.Timing,
+			hist:   stats.DefaultLatencyHistogram(),
+			ten:    ten,
 		}
 	}
 	s := &Service{
@@ -687,59 +752,59 @@ func scoreBatch(sc policy.Scorer, pages, times, scores []float64, s *gmm.Scratch
 	}
 }
 
-// serveOne routes one request through the partition's cache and latency
-// models. The partition is a single server: a request begins at its arrival
-// time or when the previous request here completed, whichever is later, and
-// the recorded latency is the sojourn time (queueing plus service).
+// serveOne routes one request through the partition's device model. Pages
+// the model routes to host DRAM (dataflow timing with host-resident pages)
+// are served locally — no policy, no cache, no link — and counted as hits.
+// Device-routed requests go cache-lookup-first, then the model times the
+// access: under flat timing the partition is a single server (a request
+// begins at its arrival time or when the previous request here completed,
+// whichever is later); under dataflow timing queueing lives in the fpga
+// timeline's module cursors and outstanding window. Either way the recorded
+// latency is the sojourn time (queueing plus service).
 func (p *partition) serveOne(req Request, score float64) {
-	start := req.ArrivalNs
-	if p.now > start {
-		start = p.now
+	if lat, ok := p.model.hostRoute(req.Page); ok {
+		done := req.ArrivalNs + lat
+		if done > p.now {
+			p.now = done
+		}
+		p.hostOps++
+		p.ops++
+		p.batchOps++
+		p.batchHits++
+		p.hist.Observe(lat)
+		ts := &p.ten[req.Tenant]
+		ts.ops++
+		ts.ctrlOps++
+		ts.hits++
+		ts.ctrlHits++
+		ts.hist.Observe(lat)
+		ts.hbmHist.Observe(lat)
+		if ts.ctrlHist != nil {
+			ts.ctrlHist.Observe(lat)
+		}
+		return
 	}
+
 	p.pol.Begin(req.Tenant, score)
 	res := p.cache.Access(req.Page, req.Write)
-
-	// Device-internal service time, mirroring core.System's device path.
-	var dev int64
-	switch {
-	case res.Hit:
-		dev = p.mem.Access(req.Page, start) - start
-	case res.Admitted:
-		done := p.dev.Access(ssd.OpRead, req.Page, start)
-		dev = done - start
-		if res.WriteBack {
-			wb := p.dev.Access(ssd.OpWrite, res.VictimPage, start)
-			dev += wb - start
-		}
-		// Fill lands in device DRAM before the completion returns.
-		dev += p.mem.Access(req.Page, start+dev) - (start + dev)
-	case req.Write:
-		dev = p.dev.Access(ssd.OpWrite, req.Page, start) - start
-	default:
-		dev = p.dev.Access(ssd.OpRead, req.Page, start) - start
+	r := p.model.serveReq(req.Page, device.OutcomeOf(res, req.Write), req.ArrivalNs, p.now)
+	p.engineBusy += r.busyNs
+	if r.doneNs > p.now {
+		p.now = r.doneNs
 	}
-
-	if !res.Hit && p.overheadNs > 0 {
-		if p.overlap {
-			if p.overheadNs > dev {
-				p.engineBusy += p.overheadNs - dev
-				dev = p.overheadNs
-			}
-		} else {
-			p.engineBusy += p.overheadNs
-			dev += p.overheadNs
-		}
-	}
-
-	rt := p.link.RoundTrip(!req.Write, trace.PageSize, start) - start
-	done := start + rt + dev
-	p.now = done
-	sojourn := done - req.ArrivalNs
+	sojourn := r.doneNs - req.ArrivalNs
 	p.hist.Observe(sojourn)
 	p.ops++
 	p.batchOps++
 	if res.Hit {
 		p.batchHits++
+	}
+	if p.timing == TimingDataflow {
+		p.dfOps++
+		p.dfQueueSum += uint64(r.queueDepth)
+		if r.stalled {
+			p.dfStalls++
+		}
 	}
 
 	// Per-tenant accounting: sojourn plus the cxl/hbm/ssd components, split
@@ -747,14 +812,15 @@ func (p *partition) serveOne(req Request, score float64) {
 	ts := &p.ten[req.Tenant]
 	ts.ops++
 	ts.ctrlOps++
+	ts.ctrlQueueSum += uint64(r.queueDepth)
 	ts.hist.Observe(sojourn)
-	ts.cxlHist.Observe(rt)
+	ts.cxlHist.Observe(r.linkNs)
 	if res.Hit {
 		ts.hits++
 		ts.ctrlHits++
-		ts.hbmHist.Observe(dev)
+		ts.hbmHist.Observe(r.devNs)
 	} else {
-		ts.ssdHist.Observe(dev)
+		ts.ssdHist.Observe(r.devNs)
 	}
 	if res.Admitted {
 		ts.bytesAdmitted += trace.PageSize

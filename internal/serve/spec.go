@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fpga"
 	"repro/internal/policy"
 	"repro/internal/ssd"
 	"repro/internal/strictjson"
@@ -89,6 +90,9 @@ type Spec struct {
 	// spec with telemetry produces byte-identical metric output to the same
 	// spec without it.
 	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
+	// Device selects and parameterizes the device timing backend (flat
+	// latency constants, the default, or the fpga dataflow pipeline).
+	Device *DeviceSpec `json:"device,omitempty"`
 }
 
 // CacheSpec sizes the device cache and its backing store.
@@ -226,6 +230,51 @@ func (t *TelemetrySpec) EffectiveSnapshotEvery() uint64 {
 		return 16
 	}
 	return uint64(t.SnapshotEvery)
+}
+
+// DeviceSpec selects the device timing backend and overrides its
+// parameters. All cycle counts are in device clock cycles (233 MHz, ~4.29 ns
+// each); omitted fields keep the paper's measured defaults
+// (fpga.DefaultDataflowConfig).
+type DeviceSpec struct {
+	// Timing is "flat" (the default: per-outcome latency constants, the
+	// path the determinism goldens pin) or "dataflow" (the Fig. 5 pipeline:
+	// host/link routing in front of per-partition tag-compare / inference /
+	// SSD module contention behind a bounded outstanding-request window).
+	Timing string `json:"timing,omitempty"`
+	// Outstanding is the host's request window under dataflow timing:
+	// request i enters the device only after response i-Outstanding left
+	// (default 1, a fully synchronous host).
+	Outstanding int `json:"outstanding,omitempty"`
+	// Overlap, when set, selects whether policy-engine scoring and SSD
+	// access start concurrently on a miss (default true; false is the
+	// serialized ablation). A pointer because an explicit false must be
+	// distinguishable from omitted.
+	Overlap *bool `json:"overlap,omitempty"`
+	// TagCompareCycles/HitCycles/SSDReadCycles/SSDWriteCycles override the
+	// pipeline stage timings (defaults 2 / 233 / 17475 / 209700).
+	TagCompareCycles int64 `json:"tag_compare_cycles,omitempty"`
+	HitCycles        int64 `json:"hit_cycles,omitempty"`
+	SSDReadCycles    int64 `json:"ssd_read_cycles,omitempty"`
+	SSDWriteCycles   int64 `json:"ssd_write_cycles,omitempty"`
+	// InferenceCycles overrides the policy-engine scoring latency (default:
+	// the paper's K=256 engine, 699 cycles).
+	InferenceCycles int64 `json:"inference_cycles,omitempty"`
+	// HostPages routes pages below it to host DRAM at HostLatencyNs
+	// (default 100 ns), bypassing the link and the device entirely
+	// (dataflow timing; 0 sends everything to the device).
+	HostPages     uint64 `json:"host_pages,omitempty"`
+	HostLatencyNs int64  `json:"host_latency_ns,omitempty"`
+	// Link overrides the CXL port characteristics (both timing kinds).
+	Link *LinkSpec `json:"link,omitempty"`
+}
+
+// LinkSpec overrides the CXL link model (cxl.DefaultLinkConfig defaults:
+// 150 ns one-way, 25 B/ns, 64 B flits).
+type LinkSpec struct {
+	OneWayNs   int64   `json:"one_way_ns,omitempty"`
+	BytesPerNs float64 `json:"bytes_per_ns,omitempty"`
+	FlitBytes  uint64  `json:"flit_bytes,omitempty"`
 }
 
 // ParseSpec decodes and validates a spec document. Decoding is strict:
@@ -490,6 +539,53 @@ func (s Spec) config() (Config, error) {
 			cfg.Control.ShareFloor = c.ShareFloor
 		}
 		cfg.Control.ShareFloorRateFrac = c.ShareFloorRateFrac
+	}
+	if d := s.Device; d != nil {
+		if d.Timing != "" {
+			kind, err := ParseTimingKind(d.Timing)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.Device.Timing = kind
+		}
+		if d.Outstanding != 0 {
+			cfg.Device.Dataflow.Outstanding = d.Outstanding
+		}
+		if d.Overlap != nil {
+			cfg.Device.Dataflow.Overlap = *d.Overlap
+		}
+		if d.TagCompareCycles != 0 {
+			cfg.Device.Dataflow.TagCompareCycles = d.TagCompareCycles
+		}
+		if d.HitCycles != 0 {
+			cfg.Device.Dataflow.HitCycles = d.HitCycles
+		}
+		if d.SSDReadCycles != 0 {
+			cfg.Device.Dataflow.SSDReadCycles = d.SSDReadCycles
+		}
+		if d.SSDWriteCycles != 0 {
+			cfg.Device.Dataflow.SSDWriteCycles = d.SSDWriteCycles
+		}
+		if d.InferenceCycles != 0 {
+			// A bare cycle count: an engine with no pipeline ramp whose K-term
+			// drain is exactly the requested latency.
+			cfg.Device.Dataflow.GMM = fpga.GMMEngineModel{K: int(d.InferenceCycles)}
+		}
+		cfg.Device.HostPages = d.HostPages
+		if d.HostLatencyNs != 0 {
+			cfg.Device.HostLatencyNs = d.HostLatencyNs
+		}
+		if l := d.Link; l != nil {
+			if l.OneWayNs != 0 {
+				cfg.Link.OneWayLatency = time.Duration(l.OneWayNs) * time.Nanosecond
+			}
+			if l.BytesPerNs != 0 {
+				cfg.Link.BytesPerNs = l.BytesPerNs
+			}
+			if l.FlitBytes != 0 {
+				cfg.Link.FlitBytes = l.FlitBytes
+			}
+		}
 	}
 	cfg.Tenants = s.Tenants
 	return cfg, nil

@@ -62,6 +62,10 @@ type TenantSpec struct {
 //   - "p99_ns":    Target is a ceiling on the tenant's interval p99 sojourn
 //     time in nanoseconds.
 //   - "mean_ns":   Target is a ceiling on the interval mean sojourn time.
+//   - "queue_depth": Target is a ceiling on the mean outstanding-window
+//     depth the tenant's requests observe at arrival — the congestion
+//     signal. Only meaningful (and only accepted) under "timing":
+//     "dataflow", where an outstanding window exists.
 //
 // Band is the relative hold region around Target (default 0.10): inside it
 // the controller leaves the tenant's admission threshold alone, beyond it on
@@ -76,9 +80,10 @@ type QoSSpec struct {
 
 // QoS metric names.
 const (
-	QoSHitRatio = "hit_ratio"
-	QoSP99Ns    = "p99_ns"
-	QoSMeanNs   = "mean_ns"
+	QoSHitRatio   = "hit_ratio"
+	QoSP99Ns      = "p99_ns"
+	QoSMeanNs     = "mean_ns"
+	QoSQueueDepth = "queue_depth"
 )
 
 // Validate checks the objective.
@@ -92,8 +97,12 @@ func (q QoSSpec) Validate() error {
 		if q.Target <= 0 {
 			return fmt.Errorf("serve: latency QoS target %v not positive", q.Target)
 		}
+	case QoSQueueDepth:
+		if q.Target <= 0 {
+			return fmt.Errorf("serve: queue_depth QoS target %v not positive", q.Target)
+		}
 	default:
-		return fmt.Errorf("serve: unknown QoS metric %q (valid: hit_ratio|p99_ns|mean_ns)", q.Metric)
+		return fmt.Errorf("serve: unknown QoS metric %q (valid: hit_ratio|p99_ns|mean_ns|queue_depth)", q.Metric)
 	}
 	if q.Band < 0 || q.Band >= 1 {
 		return fmt.Errorf("serve: QoS band %v outside [0,1)", q.Band)
@@ -665,7 +674,11 @@ type tenantPartStats struct {
 	// Control-interval state, reset by the controller after each step.
 	ctrlOps  uint64
 	ctrlHits uint64
-	ctrlHist *stats.Histogram // sojourn, only allocated under a controller
+	// ctrlQueueSum sums the outstanding-window depth the tenant's requests
+	// observed at arrival (dataflow timing; always zero under flat), the
+	// numerator of the queue_depth QoS metric.
+	ctrlQueueSum uint64
+	ctrlHist     *stats.Histogram // sojourn, only allocated under a controller
 }
 
 func newTenantPartStats(withCtrlHist bool) tenantPartStats {

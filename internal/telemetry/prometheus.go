@@ -150,6 +150,25 @@ func WritePrometheus(w io.Writer, st *Status, events []EventCount) {
 		} {
 			p.sample("icgmm_session_latency_ns", append(l, "stat", q.stat), q.v)
 		}
+		if snap.Timing == "dataflow" {
+			for j := range snap.Partitions {
+				ps := &snap.Partitions[j]
+				pl := append(l, "partition", fmt.Sprintf("%d", ps.Partition))
+				p.family("icgmm_partition_queue_depth", "Mean outstanding-window depth of device-routed requests observed at arrival (dataflow timing).", "gauge")
+				p.sample("icgmm_partition_queue_depth", pl, ps.QueueDepthMean)
+				p.family("icgmm_module_busy_ratio", "Busy fraction of each dataflow pipeline module against the partition timeline's wall clock.", "gauge")
+				for _, m := range []struct {
+					module string
+					v      float64
+				}{
+					{"gmm", ps.GMMBusyRatio},
+					{"ssd", ps.SSDBusyRatio},
+					{"ctrl", ps.CtrlBusyRatio},
+				} {
+					p.sample("icgmm_module_busy_ratio", append(pl, "module", m.module), m.v)
+				}
+			}
+		}
 		for j := range snap.Tenants {
 			t := &snap.Tenants[j]
 			tl := append(l, "tenant", t.Tenant)

@@ -306,6 +306,43 @@ func splitSample(line string) (name, rest string, ok bool) {
 	return fields[0], fields[1], true
 }
 
+// TestPrometheusDataflowGauges: a dataflow-timed snapshot exposes the
+// per-partition queue-depth and per-module busy-ratio gauges; a flat
+// snapshot (Timing unset, as every pre-dataflow publisher produces) must not
+// grow new families, keeping the flat exposition byte-stable.
+func TestPrometheusDataflowGauges(t *testing.T) {
+	r := NewRegistry()
+	snap := testSnapshot()
+	snap.Timing = "dataflow"
+	snap.Partitions = []serve.PartitionSnapshot{
+		{Partition: 0, Ops: 60, HostOps: 10, DeviceOps: 50, QueueDepthMean: 1.25,
+			Stalls: 3, GMMBusyRatio: 0.01, SSDBusyRatio: 0.8, CtrlBusyRatio: 0.002},
+		{Partition: 1, Ops: 40, DeviceOps: 40, QueueDepthMean: 2.5,
+			SSDBusyRatio: 0.95},
+	}
+	r.PublishSnapshot("df", snap)
+	body := string(r.RenderPrometheus())
+	for _, want := range []string{
+		`icgmm_partition_queue_depth{session="df",partition="0"} 1.25`,
+		`icgmm_partition_queue_depth{session="df",partition="1"} 2.5`,
+		`icgmm_module_busy_ratio{session="df",partition="0",module="gmm"} 0.01`,
+		`icgmm_module_busy_ratio{session="df",partition="0",module="ssd"} 0.8`,
+		`icgmm_module_busy_ratio{session="df",partition="0",module="ctrl"} 0.002`,
+		`icgmm_module_busy_ratio{session="df",partition="1",module="ssd"} 0.95`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing sample %q in:\n%s", want, body)
+		}
+	}
+
+	flat := NewRegistry()
+	flat.PublishSnapshot("f", testSnapshot())
+	if b := string(flat.RenderPrometheus()); strings.Contains(b, "icgmm_partition_queue_depth") ||
+		strings.Contains(b, "icgmm_module_busy_ratio") {
+		t.Errorf("flat snapshot exposed dataflow gauges:\n%s", b)
+	}
+}
+
 func TestPrometheusLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.PublishProgress("a\"b\\c\nd", 1, false)

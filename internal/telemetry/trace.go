@@ -45,6 +45,9 @@ type TraceEvent struct {
 	Baseline  float64 `json:"baseline,omitempty"`
 	Refreshes uint64  `json:"refreshes,omitempty"`
 	Err       string  `json:"error,omitempty"`
+	// QueueDepth is the congestion event's interval mean outstanding-window
+	// depth (dataflow timing).
+	QueueDepth float64 `json:"queue_depth,omitempty"`
 }
 
 // Tracer serializes TraceEvents as JSONL to a sink. Emits from different
@@ -100,17 +103,18 @@ func SessionObserver(reg *Registry, tr *Tracer, session string) func(serve.Event
 	return func(ev serve.Event) {
 		reg.CountEvent(ev.Kind, session)
 		tr.Emit(TraceEvent{
-			Kind:      ev.Kind,
-			Session:   session,
-			Batch:     ev.Batch,
-			Tenant:    ev.Tenant,
-			Donor:     ev.Donor,
-			Blocks:    ev.Blocks,
-			Threshold: ev.Threshold,
-			HitRatio:  ev.HitRatio,
-			Baseline:  ev.Baseline,
-			Refreshes: ev.Refreshes,
-			Err:       ev.Err,
+			Kind:       ev.Kind,
+			Session:    session,
+			Batch:      ev.Batch,
+			Tenant:     ev.Tenant,
+			Donor:      ev.Donor,
+			Blocks:     ev.Blocks,
+			Threshold:  ev.Threshold,
+			HitRatio:   ev.HitRatio,
+			Baseline:   ev.Baseline,
+			Refreshes:  ev.Refreshes,
+			Err:        ev.Err,
+			QueueDepth: ev.QueueDepth,
 		})
 	}
 }
