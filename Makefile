@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry test-device cover fuzz-smoke fmt vet fmt-check ci
+.PHONY: build test race bench bench-json serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry test-device test-scenario cover fuzz-smoke fmt vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -105,9 +105,24 @@ test-device:
 	$(GO) run -race ./cmd/icgmm-serve -spec cmd/icgmm-serve/testdata/spec-dataflow.json \
 		-shards 4 -out /dev/null
 
+# Scenario suite: the timeline/event-engine unit tests, the closed-loop
+# client tests, the scenario golden (tenant churn + diurnal rates + phase
+# swap + shadow LSTM, byte-identical at shards 1/2/8 across a checkpoint
+# that straddles a leave and a join), the shadow no-live-effect and
+# closed-loop feedback tests, and the EWMA donor-headroom regression — all
+# under the race detector — then an icgmm-serve smoke driven by the
+# committed scenario spec.
+test-scenario:
+	$(GO) test ./internal/scenario -race
+	$(GO) test ./internal/lstm -race
+	$(GO) test ./internal/workload -run 'ClosedLoop|Mux' -race
+	$(GO) test ./internal/serve -run 'Scenario|Shadow|ClosedLoop|EWMA' -race
+	$(GO) run -race ./cmd/icgmm-serve -spec cmd/icgmm-serve/testdata/spec-scenario.json \
+		-out /dev/null
+
 # Ratcheted coverage floors for the packages the test subsystem hardens.
 # Raise a floor when coverage grows; never lower one.
-COVER_FLOORS := ./internal/serve:91 ./internal/workload:95 ./internal/cluster:75 ./internal/strictjson:95 ./internal/telemetry:85 ./internal/fpga:80 ./internal/cxl:80 ./internal/device:90
+COVER_FLOORS := ./internal/serve:91 ./internal/workload:95 ./internal/cluster:75 ./internal/strictjson:95 ./internal/telemetry:85 ./internal/fpga:80 ./internal/cxl:80 ./internal/device:90 ./internal/scenario:95 ./internal/lstm:95
 cover:
 	@fail=0; \
 	for spec in $(COVER_FLOORS); do \
@@ -125,14 +140,15 @@ cover:
 
 # Fuzz smoke: 20 seconds per target against the trace CSV parser, the
 # -tenants JSON spec parser, the declarative run-spec wire format, the spec's
-# device-timing block, and the Q16.16 quantizer's batch/scalar parity
-# contract. -run='^$$' skips the unit tests so the time budget goes entirely
-# to fuzzing.
+# device-timing block, the scenario/clients/shadow blocks, and the Q16.16
+# quantizer's batch/scalar parity contract. -run='^$$' skips the unit tests
+# so the time budget goes entirely to fuzzing.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzParseRecord -fuzztime=20s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzTenantSpec -fuzztime=20s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzServeSpec -fuzztime=20s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDeviceSpec -fuzztime=20s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzScenarioSpec -fuzztime=20s
 	$(GO) test ./internal/gmm -run='^$$' -fuzz=FuzzQuantizeRoundTrip -fuzztime=20s
 
 fmt:
@@ -147,4 +163,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry test-device fuzz-smoke
+ci: fmt-check vet build race cover bench serve-smoke test-tenants test-shares test-spec test-cluster test-telemetry test-device test-scenario fuzz-smoke

@@ -184,6 +184,7 @@ func TestCommittedSpecsParse(t *testing.T) {
 		"testdata/spec-elastic.json",
 		"testdata/spec-telemetry.json",
 		"testdata/spec-q16.json",
+		"testdata/spec-scenario.json",
 	} {
 		data, err := os.ReadFile(path)
 		if err != nil {

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/lstm"
 	"repro/internal/trace"
@@ -165,6 +167,92 @@ func (p *LSTMPolicy) OnInsert(setIdx, way int, req cache.Request) {
 		p.scores[setIdx][way] = p.score()
 	}
 	p.lastUse[setIdx][way] = req.Seq
+}
+
+// LSTMPolicyState is the policy's full mutable state minus the network
+// weights: the observation window ring, the per-block score and recency
+// tables, the memoized current score, and the Algorithm 1 clock. Weights are
+// excluded deliberately — a shadow policy retrains them deterministically
+// from the spec, so checkpoints stay small.
+type LSTMPolicyState struct {
+	Window     [][]float64 `json:"window"`
+	WPos       int         `json:"wpos"`
+	WCount     int         `json:"wcount"`
+	Scores     [][]float64 `json:"scores"`
+	LastUse    [][]uint64  `json:"last_use"`
+	CurScore   float64     `json:"cur_score,omitempty"`
+	CurValid   bool        `json:"cur_valid,omitempty"`
+	CurTime    int         `json:"cur_time,omitempty"`
+	Inferences uint64      `json:"inferences,omitempty"`
+	// ClockTimestamp/ClockIndex are the timestamp transformer's cursor.
+	ClockTimestamp int `json:"clock_timestamp,omitempty"`
+	ClockIndex     int `json:"clock_index,omitempty"`
+}
+
+// State exports the policy's mutable state.
+func (p *LSTMPolicy) State() LSTMPolicyState {
+	s := LSTMPolicyState{
+		Window:     make([][]float64, len(p.window)),
+		WPos:       p.wpos,
+		WCount:     p.wcount,
+		Scores:     make([][]float64, len(p.scores)),
+		LastUse:    make([][]uint64, len(p.lastUse)),
+		CurScore:   p.curScore,
+		CurValid:   p.curValid,
+		CurTime:    p.curTime,
+		Inferences: p.Inferences,
+	}
+	s.ClockTimestamp, s.ClockIndex = p.tt.State()
+	for i := range p.window {
+		s.Window[i] = append([]float64(nil), p.window[i]...)
+	}
+	for i := range p.scores {
+		s.Scores[i] = append([]float64(nil), p.scores[i]...)
+	}
+	for i := range p.lastUse {
+		s.LastUse[i] = append([]uint64(nil), p.lastUse[i]...)
+	}
+	return s
+}
+
+// RestoreState rewinds the policy to an exported state. The receiver must
+// have been built with the same network shape and attached to the same cache
+// geometry as the exporter.
+func (p *LSTMPolicy) RestoreState(s LSTMPolicyState) error {
+	if len(s.Window) != len(p.window) {
+		return fmt.Errorf("policy: lstm state window length %d, want %d", len(s.Window), len(p.window))
+	}
+	in := p.net.Config().InputDim
+	for i, row := range s.Window {
+		if len(row) != in {
+			return fmt.Errorf("policy: lstm state window row %d has %d dims, want %d", i, len(row), in)
+		}
+	}
+	if s.WPos < 0 || s.WPos >= len(p.window) || s.WCount < 0 || s.WCount > len(p.window) {
+		return fmt.Errorf("policy: lstm state window cursor (%d, %d) outside ring of %d", s.WPos, s.WCount, len(p.window))
+	}
+	if len(s.Scores) != len(p.scores) || len(s.LastUse) != len(p.lastUse) {
+		return fmt.Errorf("policy: lstm state has %d/%d sets, policy has %d", len(s.Scores), len(s.LastUse), len(p.scores))
+	}
+	for i := range s.Scores {
+		if len(s.Scores[i]) != len(p.scores[i]) || len(s.LastUse[i]) != len(p.lastUse[i]) {
+			return fmt.Errorf("policy: lstm state set %d way count mismatch", i)
+		}
+	}
+	if err := p.tt.RestoreState(s.ClockTimestamp, s.ClockIndex); err != nil {
+		return err
+	}
+	for i := range s.Window {
+		p.window[i] = append([]float64(nil), s.Window[i]...)
+	}
+	for i := range s.Scores {
+		copy(p.scores[i], s.Scores[i])
+		copy(p.lastUse[i], s.LastUse[i])
+	}
+	p.wpos, p.wcount = s.WPos, s.WCount
+	p.curScore, p.curValid, p.curTime = s.CurScore, s.CurValid, s.CurTime
+	p.Inferences = s.Inferences
+	return nil
 }
 
 // TrainLSTMOnTrace fits the network to predict page access frequency from

@@ -1,0 +1,156 @@
+package scenario_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func tenants() []string { return []string{"alpha", "beta", "gamma"} }
+
+func TestValidateAcceptsWellFormedTimeline(t *testing.T) {
+	s := &scenario.Spec{Events: []scenario.Event{
+		{Batch: 4, Kind: scenario.KindDiurnal, Tenant: "alpha", Rate: 20000, Amp: 0.5, Period: 16},
+		{Batch: 8, Kind: scenario.KindLeave, Tenant: "beta"},
+		{Batch: 8, Kind: scenario.KindPhase, Tenant: "gamma", Workload: "stream"},
+		{Batch: 12, Kind: scenario.KindRate, Tenant: "alpha", Rate: 15000},
+		{Batch: 16, Kind: scenario.KindJoin, Tenant: "beta"},
+		{Batch: 20, Kind: scenario.KindLeave, Tenant: "gamma"},
+	}}
+	if err := s.Validate(tenants()); err != nil {
+		t.Fatalf("valid timeline rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   []scenario.Event
+		want string
+	}{
+		{"batch zero", []scenario.Event{{Batch: 0, Kind: scenario.KindLeave, Tenant: "alpha"}}, "batch must be >= 1"},
+		{"out of order", []scenario.Event{
+			{Batch: 8, Kind: scenario.KindLeave, Tenant: "alpha"},
+			{Batch: 4, Kind: scenario.KindJoin, Tenant: "alpha"},
+		}, "out of order"},
+		{"unknown tenant", []scenario.Event{{Batch: 1, Kind: scenario.KindLeave, Tenant: "delta"}}, "unknown tenant"},
+		{"missing tenant", []scenario.Event{{Batch: 1, Kind: scenario.KindLeave}}, "missing tenant"},
+		{"unknown kind", []scenario.Event{{Batch: 1, Kind: "pause", Tenant: "alpha"}}, "unknown kind"},
+		{"join active", []scenario.Event{{Batch: 1, Kind: scenario.KindJoin, Tenant: "alpha"}}, "already active"},
+		{"leave departed", []scenario.Event{
+			{Batch: 1, Kind: scenario.KindLeave, Tenant: "alpha"},
+			{Batch: 2, Kind: scenario.KindLeave, Tenant: "alpha"},
+		}, "not active"},
+		{"leave last", []scenario.Event{
+			{Batch: 1, Kind: scenario.KindLeave, Tenant: "alpha"},
+			{Batch: 2, Kind: scenario.KindLeave, Tenant: "beta"},
+			{Batch: 3, Kind: scenario.KindLeave, Tenant: "gamma"},
+		}, "last active tenant"},
+		{"join params", []scenario.Event{
+			{Batch: 1, Kind: scenario.KindLeave, Tenant: "beta"},
+			{Batch: 2, Kind: scenario.KindJoin, Tenant: "beta", Rate: 5},
+		}, "takes no parameters"},
+		{"leave params", []scenario.Event{
+			{Batch: 1, Kind: scenario.KindLeave, Tenant: "beta", Workload: "stream"},
+		}, "takes no parameters"},
+		{"rate zero", []scenario.Event{{Batch: 1, Kind: scenario.KindRate, Tenant: "alpha"}}, "rate must be positive"},
+		{"rate nan", []scenario.Event{{Batch: 1, Kind: scenario.KindRate, Tenant: "alpha", Rate: math.NaN()}}, "rate must be positive"},
+		{"rate extras", []scenario.Event{{Batch: 1, Kind: scenario.KindRate, Tenant: "alpha", Rate: 5, Amp: 0.1}}, "takes only a rate"},
+		{"diurnal base", []scenario.Event{{Batch: 1, Kind: scenario.KindDiurnal, Tenant: "alpha", Rate: math.Inf(1), Amp: 0.5, Period: 8}}, "base rate must be positive"},
+		{"diurnal amp", []scenario.Event{{Batch: 1, Kind: scenario.KindDiurnal, Tenant: "alpha", Rate: 5, Amp: 1, Period: 8}}, "amp must be in"},
+		{"diurnal period", []scenario.Event{{Batch: 1, Kind: scenario.KindDiurnal, Tenant: "alpha", Rate: 5, Amp: 0.5, Period: 1}}, "period must be >= 2"},
+		{"diurnal workload", []scenario.Event{{Batch: 1, Kind: scenario.KindDiurnal, Tenant: "alpha", Rate: 5, Amp: 0.5, Period: 8, Workload: "stream"}}, "takes no workload"},
+		{"phase unknown workload", []scenario.Event{{Batch: 1, Kind: scenario.KindPhase, Tenant: "alpha", Workload: "nope"}}, "unknown benchmark"},
+		{"phase missing workload", []scenario.Event{{Batch: 1, Kind: scenario.KindPhase, Tenant: "alpha"}}, "needs a workload"},
+		{"phase extras", []scenario.Event{{Batch: 1, Kind: scenario.KindPhase, Tenant: "alpha", Workload: "stream", Rate: 5}}, "takes only a workload"},
+	}
+	for _, tc := range cases {
+		s := &scenario.Spec{Events: tc.ev}
+		err := s.Validate(tenants())
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateNilAndEmpty(t *testing.T) {
+	var s *scenario.Spec
+	if err := s.Validate(tenants()); err != nil {
+		t.Fatalf("nil spec rejected: %v", err)
+	}
+	if err := (&scenario.Spec{}).Validate(tenants()); err != nil {
+		t.Fatalf("empty spec rejected: %v", err)
+	}
+}
+
+func TestTimelineTakeAndReplay(t *testing.T) {
+	s := &scenario.Spec{Events: []scenario.Event{
+		{Batch: 2, Kind: scenario.KindLeave, Tenant: "beta"},
+		{Batch: 5, Kind: scenario.KindRate, Tenant: "alpha", Rate: 10},
+		{Batch: 5, Kind: scenario.KindJoin, Tenant: "beta"},
+		{Batch: 9, Kind: scenario.KindLeave, Tenant: "gamma"},
+	}}
+	tl := scenario.NewTimeline(s)
+	var applied []scenario.Event
+	for b := uint64(0); b < 12; b++ {
+		applied = append(applied, tl.Take(b)...)
+	}
+	if len(applied) != 4 || tl.Pending() != 0 {
+		t.Fatalf("walked timeline applied %d events, %d pending", len(applied), tl.Pending())
+	}
+	for i, ev := range applied {
+		if ev != s.Events[i] {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+	}
+
+	// A resumed cursor replays the already-applied prefix, then Take picks
+	// up exactly where the uninterrupted walk would be.
+	// A nil spec yields an empty timeline that is safe to walk.
+	empty := scenario.NewTimeline(nil)
+	if got := empty.Take(1); len(got) != 0 || empty.Pending() != 0 {
+		t.Fatalf("nil-spec timeline not empty: %v, %d pending", got, empty.Pending())
+	}
+
+	rt := scenario.NewTimeline(s)
+	replayed := rt.Replay(5)
+	if len(replayed) != 1 || replayed[0].Batch != 2 {
+		t.Fatalf("replay(5) = %+v, want the batch-2 event only", replayed)
+	}
+	if got := rt.Take(5); len(got) != 2 {
+		t.Fatalf("take(5) after replay = %+v, want 2 events", got)
+	}
+	if got := rt.Take(9); len(got) != 1 || got[0].Tenant != "gamma" {
+		t.Fatalf("take(9) = %+v", got)
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	// Phase zero and every full period return exactly the base rate.
+	if got := scenario.DiurnalRate(1000, 0.5, 8, 16, 8); got != 1000 {
+		t.Fatalf("start batch rate = %v, want 1000", got)
+	}
+	p1 := scenario.DiurnalRate(1000, 0.5, 8, 16, 8+16)
+	p2 := scenario.DiurnalRate(1000, 0.5, 8, 16, 8+32)
+	if math.Abs(p1-p2) > 1e-9 {
+		t.Fatalf("diurnal profile not periodic: %v vs %v", p1, p2)
+	}
+	// Quarter period is the peak, three quarters the trough.
+	peak := scenario.DiurnalRate(1000, 0.5, 0, 16, 4)
+	trough := scenario.DiurnalRate(1000, 0.5, 0, 16, 12)
+	if math.Abs(peak-1500) > 1e-9 || math.Abs(trough-500) > 1e-9 {
+		t.Fatalf("peak/trough = %v/%v, want 1500/500", peak, trough)
+	}
+	// Positive for every batch when amp < 1.
+	for b := uint64(0); b < 64; b++ {
+		if r := scenario.DiurnalRate(100, 0.99, 0, 7, b); r <= 0 {
+			t.Fatalf("rate %v at batch %d not positive", r, b)
+		}
+	}
+}

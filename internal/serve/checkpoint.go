@@ -115,6 +115,10 @@ type tenantCtlState struct {
 	CtrlDir         float64 `json:"ctrl_dir"`
 	CtrlPrevViolate bool    `json:"ctrl_prev_violate,omitempty"`
 	SatHold         int     `json:"sat_hold,omitempty"`
+	// EWMA of the tenant's measured headroom (donor selection); omitted for
+	// tenants that were never measured so earlier checkpoints round-trip.
+	HeadroomEWMA float64 `json:"headroom_ewma,omitempty"`
+	HeadroomSeen bool    `json:"headroom_seen,omitempty"`
 }
 
 // partitionState is one partition's complete device state.
@@ -138,6 +142,10 @@ type partitionState struct {
 	DFOps      uint64              `json:"df_ops,omitempty"`
 	DFQueueSum uint64              `json:"df_queue_sum,omitempty"`
 	DFStalls   uint64              `json:"df_stalls,omitempty"`
+
+	// Shadow-policy state (omitted when no shadow is configured, keeping
+	// shadow-less checkpoints byte-compatible with earlier builds).
+	Shadow *shadowPartState `json:"shadow,omitempty"`
 }
 
 // policyState is the tenant policy engine's per-partition state: the stored
@@ -164,6 +172,7 @@ type tenantCellState struct {
 	CtrlHits      uint64                `json:"ctrl_hits,omitempty"`
 	CtrlQueueSum  uint64                `json:"ctrl_queue_sum,omitempty"`
 	CtrlHist      *stats.HistogramState `json:"ctrl_hist,omitempty"`
+	LatSumNs      int64                 `json:"lat_sum_ns,omitempty"`
 }
 
 // sourceState is the workload stream's cursor: which of the two source
@@ -269,10 +278,19 @@ func Resume(r io.Reader, metrics io.Writer) (*Session, error) {
 		if sess.mux == nil {
 			return nil, errors.New("serve: checkpoint carries a mux source but the spec is single-stream")
 		}
+		// Replay the scenario timeline's already-applied prefix before the
+		// mux cursor lands: restoring an open-loop stream regenerates its
+		// in-flight trace segment from the current generator, so phase swaps
+		// (and rates, which are not part of the stream state) must be
+		// re-derived first.
+		if err := sess.replayScenario(); err != nil {
+			return nil, err
+		}
 		if err := sess.mux.RestoreState(*doc.Source.Mux); err != nil {
 			return nil, err
 		}
 		sess.src.(*muxSource).remaining = doc.Source.Remaining
+		sess.syncFeedbackCursors()
 	case doc.Source.OpenLoop != nil:
 		if sess.ol == nil {
 			return nil, errors.New("serve: checkpoint carries an open-loop source but the spec is multi-tenant")
@@ -327,6 +345,8 @@ func (s *Service) exportState() (serviceState, error) {
 			CtrlDir:         t.ctrlDir,
 			CtrlPrevViolate: t.ctrlPrevViolate,
 			SatHold:         t.satHold,
+			HeadroomEWMA:    t.headroomEWMA,
+			HeadroomSeen:    t.headroomSeen,
 		}
 	}
 	if s.ctrl != nil {
@@ -361,6 +381,10 @@ func (s *Service) exportState() (serviceState, error) {
 			tls := tl.State()
 			ps.Dataflow = &tls
 		}
+		if p.shadow != nil {
+			ss := p.shadow.exportState()
+			ps.Shadow = &ss
+		}
 		for t := range p.ten {
 			cell := &p.ten[t]
 			cs := tenantCellState{
@@ -374,6 +398,7 @@ func (s *Service) exportState() (serviceState, error) {
 				CtrlOps:       cell.ctrlOps,
 				CtrlHits:      cell.ctrlHits,
 				CtrlQueueSum:  cell.ctrlQueueSum,
+				LatSumNs:      cell.latSumNs,
 			}
 			if cell.ctrlHist != nil {
 				hs := cell.ctrlHist.State()
@@ -422,6 +447,8 @@ func (s *Service) restoreState(st serviceState) error {
 		t.ctrlDir = ts.CtrlDir
 		t.ctrlPrevViolate = ts.CtrlPrevViolate
 		t.satHold = ts.SatHold
+		t.headroomEWMA = ts.HeadroomEWMA
+		t.headroomSeen = ts.HeadroomSeen
 	}
 	if s.ctrl != nil {
 		s.ctrl.cooldown = st.ControllerCooldown
@@ -465,6 +492,14 @@ func (s *Service) restoreState(st serviceState) error {
 				return fmt.Errorf("serve: checkpoint partition %d: %w", i, err)
 			}
 		}
+		switch {
+		case ps.Shadow != nil && p.shadow != nil:
+			if err := p.shadow.restoreState(*ps.Shadow); err != nil {
+				return fmt.Errorf("serve: checkpoint partition %d shadow: %w", i, err)
+			}
+		case ps.Shadow != nil || p.shadow != nil:
+			return fmt.Errorf("serve: checkpoint partition %d shadow-policy presence mismatch with the spec", i)
+		}
 		if err := p.hist.RestoreState(ps.Hist); err != nil {
 			return err
 		}
@@ -491,6 +526,7 @@ func (s *Service) restoreState(st serviceState) error {
 			cell.ctrlOps = cs.CtrlOps
 			cell.ctrlHits = cs.CtrlHits
 			cell.ctrlQueueSum = cs.CtrlQueueSum
+			cell.latSumNs = cs.LatSumNs
 			switch {
 			case cs.CtrlHist != nil && cell.ctrlHist != nil:
 				if err := cell.ctrlHist.RestoreState(*cs.CtrlHist); err != nil {

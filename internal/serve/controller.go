@@ -196,7 +196,17 @@ type tenantState struct {
 	// lever was saturated (multiplier clamped, or a violated step that made
 	// no progress) — the elastic-share controller's bid condition.
 	satHold int
+	// headroomEWMA smooths the tenant's measured QoS headroom across control
+	// intervals (alpha headroomAlpha, seeded by the first measurement).
+	// Donor selection ranks candidates by this smoothed value instead of the
+	// instantaneous one, so a tenant whose metric oscillates around its band
+	// edge cannot be drained on every comfortable swing.
+	headroomEWMA float64
+	headroomSeen bool
 }
+
+// headroomAlpha is the smoothing factor for tenantState.headroomEWMA.
+const headroomAlpha = 0.25
 
 // controller drives the per-tenant threshold adaptation and, with
 // ShareAdapt, the capacity-share reallocation. It runs on the ingest
@@ -304,6 +314,11 @@ func (c *controller) step() {
 		}
 		violated, comfortable := t.spec.QoS.classify(v)
 		obs[ti] = ctrlObs{measured: true, v: v, violated: violated, comfortable: comfortable}
+		if h := t.spec.QoS.headroom(v); t.headroomSeen {
+			t.headroomEWMA += headroomAlpha * (h - t.headroomEWMA)
+		} else {
+			t.headroomEWMA, t.headroomSeen = h, true
+		}
 		switch {
 		case violated:
 			// Reverse the search direction when the previous violated step
@@ -420,7 +435,11 @@ func (c *controller) adaptShares(obs []ctrlObs) {
 		if s.parts[0].pol.Budget(ti)-c.cfg.ShareQuantum < c.donorFloor(ti) {
 			continue
 		}
-		if h := t.spec.QoS.headroom(o.v); donor == -1 || h > best {
+		// Rank donors by smoothed headroom: eligibility (comfortable this
+		// interval) stays instantaneous, but the tie-break across candidates
+		// uses the EWMA so oscillating tenants don't win the widest-headroom
+		// contest on one good interval.
+		if h := t.headroomEWMA; donor == -1 || h > best {
 			donor, best = ti, h
 		}
 	}

@@ -246,6 +246,64 @@ func TestControllerShareRequiresCapPressure(t *testing.T) {
 	}
 }
 
+// TestControllerDonorUsesEWMAHeadroom is the oscillating-donor regression
+// test: donor selection ranks candidates by the EWMA of their measured
+// headroom, not the instantaneous value, so a tenant whose metric swings
+// around its band edge cannot win the widest-headroom contest on one lucky
+// interval. "oscil" spends its history barely comfortable, then spikes to
+// the widest instantaneous headroom exactly when the transfer fires;
+// "steady" has been comfortably wide the whole time. Instantaneous selection
+// would drain oscil — the EWMA must pick steady.
+func TestControllerDonorUsesEWMAHeadroom(t *testing.T) {
+	t.Parallel()
+	specs := []TenantSpec{
+		{Name: "starved", Share: 0.4, QoS: hitQoS(0.8)},
+		{Name: "oscil", Share: 0.3, QoS: hitQoS(0.4)},
+		{Name: "steady", Share: 0.3, QoS: hitQoS(0.4)},
+	}
+	cfg := ControlConfig{
+		Every: 1, Step: 2, MinMult: 0.5, MaxMult: 2,
+		ShareAdapt: true, ShareQuantum: 1, ShareHold: 1, ShareCooldown: 4, ShareFloor: 1,
+	}
+	h := newCtrlHarness(t, specs, []int{4, 4, 4}, cfg)
+	s := h.svc
+	h.fill(t, 0, 4) // starved presses its cap
+	h.fill(t, 1, 4)
+	h.fill(t, 2, 4)
+
+	// History: starved idle (no receiver, so no transfer), oscil barely
+	// comfortable at 0.45 (headroom 0.125), steady wide at 0.90 (headroom
+	// 1.25). Four intervals pin both EWMAs near those values.
+	for i := 0; i < 4; i++ {
+		h.observe(1, 100, 45)
+		h.observe(2, 100, 90)
+		s.ctrl.step()
+	}
+	if ew := s.tenants[1].headroomEWMA; ew > 0.2 {
+		t.Fatalf("setup: oscil's EWMA %v did not settle low", ew)
+	}
+
+	// Decision interval: starved violated and instantly saturated (first
+	// step clamps mult at MinMult), oscil spikes to 0.95 — instantaneous
+	// headroom 1.375, the widest in the pool — while steady holds 0.90
+	// (headroom 1.25). The EWMA still ranks steady far above oscil.
+	h.observe(0, 100, 10)
+	h.observe(1, 100, 95)
+	h.observe(2, 100, 90)
+	s.ctrl.step()
+
+	out := h.out.String()
+	if !strings.Contains(out, `"kind":"share"`) {
+		t.Fatalf("no share transfer fired:\n%s", out)
+	}
+	if !strings.Contains(out, `"donor":"steady"`) || strings.Contains(out, `"donor":"oscil"`) {
+		t.Errorf("donor selection followed the instantaneous spike instead of the EWMA:\n%s", out)
+	}
+	if b := s.parts[0].pol; b.Budget(1) != 4 || b.Budget(2) != 3 {
+		t.Errorf("budgets after transfer = %d/%d/%d, want 5/4/3", b.Budget(0), b.Budget(1), b.Budget(2))
+	}
+}
+
 // TestControlConfigShareValidation pins the share-lever config contract.
 func TestControlConfigShareValidation(t *testing.T) {
 	t.Parallel()

@@ -22,6 +22,17 @@ const (
 	// a reporting interval stalled on a full outstanding window — the device
 	// was saturated for the whole interval.
 	EventCongestion = "congestion"
+	// EventTenantJoin / EventTenantLeave: a scenario timeline event changed
+	// the tenant population and the capacity rebalance ran; Tenant names the
+	// churned tenant and Blocks its post-rebalance budget (summed over
+	// partitions).
+	EventTenantJoin  = "tenant-join"
+	EventTenantLeave = "tenant-leave"
+	// EventShadowDivergence: at a reporting interval, the shadow policy's
+	// cumulative hit ratio diverged from the live policy's beyond the spec's
+	// divergence threshold. HitRatio carries the live value, Baseline the
+	// shadow's.
+	EventShadowDivergence = "shadow_divergence"
 )
 
 // Event is one observed serving-path state transition. Batch locates it on

@@ -58,6 +58,93 @@ func FuzzServeSpec(f *testing.F) {
 	})
 }
 
+// FuzzScenarioSpec fuzzes the spec's "scenario", "clients" and "shadow"
+// blocks: arbitrary bytes must never panic, every accepted document must
+// satisfy the timeline invariants (batches ordered from 1, only known kinds
+// against declared tenants, per-kind parameter exclusivity), and the parsed
+// spec must survive a Marshal/ParseSpec round trip unchanged — the property
+// that lets a scheduled run be shipped to a cluster worker losslessly.
+func FuzzScenarioSpec(f *testing.F) {
+	const base = `"warmup":16000,"train":{"k":4,"shot":128},
+	 "tenants":[{"name":"a","workload":"dlrm","seed":1,"rate":15000,"share":0.5},
+	  {"name":"b","workload":"parsec","seed":2,"rate":9000,"share":0.5}]`
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"events":[
+	 {"batch":16,"kind":"diurnal","tenant":"a","rate":15000,"amp":0.5,"period":32},
+	 {"batch":24,"kind":"leave","tenant":"b"},
+	 {"batch":40,"kind":"phase","tenant":"a","workload":"stream"},
+	 {"batch":56,"kind":"join","tenant":"b"},
+	 {"batch":56,"kind":"rate","tenant":"b","rate":4500}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"clients":{"users":4,"alpha":0.3},
+	 "shadow":{"policy":"lstm","hidden":8,"seq_len":4,"epochs":1,"max_examples":96,"divergence":0.05}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"events":[{"batch":0,"kind":"rate","tenant":"a","rate":1}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"events":[
+	 {"batch":8,"kind":"leave","tenant":"a"},{"batch":4,"kind":"join","tenant":"a"}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"events":[{"batch":8,"kind":"vanish","tenant":"a"}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"events":[{"batch":8,"kind":"rate","tenant":"zz","rate":1}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"events":[{"batch":8,"kind":"join","tenant":"a"}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"events":[
+	 {"batch":8,"kind":"leave","tenant":"a"},{"batch":12,"kind":"leave","tenant":"b"}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"events":[
+	 {"batch":8,"kind":"diurnal","tenant":"a","rate":15000,"amp":1.5,"period":1}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"events":[
+	 {"batch":8,"kind":"rate","tenant":"a","rate":1,"workload":"stream"}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"clients":{"users":-1}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"clients":{"users":4,"alpha":1.5}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"shadow":{"policy":"gmm2"}}`))
+	f.Add([]byte(`{"version":1,"warmup":16000,"train":{"shot":128},"workload":{"name":"dlrm"},
+	 "scenario":{"events":[{"batch":8,"kind":"rate","tenant":"a","rate":1}]}}`))
+	f.Add([]byte(`{"version":1,` + base + `,"scenario":{"evnets":[]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := serve.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if sc := spec.Scenario; sc != nil {
+			if len(spec.Tenants) == 0 {
+				t.Fatalf("accepted a scenario without tenants: %s", data)
+			}
+			names := make(map[string]bool, len(spec.Tenants))
+			for _, ts := range spec.Tenants {
+				names[ts.Name] = true
+			}
+			var prev uint64
+			for i, ev := range sc.Events {
+				if ev.Batch < 1 || ev.Batch < prev {
+					t.Fatalf("accepted event %d at batch %d after %d: %s", i, ev.Batch, prev, data)
+				}
+				prev = ev.Batch
+				if !names[ev.Tenant] {
+					t.Fatalf("accepted event %d against unknown tenant %q", i, ev.Tenant)
+				}
+				switch ev.Kind {
+				case "join", "leave", "rate", "diurnal", "phase":
+				default:
+					t.Fatalf("accepted event %d with unknown kind %q", i, ev.Kind)
+				}
+			}
+		}
+		if c := spec.Clients; c != nil {
+			if c.Users < 0 || c.Alpha < 0 || c.Alpha > 1 {
+				t.Fatalf("accepted invalid clients block %+v", c)
+			}
+		}
+		if _, err := spec.Config(); err != nil {
+			t.Fatalf("accepted spec does not build a config: %v", err)
+		}
+		out, err := spec.Marshal()
+		if err != nil {
+			t.Fatalf("marshalling accepted spec: %v", err)
+		}
+		again, err := serve.ParseSpec(out)
+		if err != nil {
+			t.Fatalf("re-parsing %s: %v", out, err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round trip changed the spec:\n%+v\n%+v", spec, again)
+		}
+	})
+}
+
 // FuzzDeviceSpec fuzzes the spec's "device" block: arbitrary bytes must
 // never panic, unknown keys anywhere under "device" (including the nested
 // "link" object) must be rejected with a field-path error, and every accepted

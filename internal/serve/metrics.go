@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"time"
 
 	"repro/internal/cache"
@@ -67,6 +68,12 @@ type TenantSnapshot struct {
 	QoSValue  float64
 	WithinQoS bool
 	QoSValid  bool
+	// Shadow-policy accounting (zero unless the run configures a shadow
+	// scorer): the shadow cache's cumulative ops, hits and modeled mean
+	// latency over the tenant's device-routed traffic.
+	ShadowOps    uint64
+	ShadowHits   uint64
+	ShadowMeanNs float64
 }
 
 // HitRatio returns the tenant's cumulative hit ratio.
@@ -101,7 +108,10 @@ type Snapshot struct {
 	// Timing names the device timing backend the run served through
 	// ("flat" or "dataflow"); the per-partition dataflow fields are only
 	// populated under "dataflow".
-	Timing     string
+	Timing string
+	// Shadow reports whether a shadow policy ran alongside the live one
+	// (the per-tenant Shadow* fields are only populated when set).
+	Shadow     bool
 	Partitions []PartitionSnapshot
 	// Tenants holds one entry per configured tenant (exactly one for
 	// single-tenant runs), in Config.Tenants order.
@@ -125,6 +135,7 @@ func (s *Service) Snapshot() *Snapshot {
 		Refreshes:       s.refresher.installed,
 		RefreshesFailed: s.refresher.failed.Load(),
 		Timing:          s.cfg.Device.Timing.String(),
+		Shadow:          s.cfg.Shadow != nil,
 		Partitions:      make([]PartitionSnapshot, len(s.parts)),
 	}
 	for i, p := range s.parts {
@@ -193,6 +204,31 @@ func (s *Service) tenantCounters(ti int) (ops, hits, bytesAdmitted, resident uin
 	return ops, hits, bytesAdmitted, resident
 }
 
+// tenantLatSum sums tenant ti's cumulative sojourn-time counter across
+// partitions — the exact integer sum behind the live side of the shadow
+// mean-latency deltas.
+func (s *Service) tenantLatSum(ti int) (latSumNs int64) {
+	for _, p := range s.parts {
+		latSumNs += p.ten[ti].latSumNs
+	}
+	return latSumNs
+}
+
+// shadowCounters sums tenant ti's shadow accounting cells across partitions.
+// All zero when no shadow policy is configured.
+func (s *Service) shadowCounters(ti int) (ops, hits uint64, latSumNs int64) {
+	for _, p := range s.parts {
+		if p.shadow == nil {
+			continue
+		}
+		cell := &p.shadow.ten[ti]
+		ops += cell.ops
+		hits += cell.hits
+		latSumNs += cell.latSumNs
+	}
+	return ops, hits, latSumNs
+}
+
 // tenantSnapshots merges per-(partition, tenant) accounting cells, in
 // partition order within each tenant, into one TenantSnapshot per tenant.
 func (s *Service) tenantSnapshots() []TenantSnapshot {
@@ -222,6 +258,11 @@ func (s *Service) tenantSnapshots() []TenantSnapshot {
 			cxlH.Merge(cell.cxlHist)
 			hbmH.Merge(cell.hbmHist)
 			ssdH.Merge(cell.ssdHist)
+		}
+		var shadowLat int64
+		ts.ShadowOps, ts.ShadowHits, shadowLat = s.shadowCounters(ti)
+		if ts.ShadowOps > 0 {
+			ts.ShadowMeanNs = float64(shadowLat) / float64(ts.ShadowOps)
 		}
 		ts.Latency = hist.Summarize()
 		ts.CXL = cxlH.Summarize()
@@ -299,6 +340,22 @@ type metricRecord struct {
 	GMMBusyRatio   *float64 `json:"gmm_busy_ratio,omitempty"`
 	SSDBusyRatio   *float64 `json:"ssd_busy_ratio,omitempty"`
 	CtrlBusyRatio  *float64 `json:"ctrl_busy_ratio,omitempty"`
+	// Scenario fields ("scenario" records): the timeline event kind that
+	// fired, the offered rate it set (rate/diurnal events), and the workload
+	// it swapped in (phase events).
+	Event      string   `json:"event,omitempty"`
+	RatePerSec *float64 `json:"rate_per_sec,omitempty"`
+	Workload   string   `json:"workload,omitempty"`
+	// Shadow-policy fields (interval / tenant-interval / tenant records,
+	// only when a shadow scorer is configured): the shadow cache's
+	// cumulative hit ratio and modeled mean latency over the same
+	// device-routed traffic, and their deltas against the live policy
+	// (shadow minus live). Pointers so shadow-less streams stay
+	// byte-identical to their goldens.
+	ShadowHitRatio    *float64 `json:"shadow_hit_ratio,omitempty"`
+	ShadowHitDelta    *float64 `json:"shadow_hit_delta,omitempty"`
+	ShadowMeanNs      *int64   `json:"shadow_mean_ns,omitempty"`
+	ShadowMeanDeltaNs *int64   `json:"shadow_mean_delta_ns,omitempty"`
 }
 
 // metricsWriter serializes metric records as JSONL. A nil writer turns every
@@ -381,6 +438,9 @@ func (s *Service) emitInterval(batchHitRatio float64) {
 	if s.cfg.Device.Timing == TimingDataflow {
 		s.addDataflowInterval(&rec)
 	}
+	if s.cfg.Shadow != nil {
+		s.addShadowInterval(&rec)
+	}
 	s.metrics.write(rec)
 	// Explicit multi-tenant runs also get one cumulative per-tenant line —
 	// O(partitions) counter sums, no percentile sorting.
@@ -395,7 +455,7 @@ func (s *Service) emitInterval(batchHitRatio float64) {
 			for _, p := range s.parts {
 				tBudget += uint64(p.pol.Budget(ti))
 			}
-			s.metrics.write(metricRecord{
+			trec := metricRecord{
 				Kind:           "tenant-interval",
 				Batch:          s.batches,
 				Tenant:         t.spec.Name,
@@ -406,8 +466,65 @@ func (s *Service) emitInterval(batchHitRatio float64) {
 				BudgetBlocks:   tBudget,
 				Threshold:      t.threshold,
 				Mult:           t.mult,
-			})
+			}
+			if s.cfg.Shadow != nil {
+				if sOps, sHits, sLat := s.shadowCounters(ti); sOps > 0 {
+					shr := float64(sHits) / float64(sOps)
+					delta := shr - hr
+					smean := sLat / int64(sOps)
+					trec.ShadowHitRatio = &shr
+					trec.ShadowHitDelta = &delta
+					trec.ShadowMeanNs = &smean
+					if tOps > 0 {
+						dmean := smean - s.tenantLatSum(ti)/int64(tOps)
+						trec.ShadowMeanDeltaNs = &dmean
+					}
+					if math.Abs(delta) > s.cfg.Shadow.Divergence {
+						s.emit(Event{Kind: EventShadowDivergence, Tenant: t.spec.Name, HitRatio: hr, Baseline: shr})
+					}
+				}
+			}
+			s.metrics.write(trec)
 		}
+	}
+}
+
+// addShadowInterval attaches the run-wide shadow bake-off view to an
+// interval record: the shadow caches' cumulative hit ratio and modeled mean
+// latency, with deltas against the live policy. Both sides are computed from
+// the per-tenant accounting cells, so the ratios compare like with like —
+// note the shadow only sees device-routed traffic, while the live ratio
+// includes host-routed hits (a deliberate, documented asymmetry under
+// dataflow timing).
+func (s *Service) addShadowInterval(rec *metricRecord) {
+	var sOps, sHits, lOps, lHits uint64
+	var sLat, lLat int64
+	for ti := range s.tenants {
+		o, h, l := s.shadowCounters(ti)
+		sOps += o
+		sHits += h
+		sLat += l
+		to, th, _, _ := s.tenantCounters(ti)
+		lOps += to
+		lHits += th
+		lLat += s.tenantLatSum(ti)
+	}
+	if sOps == 0 {
+		return
+	}
+	shr := float64(sHits) / float64(sOps)
+	lhr := 0.0
+	if lOps > 0 {
+		lhr = float64(lHits) / float64(lOps)
+	}
+	delta := shr - lhr
+	smean := sLat / int64(sOps)
+	rec.ShadowHitRatio = &shr
+	rec.ShadowHitDelta = &delta
+	rec.ShadowMeanNs = &smean
+	if lOps > 0 {
+		dmean := smean - lLat/int64(lOps)
+		rec.ShadowMeanDeltaNs = &dmean
 	}
 }
 
@@ -509,6 +626,21 @@ func (m *metricsWriter) writeFinal(snap *Snapshot, emitTenants bool) error {
 				rec.QoSMetric = ts.QoS.Metric
 				rec.QoS = &v
 				rec.WithinQoS = &within
+			}
+			if snap.Shadow && ts.ShadowOps > 0 {
+				shr := float64(ts.ShadowHits) / float64(ts.ShadowOps)
+				delta := shr - ts.HitRatio()
+				smean := int64(ts.ShadowMeanNs)
+				rec.ShadowHitRatio = &shr
+				rec.ShadowHitDelta = &delta
+				rec.ShadowMeanNs = &smean
+				if ts.Ops > 0 {
+					// The tenant histogram's sum/count equals the integer
+					// latency sum over ops exactly, so this delta matches the
+					// interval records' arithmetic.
+					dmean := smean - int64(ts.Latency.Mean)
+					rec.ShadowMeanDeltaNs = &dmean
+				}
 			}
 			m.write(rec)
 		}

@@ -120,6 +120,13 @@ type Config struct {
 	// the fpga dataflow pipeline with host routing and a bounded
 	// outstanding-request window. See DeviceConfig.
 	Device DeviceConfig
+	// Shadow, when non-nil, runs the trained shadow policy bundle alongside
+	// the live GMM: every partition gets a shadow cache fed the identical
+	// request sequence, and interval/final records carry per-tenant shadow
+	// hit-ratio and latency deltas. The shadow is strictly read-side — it
+	// never touches live cache state, the serving clock, or (absent a
+	// shadow block in the spec) the metric byte stream.
+	Shadow *ShadowBundle
 	// Metrics, when non-nil, receives JSONL metric records: one "interval"
 	// record every ReportEvery batches, one "refresh" record per installed
 	// model, and "partition" + "summary" records when the run ends.
@@ -347,6 +354,10 @@ type partition struct {
 	model  deviceModel
 	timing TimingKind
 
+	// shadow, when non-nil, is the partition's shadow cache + policy
+	// (Config.Shadow); it replays the batch after the live drain.
+	shadow *shadowPart
+
 	now        int64 // completion time of the last request served here
 	engineBusy int64
 	ops        uint64
@@ -498,6 +509,12 @@ func New(cfg Config, b *Bundle) (*Service, error) {
 				Overlap:    cfg.Overlap,
 			}}
 		}
+		var shadow *shadowPart
+		if cfg.Shadow != nil {
+			if shadow, err = newShadowPart(cfg, cfg.Shadow, pc, len(specs), mem, dev); err != nil {
+				return nil, err
+			}
+		}
 		parts[i] = &partition{
 			cache:  c,
 			pol:    pol,
@@ -506,6 +523,7 @@ func New(cfg Config, b *Bundle) (*Service, error) {
 			link:   link,
 			model:  model,
 			timing: cfg.Device.Timing,
+			shadow: shadow,
 			hist:   stats.DefaultLatencyHistogram(),
 			ten:    ten,
 		}
@@ -732,6 +750,17 @@ func (p *partition) drainBatch(b *Bundle) {
 	for i, sr := range p.queue {
 		p.serveOne(sr.req, scores[i])
 	}
+	if p.shadow != nil {
+		// Replay the identical request sequence through the shadow cache.
+		// Host-routed pages never reached the live cache, so the shadow skips
+		// them too (hostRoute is a pure function of the page).
+		for _, sr := range p.queue {
+			if _, ok := p.model.hostRoute(sr.req.Page); ok {
+				continue
+			}
+			p.shadow.serve(sr.req)
+		}
+	}
 	p.queue = p.queue[:0]
 }
 
@@ -777,6 +806,7 @@ func (p *partition) serveOne(req Request, score float64) {
 		ts.ctrlOps++
 		ts.hits++
 		ts.ctrlHits++
+		ts.latSumNs += lat
 		ts.hist.Observe(lat)
 		ts.hbmHist.Observe(lat)
 		if ts.ctrlHist != nil {
@@ -813,6 +843,7 @@ func (p *partition) serveOne(req Request, score float64) {
 	ts.ops++
 	ts.ctrlOps++
 	ts.ctrlQueueSum += uint64(r.queueDepth)
+	ts.latSumNs += sojourn
 	ts.hist.Observe(sojourn)
 	ts.cxlHist.Observe(r.linkNs)
 	if res.Hit {

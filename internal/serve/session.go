@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -48,6 +49,16 @@ type Session struct {
 	// Step captures the full checkpoint document and hands it to ckptFn.
 	ckptEvery uint64
 	ckptFn    func(doc []byte) error
+
+	// Scenario runtime (tenant runs only): the event-timeline cursor, the
+	// tenant name index, per-tenant diurnal profiles, and — under clients
+	// mode — the closed-loop latency feedback cursors.
+	timeline   *scenario.Timeline
+	tenantIdx  map[string]int
+	diurnal    []diurnalState
+	closedLoop bool
+	fbLatSum   []int64
+	fbOps      []uint64
 }
 
 // Open validates the spec, runs initial training on the warm-up trace it
@@ -70,18 +81,31 @@ func openWithBundle(spec Spec, metrics io.Writer, b *Bundle) (*Session, error) {
 		return nil, err
 	}
 	cfg.Metrics = metrics
+	if spec.Shadow != nil {
+		sb, err := trainShadowBundle(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Shadow = sb
+	}
 	svc, err := New(cfg, b)
 	if err != nil {
 		return nil, err
 	}
 	s := &Session{spec: spec, cfg: cfg, svc: svc, buf: make([]Request, cfg.BatchSize)}
 	if len(spec.Tenants) > 0 {
-		mux, err := NewTenantMux(spec.Tenants)
+		var mux *workload.Mux
+		if spec.Clients != nil {
+			mux, err = NewClientMux(spec.Tenants, spec.Clients.EffectiveUsers(), spec.Clients.Alpha)
+		} else {
+			mux, err = NewTenantMux(spec.Tenants)
+		}
 		if err != nil {
 			return nil, err
 		}
 		s.mux = mux
 		s.src = NewMuxSource(mux, spec.EffectiveOps())
+		s.initScenario()
 	} else {
 		gen, err := spec.generator()
 		if err != nil {
@@ -109,6 +133,9 @@ func (s *Session) Step(n int) (int, error) {
 	s.ckptPending = false
 	steps := 0
 	for steps < n && !s.done {
+		if err := s.applyScenario(); err != nil {
+			return steps, err
+		}
 		k := s.src.Next(s.buf)
 		if k == 0 {
 			s.done = true
@@ -117,6 +144,7 @@ func (s *Session) Step(n int) (int, error) {
 		if err := s.svc.processBatch(s.buf[:k]); err != nil {
 			return steps, err
 		}
+		s.feedbackLatency()
 		steps++
 		if s.ckptEvery > 0 && s.svc.batches%s.ckptEvery == 0 {
 			var buf bytes.Buffer

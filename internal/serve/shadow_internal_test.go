@@ -1,0 +1,65 @@
+package serve
+
+import "testing"
+
+// TestShadowSpecDefaults pins the effective defaults an empty shadow block
+// expands to — the shapes the README documents and goldens depend on.
+func TestShadowSpecDefaults(t *testing.T) {
+	var sh ShadowSpec
+	if err := sh.Validate(); err != nil {
+		t.Fatalf("empty shadow block rejected: %v", err)
+	}
+	if got := sh.effHidden(); got != 32 {
+		t.Errorf("effHidden = %d, want 32", got)
+	}
+	if got := sh.effLayers(); got != 1 {
+		t.Errorf("effLayers = %d, want 1", got)
+	}
+	if got := sh.effSeqLen(); got != 8 {
+		t.Errorf("effSeqLen = %d, want 8", got)
+	}
+	if got := sh.effThreshold(); got != 0.1 {
+		t.Errorf("effThreshold = %v, want 0.1", got)
+	}
+	if got := sh.effEpochs(); got != 2 {
+		t.Errorf("effEpochs = %d, want 2", got)
+	}
+	if got := sh.effMaxExamples(); got != 256 {
+		t.Errorf("effMaxExamples = %d, want 256", got)
+	}
+	if got := sh.effSeed(77); got != 77 {
+		t.Errorf("effSeed falls back to %d, want the training seed 77", got)
+	}
+	if got := sh.effDivergence(); got != 0.1 {
+		t.Errorf("effDivergence = %v, want 0.1", got)
+	}
+
+	full := ShadowSpec{Policy: "lstm", Hidden: 8, Layers: 2, SeqLen: 4,
+		Threshold: 0.2, Epochs: 1, MaxExamples: 64, Seed: 5, Divergence: 0.05}
+	if err := full.Validate(); err != nil {
+		t.Fatalf("explicit shadow block rejected: %v", err)
+	}
+	if full.effHidden() != 8 || full.effLayers() != 2 || full.effSeqLen() != 4 ||
+		full.effThreshold() != 0.2 || full.effEpochs() != 1 || full.effMaxExamples() != 64 ||
+		full.effSeed(77) != 5 || full.effDivergence() != 0.05 {
+		t.Error("explicit shadow parameters not passed through verbatim")
+	}
+}
+
+func TestShadowSpecValidate(t *testing.T) {
+	bad := []ShadowSpec{
+		{Policy: "gmm2"},
+		{Hidden: -1},
+		{Layers: -1},
+		{SeqLen: -2},
+		{Epochs: -1},
+		{MaxExamples: -8},
+		{Divergence: -0.1},
+		{Divergence: 1.5},
+	}
+	for i, sh := range bad {
+		if err := sh.Validate(); err == nil {
+			t.Errorf("bad shadow spec %d accepted: %+v", i, sh)
+		}
+	}
+}

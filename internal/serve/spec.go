@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fpga"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/ssd"
 	"repro/internal/strictjson"
 	"repro/internal/trace"
@@ -93,6 +94,54 @@ type Spec struct {
 	// Device selects and parameterizes the device timing backend (flat
 	// latency constants, the default, or the fpga dataflow pipeline).
 	Device *DeviceSpec `json:"device,omitempty"`
+	// Scenario attaches a deterministic timeline of batch-indexed events —
+	// tenant churn, rate schedules, workload phase swaps — applied at batch
+	// boundaries (requires tenants).
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
+	// Clients switches every tenant from an open-loop arrival schedule to a
+	// closed-loop client population whose offered load reacts to served
+	// latency (requires tenants).
+	Clients *ClientsSpec `json:"clients,omitempty"`
+	// Shadow trains an LSTM admission policy on the same warm-up trace and
+	// runs it as a shadow scorer over the live traffic: shadow hit-ratio and
+	// latency deltas are recorded per tenant, and the live cache is never
+	// touched.
+	Shadow *ShadowSpec `json:"shadow,omitempty"`
+}
+
+// ClientsSpec configures closed-loop client populations (one per tenant).
+// Each tenant's RatePerSec becomes the population's zero-latency target
+// rate; once the simulated device saturates, completions (fed back through
+// the session at batch boundaries) stretch inter-arrival times, so the
+// offered load is a function of served latency — the feedback an open loop
+// cannot express. Tenant burst modulation is ignored in this mode: the
+// client's clock is its think/completion cycle. The warm-up trace remains
+// open-loop (training sees page order, not arrival times).
+type ClientsSpec struct {
+	// Users is the number of simulated clients per tenant (default 8).
+	Users int `json:"users,omitempty"`
+	// Alpha is the EWMA weight for folding latency observations into the
+	// clients' completion estimate (default 0.2).
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// EffectiveUsers returns the per-tenant client count with its default.
+func (c *ClientsSpec) EffectiveUsers() int {
+	if c == nil || c.Users == 0 {
+		return 8
+	}
+	return c.Users
+}
+
+// Validate checks the client population parameters.
+func (c ClientsSpec) Validate() error {
+	if c.Users < 0 {
+		return fmt.Errorf("serve: spec clients users %d negative", c.Users)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("serve: spec clients alpha %v outside [0,1]", c.Alpha)
+	}
+	return nil
 }
 
 // CacheSpec sizes the device cache and its backing store.
@@ -348,6 +397,43 @@ func (s Spec) Validate() error {
 	}
 	if t := s.Telemetry; t != nil && t.SnapshotEvery < 0 {
 		return fmt.Errorf("serve: spec telemetry snapshot_every %d negative", t.SnapshotEvery)
+	}
+	if sc := s.Scenario; sc != nil {
+		if len(s.Tenants) == 0 {
+			return errors.New("serve: spec scenario requires tenants")
+		}
+		names := make([]string, len(s.Tenants))
+		byName := make(map[string]TenantSpec, len(s.Tenants))
+		for i, ts := range s.Tenants {
+			names[i] = ts.Name
+			byName[ts.Name] = ts
+		}
+		if err := sc.Validate(names); err != nil {
+			return fmt.Errorf("serve: spec scenario: %w", err)
+		}
+		for _, ev := range sc.Events {
+			// A phase swap and a working-set shift race for the same
+			// generator slot: OpenLoop.SetGenerator defers swaps while a
+			// ShiftTo segment is live, which would make the swap batch
+			// non-deterministic relative to the shift point. Reject the
+			// combination outright.
+			if ev.Kind == scenario.KindPhase && byName[ev.Tenant].ShiftAfter > 0 {
+				return fmt.Errorf("serve: spec scenario: phase event at batch %d targets tenant %q which has shift_after; a tenant uses scenario phases or a working-set shift, not both", ev.Batch, ev.Tenant)
+			}
+		}
+	}
+	if c := s.Clients; c != nil {
+		if len(s.Tenants) == 0 {
+			return errors.New("serve: spec clients requires tenants")
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if sh := s.Shadow; sh != nil {
+		if err := sh.Validate(); err != nil {
+			return err
+		}
 	}
 	cfg, err := s.config()
 	if err != nil {

@@ -279,6 +279,57 @@ func NewTenantMux(specs []TenantSpec) (*workload.Mux, error) {
 	return workload.NewMux(streams)
 }
 
+// closedLoop builds the tenant's private closed-loop stream: users
+// simulated clients targeting the tenant's configured rate at zero latency.
+// Burst modulation does not apply — a closed loop's arrival clock is its
+// users' think/completion cycle, not a modulated Poisson-like schedule — so
+// BurstAmp/BurstPeriod are deliberately not forwarded.
+func (ts TenantSpec) closedLoop(users int, alpha float64) (*workload.ClosedLoop, error) {
+	gen, err := ts.generator()
+	if err != nil {
+		return nil, err
+	}
+	var shiftTo workload.Generator
+	if ts.ShiftCustom != nil {
+		if shiftTo, err = workload.NewCustom(*ts.ShiftCustom); err != nil {
+			return nil, fmt.Errorf("shift_custom: %w", err)
+		}
+	}
+	return workload.NewClosedLoop(gen, workload.OpenLoopConfig{
+		Seed:             ts.Seed,
+		ShiftAfter:       ts.ShiftAfter,
+		ShiftOffsetPages: ts.ShiftOffsetPages,
+		ShiftTo:          shiftTo,
+	}, workload.ClosedLoopConfig{
+		Users:      users,
+		RatePerSec: ts.RatePerSec,
+		Alpha:      alpha,
+	})
+}
+
+// NewClientMux builds the closed-loop variant of NewTenantMux: every tenant
+// becomes a population of users simulated clients whose next arrival waits
+// on the completion of the previous request (as fed back through
+// Mux.ObserveLatency) plus a think time targeting the tenant's configured
+// rate. Stream indices and page offsets match NewTenantMux exactly.
+func NewClientMux(specs []TenantSpec, users int, alpha float64) (*workload.Mux, error) {
+	if err := ValidateTenants(specs); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("serve: no tenants")
+	}
+	streams := make([]workload.MuxStream, len(specs))
+	for i, ts := range specs {
+		cl, err := ts.closedLoop(users, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %q: %w", ts.Name, err)
+		}
+		streams[i] = workload.MuxStream{Stream: cl, OffsetPages: ts.OffsetPages}
+	}
+	return workload.NewMux(streams)
+}
+
 // ValidateWarmup checks that a warm-up trace of warmupLen requests lets the
 // initial GMM see every Algorithm 1 timestamp — globally and for every
 // tenant. After trimming (TransformConfig.WarmupFrac/TailFrac), the retained
@@ -666,10 +717,16 @@ type tenantPartStats struct {
 	ops           uint64
 	hits          uint64
 	bytesAdmitted uint64
-	hist          *stats.Histogram // sojourn time
-	cxlHist       *stats.Histogram // link round trip
-	hbmHist       *stats.Histogram // device time of hits
-	ssdHist       *stats.Histogram // device time of misses
+	// latSumNs is the cumulative sojourn time of every request the tenant
+	// completed in this partition — the numerator of the tenant's mean
+	// latency, kept as an exact integer sum so the shadow bake-off's
+	// mean-latency deltas are reproducible (the histogram's mean would do,
+	// but an explicit sum keeps the accounting unambiguous).
+	latSumNs int64
+	hist     *stats.Histogram // sojourn time
+	cxlHist  *stats.Histogram // link round trip
+	hbmHist  *stats.Histogram // device time of hits
+	ssdHist  *stats.Histogram // device time of misses
 
 	// Control-interval state, reset by the controller after each step.
 	ctrlOps  uint64

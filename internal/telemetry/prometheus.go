@@ -184,6 +184,17 @@ func WritePrometheus(w io.Writer, st *Status, events []EventCount) {
 			p.sample("icgmm_tenant_resident_blocks", tl, float64(t.ResidentBlocks))
 			p.family("icgmm_tenant_threshold", "Effective admission threshold of the tenant.", "gauge")
 			p.sample("icgmm_tenant_threshold", tl, t.Threshold)
+			if snap.Shadow && t.ShadowOps > 0 {
+				shr := float64(t.ShadowHits) / float64(t.ShadowOps)
+				p.family("icgmm_shadow_hit_ratio", "Cumulative hit ratio of the shadow policy over the tenant's device-routed traffic.", "gauge")
+				p.sample("icgmm_shadow_hit_ratio", tl, shr)
+				p.family("icgmm_shadow_hit_delta", "Shadow-minus-live hit-ratio delta for the tenant.", "gauge")
+				p.sample("icgmm_shadow_hit_delta", tl, shr-t.HitRatio())
+				p.family("icgmm_shadow_latency_mean_ns", "Modeled mean latency of the shadow policy for the tenant in nanoseconds.", "gauge")
+				p.sample("icgmm_shadow_latency_mean_ns", tl, t.ShadowMeanNs)
+				p.family("icgmm_shadow_latency_delta_ns", "Shadow-minus-live mean-latency delta for the tenant in nanoseconds.", "gauge")
+				p.sample("icgmm_shadow_latency_delta_ns", tl, t.ShadowMeanNs-float64(t.Latency.Mean))
+			}
 		}
 	}
 

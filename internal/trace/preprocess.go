@@ -1,5 +1,7 @@
 package trace
 
+import "fmt"
+
 // Sample is one GMM training/inference input: the page index and the
 // transformed timestamp produced by Algorithm 1. Both are carried as float64
 // because the GMM operates in R^2.
@@ -113,6 +115,28 @@ func (tt *TimestampTransformer) Next() int {
 func (tt *TimestampTransformer) Reset() {
 	tt.timestamp = 0
 	tt.index = 0
+}
+
+// State exports the Algorithm 1 cursor: the current timestamp and the index
+// within the current window. Together with the config these fully determine
+// every future output, which is what lets a checkpointed consumer resume its
+// clock bit-identically.
+func (tt *TimestampTransformer) State() (timestamp, index int) {
+	return tt.timestamp, tt.index
+}
+
+// RestoreState rewinds the cursor to an exported state. The receiver must
+// have been built with the same config as the exporter.
+func (tt *TimestampTransformer) RestoreState(timestamp, index int) error {
+	if timestamp < 0 || timestamp >= tt.cfg.LenAccessShot {
+		return fmt.Errorf("trace: timestamp %d outside access shot [0, %d)", timestamp, tt.cfg.LenAccessShot)
+	}
+	if index < 0 || index > tt.cfg.LenWindow {
+		return fmt.Errorf("trace: window index %d outside [0, %d]", index, tt.cfg.LenWindow)
+	}
+	tt.timestamp = timestamp
+	tt.index = index
+	return nil
 }
 
 // MaxTimestamp returns the largest timestamp the transformer can emit.

@@ -7,13 +7,30 @@ import (
 	"repro/internal/trace"
 )
 
-// MuxStream is one tenant-shaped input to a Mux: an open-loop stream plus a
+// ArrivalStream is a deterministic, timestamped request stream a Mux can
+// merge: OpenLoop (arrivals on an independent clock) or ClosedLoop (arrivals
+// gated on completion-latency feedback). The mutator methods exist for the
+// scenario engine — both take effect at batch boundaries only, keeping
+// streams pure functions of their (config, event, observation) history.
+type ArrivalStream interface {
+	// Next fills dst and returns len(dst); streams never end. Each record's
+	// Time field carries the arrival time in nanoseconds.
+	Next(dst []trace.Record) int
+	// Rate returns the stream's current mean offered rate in req/s.
+	Rate() float64
+	// SetRate changes the offered rate for future arrivals.
+	SetRate(r float64)
+	// SetGenerator swaps the trace generator (workload-phase event).
+	SetGenerator(g Generator)
+}
+
+// MuxStream is one tenant-shaped input to a Mux: a request stream plus a
 // static page offset that relocates the stream's working set, so co-located
 // tenants occupy disjoint regions of the device address space.
 type MuxStream struct {
-	// Stream produces the records; its OpenLoopConfig fixes the tenant's
-	// seed, rate, bursts and working-set drift.
-	Stream *OpenLoop
+	// Stream produces the records; its config fixes the tenant's seed,
+	// rate, bursts and working-set drift.
+	Stream ArrivalStream
 	// OffsetPages is added to every record's page index.
 	OffsetPages uint64
 }
@@ -34,6 +51,7 @@ type MuxRecord struct {
 type Mux struct {
 	streams []MuxStream
 	heads   []trace.Record // one-record lookahead per stream
+	active  []bool
 	emitted uint64
 	one     [1]trace.Record
 }
@@ -48,15 +66,17 @@ func NewMux(streams []MuxStream) (*Mux, error) {
 	m := &Mux{
 		streams: make([]MuxStream, len(streams)),
 		heads:   make([]trace.Record, len(streams)),
+		active:  make([]bool, len(streams)),
 	}
 	for i, s := range streams {
 		if s.Stream == nil {
 			return nil, fmt.Errorf("workload: mux stream %d is nil", i)
 		}
-		if s.Stream.cfg.RatePerSec <= 0 {
+		if s.Stream.Rate() <= 0 {
 			return nil, fmt.Errorf("workload: mux stream %d has no arrival rate (a saturating stream would starve the others)", i)
 		}
 		m.streams[i] = s
+		m.active[i] = true
 		m.heads[i] = m.pull(i)
 	}
 	return m, nil
@@ -74,33 +94,79 @@ func (m *Mux) pull(i int) trace.Record {
 // Streams returns the number of muxed streams.
 func (m *Mux) Streams() int { return len(m.streams) }
 
+// Stream returns the i-th underlying stream.
+func (m *Mux) Stream(i int) ArrivalStream { return m.streams[i].Stream }
+
+// Active reports whether stream i currently contributes records.
+func (m *Mux) Active(i int) bool { return m.active[i] }
+
+// SetActive marks a stream joined or departed (scenario join/leave events).
+// A departed stream keeps producing records — the merge discards them when
+// they win, so its virtual clock advances alongside the others and a later
+// rejoin resumes at the current virtual time instead of replaying a backlog
+// burst. At least one stream must stay active (the spec validates this).
+func (m *Mux) SetActive(i int, active bool) { m.active[i] = active }
+
+// SetRate forwards a rate change to stream i.
+func (m *Mux) SetRate(i int, r float64) { m.streams[i].Stream.SetRate(r) }
+
+// SetGenerator forwards a workload-phase swap to stream i.
+func (m *Mux) SetGenerator(i int, g Generator) { m.streams[i].Stream.SetGenerator(g) }
+
+// ObserveLatency feeds a completion-latency observation to stream i. Only
+// closed-loop streams consume it; for open-loop streams it is a no-op.
+func (m *Mux) ObserveLatency(i int, meanNs float64) {
+	if cl, ok := m.streams[i].Stream.(*ClosedLoop); ok {
+		cl.ObserveLatency(meanNs)
+	}
+}
+
 // Emitted returns how many merged records have been produced.
 func (m *Mux) Emitted() uint64 { return m.emitted }
 
 // Next fills dst with the next len(dst) merged records and returns len(dst);
 // the merged stream never ends. Each record keeps the arrival time its own
-// stream assigned, so merged times are globally non-decreasing.
+// stream assigned, so merged times are globally non-decreasing. Records from
+// departed streams are pulled and discarded when they win the merge, which
+// both advances their clocks and preserves the invariant that the merge
+// order is a pure function of the streams alone.
 func (m *Mux) Next(dst []MuxRecord) int {
 	for i := range dst {
-		best := 0
-		for s := 1; s < len(m.heads); s++ {
-			if m.heads[s].Time < m.heads[best].Time {
-				best = s
+		for {
+			best := 0
+			for s := 1; s < len(m.heads); s++ {
+				if m.heads[s].Time < m.heads[best].Time {
+					best = s
+				}
+			}
+			active := m.active[best]
+			if active {
+				dst[i] = MuxRecord{Rec: m.heads[best], Stream: best}
+			}
+			m.heads[best] = m.pull(best)
+			if active {
+				m.emitted++
+				break
 			}
 		}
-		dst[i] = MuxRecord{Rec: m.heads[best], Stream: best}
-		m.heads[best] = m.pull(best)
-		m.emitted++
 	}
 	return len(dst)
 }
 
 // MuxState is the mux's full mutable state: the one-record lookahead heads,
-// the merged-output count, and every underlying stream's cursor.
+// the merged-output count, and every underlying stream's cursor. Streams
+// carries the open-loop cursor of every stream (for closed-loop streams,
+// the inner generator cursor); Closed, present only when at least one
+// stream is closed-loop, carries the per-stream user clocks and latency
+// EWMA aligned by index. Active, present only when at least one stream has
+// departed, records the join/leave flags. The all-open, all-active encoding
+// is byte-identical to the historical format.
 type MuxState struct {
-	Emitted uint64          `json:"emitted"`
-	Heads   []trace.Record  `json:"heads"`
-	Streams []OpenLoopState `json:"streams"`
+	Emitted uint64            `json:"emitted"`
+	Heads   []trace.Record    `json:"heads"`
+	Streams []OpenLoopState   `json:"streams"`
+	Closed  []ClosedLoopState `json:"closed,omitempty"`
+	Active  []bool            `json:"active,omitempty"`
 }
 
 // State exports the mux's mutable state.
@@ -110,8 +176,31 @@ func (m *Mux) State() MuxState {
 		Heads:   append([]trace.Record(nil), m.heads...),
 		Streams: make([]OpenLoopState, len(m.streams)),
 	}
+	anyClosed, allActive := false, true
 	for i, st := range m.streams {
-		s.Streams[i] = st.Stream.State()
+		switch cl := st.Stream.(type) {
+		case *OpenLoop:
+			s.Streams[i] = cl.State()
+		case *ClosedLoop:
+			anyClosed = true
+			cs := cl.State()
+			s.Streams[i] = cs.Inner
+		}
+		if !m.active[i] {
+			allActive = false
+		}
+	}
+	if anyClosed {
+		s.Closed = make([]ClosedLoopState, len(m.streams))
+		for i, st := range m.streams {
+			if cl, ok := st.Stream.(*ClosedLoop); ok {
+				s.Closed[i] = cl.State()
+				s.Closed[i].Inner = OpenLoopState{} // lives in Streams[i]
+			}
+		}
+	}
+	if !allActive {
+		s.Active = append([]bool(nil), m.active...)
 	}
 	return s
 }
@@ -123,12 +212,37 @@ func (m *Mux) RestoreState(s MuxState) error {
 		return fmt.Errorf("workload: mux state has %d/%d streams, mux has %d",
 			len(s.Heads), len(s.Streams), len(m.streams))
 	}
+	if s.Closed != nil && len(s.Closed) != len(m.streams) {
+		return fmt.Errorf("workload: mux state has %d closed-loop entries, mux has %d streams",
+			len(s.Closed), len(m.streams))
+	}
+	if s.Active != nil && len(s.Active) != len(m.streams) {
+		return fmt.Errorf("workload: mux state has %d active flags, mux has %d streams",
+			len(s.Active), len(m.streams))
+	}
 	for i, st := range m.streams {
-		if err := st.Stream.RestoreState(s.Streams[i]); err != nil {
-			return fmt.Errorf("workload: mux stream %d: %w", i, err)
+		switch cl := st.Stream.(type) {
+		case *OpenLoop:
+			if err := cl.RestoreState(s.Streams[i]); err != nil {
+				return fmt.Errorf("workload: mux stream %d: %w", i, err)
+			}
+		case *ClosedLoop:
+			if s.Closed == nil {
+				return fmt.Errorf("workload: mux stream %d is closed-loop but the state has no closed-loop entries", i)
+			}
+			cs := s.Closed[i]
+			cs.Inner = s.Streams[i]
+			if err := cl.RestoreState(cs); err != nil {
+				return fmt.Errorf("workload: mux stream %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("workload: mux stream %d has unrestorable type %T", i, st.Stream)
 		}
 	}
 	copy(m.heads, s.Heads)
+	for i := range m.active {
+		m.active[i] = s.Active == nil || s.Active[i]
+	}
 	m.emitted = s.Emitted
 	return nil
 }

@@ -92,6 +92,29 @@ func NewOpenLoop(g Generator, cfg OpenLoopConfig) (*OpenLoop, error) {
 // Name labels the stream after its generator.
 func (ol *OpenLoop) Name() string { return ol.g.Name() }
 
+// Rate returns the configured mean arrival rate in requests per second.
+func (ol *OpenLoop) Rate() float64 { return ol.cfg.RatePerSec }
+
+// SetRate changes the arrival rate at a batch boundary. Already-stamped
+// arrivals keep their times; only future interarrival gaps use the new rate,
+// so a rate schedule replayed at the same boundaries reproduces the same
+// stream bit for bit.
+func (ol *OpenLoop) SetRate(r float64) { ol.cfg.RatePerSec = r }
+
+// SetGenerator swaps the stream's trace generator — the scenario engine's
+// workload-phase event. The in-flight segment is regenerated in place from
+// the new generator (same derived seed, same cursor), so the swap takes
+// effect at the very next record and a resumed stream, which regenerates its
+// segment from the post-swap generator, stays bit-identical. The swap is
+// skipped while a ShiftTo segment is live: phase events and working-set
+// shifts are mutually exclusive per stream (the spec validates this).
+func (ol *OpenLoop) SetGenerator(g Generator) {
+	ol.g = g
+	if len(ol.buf) > 0 && !ol.bufShifted {
+		ol.buf = g.Generate(ol.cfg.SegmentLen, engine.DeriveSeed(ol.cfg.Seed, ol.seg-1))
+	}
+}
+
 // Emitted returns how many requests have been produced so far.
 func (ol *OpenLoop) Emitted() uint64 { return ol.emitted }
 
